@@ -1,0 +1,61 @@
+"""Shared configuration of the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper
+(see DESIGN.md §3 for the experiment index).  Two principles:
+
+* **Scaled-down workloads.**  The paper's experiments ran a C++ implementation
+  for hours; the benchmarks here use reduced dataset sizes, fewer Monte Carlo
+  iterations and fewer repetitions so that the whole suite finishes in minutes
+  on a laptop.  The scaling factors are module-level constants at the top of
+  each benchmark file and can be raised for a full-fidelity run.
+* **Shape over absolute numbers.**  Each benchmark prints the series/table the
+  corresponding figure reports and asserts only the qualitative shape
+  (who wins, roughly by how much, where the crossovers are).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset import generate_synthetic_dataset
+from repro.pipeline import PipelineConfig
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "paper_figure(name): benchmark reproducing a paper figure")
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> PipelineConfig:
+    """Shared experiment parameters, scaled down from the paper's defaults."""
+    return PipelineConfig(
+        min_pts=10,
+        max_subspaces=50,
+        hics_iterations=25,
+        hics_alpha=0.1,
+        hics_cutoff=100,
+        random_state=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def synthetic_20d():
+    """Mid-size synthetic dataset shared by the parameter-sweep benchmarks."""
+    return generate_synthetic_dataset(
+        n_objects=500,
+        n_dims=20,
+        n_relevant_subspaces=4,
+        subspace_dims=(2, 3),
+        outliers_per_subspace=5,
+        random_state=1,
+    )
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

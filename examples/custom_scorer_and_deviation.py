@@ -1,0 +1,85 @@
+"""Extending HiCS: plug in a custom outlier scorer and a custom deviation function.
+
+The paper stresses that the decoupled two-step design makes both halves
+replaceable: any density-based outlier score can consume the selected
+subspaces, and the contrast measure accepts any two-sample deviation function.
+This example demonstrates both extension points:
+
+1. the built-in kNN-distance scorer replaces LOF in step 2,
+2. a user-defined deviation function (median absolute ECDF difference) is
+   registered and used by the contrast estimator in step 1.
+
+Run with::
+
+    python examples/custom_scorer_and_deviation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    HiCS,
+    KNNDistanceScorer,
+    LOFScorer,
+    SubspaceOutlierPipeline,
+    generate_synthetic_dataset,
+    roc_auc_score,
+)
+from repro.stats import register_deviation_function
+
+
+def median_ecdf_deviation(conditional: np.ndarray, marginal: np.ndarray) -> float:
+    """Median absolute difference of the two empirical CDFs (a robust L1-style deviation)."""
+    a = np.sort(np.asarray(conditional, dtype=float))
+    b = np.sort(np.asarray(marginal, dtype=float))
+    support = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, support, side="right") / a.size
+    cdf_b = np.searchsorted(b, support, side="right") / b.size
+    return float(np.median(np.abs(cdf_a - cdf_b)))
+
+
+def main() -> None:
+    dataset = generate_synthetic_dataset(
+        n_objects=400, n_dims=15, n_relevant_subspaces=3, subspace_dims=(2, 3),
+        outliers_per_subspace=5, random_state=3,
+    )
+    print(f"dataset: {dataset.n_objects} objects, {dataset.n_dims} attributes, "
+          f"{dataset.n_outliers} planted outliers\n")
+
+    # ------------------------------------------------------------------------
+    # Extension point 1: a different outlier scorer in step 2.
+    # ------------------------------------------------------------------------
+    configurations = {
+        "HiCS + LOF (paper default)": SubspaceOutlierPipeline(
+            searcher=HiCS(n_iterations=30, random_state=0), scorer=LOFScorer(min_pts=10)
+        ),
+        "HiCS + kNN-distance": SubspaceOutlierPipeline(
+            searcher=HiCS(n_iterations=30, random_state=0), scorer=KNNDistanceScorer(k=10)
+        ),
+    }
+
+    # ------------------------------------------------------------------------
+    # Extension point 2: a custom deviation function in step 1.
+    # ------------------------------------------------------------------------
+    register_deviation_function("median-ecdf", median_ecdf_deviation, overwrite=True)
+    configurations["HiCS(median-ecdf) + LOF"] = SubspaceOutlierPipeline(
+        searcher=HiCS(n_iterations=30, deviation="median-ecdf", random_state=0),
+        scorer=LOFScorer(min_pts=10),
+    )
+
+    print(f"{'configuration':<28} {'AUC':>7} {'subspaces':>10} {'runtime [s]':>12}")
+    for label, pipeline in configurations.items():
+        result = pipeline.fit_rank(dataset)
+        auc = roc_auc_score(dataset.labels, result.scores)
+        print(
+            f"{label:<28} {auc:>7.3f} {len(result.subspaces):>10} "
+            f"{result.metadata['total_time_sec']:>12.2f}"
+        )
+
+    print("\nAll three configurations flow through the identical two-step pipeline —")
+    print("the subspace search and the outlier scorer are fully decoupled.")
+
+
+if __name__ == "__main__":
+    main()

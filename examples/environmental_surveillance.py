@@ -1,0 +1,136 @@
+"""Environmental surveillance scenario (the paper's Figure 1 motivation).
+
+A sensor network reports six measurements per node: air pollution index,
+noise level, humidity, temperature, wind speed and solar irradiance.  Two
+kinds of anomalous nodes are planted:
+
+* ``outlier1`` — suspicious only w.r.t. the combination of *air pollution and
+  noise level* (e.g. unreported construction work): both readings are
+  individually plausible, their combination is not.
+* ``outlier2`` — suspicious only w.r.t. *humidity and temperature* (a failing
+  climate sensor), independent of its other readings.
+
+Neither node is unusual in any single attribute nor in the full 6-dimensional
+space, which is exactly the situation the paper motivates.  The example shows
+how HiCS surfaces the two relevant attribute combinations and how the final
+ranking flags both nodes.
+
+Run with::
+
+    python examples/environmental_surveillance.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Dataset, HiCS, LOFScorer, SubspaceOutlierPipeline, roc_auc_score
+from repro.types import Subspace
+
+ATTRIBUTES = (
+    "air_pollution",
+    "noise_level",
+    "humidity",
+    "temperature",
+    "wind_speed",
+    "solar_irradiance",
+) + tuple(f"aux_sensor_{i}" for i in range(12))
+
+
+def build_sensor_dataset(n_nodes: int = 500, seed: int = 7) -> Dataset:
+    """Simulate correlated sensor readings with two planted anomalous nodes.
+
+    Besides the six named measurements, every node reports twelve auxiliary
+    channels (battery voltage, packet loss, ...) that carry no anomaly signal.
+    They are what makes the full-space ranking wash out — exactly the
+    high-dimensionality effect the paper describes.
+    """
+    rng = np.random.default_rng(seed)
+
+    # Air pollution and noise level are driven by common traffic intensity.
+    traffic = rng.uniform(size=n_nodes)
+    air_pollution = 0.2 + 0.6 * traffic + rng.normal(0.0, 0.04, n_nodes)
+    noise_level = 0.15 + 0.65 * traffic + rng.normal(0.0, 0.04, n_nodes)
+
+    # Humidity and temperature are anti-correlated through the weather.
+    weather = rng.uniform(size=n_nodes)
+    humidity = 0.85 - 0.6 * weather + rng.normal(0.0, 0.04, n_nodes)
+    temperature = 0.15 + 0.65 * weather + rng.normal(0.0, 0.04, n_nodes)
+
+    # Wind speed, solar irradiance and the auxiliary channels are independent
+    # nuisance attributes.
+    nuisance = rng.uniform(size=(n_nodes, 2 + 12))
+
+    data = np.clip(
+        np.column_stack([air_pollution, noise_level, humidity, temperature, nuisance]),
+        0.0,
+        1.0,
+    )
+    labels = np.zeros(n_nodes, dtype=int)
+
+    # outlier1: elevated pollution reading at a *quiet* location — each value is
+    # individually common, the combination contradicts the traffic correlation.
+    data[-2, 0], data[-2, 1] = 0.62, 0.28
+    labels[-2] = 1
+    # outlier2: warm *and* humid reading — contradicts the weather correlation.
+    data[-1, 2], data[-1, 3] = 0.68, 0.60
+    labels[-1] = 1
+
+    return Dataset(
+        data=data,
+        labels=labels,
+        name="sensor-network",
+        attribute_names=ATTRIBUTES,
+        metadata={"outlier1": n_nodes - 2, "outlier2": n_nodes - 1},
+    )
+
+
+def main() -> None:
+    dataset = build_sensor_dataset()
+    outlier1 = dataset.metadata["outlier1"]
+    outlier2 = dataset.metadata["outlier2"]
+    print(f"sensor network with {dataset.n_objects} nodes and {dataset.n_dims} measurements")
+    print(f"planted anomalies: node {outlier1} (pollution/noise), node {outlier2} (humidity/temperature)\n")
+
+    # Step 1: which attribute combinations carry structure worth inspecting?
+    searcher = HiCS(n_iterations=60, random_state=0)
+    subspaces = searcher.search(dataset.data)
+    print("high-contrast attribute combinations (top 5):")
+    for item in subspaces[:5]:
+        names = [dataset.attribute_names[a] for a in item.subspace.attributes]
+        print(f"  contrast={item.score:.3f}  {names}")
+
+    # Step 2: rank the nodes using LOF inside the selected combinations.
+    pipeline = SubspaceOutlierPipeline(
+        searcher=HiCS(n_iterations=60, random_state=0), scorer=LOFScorer(min_pts=15)
+    )
+    result = pipeline.fit_rank(dataset)
+    ranking = result.ranking()
+    position = {int(obj): int(np.where(ranking == obj)[0][0]) + 1 for obj in (outlier1, outlier2)}
+
+    print("\nranking positions of the planted anomalies (out of", dataset.n_objects, "nodes):")
+    print(f"  outlier1 (pollution vs noise):      position {position[outlier1]}")
+    print(f"  outlier2 (humidity vs temperature): position {position[outlier2]}")
+
+    # Contrast with the naive full-space ranking.
+    full_scores = LOFScorer(min_pts=15).score(dataset.data)
+    full_ranking = np.argsort(-full_scores)
+    full_position = {
+        int(obj): int(np.where(full_ranking == obj)[0][0]) + 1 for obj in (outlier1, outlier2)
+    }
+    print("\nfor comparison, full-space LOF ranks them at positions "
+          f"{full_position[outlier1]} and {full_position[outlier2]}")
+
+    print(f"\nAUC   HiCS+LOF: {roc_auc_score(dataset.labels, result.scores):.3f}   "
+          f"full-space LOF: {roc_auc_score(dataset.labels, full_scores):.3f}")
+
+    # Show that the relevant subspaces were indeed the physical correlations.
+    expected = {Subspace((0, 1)), Subspace((2, 3))}
+    found = {s.subspace for s in subspaces[:5]}
+    overlap = expected & found
+    print(f"\nrecovered {len(overlap)} of the 2 physically meaningful attribute pairs "
+          f"among the top-5 subspaces")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Quickstart: find subspace outliers with HiCS + LOF in a few lines.
+
+Generates a synthetic dataset with outliers hidden in low-dimensional
+subspaces (invisible in the full space and in every single attribute), runs
+the default HiCS pipeline, and compares the resulting ranking against plain
+full-space LOF.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    HiCS,
+    LOFScorer,
+    SubspaceOutlierPipeline,
+    generate_synthetic_dataset,
+    make_method_pipeline,
+    roc_auc_score,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ data
+    # 20 attributes, 400 objects, outliers planted in 2-3 dimensional
+    # correlated subspaces.  `relevant_subspaces` records the ground truth.
+    dataset = generate_synthetic_dataset(
+        n_objects=400,
+        n_dims=20,
+        n_relevant_subspaces=3,
+        subspace_dims=(2, 3),
+        outliers_per_subspace=5,
+        random_state=0,
+    )
+    print(f"dataset: {dataset.name} with {dataset.n_objects} objects, "
+          f"{dataset.n_dims} attributes, {dataset.n_outliers} hidden outliers")
+    print("ground-truth subspaces:",
+          [list(s.attributes) for s in dataset.relevant_subspaces])
+
+    # ------------------------------------------------------- subspace search
+    # Step 1 of the decoupled processing: rank subspaces by contrast.
+    searcher = HiCS(n_iterations=50, alpha=0.1, random_state=0)
+    scored_subspaces = searcher.search(dataset.data)
+    print("\ntop 5 high-contrast subspaces found by HiCS:")
+    for item in scored_subspaces[:5]:
+        print(f"  contrast={item.score:.3f}  attributes={list(item.subspace.attributes)}")
+
+    # --------------------------------------------------------- full pipeline
+    # Step 1 + step 2 in one call: HiCS subspace search, LOF scoring in each
+    # selected subspace, average aggregation.
+    pipeline = SubspaceOutlierPipeline(
+        searcher=HiCS(n_iterations=50, random_state=0),
+        scorer=LOFScorer(min_pts=10),
+    )
+    result = pipeline.fit_rank(dataset)
+    print(f"\nHiCS+LOF used {len(result.subspaces)} subspaces "
+          f"in {result.metadata['total_time_sec']:.2f}s")
+
+    print("\ntop 10 suspected outliers (object id, score, true label):")
+    for obj in result.top(10):
+        truth = "outlier" if dataset.labels[obj] == 1 else "inlier"
+        print(f"  object {obj:>4}  score={result.scores[obj]:.3f}  -> {truth}")
+
+    # -------------------------------------------------------------- baseline
+    baseline = make_method_pipeline("LOF").fit_rank(dataset)
+    hics_auc = roc_auc_score(dataset.labels, result.scores)
+    lof_auc = roc_auc_score(dataset.labels, baseline.scores)
+    print(f"\nranking quality (ROC AUC): HiCS+LOF = {hics_auc:.3f}   "
+          f"full-space LOF = {lof_auc:.3f}")
+    print("=> the subspace search recovers outliers the full-space ranking misses"
+          if hics_auc > lof_auc else "=> unexpected: check the configuration")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Real-world benchmark study: compare methods on the UCI surrogate datasets.
+
+Reproduces a slice of the paper's Figure 11 table from the public API: every
+method is run end-to-end on a selection of the real-world benchmark datasets
+(offline surrogates, see DESIGN.md §4), and the resulting AUC / runtime table
+is printed in the same layout as the paper.
+
+Run with::
+
+    python examples/uci_benchmark_study.py            # three small datasets
+    python examples/uci_benchmark_study.py --all      # all eight datasets
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import available_uci_surrogates, load_uci_surrogate
+from repro.evaluation import run_method_comparison
+from repro.evaluation.reporting import format_comparison_table
+from repro.pipeline import PipelineConfig
+
+SMALL_DATASETS = ("glass", "ionosphere", "breast-diagnostic")
+METHODS = ("LOF", "HiCS", "Enclus", "RANDSUB")
+
+#: Larger datasets are subsampled so the study stays interactive.
+SUBSAMPLE = {"ann-thyroid": 0.25, "pendigits": 0.12}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--all", action="store_true", help="run all eight UCI surrogates")
+    parser.add_argument("--min-pts", type=int, default=10, help="LOF MinPts (default 10)")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    args = parser.parse_args()
+
+    names = available_uci_surrogates() if args.all else SMALL_DATASETS
+    datasets = [
+        load_uci_surrogate(name, random_state=args.seed, subsample=SUBSAMPLE.get(name, 1.0))
+        for name in names
+    ]
+    for dataset in datasets:
+        print(
+            f"loaded {dataset.name:<18} {dataset.n_objects:>5} objects  "
+            f"{dataset.n_dims:>3} attributes  {dataset.n_outliers:>4} outliers"
+        )
+
+    config = PipelineConfig(
+        min_pts=args.min_pts,
+        max_subspaces=50,
+        hics_iterations=25,
+        hics_cutoff=100,
+        random_state=args.seed,
+    )
+    print("\nrunning", len(METHODS), "methods on", len(datasets), "datasets ...\n")
+    results = run_method_comparison(METHODS, datasets, config)
+
+    print("AUC [%] (best per dataset marked with *):")
+    print(format_comparison_table(results, value="auc"))
+    print("\ntotal runtime [s]:")
+    print(format_comparison_table(results, value="runtime_sec", percent=False, precision=2))
+
+    hics_wins = sum(
+        1
+        for dataset in datasets
+        if max(
+            (r.auc for r in results if r.dataset == dataset.name),
+        )
+        == next(r.auc for r in results if r.dataset == dataset.name and r.method == "HiCS")
+    )
+    print(f"\nHiCS achieves the best AUC on {hics_wins} of {len(datasets)} datasets.")
+
+
+if __name__ == "__main__":
+    main()

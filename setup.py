@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+All project metadata lives in pyproject.toml; this file only enables the
+legacy editable-install code path (`pip install -e . --no-build-isolation`).
+"""
+from setuptools import setup
+
+setup()

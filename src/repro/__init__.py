@@ -1,0 +1,139 @@
+"""repro — a reproduction of *HiCS: High Contrast Subspaces for Density-Based
+Outlier Ranking* (Keller, Müller, Böhm — ICDE 2012).
+
+The library implements the paper's decoupled two-step processing:
+
+1. **Subspace search** (:class:`repro.subspaces.HiCS` and the baseline
+   searchers in :mod:`repro.baselines`) ranks axis-parallel subspace
+   projections by a statistical contrast measure.
+2. **Outlier ranking** (:mod:`repro.outliers`) scores every object with a
+   density-based score — LOF by default — restricted to the selected
+   subspaces and aggregates the per-subspace scores.
+
+Quick start
+-----------
+>>> from repro import SubspaceOutlierPipeline, generate_synthetic_dataset
+>>> dataset = generate_synthetic_dataset(n_objects=300, n_dims=10, random_state=0)
+>>> result = SubspaceOutlierPipeline().fit_rank(dataset)
+>>> suspicious = result.top(10)
+"""
+
+from .types import ContrastResult, RankingResult, ScoredSubspace, Subspace
+from .exceptions import (
+    DataError,
+    DatasetNotFoundError,
+    NotFittedError,
+    ParameterError,
+    ReproError,
+    SubspaceError,
+    ValidationError,
+)
+from .dataset import (
+    Dataset,
+    SyntheticConfig,
+    available_datasets,
+    available_uci_surrogates,
+    generate_synthetic_dataset,
+    load_csv,
+    load_dataset,
+    load_uci_surrogate,
+    save_csv,
+)
+from .subspaces import ContrastEstimator, HiCS
+from .baselines import (
+    EnclusSearcher,
+    FullSpaceSearcher,
+    PCAReducer,
+    RISSearcher,
+    RandomSubspaceSearcher,
+)
+from .outliers import (
+    AdaptiveDensityScorer,
+    KNNDistanceScorer,
+    LOFScorer,
+    ORCAScorer,
+    SubspaceOutlierRanker,
+    knn_distance_score,
+    local_outlier_factor,
+)
+from .analysis import (
+    attribute_relevance,
+    explain_object,
+    pairwise_contrast_matrix,
+    ranking_correlation,
+    top_k_overlap,
+)
+from .pipeline import (
+    PipelineConfig,
+    SubspaceOutlierPipeline,
+    make_default_pipeline,
+    make_method_pipeline,
+)
+from .evaluation import (
+    average_precision,
+    precision_at_n,
+    roc_auc_score,
+    roc_curve,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # types
+    "Subspace",
+    "ScoredSubspace",
+    "ContrastResult",
+    "RankingResult",
+    # exceptions
+    "ReproError",
+    "ValidationError",
+    "ParameterError",
+    "DataError",
+    "SubspaceError",
+    "NotFittedError",
+    "DatasetNotFoundError",
+    # datasets
+    "Dataset",
+    "SyntheticConfig",
+    "generate_synthetic_dataset",
+    "load_uci_surrogate",
+    "available_uci_surrogates",
+    "load_dataset",
+    "available_datasets",
+    "load_csv",
+    "save_csv",
+    # core
+    "HiCS",
+    "ContrastEstimator",
+    # baselines
+    "EnclusSearcher",
+    "RISSearcher",
+    "RandomSubspaceSearcher",
+    "PCAReducer",
+    "FullSpaceSearcher",
+    # outliers
+    "LOFScorer",
+    "local_outlier_factor",
+    "KNNDistanceScorer",
+    "knn_distance_score",
+    "ORCAScorer",
+    "AdaptiveDensityScorer",
+    "SubspaceOutlierRanker",
+    # analysis
+    "pairwise_contrast_matrix",
+    "attribute_relevance",
+    "explain_object",
+    "ranking_correlation",
+    "top_k_overlap",
+    # pipeline
+    "SubspaceOutlierPipeline",
+    "PipelineConfig",
+    "make_default_pipeline",
+    "make_method_pipeline",
+    # evaluation
+    "roc_curve",
+    "roc_auc_score",
+    "precision_at_n",
+    "average_precision",
+]

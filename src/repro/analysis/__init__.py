@@ -1,0 +1,26 @@
+"""Analysis utilities built on top of the core library.
+
+These helpers support the exploratory side of subspace outlier mining:
+
+* :func:`pairwise_contrast_matrix` — the contrast of every 2-D subspace as a
+  symmetric matrix (the data behind a "correlation heatmap" on HiCS terms).
+* :func:`attribute_relevance` — how often (and how strongly) each attribute
+  participates in high-contrast subspaces; useful to explain *why* an object
+  was flagged.
+* :func:`explain_object` — per-subspace scores of a single object, sorted by
+  how anomalous the object is in each selected subspace.
+* :func:`ranking_correlation` and :func:`top_k_overlap` — compare the rankings
+  produced by different methods (used in the method-comparison studies).
+"""
+
+from .contrast_matrix import attribute_relevance, pairwise_contrast_matrix
+from .explain import explain_object
+from .ranking_comparison import ranking_correlation, top_k_overlap
+
+__all__ = [
+    "pairwise_contrast_matrix",
+    "attribute_relevance",
+    "explain_object",
+    "ranking_correlation",
+    "top_k_overlap",
+]

@@ -1,0 +1,86 @@
+"""Pairwise contrast matrices and attribute relevance summaries."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..subspaces.contrast import ContrastEstimator
+from ..types import ScoredSubspace, Subspace
+from ..utils.validation import check_data_matrix
+
+__all__ = ["pairwise_contrast_matrix", "attribute_relevance"]
+
+
+def pairwise_contrast_matrix(
+    data: np.ndarray,
+    *,
+    n_iterations: int = 50,
+    alpha: float = 0.1,
+    deviation: str = "welch",
+    random_state=None,
+) -> np.ndarray:
+    """Contrast of every two-dimensional subspace as a symmetric matrix.
+
+    The entry ``[i, j]`` is ``contrast({i, j})``; the diagonal is 0 because a
+    one-dimensional contrast is undefined.  This is the HiCS analogue of a
+    correlation matrix and captures arbitrary (also non-linear) dependencies.
+
+    Parameters
+    ----------
+    data:
+        Matrix of shape ``(n_objects, n_dims)``.
+    n_iterations, alpha, deviation, random_state:
+        Forwarded to :class:`~repro.subspaces.contrast.ContrastEstimator`.
+    """
+    data = check_data_matrix(data, name="data", min_dims=2)
+    estimator = ContrastEstimator(
+        data,
+        n_iterations=n_iterations,
+        alpha=alpha,
+        deviation=deviation,
+        random_state=random_state,
+    )
+    n_dims = data.shape[1]
+    matrix = np.zeros((n_dims, n_dims), dtype=float)
+    for i in range(n_dims):
+        for j in range(i + 1, n_dims):
+            value = estimator.contrast(Subspace((i, j)))
+            matrix[i, j] = value
+            matrix[j, i] = value
+    return matrix
+
+
+def attribute_relevance(
+    scored_subspaces: Sequence[ScoredSubspace],
+    n_dims: Optional[int] = None,
+) -> Dict[int, float]:
+    """Aggregate per-attribute relevance from a list of scored subspaces.
+
+    The relevance of attribute ``a`` is the sum of the contrast scores of all
+    subspaces containing ``a``.  Attributes that participate in many
+    high-contrast subspaces therefore dominate; attributes that only appear in
+    noise-level subspaces stay low.
+
+    Parameters
+    ----------
+    scored_subspaces:
+        Typically the output of :meth:`repro.subspaces.HiCS.search`.
+    n_dims:
+        If given, the result contains every attribute ``0 .. n_dims - 1`` (with
+        relevance 0.0 for attributes that appear in no subspace); otherwise only
+        attributes that occur in the input are present.
+
+    Returns
+    -------
+    dict
+        ``{attribute: relevance}``, not normalised.
+    """
+    relevance: Dict[int, float] = {}
+    if n_dims is not None:
+        relevance = {a: 0.0 for a in range(n_dims)}
+    for item in scored_subspaces:
+        for attribute in item.subspace.attributes:
+            relevance[attribute] = relevance.get(attribute, 0.0) + max(0.0, item.score)
+    return relevance

@@ -1,0 +1,67 @@
+"""Per-object explanations: in which subspaces does an object look outlying?"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..outliers.base import OutlierScorer
+from ..outliers.lof import LOFScorer
+from ..types import Subspace
+from ..utils.validation import check_data_matrix
+
+__all__ = ["explain_object"]
+
+
+def explain_object(
+    data: np.ndarray,
+    object_index: int,
+    subspaces: Sequence[Subspace],
+    scorer: Optional[OutlierScorer] = None,
+    *,
+    top: Optional[int] = None,
+) -> List[Tuple[Subspace, float, float]]:
+    """Rank the given subspaces by how anomalous one object appears in them.
+
+    For each subspace the scorer is evaluated on the projected data and the
+    result records the object's score together with its percentile within that
+    subspace's score distribution — the percentile makes scores of subspaces
+    with different dimensionality comparable.
+
+    Parameters
+    ----------
+    data:
+        Full data matrix.
+    object_index:
+        The object to explain.
+    subspaces:
+        Candidate subspaces (typically the high-contrast subspaces HiCS found).
+    scorer:
+        Outlier scorer; defaults to LOF with ``MinPts = 10``.
+    top:
+        If given, return only the ``top`` most incriminating subspaces.
+
+    Returns
+    -------
+    list of (subspace, score, percentile)
+        Sorted by decreasing percentile.
+    """
+    data = check_data_matrix(data, name="data", min_objects=2)
+    if not (0 <= object_index < data.shape[0]):
+        raise ParameterError(
+            f"object_index {object_index} out of range for {data.shape[0]} objects"
+        )
+    if not subspaces:
+        raise ParameterError("at least one subspace is required to explain an object")
+    scorer = scorer if scorer is not None else LOFScorer(min_pts=10)
+
+    explanations: List[Tuple[Subspace, float, float]] = []
+    for subspace in subspaces:
+        scores = scorer.score(data, subspace)
+        score = float(scores[object_index])
+        percentile = float((scores <= score).mean())
+        explanations.append((subspace, score, percentile))
+    explanations.sort(key=lambda item: (-item[2], -item[1]))
+    return explanations if top is None else explanations[:top]

@@ -1,0 +1,58 @@
+"""Comparing outlier rankings produced by different methods."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..exceptions import DataError, ParameterError
+from ..stats.correlation import spearman_correlation
+from ..types import RankingResult
+
+__all__ = ["ranking_correlation", "top_k_overlap"]
+
+ScoresLike = Union[np.ndarray, RankingResult]
+
+
+def _scores(ranking: ScoresLike) -> np.ndarray:
+    if isinstance(ranking, RankingResult):
+        return ranking.scores
+    return np.asarray(ranking, dtype=float).ravel()
+
+
+def ranking_correlation(ranking_a: ScoresLike, ranking_b: ScoresLike) -> float:
+    """Spearman rank correlation between two outlier rankings.
+
+    1.0 means both methods order the objects identically, values near 0 mean
+    unrelated rankings (the situation the paper describes for full-space
+    rankings of high-dimensional data).
+    """
+    scores_a, scores_b = _scores(ranking_a), _scores(ranking_b)
+    if scores_a.shape != scores_b.shape:
+        raise DataError(
+            f"rankings cover different numbers of objects: {scores_a.shape[0]} vs {scores_b.shape[0]}"
+        )
+    return spearman_correlation(scores_a, scores_b)
+
+
+def top_k_overlap(ranking_a: ScoresLike, ranking_b: ScoresLike, k: int) -> float:
+    """Jaccard overlap of the top-k objects of two rankings.
+
+    Measures agreement on the head of the ranking — the part an analyst would
+    actually inspect.
+    """
+    if k < 1:
+        raise ParameterError(f"k must be >= 1, got {k}")
+    scores_a, scores_b = _scores(ranking_a), _scores(ranking_b)
+    if scores_a.shape != scores_b.shape:
+        raise DataError(
+            f"rankings cover different numbers of objects: {scores_a.shape[0]} vs {scores_b.shape[0]}"
+        )
+    k = min(k, scores_a.shape[0])
+    top_a = set(np.argsort(-scores_a, kind="stable")[:k].tolist())
+    top_b = set(np.argsort(-scores_b, kind="stable")[:k].tolist())
+    union = top_a | top_b
+    if not union:
+        return 1.0
+    return len(top_a & top_b) / len(union)

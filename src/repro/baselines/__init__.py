@@ -1,0 +1,31 @@
+"""Competitor methods the paper evaluates against.
+
+* :class:`RandomSubspaceSearcher` — the RANDSUB baseline (feature bagging of
+  Lazarevic & Kumar, KDD 2005): random subspace projections, no quality
+  criterion.
+* :class:`EnclusSearcher` — Enclus (Cheng, Fu & Zhang, KDD 1999): grid-based
+  entropy as the subspace quality, level-wise bottom-up search.
+* :class:`RISSearcher` — RIS (Kailing et al., PKDD 2003): ranks subspaces by
+  counting DBSCAN core objects.
+* :class:`PCAReducer` — PCA dimensionality reduction (PCALOF1: keep 50 % of the
+  dimensions; PCALOF2: keep a constant 10 components) followed by full-space
+  LOF on the projected data.
+* :class:`FullSpaceSearcher` — degenerate "searcher" returning the full space,
+  i.e. plain LOF.
+"""
+
+from .random_subspaces import RandomSubspaceSearcher
+from .enclus import EnclusSearcher
+from .ris import RISSearcher, dbscan_core_object_count
+from .pca import PCAReducer, principal_component_analysis
+from .fullspace import FullSpaceSearcher
+
+__all__ = [
+    "RandomSubspaceSearcher",
+    "EnclusSearcher",
+    "RISSearcher",
+    "dbscan_core_object_count",
+    "PCAReducer",
+    "principal_component_analysis",
+    "FullSpaceSearcher",
+]

@@ -1,0 +1,29 @@
+"""The full-space "searcher": plain LOF without any subspace selection.
+
+Returning the single subspace containing every attribute lets the plain LOF
+baseline flow through exactly the same pipeline as the subspace methods, which
+keeps the evaluation harness uniform.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..types import ScoredSubspace, Subspace
+from ..utils.validation import check_data_matrix
+from ..subspaces.base import SubspaceSearcher
+
+__all__ = ["FullSpaceSearcher"]
+
+
+class FullSpaceSearcher(SubspaceSearcher):
+    """Degenerate subspace search returning the full attribute space."""
+
+    name = "LOF"
+
+    def search(self, data: np.ndarray) -> List[ScoredSubspace]:
+        data = check_data_matrix(data, name="data")
+        full = Subspace(range(data.shape[1]))
+        return [ScoredSubspace(subspace=full, score=0.0)]

@@ -1,0 +1,114 @@
+"""PCA dimensionality reduction as a pre-processing step for LOF.
+
+The paper evaluates two strategies (both fail as pre-processing for outlier
+ranking, which is part of its motivation):
+
+* **PCALOF1** — project onto the top 50 % of the principal components,
+* **PCALOF2** — project onto a constant number (10) of principal components.
+
+PCA is implemented from scratch via the eigendecomposition of the covariance
+matrix.  Unlike the subspace searchers, PCA produces a *transformed* data
+matrix rather than a list of axis-parallel subspaces; :class:`PCAReducer`
+therefore exposes both a ``transform`` API and a convenience ``rank`` method
+that applies a full-space scorer to the projected data.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..outliers.base import OutlierScorer
+from ..outliers.lof import LOFScorer
+from ..types import RankingResult
+from ..utils.validation import check_data_matrix, check_positive_int
+
+__all__ = ["principal_component_analysis", "PCAReducer"]
+
+
+def principal_component_analysis(data: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Principal component analysis of a data matrix.
+
+    Returns
+    -------
+    (components, explained_variance, mean):
+        ``components`` has shape ``(n_dims, n_dims)`` with one principal axis
+        per *column*, ordered by decreasing explained variance;
+        ``explained_variance`` holds the corresponding eigenvalues; ``mean`` is
+        the attribute-wise mean used for centring.
+    """
+    data = check_data_matrix(data, name="data", min_objects=2)
+    mean = data.mean(axis=0)
+    centered = data - mean
+    covariance = centered.T @ centered / (data.shape[0] - 1)
+    eigenvalues, eigenvectors = np.linalg.eigh(covariance)
+    order = np.argsort(eigenvalues)[::-1]
+    return eigenvectors[:, order], np.maximum(eigenvalues[order], 0.0), mean
+
+
+class PCAReducer:
+    """PCA projection used as an (inadequate) pre-processing step for LOF.
+
+    Parameters
+    ----------
+    strategy:
+        ``"half"`` (PCALOF1: keep ``ceil(D/2)`` components) or ``"fixed"``
+        (PCALOF2: keep ``n_components`` components, capped at D).
+    n_components:
+        Number of components for the ``"fixed"`` strategy (paper value: 10).
+    scorer:
+        Full-space scorer applied to the projected data by :meth:`rank`.
+    """
+
+    def __init__(
+        self,
+        strategy: str = "half",
+        *,
+        n_components: int = 10,
+        scorer: Optional[OutlierScorer] = None,
+    ):
+        strategy = strategy.strip().lower()
+        if strategy not in ("half", "fixed"):
+            raise ParameterError(f"strategy must be 'half' or 'fixed', got {strategy!r}")
+        self.strategy = strategy
+        self.n_components = check_positive_int(n_components, name="n_components")
+        self.scorer = scorer if scorer is not None else LOFScorer()
+        self.components_: Optional[np.ndarray] = None
+        self.explained_variance_: Optional[np.ndarray] = None
+        self.mean_: Optional[np.ndarray] = None
+
+    @property
+    def name(self) -> str:
+        return "PCALOF1" if self.strategy == "half" else "PCALOF2"
+
+    def resolved_n_components(self, n_dims: int) -> int:
+        """Number of components actually kept for data of dimensionality ``n_dims``."""
+        if self.strategy == "half":
+            return max(1, int(np.ceil(n_dims / 2)))
+        return min(self.n_components, n_dims)
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        """Fit the PCA on ``data`` and return the projected matrix."""
+        data = check_data_matrix(data, name="data", min_objects=2)
+        components, variance, mean = principal_component_analysis(data)
+        k = self.resolved_n_components(data.shape[1])
+        self.components_ = components[:, :k]
+        self.explained_variance_ = variance[:k]
+        self.mean_ = mean
+        return (data - mean) @ self.components_
+
+    def rank(self, data: np.ndarray) -> RankingResult:
+        """Project the data and rank it with the full-space scorer."""
+        projected = self.fit_transform(data)
+        scores = self.scorer.score(projected, subspace=None)
+        return RankingResult(
+            scores=scores,
+            subspaces=(),
+            method=self.name,
+            metadata={
+                "n_components": projected.shape[1],
+                "strategy": self.strategy,
+            },
+        )

@@ -1,0 +1,87 @@
+"""RANDSUB: random subspace selection (feature bagging).
+
+Lazarevic & Kumar (KDD 2005) propose to run the outlier scorer in several
+randomly drawn subspaces and combine the scores.  This is the only decoupled
+competitor in the paper and serves as the naive baseline for HiCS: with no
+quality criterion, irrelevant projections blur the final ranking.
+
+Following the feature-bagging recipe, each subspace has a dimensionality drawn
+uniformly between ``D/2`` and ``D - 1`` (which is also why the paper observes
+RANDSUB to be slow — its subspaces are much larger than those HiCS selects).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..types import ScoredSubspace, Subspace
+from ..utils.random_state import check_random_state
+from ..utils.validation import check_data_matrix, check_positive_int
+from ..subspaces.base import SubspaceSearcher
+
+__all__ = ["RandomSubspaceSearcher"]
+
+
+class RandomSubspaceSearcher(SubspaceSearcher):
+    """Randomly drawn subspaces without any quality assessment.
+
+    Parameters
+    ----------
+    n_subspaces:
+        Number of random subspaces to draw (the paper caps every method at the
+        best 100 subspaces, so 100 is the natural default).
+    dimensionality_range:
+        Inclusive range of subspace dimensionalities to draw from.  ``None``
+        uses the feature-bagging default ``[D // 2, D - 1]``.
+    random_state:
+        Seed or generator.
+    """
+
+    name = "RANDSUB"
+
+    def __init__(
+        self,
+        n_subspaces: int = 100,
+        *,
+        dimensionality_range: Optional[Tuple[int, int]] = None,
+        random_state=None,
+    ):
+        self.n_subspaces = check_positive_int(n_subspaces, name="n_subspaces")
+        if dimensionality_range is not None:
+            low, high = dimensionality_range
+            if low < 1 or high < low:
+                raise ParameterError(
+                    f"invalid dimensionality_range {dimensionality_range}; expected 1 <= low <= high"
+                )
+        self.dimensionality_range = dimensionality_range
+        self.random_state = random_state
+
+    def search(self, data: np.ndarray) -> List[ScoredSubspace]:
+        data = check_data_matrix(data, name="data", min_dims=2)
+        n_dims = data.shape[1]
+        rng = check_random_state(self.random_state)
+        if self.dimensionality_range is None:
+            low, high = max(1, n_dims // 2), max(1, n_dims - 1)
+        else:
+            low, high = self.dimensionality_range
+            high = min(high, n_dims)
+            low = min(low, high)
+
+        seen = set()
+        results: List[ScoredSubspace] = []
+        attempts = 0
+        max_attempts = self.n_subspaces * 20
+        while len(results) < self.n_subspaces and attempts < max_attempts:
+            attempts += 1
+            d = int(rng.integers(low, high + 1))
+            attrs = tuple(sorted(rng.choice(n_dims, size=d, replace=False).tolist()))
+            if attrs in seen:
+                continue
+            seen.add(attrs)
+            # All random subspaces are equally (un)qualified; assign a dummy
+            # score so that downstream consumers get a consistent interface.
+            results.append(ScoredSubspace(subspace=Subspace(attrs), score=0.0))
+        return results

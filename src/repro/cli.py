@@ -1,0 +1,137 @@
+"""Command line front end: ``repro-hics`` / ``python -m repro.cli``.
+
+Sub-commands
+------------
+``rank``      Rank the objects of a CSV dataset (or a named built-in dataset)
+              with a chosen method and print the top outliers.
+``contrast``  Print the highest-contrast subspaces HiCS finds in a dataset.
+``compare``   Run several methods on a labelled dataset and print an AUC table.
+``datasets``  List the built-in datasets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .dataset import available_datasets, load_csv, load_dataset
+from .evaluation.experiments import evaluate_method_on_dataset
+from .evaluation.reporting import format_comparison_table
+from .pipeline.config import METHOD_NAMES, PipelineConfig, make_method_pipeline
+from .subspaces.hics import HiCS
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-hics",
+        description="HiCS: high contrast subspaces for density-based outlier ranking",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_dataset_arguments(sub: argparse.ArgumentParser) -> None:
+        group = sub.add_mutually_exclusive_group(required=True)
+        group.add_argument("--csv", help="path to a CSV dataset (see repro.dataset.io)")
+        group.add_argument(
+            "--dataset", help="name of a built-in dataset (see the 'datasets' command)"
+        )
+        sub.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
+
+    rank = subparsers.add_parser("rank", help="rank the objects of a dataset")
+    add_dataset_arguments(rank)
+    rank.add_argument("--method", default="HiCS", choices=sorted(METHOD_NAMES))
+    rank.add_argument("--top", type=int, default=10, help="number of top outliers to print")
+    rank.add_argument("--min-pts", type=int, default=10, help="LOF MinPts parameter")
+
+    contrast = subparsers.add_parser("contrast", help="print the highest contrast subspaces")
+    add_dataset_arguments(contrast)
+    contrast.add_argument("--iterations", type=int, default=50, help="Monte Carlo iterations M")
+    contrast.add_argument("--alpha", type=float, default=0.1, help="slice size alpha")
+    contrast.add_argument("--top", type=int, default=10, help="number of subspaces to print")
+    contrast.add_argument(
+        "--deviation", default="welch", choices=["welch", "ks"], help="statistical test"
+    )
+
+    compare = subparsers.add_parser("compare", help="compare methods on a labelled dataset")
+    add_dataset_arguments(compare)
+    compare.add_argument(
+        "--methods",
+        nargs="+",
+        default=["LOF", "HiCS", "RANDSUB"],
+        choices=sorted(METHOD_NAMES),
+    )
+    compare.add_argument("--min-pts", type=int, default=10)
+
+    subparsers.add_parser("datasets", help="list the built-in datasets")
+    return parser
+
+
+def _load(args: argparse.Namespace):
+    if args.csv:
+        return load_csv(args.csv)
+    return load_dataset(args.dataset, random_state=args.seed)
+
+
+def _command_rank(args: argparse.Namespace) -> int:
+    dataset = _load(args)
+    config = PipelineConfig(min_pts=args.min_pts, random_state=args.seed)
+    pipeline = make_method_pipeline(args.method, config)
+    result = pipeline.fit_rank(dataset) if hasattr(pipeline, "fit_rank") else pipeline.rank(dataset.data)
+    print(f"method: {args.method}   dataset: {dataset.name}   objects: {dataset.n_objects}")
+    print(f"{'rank':>4}  {'object':>8}  {'score':>10}")
+    for rank, obj in enumerate(result.top(args.top), start=1):
+        print(f"{rank:>4}  {obj:>8}  {result.scores[obj]:>10.4f}")
+    return 0
+
+
+def _command_contrast(args: argparse.Namespace) -> int:
+    dataset = _load(args)
+    searcher = HiCS(
+        n_iterations=args.iterations,
+        alpha=args.alpha,
+        deviation=args.deviation,
+        random_state=args.seed,
+    )
+    scored = searcher.search(dataset.data)[: args.top]
+    print(f"dataset: {dataset.name}   dims: {dataset.n_dims}   objects: {dataset.n_objects}")
+    print(f"{'contrast':>10}  subspace")
+    for item in scored:
+        names = [dataset.attribute_names[a] for a in item.subspace.attributes]
+        print(f"{item.score:>10.4f}  {names}")
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    dataset = _load(args)
+    config = PipelineConfig(min_pts=args.min_pts, random_state=args.seed)
+    results = [evaluate_method_on_dataset(m, dataset, config) for m in args.methods]
+    print(format_comparison_table(results, value="auc"))
+    print()
+    print(format_comparison_table(results, value="runtime_sec", percent=False, precision=2))
+    return 0
+
+
+def _command_datasets(_args: argparse.Namespace) -> int:
+    for name in available_datasets():
+        print(name)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "rank": _command_rank,
+        "contrast": _command_contrast,
+        "compare": _command_compare,
+        "datasets": _command_datasets,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,165 @@
+"""The :class:`Dataset` container used across the library.
+
+A dataset couples a real-valued data matrix with optional binary outlier
+labels, attribute names and provenance metadata.  It also records, when known,
+the ground-truth subspaces in which outliers were planted — synthetic
+generators fill this in so that the evaluation harness can check whether a
+subspace search method recovered the relevant projections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import DataError
+from ..types import Subspace
+from ..utils.validation import check_data_matrix, check_labels
+
+__all__ = ["Dataset"]
+
+
+@dataclass
+class Dataset:
+    """A labelled (or unlabelled) real-valued dataset.
+
+    Parameters
+    ----------
+    data:
+        Matrix of shape ``(n_objects, n_dims)``.
+    labels:
+        Optional binary vector; 1 marks an outlier.
+    name:
+        Human-readable dataset name.
+    attribute_names:
+        Optional per-column names; generated as ``attr_<i>`` when omitted.
+    relevant_subspaces:
+        Ground-truth subspaces containing planted outliers (synthetic data only).
+    metadata:
+        Free-form provenance information (generator parameters, source, ...).
+    """
+
+    data: np.ndarray
+    labels: Optional[np.ndarray] = None
+    name: str = "unnamed"
+    attribute_names: Tuple[str, ...] = ()
+    relevant_subspaces: Tuple[Subspace, ...] = ()
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.data = check_data_matrix(self.data, name="data")
+        if self.labels is not None:
+            self.labels = check_labels(self.labels, self.n_objects)
+        if not self.attribute_names:
+            self.attribute_names = tuple(f"attr_{i}" for i in range(self.n_dims))
+        elif len(self.attribute_names) != self.n_dims:
+            raise DataError(
+                f"expected {self.n_dims} attribute names, got {len(self.attribute_names)}"
+            )
+        self.relevant_subspaces = tuple(self.relevant_subspaces)
+
+    # ------------------------------------------------------------------ shape
+
+    @property
+    def n_objects(self) -> int:
+        """Number of rows (objects, N in the paper)."""
+        return self.data.shape[0]
+
+    @property
+    def n_dims(self) -> int:
+        """Number of columns (attributes, D in the paper)."""
+        return self.data.shape[1]
+
+    @property
+    def has_labels(self) -> bool:
+        return self.labels is not None
+
+    @property
+    def n_outliers(self) -> int:
+        """Number of labelled outliers (0 when the dataset is unlabelled)."""
+        if self.labels is None:
+            return 0
+        return int(self.labels.sum())
+
+    @property
+    def outlier_rate(self) -> float:
+        """Fraction of labelled outliers."""
+        if self.labels is None or self.n_objects == 0:
+            return 0.0
+        return float(self.n_outliers / self.n_objects)
+
+    @property
+    def outlier_indices(self) -> np.ndarray:
+        """Indices of the labelled outliers (empty when unlabelled)."""
+        if self.labels is None:
+            return np.asarray([], dtype=int)
+        return np.flatnonzero(self.labels == 1)
+
+    # ------------------------------------------------------------------ views
+
+    def project(self, subspace: Subspace) -> np.ndarray:
+        """Return the data restricted to a subspace (view, not a copy)."""
+        subspace.validate_against_dimensionality(self.n_dims)
+        return self.data[:, subspace.as_array()]
+
+    def attribute(self, index: int) -> np.ndarray:
+        """Return a single attribute column."""
+        if index < 0 or index >= self.n_dims:
+            raise DataError(f"attribute {index} out of range for {self.n_dims} dimensions")
+        return self.data[:, index]
+
+    def subset(self, object_indices: Sequence[int], name: Optional[str] = None) -> "Dataset":
+        """Return a new dataset restricted to the given objects."""
+        idx = np.asarray(object_indices, dtype=int)
+        return Dataset(
+            data=self.data[idx],
+            labels=None if self.labels is None else self.labels[idx],
+            name=name or f"{self.name}[subset]",
+            attribute_names=self.attribute_names,
+            relevant_subspaces=self.relevant_subspaces,
+            metadata=dict(self.metadata),
+        )
+
+    def normalized(self) -> "Dataset":
+        """Return a min-max normalised copy (each attribute scaled to [0, 1]).
+
+        Attributes with zero spread are mapped to the constant 0.5 so that the
+        output stays within the unit hypercube.
+        """
+        mins = self.data.min(axis=0)
+        maxs = self.data.max(axis=0)
+        spans = maxs - mins
+        scaled = np.empty_like(self.data)
+        nonconstant = spans > 0
+        scaled[:, nonconstant] = (self.data[:, nonconstant] - mins[nonconstant]) / spans[nonconstant]
+        scaled[:, ~nonconstant] = 0.5
+        return Dataset(
+            data=scaled,
+            labels=self.labels,
+            name=self.name,
+            attribute_names=self.attribute_names,
+            relevant_subspaces=self.relevant_subspaces,
+            metadata={**self.metadata, "normalized": True},
+        )
+
+    def standardized(self) -> "Dataset":
+        """Return a z-score standardised copy (zero mean, unit variance per attribute)."""
+        means = self.data.mean(axis=0)
+        stds = self.data.std(axis=0)
+        stds = np.where(stds > 0, stds, 1.0)
+        return Dataset(
+            data=(self.data - means) / stds,
+            labels=self.labels,
+            name=self.name,
+            attribute_names=self.attribute_names,
+            relevant_subspaces=self.relevant_subspaces,
+            metadata={**self.metadata, "standardized": True},
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Dataset(name={self.name!r}, n_objects={self.n_objects}, "
+            f"n_dims={self.n_dims}, n_outliers={self.n_outliers})"
+        )

@@ -1,0 +1,92 @@
+"""CSV persistence of datasets.
+
+The paper's authors publish their datasets as plain text files; this module
+provides an equivalent round-trippable CSV format so generated surrogates and
+synthetic data can be inspected, versioned or shared between runs.
+
+Format: a header row of attribute names, optionally followed by a ``label``
+column holding the binary outlier labels.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from ..exceptions import DataError
+from .dataset import Dataset
+
+__all__ = ["save_csv", "load_csv"]
+
+_LABEL_COLUMN = "label"
+
+
+def save_csv(dataset: Dataset, path: Union[str, Path]) -> Path:
+    """Write a dataset to a CSV file, including labels when present.
+
+    Returns the path that was written for convenience in pipelines.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = list(dataset.attribute_names)
+    if dataset.has_labels:
+        header.append(_LABEL_COLUMN)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for i in range(dataset.n_objects):
+            row = [repr(float(v)) for v in dataset.data[i]]
+            if dataset.has_labels:
+                row.append(str(int(dataset.labels[i])))
+            writer.writerow(row)
+    return path
+
+
+def load_csv(path: Union[str, Path], *, name: Optional[str] = None) -> Dataset:
+    """Load a dataset previously written by :func:`save_csv`.
+
+    A trailing ``label`` column, when present, is interpreted as the binary
+    outlier labels; all other columns must be parseable as floats.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"dataset file not found: {path}")
+    with path.open("r", newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration as exc:
+            raise DataError(f"dataset file is empty: {path}") from exc
+        rows = [row for row in reader if row]
+    if not rows:
+        raise DataError(f"dataset file contains no data rows: {path}")
+
+    has_labels = bool(header) and header[-1].strip().lower() == _LABEL_COLUMN
+    n_attributes = len(header) - (1 if has_labels else 0)
+    if n_attributes < 1:
+        raise DataError(f"dataset file has no attribute columns: {path}")
+
+    data = np.empty((len(rows), n_attributes), dtype=float)
+    labels = np.zeros(len(rows), dtype=int) if has_labels else None
+    for i, row in enumerate(rows):
+        if len(row) != len(header):
+            raise DataError(
+                f"row {i + 2} of {path} has {len(row)} fields, expected {len(header)}"
+            )
+        try:
+            data[i] = [float(v) for v in row[:n_attributes]]
+            if has_labels:
+                labels[i] = int(float(row[-1]))
+        except ValueError as exc:
+            raise DataError(f"could not parse row {i + 2} of {path}: {exc}") from exc
+
+    return Dataset(
+        data=data,
+        labels=labels,
+        name=name or path.stem,
+        attribute_names=tuple(header[:n_attributes]),
+        metadata={"source_file": str(path)},
+    )

@@ -1,0 +1,75 @@
+"""A small named-dataset registry.
+
+The benchmark harness refers to datasets by name (``"synthetic-50d"``,
+``"ionosphere"`` ...).  The registry maps those names to loader callables so
+experiments stay declarative.  All UCI surrogates and a family of synthetic
+configurations are pre-registered.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from ..exceptions import DatasetNotFoundError, ParameterError
+from .dataset import Dataset
+from .synthetic import SyntheticConfig, generate_synthetic_dataset
+from .toy import make_correlated_pair, make_three_dim_counterexample, make_uncorrelated_pair
+from .uci import available_uci_surrogates, load_uci_surrogate
+
+__all__ = ["register_dataset", "load_dataset", "available_datasets"]
+
+DatasetLoader = Callable[..., Dataset]
+
+_REGISTRY: Dict[str, DatasetLoader] = {}
+
+
+def register_dataset(name: str, loader: DatasetLoader, *, overwrite: bool = False) -> None:
+    """Register a dataset loader under a case-insensitive name."""
+    key = name.strip().lower()
+    if not key:
+        raise ParameterError("dataset name must be non-empty")
+    if key in _REGISTRY and not overwrite:
+        raise ParameterError(f"dataset {name!r} is already registered")
+    if not callable(loader):
+        raise ParameterError("loader must be callable")
+    _REGISTRY[key] = loader
+
+
+def load_dataset(name: str, **kwargs) -> Dataset:
+    """Load a registered dataset by name, forwarding keyword arguments to its loader."""
+    key = name.strip().lower()
+    if key not in _REGISTRY:
+        raise DatasetNotFoundError(
+            f"unknown dataset {name!r}; available: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[key](**kwargs)
+
+
+def available_datasets() -> Tuple[str, ...]:
+    """All registered dataset names, sorted alphabetically."""
+    return tuple(sorted(_REGISTRY))
+
+
+def _register_builtins() -> None:
+    register_dataset("toy-uncorrelated", make_uncorrelated_pair)
+    register_dataset("toy-correlated", make_correlated_pair)
+    register_dataset("toy-3d-counterexample", make_three_dim_counterexample)
+    for uci_name in available_uci_surrogates():
+        register_dataset(uci_name, lambda _n=uci_name, **kw: load_uci_surrogate(_n, **kw))
+
+    def _synthetic_loader(n_dims: int) -> DatasetLoader:
+        def loader(**kwargs) -> Dataset:
+            params = {"n_objects": 1000, "n_dims": n_dims}
+            random_state = kwargs.pop("random_state", n_dims)
+            params.update(kwargs)
+            return generate_synthetic_dataset(
+                SyntheticConfig(**params), random_state=random_state
+            )
+
+        return loader
+
+    for dims in (10, 20, 30, 40, 50, 75, 100):
+        register_dataset(f"synthetic-{dims}d", _synthetic_loader(dims))
+
+
+_register_builtins()

@@ -1,0 +1,141 @@
+"""Toy datasets of Figures 2 and 3 of the paper.
+
+* :func:`make_uncorrelated_pair` — dataset A of Figure 2: two attributes with
+  identical marginals but no correlation; contains only a *trivial* outlier
+  that already sticks out in one marginal.
+* :func:`make_correlated_pair` — dataset B of Figure 2: same marginals, strong
+  correlation, one trivial outlier plus one *non-trivial* outlier that looks
+  clustered in every 1-D projection.
+* :func:`make_three_dim_counterexample` — Figure 3: a 3-D dataset that is
+  correlated as a whole although every 2-D projection is uniform; used to
+  demonstrate that subspace contrast is not monotone under projections.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..types import Subspace
+from ..utils.random_state import check_random_state
+from .dataset import Dataset
+
+__all__ = [
+    "make_uncorrelated_pair",
+    "make_correlated_pair",
+    "make_three_dim_counterexample",
+]
+
+
+def _bimodal_marginal(n: int, rng: np.random.Generator) -> np.ndarray:
+    """A bimodal 1-D sample: two Gaussian bumps at 0.3 and 0.7."""
+    modes = rng.integers(0, 2, size=n)
+    centers = np.where(modes == 0, 0.3, 0.7)
+    return np.clip(centers + rng.normal(0.0, 0.05, size=n), 0.0, 1.0)
+
+
+def make_uncorrelated_pair(n_objects: int = 400, *, random_state=None) -> Dataset:
+    """Dataset A of Figure 2: identical marginals, zero correlation.
+
+    The last object is a trivial outlier: extreme in attribute ``s2`` alone.
+    """
+    if n_objects < 20:
+        raise ParameterError("n_objects must be at least 20")
+    rng = check_random_state(random_state)
+    s1 = _bimodal_marginal(n_objects, rng)
+    s2 = _bimodal_marginal(n_objects, rng)
+    data = np.column_stack([s1, s2])
+    labels = np.zeros(n_objects, dtype=int)
+    # Trivial outlier o1: unremarkable in s1, extreme in s2.
+    data[-1] = (0.3, 0.99)
+    labels[-1] = 1
+    return Dataset(
+        data=data,
+        labels=labels,
+        name="toy_uncorrelated_A",
+        attribute_names=("s1", "s2"),
+        metadata={"figure": "2a", "outlier_kinds": {"trivial": [n_objects - 1]}},
+    )
+
+
+def make_correlated_pair(n_objects: int = 400, *, random_state=None) -> Dataset:
+    """Dataset B of Figure 2: identical marginals, strong correlation.
+
+    Objects cluster on the "diagonal" combinations (0.3, 0.3) and (0.7, 0.7);
+    the anti-diagonal regions are empty.  Two outliers are planted:
+
+    * ``o1`` (index ``n-1``) — trivial, extreme in ``s2``;
+    * ``o2`` (index ``n-2``) — non-trivial, placed at (0.3, 0.7): both of its
+      coordinates sit in dense marginal regions, but the combination is empty.
+    """
+    if n_objects < 20:
+        raise ParameterError("n_objects must be at least 20")
+    rng = check_random_state(random_state)
+    modes = rng.integers(0, 2, size=n_objects)
+    centers = np.where(modes == 0, 0.3, 0.7)
+    s1 = np.clip(centers + rng.normal(0.0, 0.05, size=n_objects), 0.0, 1.0)
+    s2 = np.clip(centers + rng.normal(0.0, 0.05, size=n_objects), 0.0, 1.0)
+    data = np.column_stack([s1, s2])
+    labels = np.zeros(n_objects, dtype=int)
+    # Non-trivial outlier o2: both coordinates in dense marginal regions, the
+    # combination in an empty joint region.
+    data[-2] = (0.3, 0.7)
+    labels[-2] = 1
+    # Trivial outlier o1: extreme in s2.
+    data[-1] = (0.3, 0.99)
+    labels[-1] = 1
+    return Dataset(
+        data=data,
+        labels=labels,
+        name="toy_correlated_B",
+        attribute_names=("s1", "s2"),
+        relevant_subspaces=(Subspace((0, 1)),),
+        metadata={
+            "figure": "2b",
+            "outlier_kinds": {"trivial": [n_objects - 1], "non_trivial": [n_objects - 2]},
+        },
+    )
+
+
+def make_three_dim_counterexample(n_objects: int = 800, *, random_state=None) -> Dataset:
+    """Figure 3: a 3-D space that is correlated although all 2-D projections are uniform.
+
+    Construction: four axis-aligned boxes (clusters of equal density) chosen
+    such that every pair of attributes covers the four quadrants uniformly,
+    while the 3-D joint occupies only four of the eight octants.  Encoded as
+    the parity constraint ``b3 = b1 XOR b2`` on the octant bits.
+    """
+    if n_objects < 40:
+        raise ParameterError("n_objects must be at least 40")
+    rng = check_random_state(random_state)
+    b1 = rng.integers(0, 2, size=n_objects)
+    b2 = rng.integers(0, 2, size=n_objects)
+    b3 = np.bitwise_xor(b1, b2)
+    halves = np.column_stack([b1, b2, b3]).astype(float)
+    data = halves * 0.5 + rng.uniform(0.0, 0.5, size=(n_objects, 3))
+    return Dataset(
+        data=data,
+        labels=np.zeros(n_objects, dtype=int),
+        name="toy_3d_counterexample",
+        attribute_names=("s1", "s2", "s3"),
+        relevant_subspaces=(Subspace((0, 1, 2)),),
+        metadata={"figure": "3", "construction": "parity boxes: b3 = b1 xor b2"},
+    )
+
+
+def make_figure2_pair(
+    n_objects: int = 400, *, random_state=None
+) -> Tuple[Dataset, Dataset]:
+    """Convenience: both datasets of Figure 2 generated with a shared seed."""
+    rng = check_random_state(random_state)
+    seed_a = int(rng.integers(0, 2**31 - 1))
+    seed_b = int(rng.integers(0, 2**31 - 1))
+    return (
+        make_uncorrelated_pair(n_objects, random_state=seed_a),
+        make_correlated_pair(n_objects, random_state=seed_b),
+    )
+
+
+__all__.append("make_figure2_pair")

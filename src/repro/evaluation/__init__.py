@@ -1,0 +1,24 @@
+"""Evaluation harness: ranking metrics, experiment runner, sweeps and reports."""
+
+from .metrics import (
+    average_precision,
+    precision_at_n,
+    roc_auc_score,
+    roc_curve,
+)
+from .experiments import ExperimentResult, evaluate_method_on_dataset, run_method_comparison
+from .reporting import format_comparison_table, format_results_table
+from .sweep import parameter_sweep
+
+__all__ = [
+    "roc_curve",
+    "roc_auc_score",
+    "precision_at_n",
+    "average_precision",
+    "ExperimentResult",
+    "evaluate_method_on_dataset",
+    "run_method_comparison",
+    "format_results_table",
+    "format_comparison_table",
+    "parameter_sweep",
+]

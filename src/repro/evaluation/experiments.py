@@ -1,0 +1,121 @@
+"""Experiment runner: evaluate ranking methods on labelled datasets.
+
+The figures and the real-world table of the paper all follow the same
+protocol: run each method end-to-end on a labelled dataset, measure the ROC
+AUC of the resulting ranking and the total wall time (subspace search plus
+outlier ranking).  :func:`evaluate_method_on_dataset` performs one such run;
+:func:`run_method_comparison` sweeps a list of methods over a list of
+datasets and collects the results for the reporting and benchmark layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..dataset.dataset import Dataset
+from ..exceptions import DataError
+from ..pipeline.config import PipelineConfig, make_method_pipeline
+from ..types import RankingResult
+from ..utils.timing import timed
+from .metrics import average_precision, precision_at_n, roc_auc_score
+
+__all__ = ["ExperimentResult", "evaluate_method_on_dataset", "run_method_comparison"]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one (method, dataset) evaluation run."""
+
+    method: str
+    dataset: str
+    auc: float
+    runtime_sec: float
+    precision_at_n: float = 0.0
+    average_precision: float = 0.0
+    n_objects: int = 0
+    n_dims: int = 0
+    n_subspaces: int = 0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dictionary representation used by the reporting helpers."""
+        return {
+            "method": self.method,
+            "dataset": self.dataset,
+            "auc": self.auc,
+            "runtime_sec": self.runtime_sec,
+            "precision_at_n": self.precision_at_n,
+            "average_precision": self.average_precision,
+            "n_objects": self.n_objects,
+            "n_dims": self.n_dims,
+            "n_subspaces": self.n_subspaces,
+        }
+
+
+def _run_ranker(pipeline_like, dataset: Dataset) -> RankingResult:
+    """Dispatch on the two pipeline flavours (subspace pipeline vs PCA reducer)."""
+    if hasattr(pipeline_like, "fit_rank"):
+        return pipeline_like.fit_rank(dataset)
+    return pipeline_like.rank(dataset.data)
+
+
+def evaluate_method_on_dataset(
+    method: str,
+    dataset: Dataset,
+    config: Optional[PipelineConfig] = None,
+) -> ExperimentResult:
+    """Run one method on one labelled dataset and compute ranking metrics.
+
+    Raises
+    ------
+    DataError
+        If the dataset has no outlier labels (AUC is undefined then).
+    """
+    if not dataset.has_labels or dataset.n_outliers == 0:
+        raise DataError(
+            f"dataset {dataset.name!r} has no outlier labels; cannot evaluate AUC"
+        )
+    pipeline_like = make_method_pipeline(method, config)
+    with timed() as clock:
+        result = _run_ranker(pipeline_like, dataset)
+    labels = dataset.labels
+    scores = result.scores
+    return ExperimentResult(
+        method=method,
+        dataset=dataset.name,
+        auc=roc_auc_score(labels, scores),
+        runtime_sec=float(result.metadata.get("total_time_sec", clock["elapsed"])),
+        precision_at_n=precision_at_n(labels, scores),
+        average_precision=average_precision(labels, scores),
+        n_objects=dataset.n_objects,
+        n_dims=dataset.n_dims,
+        n_subspaces=int(result.metadata.get("n_subspaces", len(result.subspaces))),
+        metadata=dict(result.metadata),
+    )
+
+
+def run_method_comparison(
+    methods: Sequence[str],
+    datasets: Iterable[Dataset],
+    config: Optional[PipelineConfig] = None,
+) -> List[ExperimentResult]:
+    """Evaluate every method on every dataset (the Figure 11 protocol)."""
+    results: List[ExperimentResult] = []
+    for dataset in datasets:
+        for method in methods:
+            results.append(evaluate_method_on_dataset(method, dataset, config))
+    return results
+
+
+def mean_auc_by_method(results: Sequence[ExperimentResult]) -> Dict[str, float]:
+    """Average AUC per method across all datasets in a result list."""
+    grouped: Dict[str, List[float]] = {}
+    for result in results:
+        grouped.setdefault(result.method, []).append(result.auc)
+    return {method: float(np.mean(values)) for method, values in grouped.items()}
+
+
+__all__.append("mean_auc_by_method")

@@ -1,0 +1,145 @@
+"""Plain-text reporting of experiment results.
+
+The benchmark harness prints tables shaped like the figures of the paper:
+one row per dataset with AUC and runtime columns per method (Figure 11), or
+one row per sweep point with a column per method (Figures 4-9).  The helpers
+here format those tables from :class:`~repro.evaluation.experiments.ExperimentResult`
+lists without depending on any plotting library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from .experiments import ExperimentResult
+
+__all__ = ["format_results_table", "format_comparison_table", "format_series_table"]
+
+
+def _format_cell(value, precision: int = 2) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_results_table(
+    results: Sequence[ExperimentResult],
+    columns: Sequence[str] = ("method", "dataset", "auc", "runtime_sec"),
+    precision: int = 3,
+) -> str:
+    """One row per experiment result with the requested columns."""
+    rows = [[_format_cell(r.as_row()[c], precision) for c in columns] for r in results]
+    header = list(columns)
+    widths = [max(len(header[i]), *(len(row[i]) for row in rows)) if rows else len(header[i]) for i in range(len(header))]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(header)),
+        "  ".join("-" * widths[i] for i in range(len(header))),
+    ]
+    lines.extend("  ".join(row[i].ljust(widths[i]) for i in range(len(header))) for row in rows)
+    return "\n".join(lines)
+
+
+def format_comparison_table(
+    results: Sequence[ExperimentResult],
+    *,
+    value: str = "auc",
+    percent: bool = True,
+    precision: int = 2,
+    highlight_best: bool = True,
+) -> str:
+    """Datasets as rows, methods as columns — the layout of Figure 11.
+
+    Parameters
+    ----------
+    results:
+        Experiment results covering a (methods x datasets) grid.
+    value:
+        Which metric to tabulate: ``"auc"`` or ``"runtime_sec"``.
+    percent:
+        Multiply AUC values by 100 (the paper reports AUC in percent).
+    highlight_best:
+        Mark the best value of each row with a ``*``.
+    """
+    datasets: List[str] = []
+    methods: List[str] = []
+    table: Dict[str, Dict[str, float]] = {}
+    for result in results:
+        if result.dataset not in datasets:
+            datasets.append(result.dataset)
+        if result.method not in methods:
+            methods.append(result.method)
+        table.setdefault(result.dataset, {})[result.method] = result.as_row()[value]
+
+    scale = 100.0 if (percent and value == "auc") else 1.0
+    best_is_max = value == "auc"
+
+    header = ["dataset"] + methods
+    rows = []
+    for dataset in datasets:
+        row_values = table[dataset]
+        numbers = {m: row_values.get(m) for m in methods}
+        present = {m: v for m, v in numbers.items() if v is not None}
+        best = (max if best_is_max else min)(present.values()) if present else None
+        cells = [dataset]
+        for method in methods:
+            v = numbers.get(method)
+            if v is None:
+                cells.append("-")
+                continue
+            text = f"{v * scale:.{precision}f}"
+            if highlight_best and best is not None and v == best:
+                text += "*"
+            cells.append(text)
+        rows.append(cells)
+
+    widths = [max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i]) for i in range(len(header))]
+    lines = [
+        "  ".join(header[i].ljust(widths[i]) for i in range(len(header))),
+        "  ".join("-" * widths[i] for i in range(len(header))),
+    ]
+    lines.extend("  ".join(r[i].ljust(widths[i]) for i in range(len(header))) for r in rows)
+    return "\n".join(lines)
+
+
+def format_series_table(
+    series: Mapping[str, Mapping[object, float]],
+    *,
+    x_label: str = "x",
+    precision: int = 2,
+    scale: float = 1.0,
+) -> str:
+    """Sweep-point rows, method columns — the layout of Figures 4-9.
+
+    Parameters
+    ----------
+    series:
+        ``{method: {x_value: y_value}}``.
+    x_label:
+        Name of the sweep parameter (e.g. ``"dimensions"`` or ``"alpha"``).
+    scale:
+        Multiplier applied to y values (100 for AUC-in-percent).
+    """
+    methods = list(series)
+    x_values: List[object] = []
+    for mapping in series.values():
+        for x in mapping:
+            if x not in x_values:
+                x_values.append(x)
+    x_values.sort()
+
+    header = [x_label] + methods
+    rows = []
+    for x in x_values:
+        cells = [str(x)]
+        for method in methods:
+            y = series[method].get(x)
+            cells.append("-" if y is None else f"{y * scale:.{precision}f}")
+        rows.append(cells)
+
+    widths = [max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i]) for i in range(len(header))]
+    lines = [
+        "  ".join(header[i].ljust(widths[i]) for i in range(len(header))),
+        "  ".join("-" * widths[i] for i in range(len(header))),
+    ]
+    lines.extend("  ".join(r[i].ljust(widths[i]) for i in range(len(header))) for r in rows)
+    return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""Parameter sweeps for the robustness experiments (Figures 7, 8 and 9).
+
+A sweep evaluates a family of pipelines — built by a user-supplied factory
+from each parameter value — on one or more labelled datasets and records the
+AUC (and optionally the runtime) per parameter value.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..dataset.dataset import Dataset
+from ..exceptions import DataError
+from ..utils.timing import timed
+from .metrics import roc_auc_score
+
+__all__ = ["parameter_sweep", "SweepPoint"]
+
+
+class SweepPoint(dict):
+    """One sweep measurement: ``{"value", "auc_mean", "auc_std", "runtime_mean"}``.
+
+    A thin dict subclass so benchmark code can treat sweep results as plain
+    mappings while attribute-style helpers stay available.
+    """
+
+    @property
+    def value(self):
+        return self["value"]
+
+    @property
+    def auc_mean(self) -> float:
+        return self["auc_mean"]
+
+    @property
+    def runtime_mean(self) -> float:
+        return self["runtime_mean"]
+
+
+def parameter_sweep(
+    parameter_values: Sequence,
+    pipeline_factory: Callable[[object], object],
+    datasets: Iterable[Dataset],
+    *,
+    repeats: int = 1,
+) -> List[SweepPoint]:
+    """Evaluate a pipeline family over a parameter grid.
+
+    Parameters
+    ----------
+    parameter_values:
+        The grid (e.g. ``[10, 25, 50, 100]`` Monte Carlo iterations).
+    pipeline_factory:
+        Maps a parameter value to a ranking pipeline exposing ``fit_rank``
+        (or ``rank`` for PCA-style reducers).
+    datasets:
+        Labelled datasets to average the AUC over.
+    repeats:
+        Number of repetitions per (value, dataset) pair; useful to smooth the
+        Monte Carlo fluctuations the paper discusses for small ``M``/``alpha``.
+
+    Returns
+    -------
+    list of SweepPoint
+        One entry per parameter value with mean/std AUC and mean runtime.
+    """
+    dataset_list = list(datasets)
+    if not dataset_list:
+        raise DataError("at least one dataset is required for a parameter sweep")
+    for dataset in dataset_list:
+        if not dataset.has_labels or dataset.n_outliers == 0:
+            raise DataError(f"dataset {dataset.name!r} has no outlier labels")
+    if repeats < 1:
+        raise DataError("repeats must be >= 1")
+
+    points: List[SweepPoint] = []
+    for value in parameter_values:
+        aucs: List[float] = []
+        runtimes: List[float] = []
+        for dataset in dataset_list:
+            for _ in range(repeats):
+                pipeline = pipeline_factory(value)
+                with timed() as clock:
+                    if hasattr(pipeline, "fit_rank"):
+                        result = pipeline.fit_rank(dataset)
+                    else:
+                        result = pipeline.rank(dataset.data)
+                aucs.append(roc_auc_score(dataset.labels, result.scores))
+                runtimes.append(clock["elapsed"])
+        points.append(
+            SweepPoint(
+                value=value,
+                auc_mean=float(np.mean(aucs)),
+                auc_std=float(np.std(aucs)),
+                runtime_mean=float(np.mean(runtimes)),
+            )
+        )
+    return points

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError`, so downstream users can catch a single base class when
+they want to distinguish library errors from programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Raised when user supplied input fails validation.
+
+    Inherits from :class:`ValueError` so that callers who expect standard
+    Python semantics (e.g. ``except ValueError``) still catch it.
+    """
+
+
+class ParameterError(ValidationError):
+    """Raised when an algorithm parameter is outside its valid domain."""
+
+
+class DataError(ValidationError):
+    """Raised when a dataset or data matrix is malformed.
+
+    Examples: non-2D matrix, NaN/Inf values where finite values are required,
+    fewer objects than the neighbourhood size of a scorer.
+    """
+
+
+class SubspaceError(ValidationError):
+    """Raised when a subspace specification is invalid.
+
+    Examples: empty subspace where at least one dimension is required,
+    duplicate attribute indices, attribute index outside the data dimensionality.
+    """
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """Raised when results are requested from an estimator before fitting."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """Raised when an iterative procedure fails to produce a usable result."""
+
+
+class DatasetNotFoundError(ReproError, KeyError):
+    """Raised when a named dataset is not present in the dataset registry."""

@@ -1,0 +1,13 @@
+"""Index structures and the adaptive subspace-slice sampler.
+
+HiCS precomputes one-dimensional sorted index structures for every attribute
+of the database (Section IV-A).  Subspace-slice conditions are realised as
+contiguous blocks in those indices, which keeps the expected size of the
+conditional sample fixed at ``N * alpha`` independent of the subspace
+dimensionality.
+"""
+
+from .sorted_index import AttributeIndex, SortedDatabaseIndex
+from .slicing import SliceSampler
+
+__all__ = ["AttributeIndex", "SortedDatabaseIndex", "SliceSampler"]

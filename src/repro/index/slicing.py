@@ -1,0 +1,179 @@
+"""Adaptive subspace-slice sampling (the inner loop of Algorithm 1).
+
+A subspace slice over a subspace ``S`` fixes ``|S| - 1`` *conditioning*
+attributes to randomly placed index blocks and leaves one *test* attribute
+free.  Per-condition selectivity is ``alpha ** (1 / |S|)`` so that after
+``|S| - 1`` conjunctive selections the expected number of surviving objects is
+``N * alpha ** ((|S|-1)/|S|)`` — the paper's construction keeps this target
+statistic size roughly constant and, importantly, independent of the
+dimensionality of the subspace (no curse of dimensionality in the slice).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ParameterError, SubspaceError
+from ..types import SliceCondition, Subspace, SubspaceSlice
+from ..utils.random_state import check_random_state
+from .sorted_index import SortedDatabaseIndex
+
+__all__ = ["SliceSampler"]
+
+
+class SliceSampler:
+    """Draws random subspace slices from a :class:`SortedDatabaseIndex`.
+
+    Parameters
+    ----------
+    index:
+        Pre-built sorted database index.
+    alpha:
+        Target fraction of objects in the conditional sample, ``alpha ∈ (0, 1)``.
+        The per-condition selectivity is derived as ``alpha ** (1/|S|)``
+        following Section IV-A of the paper.
+    min_block_size:
+        Lower bound on the number of objects per condition block, protecting
+        the statistical tests from degenerate one-object samples.
+    random_state:
+        Seed or generator for reproducible slice sequences.
+    """
+
+    def __init__(
+        self,
+        index: SortedDatabaseIndex,
+        alpha: float = 0.1,
+        *,
+        min_block_size: int = 2,
+        random_state=None,
+    ):
+        if not isinstance(index, SortedDatabaseIndex):
+            raise ParameterError("index must be a SortedDatabaseIndex")
+        if not (0.0 < alpha < 1.0):
+            raise ParameterError(f"alpha must lie in (0, 1), got {alpha}")
+        if min_block_size < 1:
+            raise ParameterError(f"min_block_size must be >= 1, got {min_block_size}")
+        self.index = index
+        self.alpha = float(alpha)
+        self.min_block_size = int(min_block_size)
+        self._rng = check_random_state(random_state)
+
+    # ------------------------------------------------------------------ helpers
+
+    def per_condition_fraction(self, subspace_size: int) -> float:
+        """Selectivity of a single condition: ``alpha ** (1 / |S|)``."""
+        if subspace_size < 2:
+            raise SubspaceError(
+                "subspace slices require at least two attributes "
+                f"(got a {subspace_size}-dimensional subspace)"
+            )
+        return float(self.alpha ** (1.0 / subspace_size))
+
+    def block_size(self, subspace_size: int) -> int:
+        """Number of objects per condition block for a subspace of given size."""
+        n = self.index.n_objects
+        size = int(round(n * self.per_condition_fraction(subspace_size)))
+        return int(min(n, max(self.min_block_size, size)))
+
+    def expected_conditional_size(self, subspace_size: int) -> float:
+        """Expected number of objects satisfying all |S|-1 conditions.
+
+        Under the independence assumption of Section III-C this equals
+        ``N * alpha1 ** (|S| - 1)`` with ``alpha1 = alpha ** (1/|S|)``.
+        """
+        n = self.index.n_objects
+        alpha1 = self.per_condition_fraction(subspace_size)
+        return float(n * alpha1 ** (subspace_size - 1))
+
+    # ------------------------------------------------------------------ sampling
+
+    def sample_slice(
+        self,
+        subspace: Subspace,
+        test_attribute: Optional[int] = None,
+    ) -> SubspaceSlice:
+        """Draw one random subspace slice.
+
+        Parameters
+        ----------
+        subspace:
+            The subspace ``S``; must have at least two attributes and be valid
+            for the indexed data.
+        test_attribute:
+            The attribute whose conditional distribution will be compared to
+            its marginal.  If None, a random attribute of ``S`` is used — this
+            corresponds to the random permutation step of Algorithm 1.
+
+        Returns
+        -------
+        SubspaceSlice
+            Conditions on all attributes of ``S`` except the test attribute,
+            plus the boolean mask of objects satisfying all conditions.
+        """
+        subspace.validate_against_dimensionality(self.index.n_dims)
+        if subspace.dimensionality < 2:
+            raise SubspaceError("subspace slices require at least two attributes")
+
+        attributes = list(subspace.attributes)
+        if test_attribute is None:
+            test_attribute = int(self._rng.choice(attributes))
+        elif test_attribute not in subspace:
+            raise SubspaceError(
+                f"test attribute {test_attribute} is not part of subspace {attributes}"
+            )
+        conditioning = [a for a in attributes if a != test_attribute]
+
+        n = self.index.n_objects
+        block = self.block_size(subspace.dimensionality)
+        selected = np.ones(n, dtype=bool)
+        conditions = []
+        for attribute in conditioning:
+            attr_index = self.index.attribute_index(attribute)
+            max_start = n - block
+            start = int(self._rng.integers(0, max_start + 1)) if max_start > 0 else 0
+            lower, upper = attr_index.value_bounds(start, block)
+            selected &= attr_index.block_mask(start, block)
+            conditions.append(
+                SliceCondition(
+                    attribute=attribute,
+                    start_rank=start,
+                    stop_rank=start + block,
+                    lower_value=lower,
+                    upper_value=upper,
+                )
+            )
+
+        return SubspaceSlice(
+            subspace=subspace,
+            test_attribute=int(test_attribute),
+            conditions=tuple(conditions),
+            selected_mask=selected,
+        )
+
+    def conditional_sample(self, subspace_slice: SubspaceSlice) -> np.ndarray:
+        """Values of the test attribute for the objects selected by the slice."""
+        values = self.index.values(subspace_slice.test_attribute)
+        return values[subspace_slice.selected_mask]
+
+    def marginal_sample(self, attribute: int) -> np.ndarray:
+        """Values of an attribute over the full database (the marginal sample)."""
+        return self.index.values(attribute)
+
+    def sample_slices(
+        self, subspace: Subspace, n_slices: int
+    ) -> Tuple[SubspaceSlice, ...]:
+        """Draw ``n_slices`` independent slices (convenience for diagnostics)."""
+        if n_slices < 1:
+            raise ParameterError(f"n_slices must be >= 1, got {n_slices}")
+        return tuple(self.sample_slice(subspace) for _ in range(n_slices))
+
+    def conditioning_attributes(self, subspace: Subspace, test_attribute: int) -> Sequence[int]:
+        """The attributes of ``subspace`` that receive a condition for a given test attribute."""
+        if test_attribute not in subspace:
+            raise SubspaceError(
+                f"test attribute {test_attribute} is not part of subspace "
+                f"{list(subspace.attributes)}"
+            )
+        return [a for a in subspace.attributes if a != test_attribute]

@@ -1,0 +1,32 @@
+"""Nearest-neighbour substrate.
+
+Density-based outlier scores such as LOF are defined over k-nearest-neighbour
+queries.  This package provides distance metrics (including subspace-restricted
+metrics as required by the subspace extension of LOF), a brute-force searcher
+and a KD-tree searcher, all implemented from scratch on top of NumPy.
+"""
+
+from .distance import (
+    euclidean_distance,
+    manhattan_distance,
+    minkowski_distance,
+    pairwise_distances,
+    subspace_pairwise_distances,
+)
+from .brute import BruteForceKNN
+from .kdtree import KDTree, KDTreeKNN
+from .base import KNNResult, NearestNeighborSearcher, create_knn_searcher
+
+__all__ = [
+    "euclidean_distance",
+    "manhattan_distance",
+    "minkowski_distance",
+    "pairwise_distances",
+    "subspace_pairwise_distances",
+    "BruteForceKNN",
+    "KDTree",
+    "KDTreeKNN",
+    "KNNResult",
+    "NearestNeighborSearcher",
+    "create_knn_searcher",
+]

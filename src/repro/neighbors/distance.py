@@ -1,0 +1,116 @@
+"""Distance metrics, including subspace-restricted variants.
+
+The subspace extension of LOF simply restricts the distance computation to the
+attributes of a subspace ``S`` (``dist_S`` in the paper).  All helpers here
+accept an optional attribute selection to support that restriction without
+copying the data.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import DataError, ParameterError
+from ..types import Subspace
+
+__all__ = [
+    "minkowski_distance",
+    "euclidean_distance",
+    "manhattan_distance",
+    "pairwise_distances",
+    "subspace_pairwise_distances",
+]
+
+
+def _select(data: np.ndarray, attributes: Optional[Sequence[int]]) -> np.ndarray:
+    arr = np.asarray(data, dtype=float)
+    if attributes is None:
+        return arr
+    idx = np.asarray(list(attributes), dtype=np.intp)
+    if idx.size == 0:
+        raise ParameterError("attribute selection must not be empty")
+    if arr.ndim == 1:
+        return arr[idx]
+    return arr[:, idx]
+
+
+def minkowski_distance(
+    x: np.ndarray,
+    y: np.ndarray,
+    p: float = 2.0,
+    attributes: Optional[Sequence[int]] = None,
+) -> float:
+    """Minkowski distance of order ``p`` between two vectors.
+
+    Parameters
+    ----------
+    x, y:
+        Vectors of equal length.
+    p:
+        Order of the norm; 2 gives the Euclidean distance used in the paper.
+    attributes:
+        Optional attribute indices restricting the computation to a subspace.
+    """
+    if p <= 0:
+        raise ParameterError(f"Minkowski order p must be positive, got {p}")
+    a = _select(np.asarray(x, dtype=float).ravel(), attributes)
+    b = _select(np.asarray(y, dtype=float).ravel(), attributes)
+    if a.shape != b.shape:
+        raise DataError(f"vectors must have equal shape, got {a.shape} and {b.shape}")
+    diff = np.abs(a - b)
+    if np.isinf(p):
+        return float(diff.max())
+    return float(np.sum(diff**p) ** (1.0 / p))
+
+
+def euclidean_distance(
+    x: np.ndarray, y: np.ndarray, attributes: Optional[Sequence[int]] = None
+) -> float:
+    """Euclidean distance, optionally restricted to a subspace."""
+    return minkowski_distance(x, y, p=2.0, attributes=attributes)
+
+
+def manhattan_distance(
+    x: np.ndarray, y: np.ndarray, attributes: Optional[Sequence[int]] = None
+) -> float:
+    """Manhattan (L1) distance, optionally restricted to a subspace."""
+    return minkowski_distance(x, y, p=1.0, attributes=attributes)
+
+
+def pairwise_distances(
+    data: np.ndarray,
+    attributes: Optional[Sequence[int]] = None,
+    p: float = 2.0,
+) -> np.ndarray:
+    """Full pairwise distance matrix of a data matrix.
+
+    Uses the vectorised ``(a-b)^2 = a^2 - 2ab + b^2`` expansion for the
+    Euclidean case and broadcasting otherwise.  The diagonal is exactly zero.
+    """
+    arr = _select(np.asarray(data, dtype=float), attributes)
+    if arr.ndim != 2:
+        raise DataError("data must be a 2-dimensional matrix")
+    if p <= 0:
+        raise ParameterError(f"Minkowski order p must be positive, got {p}")
+    if p == 2.0:
+        squared_norms = np.sum(arr**2, axis=1)
+        squared = squared_norms[:, None] - 2.0 * arr @ arr.T + squared_norms[None, :]
+        np.maximum(squared, 0.0, out=squared)
+        distances = np.sqrt(squared)
+    elif np.isinf(p):
+        distances = np.max(np.abs(arr[:, None, :] - arr[None, :, :]), axis=2)
+    else:
+        distances = np.sum(np.abs(arr[:, None, :] - arr[None, :, :]) ** p, axis=2) ** (1.0 / p)
+    np.fill_diagonal(distances, 0.0)
+    return distances
+
+
+def subspace_pairwise_distances(data: np.ndarray, subspace: Subspace, p: float = 2.0) -> np.ndarray:
+    """Pairwise distances restricted to the attributes of a subspace (``dist_S``)."""
+    arr = np.asarray(data, dtype=float)
+    if arr.ndim != 2:
+        raise DataError("data must be a 2-dimensional matrix")
+    subspace.validate_against_dimensionality(arr.shape[1])
+    return pairwise_distances(arr, attributes=subspace.attributes, p=p)

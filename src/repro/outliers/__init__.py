@@ -1,0 +1,50 @@
+"""Density-based outlier scoring.
+
+The second step of the decoupled HiCS processing: score every object in each
+selected subspace with a density-based outlier score and aggregate the
+per-subspace scores into the final ranking (Definition 1 of the paper).
+
+* :class:`LOFScorer` — the Local Outlier Factor (Breunig et al., SIGMOD 2000),
+  restricted to arbitrary subspaces as proposed by Lazarevic & Kumar.
+* :class:`KNNDistanceScorer` — the distance-to-k-th-neighbour score, a simpler
+  density proxy usable as an alternative instantiation.
+* :class:`ORCAScorer` — randomised, pruned distance-based top-n scorer
+  (Bay & Schwabacher 2003), one of the future-work instantiations named in the
+  paper's conclusion.
+* :class:`AdaptiveDensityScorer` — OUTRES-style adaptive kernel-density
+  deviation scoring (Müller et al. 2010), the other named future-work
+  instantiation.
+* :mod:`repro.outliers.aggregation` — average / maximum score combination.
+* :class:`SubspaceOutlierRanker` — applies a scorer to a list of subspaces and
+  aggregates the results.
+"""
+
+from .base import OutlierScorer
+from .lof import LOFScorer, local_outlier_factor
+from .knn_score import KNNDistanceScorer, knn_distance_score
+from .orca import ORCAScorer, orca_top_n
+from .adaptive_density import AdaptiveDensityScorer, adaptive_kernel_density
+from .aggregation import (
+    aggregate_scores,
+    average_aggregation,
+    available_aggregations,
+    maximum_aggregation,
+)
+from .ranking import SubspaceOutlierRanker
+
+__all__ = [
+    "OutlierScorer",
+    "LOFScorer",
+    "local_outlier_factor",
+    "KNNDistanceScorer",
+    "knn_distance_score",
+    "ORCAScorer",
+    "orca_top_n",
+    "AdaptiveDensityScorer",
+    "adaptive_kernel_density",
+    "aggregate_scores",
+    "average_aggregation",
+    "maximum_aggregation",
+    "available_aggregations",
+    "SubspaceOutlierRanker",
+]

@@ -1,0 +1,94 @@
+"""Aggregation of per-subspace outlier scores (Definition 1 of the paper).
+
+The final outlier score of an object is an aggregate of its scores over all
+selected subspaces.  The paper considers the maximum and the average and uses
+the average throughout its experiments, because the maximum is sensitive to
+fluctuations and because averaging makes the outlierness *cumulative*: objects
+deviating in several subspaces end up above objects deviating in only one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import DataError, ParameterError
+
+__all__ = [
+    "average_aggregation",
+    "maximum_aggregation",
+    "aggregate_scores",
+    "available_aggregations",
+]
+
+AggregationFunction = Callable[[np.ndarray], np.ndarray]
+
+
+def _stack(per_subspace_scores: Sequence[np.ndarray]) -> np.ndarray:
+    if len(per_subspace_scores) == 0:
+        raise DataError("at least one subspace score vector is required")
+    arrays = [np.asarray(s, dtype=float).ravel() for s in per_subspace_scores]
+    length = arrays[0].shape[0]
+    for i, arr in enumerate(arrays):
+        if arr.shape[0] != length:
+            raise DataError(
+                f"score vector {i} has length {arr.shape[0]}, expected {length}"
+            )
+    return np.vstack(arrays)
+
+
+def average_aggregation(score_matrix: np.ndarray) -> np.ndarray:
+    """Average per-subspace scores (the paper's default, Definition 1)."""
+    return np.asarray(score_matrix, dtype=float).mean(axis=0)
+
+
+def maximum_aggregation(score_matrix: np.ndarray) -> np.ndarray:
+    """Maximum per-subspace scores (noisier; discussed in Section IV-C)."""
+    return np.asarray(score_matrix, dtype=float).max(axis=0)
+
+
+_AGGREGATIONS: Dict[str, AggregationFunction] = {
+    "average": average_aggregation,
+    "avg": average_aggregation,
+    "mean": average_aggregation,
+    "maximum": maximum_aggregation,
+    "max": maximum_aggregation,
+}
+
+
+def available_aggregations() -> Tuple[str, ...]:
+    """Names of the built-in aggregation functions."""
+    return tuple(sorted(_AGGREGATIONS))
+
+
+def aggregate_scores(
+    per_subspace_scores: Sequence[np.ndarray],
+    aggregation: Union[str, AggregationFunction] = "average",
+) -> np.ndarray:
+    """Combine per-subspace score vectors into one final score vector.
+
+    Parameters
+    ----------
+    per_subspace_scores:
+        One score vector (length ``n_objects``) per selected subspace.
+    aggregation:
+        ``"average"`` (default), ``"max"`` or any callable mapping a matrix of
+        shape ``(n_subspaces, n_objects)`` to a vector of length ``n_objects``.
+    """
+    matrix = _stack(per_subspace_scores)
+    if callable(aggregation):
+        func = aggregation
+    else:
+        key = str(aggregation).strip().lower()
+        if key not in _AGGREGATIONS:
+            raise ParameterError(
+                f"unknown aggregation {aggregation!r}; available: {available_aggregations()}"
+            )
+        func = _AGGREGATIONS[key]
+    combined = np.asarray(func(matrix), dtype=float)
+    if combined.shape != (matrix.shape[1],):
+        raise DataError(
+            f"aggregation returned shape {combined.shape}, expected ({matrix.shape[1]},)"
+        )
+    return combined

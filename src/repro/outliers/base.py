@@ -1,0 +1,51 @@
+"""The :class:`OutlierScorer` interface.
+
+A scorer maps a data matrix (optionally restricted to a subspace) to one
+outlier score per object, larger meaning more outlying.  HiCS is agnostic to
+the concrete scorer — the paper stresses that "any other density-based scoring
+function could be used" — so the ranking engine in
+:mod:`repro.outliers.ranking` depends only on this interface.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..types import Subspace
+
+__all__ = ["OutlierScorer"]
+
+
+class OutlierScorer:
+    """Abstract base class for per-object outlier scorers."""
+
+    #: Human readable name used in rankings and reports.
+    name: str = "abstract"
+
+    def score(self, data: np.ndarray, subspace: Optional[Subspace] = None) -> np.ndarray:
+        """Compute outlier scores for every object of ``data``.
+
+        Parameters
+        ----------
+        data:
+            Full data matrix of shape ``(n_objects, n_dims)``.
+        subspace:
+            If given, distances are restricted to the attributes of this
+            subspace (``score_S`` in the paper); otherwise the full space is
+            used.
+
+        Returns
+        -------
+        numpy.ndarray
+            Scores of shape ``(n_objects,)``; larger means more outlying.
+        """
+        raise NotImplementedError
+
+    def score_full_space(self, data: np.ndarray) -> np.ndarray:
+        """Convenience wrapper for full-space scoring."""
+        return self.score(data, subspace=None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,11 @@
+"""The decoupled two-step pipeline: subspace search + outlier ranking."""
+
+from .pipeline import SubspaceOutlierPipeline
+from .config import PipelineConfig, make_default_pipeline, make_method_pipeline
+
+__all__ = [
+    "SubspaceOutlierPipeline",
+    "PipelineConfig",
+    "make_default_pipeline",
+    "make_method_pipeline",
+]

@@ -1,0 +1,136 @@
+"""Declarative pipeline configuration and method factories.
+
+The benchmark harness refers to methods by the names the paper uses in its
+figures (``"HiCS"``, ``"Enclus"``, ``"RIS"``, ``"RANDSUB"``, ``"LOF"``,
+``"PCALOF1"``, ``"PCALOF2"``).  :func:`make_method_pipeline` builds a ready
+object for each of them so that experiment definitions stay declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union
+
+from ..baselines.enclus import EnclusSearcher
+from ..baselines.fullspace import FullSpaceSearcher
+from ..baselines.pca import PCAReducer
+from ..baselines.random_subspaces import RandomSubspaceSearcher
+from ..baselines.ris import RISSearcher
+from ..exceptions import ParameterError
+from ..outliers.lof import LOFScorer
+from .pipeline import SubspaceOutlierPipeline
+
+__all__ = ["PipelineConfig", "make_default_pipeline", "make_method_pipeline", "METHOD_NAMES"]
+
+#: Names of all methods the evaluation compares (as used in the paper's figures).
+METHOD_NAMES: Tuple[str, ...] = (
+    "LOF",
+    "HiCS",
+    "HiCS_WT",
+    "HiCS_KS",
+    "Enclus",
+    "RIS",
+    "RANDSUB",
+    "PCALOF1",
+    "PCALOF2",
+)
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Shared experiment parameters (Section V protocol).
+
+    Attributes
+    ----------
+    min_pts:
+        LOF neighbourhood size; identical for all methods to ensure
+        comparability.
+    max_subspaces:
+        Only the best ``max_subspaces`` subspaces of every search method are
+        used for the ranking (paper: 100).
+    hics_iterations:
+        Monte Carlo iterations ``M`` (paper default 50).
+    hics_alpha:
+        Slice size ``alpha`` (paper default 0.1).
+    hics_cutoff:
+        Candidate cutoff (paper default 400).
+    random_state:
+        Seed forwarded to the stochastic methods.
+    extra:
+        Free-form per-method overrides.
+    """
+
+    min_pts: int = 10
+    max_subspaces: int = 100
+    hics_iterations: int = 50
+    hics_alpha: float = 0.1
+    hics_cutoff: int = 400
+    random_state: Optional[int] = 0
+    extra: Dict[str, object] = field(default_factory=dict)
+
+
+def make_default_pipeline(config: Optional[PipelineConfig] = None) -> SubspaceOutlierPipeline:
+    """The paper's default configuration: HiCS_WT + LOF, average aggregation."""
+    return make_method_pipeline("HiCS", config)
+
+
+def make_method_pipeline(
+    method: str, config: Optional[PipelineConfig] = None
+) -> Union[SubspaceOutlierPipeline, PCAReducer]:
+    """Build the ranking pipeline for a named method.
+
+    Returns either a :class:`SubspaceOutlierPipeline` (for LOF and all subspace
+    searchers) or a :class:`PCAReducer` (for the two PCA strategies, which
+    transform the data instead of selecting axis-parallel subspaces).  Both
+    expose a method producing a :class:`~repro.types.RankingResult`
+    (``fit_rank`` / ``rank``); the evaluation harness dispatches on that.
+    """
+    from ..subspaces.hics import HiCS  # local import to avoid a cycle at module load
+
+    config = config or PipelineConfig()
+    scorer = LOFScorer(min_pts=config.min_pts)
+    key = method.strip().lower()
+
+    if key in ("lof", "fullspace", "full-space"):
+        searcher = FullSpaceSearcher()
+    elif key in ("hics", "hics_wt", "hics-wt"):
+        searcher = HiCS(
+            n_iterations=config.hics_iterations,
+            alpha=config.hics_alpha,
+            deviation="welch",
+            candidate_cutoff=config.hics_cutoff,
+            max_output_subspaces=config.max_subspaces,
+            random_state=config.random_state,
+        )
+    elif key in ("hics_ks", "hics-ks"):
+        searcher = HiCS(
+            n_iterations=config.hics_iterations,
+            alpha=config.hics_alpha,
+            deviation="ks",
+            candidate_cutoff=config.hics_cutoff,
+            max_output_subspaces=config.max_subspaces,
+            random_state=config.random_state,
+        )
+    elif key == "enclus":
+        searcher = EnclusSearcher(max_output_subspaces=config.max_subspaces)
+    elif key == "ris":
+        searcher = RISSearcher(
+            min_pts=config.min_pts, max_output_subspaces=config.max_subspaces
+        )
+    elif key == "randsub":
+        searcher = RandomSubspaceSearcher(
+            n_subspaces=config.max_subspaces, random_state=config.random_state
+        )
+    elif key == "pcalof1":
+        return PCAReducer("half", scorer=scorer)
+    elif key == "pcalof2":
+        return PCAReducer("fixed", n_components=10, scorer=scorer)
+    else:
+        raise ParameterError(f"unknown method {method!r}; expected one of {METHOD_NAMES}")
+
+    return SubspaceOutlierPipeline(
+        searcher=searcher,
+        scorer=scorer,
+        aggregation="average",
+        max_subspaces=config.max_subspaces,
+    )

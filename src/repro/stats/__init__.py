@@ -1,0 +1,57 @@
+"""Statistical substrate implemented from scratch.
+
+The HiCS contrast measure relies on two-sample statistical tests (Welch's
+t-test and the two-sample Kolmogorov-Smirnov test).  This package implements
+those tests, the distribution functions they require, plus supporting
+machinery used by the baselines (grid entropy for Enclus) and the evaluation
+harness (rank correlations).
+
+The implementations avoid any dependency beyond NumPy; the test suite
+cross-checks them against SciPy where it is available.
+"""
+
+from .correlation import pearson_correlation, spearman_correlation
+from .descriptive import sample_mean, sample_moments, sample_std, sample_variance
+from .deviation import (
+    DeviationFunction,
+    available_deviation_functions,
+    cramer_von_mises_deviation,
+    get_deviation_function,
+    ks_deviation,
+    register_deviation_function,
+    welch_deviation,
+)
+from .ecdf import empirical_cdf, empirical_cdf_values
+from .entropy import grid_cell_counts, shannon_entropy, subspace_grid_entropy
+from .ks import ks_two_sample_statistic, ks_two_sample_test
+from .tdist import student_t_cdf, student_t_sf, student_t_two_tailed_pvalue
+from .welch import welch_satterthwaite_df, welch_t_statistic, welch_t_test
+
+__all__ = [
+    "pearson_correlation",
+    "spearman_correlation",
+    "sample_mean",
+    "sample_moments",
+    "sample_std",
+    "sample_variance",
+    "DeviationFunction",
+    "available_deviation_functions",
+    "cramer_von_mises_deviation",
+    "get_deviation_function",
+    "ks_deviation",
+    "register_deviation_function",
+    "welch_deviation",
+    "empirical_cdf",
+    "empirical_cdf_values",
+    "grid_cell_counts",
+    "shannon_entropy",
+    "subspace_grid_entropy",
+    "ks_two_sample_statistic",
+    "ks_two_sample_test",
+    "student_t_cdf",
+    "student_t_sf",
+    "student_t_two_tailed_pvalue",
+    "welch_satterthwaite_df",
+    "welch_t_statistic",
+    "welch_t_test",
+]

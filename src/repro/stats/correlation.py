@@ -1,0 +1,66 @@
+"""Classical correlation coefficients (Pearson, Spearman).
+
+The paper contrasts its subspace-contrast measure with classical pairwise
+correlation analysis; these implementations support that comparison in the
+analysis examples and serve as reference statistics in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DataError
+
+__all__ = ["pearson_correlation", "spearman_correlation", "rankdata"]
+
+
+def _check_pair(x: np.ndarray, y: np.ndarray):
+    a = np.asarray(x, dtype=float).ravel()
+    b = np.asarray(y, dtype=float).ravel()
+    if a.size != b.size:
+        raise DataError(f"samples must have equal length, got {a.size} and {b.size}")
+    if a.size < 2:
+        raise DataError("at least two observations are required")
+    if not (np.all(np.isfinite(a)) and np.all(np.isfinite(b))):
+        raise DataError("samples contain NaN or infinite values")
+    return a, b
+
+
+def pearson_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson product-moment correlation coefficient.
+
+    Returns 0.0 when either sample is constant (undefined correlation), which
+    is the convention most useful for ranking subspaces.
+    """
+    a, b = _check_pair(x, y)
+    a_centered = a - a.mean()
+    b_centered = b - b.mean()
+    denom = np.sqrt(np.sum(a_centered**2) * np.sum(b_centered**2))
+    if denom == 0.0:
+        return 0.0
+    return float(np.clip(np.sum(a_centered * b_centered) / denom, -1.0, 1.0))
+
+
+def rankdata(values: np.ndarray) -> np.ndarray:
+    """Assign average ranks to data, handling ties like ``scipy.stats.rankdata``."""
+    arr = np.asarray(values, dtype=float).ravel()
+    sorter = np.argsort(arr, kind="mergesort")
+    inv = np.empty_like(sorter)
+    inv[sorter] = np.arange(arr.size)
+    sorted_arr = arr[sorter]
+    # Identify groups of ties and assign the average rank within each group.
+    obs = np.r_[True, sorted_arr[1:] != sorted_arr[:-1]]
+    group_ids = np.cumsum(obs) - 1
+    counts = np.bincount(group_ids)
+    cum_counts = np.cumsum(counts)
+    # Average rank of group g (1-based): (start + end) / 2.
+    ends = cum_counts
+    starts = cum_counts - counts + 1
+    average_ranks = (starts + ends) / 2.0
+    return average_ranks[group_ids][inv]
+
+
+def spearman_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """Spearman rank correlation coefficient (Pearson correlation of the ranks)."""
+    a, b = _check_pair(x, y)
+    return pearson_correlation(rankdata(a), rankdata(b))

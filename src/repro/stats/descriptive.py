@@ -1,0 +1,64 @@
+"""Descriptive statistics: sample moments used by the Welch t-test.
+
+The paper's HiCS_WT variant extracts the first two statistical moments of each
+sample (mean and variance) and compares the samples through those moments.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import DataError
+
+__all__ = ["sample_mean", "sample_variance", "sample_std", "sample_moments"]
+
+
+def _as_sample(values: np.ndarray, name: str = "sample") -> np.ndarray:
+    arr = np.asarray(values, dtype=float).ravel()
+    if arr.size == 0:
+        raise DataError(f"{name} must not be empty")
+    if not np.all(np.isfinite(arr)):
+        raise DataError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def sample_mean(values: np.ndarray) -> float:
+    """Arithmetic mean of a one-dimensional sample."""
+    return float(np.mean(_as_sample(values)))
+
+
+def sample_variance(values: np.ndarray, ddof: int = 1) -> float:
+    """Sample variance.
+
+    Parameters
+    ----------
+    values:
+        One-dimensional sample.
+    ddof:
+        Delta degrees of freedom; the default 1 gives the unbiased estimator
+        used in the Welch test statistic.  Samples of size one have an
+        undefined unbiased variance and return 0.0 by convention.
+    """
+    arr = _as_sample(values)
+    if arr.size <= ddof:
+        return 0.0
+    return float(np.var(arr, ddof=ddof))
+
+
+def sample_std(values: np.ndarray, ddof: int = 1) -> float:
+    """Sample standard deviation (square root of :func:`sample_variance`)."""
+    return float(np.sqrt(sample_variance(values, ddof=ddof)))
+
+
+def sample_moments(values: np.ndarray) -> Tuple[float, float, int]:
+    """Return ``(mean, variance, n)`` of a sample in a single pass.
+
+    This is the moment extraction step of the HiCS_WT deviation function.
+    """
+    arr = _as_sample(values)
+    n = arr.size
+    mean = float(np.mean(arr))
+    variance = float(np.var(arr, ddof=1)) if n > 1 else 0.0
+    return mean, variance, n

@@ -1,0 +1,159 @@
+"""Deviation functions: pluggable two-sample discrepancy measures for HiCS.
+
+The paper defines the subspace contrast as an average of
+``deviation(p̂_s, p̂_{s|C})`` values over Monte Carlo iterations (Definition 5)
+and instantiates the deviation with Welch's t-test (HiCS_WT) and the
+two-sample Kolmogorov-Smirnov test (HiCS_KS).  This module exposes those two
+instantiations plus a registry so that additional deviation functions can be
+plugged in without touching the contrast estimator — the ablation benchmark
+``bench_ablation_deviation_functions`` exercises exactly that extension point.
+
+A deviation function maps ``(conditional_sample, marginal_sample)`` to a value
+in ``[0, 1]`` where 0 means "indistinguishable" and values close to 1 mean
+"strongly different distributions".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from .ks import ks_two_sample_statistic
+from .welch import welch_t_test
+
+__all__ = [
+    "DeviationFunction",
+    "welch_deviation",
+    "ks_deviation",
+    "cramer_von_mises_deviation",
+    "mean_shift_deviation",
+    "register_deviation_function",
+    "get_deviation_function",
+    "available_deviation_functions",
+]
+
+DeviationFunction = Callable[[np.ndarray, np.ndarray], float]
+
+
+def welch_deviation(conditional_sample: np.ndarray, marginal_sample: np.ndarray) -> float:
+    """HiCS_WT deviation: ``1 - p`` of Welch's two-sample t-test.
+
+    Close to 0 when both samples plausibly share the same mean, close to 1
+    when the conditional sample's mean is significantly shifted.
+    """
+    result = welch_t_test(conditional_sample, marginal_sample)
+    return float(min(1.0, max(0.0, result.deviation)))
+
+
+def ks_deviation(conditional_sample: np.ndarray, marginal_sample: np.ndarray) -> float:
+    """HiCS_KS deviation: the two-sample Kolmogorov-Smirnov statistic.
+
+    The supremum distance between the two empirical CDFs, already normalised
+    to ``[0, 1]``.
+    """
+    return float(ks_two_sample_statistic(conditional_sample, marginal_sample))
+
+
+def cramer_von_mises_deviation(
+    conditional_sample: np.ndarray, marginal_sample: np.ndarray
+) -> float:
+    """An L2 analogue of the KS deviation (Cramér-von Mises style).
+
+    Not part of the original paper; provided as an additional instantiation to
+    demonstrate the pluggable deviation registry.  The value is the root mean
+    squared difference of the two ECDFs over the merged support, which lies in
+    ``[0, 1]`` like the KS statistic but weights persistent differences more
+    than a single large jump.
+    """
+    a = np.sort(np.asarray(conditional_sample, dtype=float).ravel())
+    b = np.sort(np.asarray(marginal_sample, dtype=float).ravel())
+    if a.size == 0 or b.size == 0:
+        raise ParameterError("both samples must be non-empty")
+    support = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, support, side="right") / a.size
+    cdf_b = np.searchsorted(b, support, side="right") / b.size
+    return float(np.sqrt(np.mean((cdf_a - cdf_b) ** 2)))
+
+
+def mean_shift_deviation(conditional_sample: np.ndarray, marginal_sample: np.ndarray) -> float:
+    """A naive deviation: absolute mean difference scaled by the marginal spread.
+
+    Included as a deliberately weak baseline for the deviation ablation.  The
+    value is clipped into ``[0, 1]``.
+    """
+    a = np.asarray(conditional_sample, dtype=float).ravel()
+    b = np.asarray(marginal_sample, dtype=float).ravel()
+    if a.size == 0 or b.size == 0:
+        raise ParameterError("both samples must be non-empty")
+    spread = float(np.max(b) - np.min(b))
+    if spread <= 0.0:
+        return 0.0
+    return float(min(1.0, abs(float(np.mean(a)) - float(np.mean(b))) / spread))
+
+
+_REGISTRY: Dict[str, DeviationFunction] = {}
+
+
+def register_deviation_function(name: str, func: DeviationFunction, *, overwrite: bool = False) -> None:
+    """Register a deviation function under a case-insensitive name.
+
+    Parameters
+    ----------
+    name:
+        Registry key (e.g. ``"welch"``).
+    func:
+        Callable mapping two 1-D samples to a deviation in ``[0, 1]``.
+    overwrite:
+        Allow replacing an existing entry.  Defaults to False to protect the
+        built-in instantiations from accidental shadowing.
+    """
+    key = name.strip().lower()
+    if not key:
+        raise ParameterError("deviation function name must be non-empty")
+    if key in _REGISTRY and not overwrite:
+        raise ParameterError(f"deviation function {name!r} is already registered")
+    if not callable(func):
+        raise ParameterError("deviation function must be callable")
+    _REGISTRY[key] = func
+
+
+def get_deviation_function(name_or_func) -> DeviationFunction:
+    """Resolve a deviation function from a name or pass a callable through.
+
+    Accepted names (case-insensitive): ``"welch"`` / ``"wt"``, ``"ks"`` /
+    ``"kolmogorov-smirnov"``, ``"cvm"`` / ``"cramer-von-mises"``,
+    ``"mean-shift"``, plus anything added via
+    :func:`register_deviation_function`.
+    """
+    if callable(name_or_func):
+        return name_or_func
+    if not isinstance(name_or_func, str):
+        raise ParameterError(
+            "deviation must be a callable or a registered name, got "
+            f"{type(name_or_func).__name__}"
+        )
+    key = name_or_func.strip().lower()
+    if key not in _REGISTRY:
+        raise ParameterError(
+            f"unknown deviation function {name_or_func!r}; available: "
+            f"{sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[key]
+
+
+def available_deviation_functions() -> Tuple[str, ...]:
+    """Names of all registered deviation functions, sorted alphabetically."""
+    return tuple(sorted(_REGISTRY))
+
+
+# Built-in registrations.
+register_deviation_function("welch", welch_deviation)
+register_deviation_function("wt", welch_deviation)
+register_deviation_function("t-test", welch_deviation)
+register_deviation_function("ks", ks_deviation)
+register_deviation_function("kolmogorov-smirnov", ks_deviation)
+register_deviation_function("cvm", cramer_von_mises_deviation)
+register_deviation_function("cramer-von-mises", cramer_von_mises_deviation)
+register_deviation_function("mean-shift", mean_shift_deviation)

@@ -1,0 +1,47 @@
+"""Empirical cumulative distribution functions.
+
+Used by the Kolmogorov-Smirnov instantiation of the HiCS deviation function
+(Equation 10 in the paper) and by the evaluation harness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..exceptions import DataError
+
+__all__ = ["empirical_cdf", "empirical_cdf_values"]
+
+
+def empirical_cdf(sample: np.ndarray) -> Callable[[np.ndarray], np.ndarray]:
+    """Build the empirical CDF ``F(x) = (1/N) * #{y in sample : y <= x}``.
+
+    The paper's Equation 10 uses a strict inequality; the two conventions only
+    differ at jump points and lead to the same supremum distance for the
+    two-sample KS statistic.  We use the right-continuous ``<=`` convention,
+    which is the standard definition of the ECDF.
+
+    Returns
+    -------
+    callable
+        A vectorised function mapping values to cumulative probabilities.
+    """
+    arr = np.asarray(sample, dtype=float).ravel()
+    if arr.size == 0:
+        raise DataError("cannot build an empirical CDF from an empty sample")
+    sorted_sample = np.sort(arr)
+    n = sorted_sample.size
+
+    def cdf(x: np.ndarray) -> np.ndarray:
+        x_arr = np.asarray(x, dtype=float)
+        result = np.searchsorted(sorted_sample, x_arr, side="right") / n
+        return result if x_arr.ndim else float(result)
+
+    return cdf
+
+
+def empirical_cdf_values(sample: np.ndarray, evaluation_points: np.ndarray) -> np.ndarray:
+    """Evaluate the ECDF of ``sample`` at ``evaluation_points`` in one call."""
+    return np.asarray(empirical_cdf(sample)(evaluation_points), dtype=float)

@@ -1,0 +1,129 @@
+"""Student's t-distribution CDF, survival function and two-tailed p-values.
+
+Implemented from scratch via the regularised incomplete beta function, using a
+continued-fraction expansion (Lentz's algorithm).  The relationship used is::
+
+    F(t; v) = 1 - 0.5 * I_{v/(v+t^2)}(v/2, 1/2)      for t >= 0
+
+where ``I_x(a, b)`` is the regularised incomplete beta function.  The test
+suite validates these functions against SciPy when available.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..exceptions import ParameterError
+
+__all__ = [
+    "regularized_incomplete_beta",
+    "student_t_cdf",
+    "student_t_sf",
+    "student_t_two_tailed_pvalue",
+]
+
+_MAX_ITER = 300
+_EPS = 1e-14
+_TINY = 1e-300
+
+
+def _betacf(a: float, b: float, x: float) -> float:
+    """Continued fraction for the incomplete beta function (Lentz's method)."""
+    qab = a + b
+    qap = a + 1.0
+    qam = a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < _TINY:
+        d = _TINY
+    d = 1.0 / d
+    h = d
+    for m in range(1, _MAX_ITER + 1):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < _TINY:
+            d = _TINY
+        c = 1.0 + aa / c
+        if abs(c) < _TINY:
+            c = _TINY
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < _TINY:
+            d = _TINY
+        c = 1.0 + aa / c
+        if abs(c) < _TINY:
+            c = _TINY
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < _EPS:
+            break
+    return h
+
+
+def regularized_incomplete_beta(a: float, b: float, x: float) -> float:
+    """Regularised incomplete beta function ``I_x(a, b)``.
+
+    Parameters
+    ----------
+    a, b:
+        Positive shape parameters.
+    x:
+        Evaluation point in ``[0, 1]``.
+    """
+    if a <= 0.0 or b <= 0.0:
+        raise ParameterError(f"incomplete beta parameters must be positive, got a={a}, b={b}")
+    if x < 0.0 or x > 1.0:
+        raise ParameterError(f"incomplete beta argument x must be in [0, 1], got {x}")
+    if x == 0.0:
+        return 0.0
+    if x == 1.0:
+        return 1.0
+    ln_front = (
+        math.lgamma(a + b)
+        - math.lgamma(a)
+        - math.lgamma(b)
+        + a * math.log(x)
+        + b * math.log1p(-x)
+    )
+    front = math.exp(ln_front)
+    # Use the continued fraction directly when it converges fast, otherwise
+    # use the symmetry relation I_x(a,b) = 1 - I_{1-x}(b,a).
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _betacf(a, b, x) / a
+    return 1.0 - front * _betacf(b, a, 1.0 - x) / b
+
+
+def student_t_cdf(t: float, df: float) -> float:
+    """Cumulative distribution function of Student's t with ``df`` degrees of freedom."""
+    if df <= 0.0 or not np.isfinite(df):
+        raise ParameterError(f"degrees of freedom must be positive and finite, got {df}")
+    if not np.isfinite(t):
+        return 1.0 if t > 0 else 0.0
+    x = df / (df + t * t)
+    tail = 0.5 * regularized_incomplete_beta(df / 2.0, 0.5, x)
+    return 1.0 - tail if t >= 0.0 else tail
+
+
+def student_t_sf(t: float, df: float) -> float:
+    """Survival function ``P(T > t)`` of Student's t distribution."""
+    return 1.0 - student_t_cdf(t, df)
+
+
+def student_t_two_tailed_pvalue(t: float, df: float) -> float:
+    """Two-tailed p-value: probability of observing ``|T| > |t|`` under the null.
+
+    This is the quantity the paper integrates over the t-distribution to
+    normalise the Welch test statistic into a probability ``p_t``.
+    """
+    if not np.isfinite(t):
+        return 0.0
+    x = df / (df + t * t)
+    p = regularized_incomplete_beta(df / 2.0, 0.5, x)
+    # Guard against tiny negative values from floating point round-off.
+    return float(min(1.0, max(0.0, p)))

@@ -1,0 +1,28 @@
+"""The paper's primary contribution: high-contrast subspace search (HiCS).
+
+* :class:`ContrastEstimator` — Monte Carlo estimation of the subspace contrast
+  (Definition 5 / Algorithm 1): random subspace slices, a two-sample
+  statistical test per slice, averaged deviations.
+* :mod:`repro.subspaces.apriori` — level-wise candidate generation with the
+  adaptive candidate cutoff.
+* :mod:`repro.subspaces.pruning` — removal of redundant lower-dimensional
+  subspaces dominated by a higher-dimensional superset.
+* :class:`HiCS` — the complete subspace search combining all of the above,
+  with the Welch-t (``HiCS_WT``) and Kolmogorov-Smirnov (``HiCS_KS``)
+  instantiations.
+"""
+
+from .base import SubspaceSearcher
+from .contrast import ContrastEstimator
+from .apriori import generate_candidates, merge_subspaces
+from .pruning import prune_redundant_subspaces
+from .hics import HiCS
+
+__all__ = [
+    "SubspaceSearcher",
+    "ContrastEstimator",
+    "generate_candidates",
+    "merge_subspaces",
+    "prune_redundant_subspaces",
+    "HiCS",
+]

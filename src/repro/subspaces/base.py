@@ -1,0 +1,45 @@
+"""The :class:`SubspaceSearcher` interface.
+
+Every subspace search method — HiCS and all baselines — implements this
+interface: given a data matrix, return a ranked list of
+:class:`~repro.types.ScoredSubspace` objects, best first.  The decoupling is
+the point of the paper: any searcher can be combined with any outlier scorer
+through :class:`~repro.pipeline.SubspaceOutlierPipeline`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..types import ScoredSubspace
+
+__all__ = ["SubspaceSearcher"]
+
+
+class SubspaceSearcher:
+    """Abstract base class for subspace search (pre-processing) methods."""
+
+    #: Human readable name used in experiment reports.
+    name: str = "abstract"
+
+    def search(self, data: np.ndarray) -> List[ScoredSubspace]:
+        """Return subspaces ranked by decreasing quality.
+
+        Parameters
+        ----------
+        data:
+            Data matrix of shape ``(n_objects, n_dims)``.
+
+        Returns
+        -------
+        list of ScoredSubspace
+            Ordered best-first.  May be empty if the method finds no
+            interesting subspace; consumers must treat that as "fall back to
+            the full space".
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,58 @@
+"""Redundancy pruning of the final subspace list (Section IV-B, last step).
+
+A d-dimensional subspace ``T`` is removed from the output when the result list
+contains a (d+1)-dimensional superset ``S ⊇ T`` with a strictly higher
+contrast: the superset explains the same correlation structure at least as
+well, so keeping ``T`` only dilutes the outlier ranking with redundant
+projections (following the non-redundant subspace-mining idea of [22]).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..types import ScoredSubspace
+
+__all__ = ["prune_redundant_subspaces"]
+
+
+def prune_redundant_subspaces(
+    scored_subspaces: Sequence[ScoredSubspace],
+    *,
+    strict_superset_dimensionality: bool = True,
+) -> List[ScoredSubspace]:
+    """Drop subspaces dominated by a higher-contrast superset.
+
+    Parameters
+    ----------
+    scored_subspaces:
+        The scored subspaces collected over all levels of the search.
+    strict_superset_dimensionality:
+        If True (paper behaviour) only supersets with exactly one additional
+        attribute can prune a subspace; if False any higher-dimensional
+        superset with higher contrast prunes.
+
+    Returns
+    -------
+    list of ScoredSubspace
+        The non-redundant subspaces, sorted by decreasing contrast (ties broken
+        by the attribute tuple for determinism).
+    """
+    items = list(scored_subspaces)
+    kept: List[ScoredSubspace] = []
+    for candidate in items:
+        dominated = False
+        for other in items:
+            if other.subspace == candidate.subspace:
+                continue
+            if not other.subspace.is_superset_of(candidate.subspace):
+                continue
+            dimension_gap = other.dimensionality - candidate.dimensionality
+            if strict_superset_dimensionality and dimension_gap != 1:
+                continue
+            if other.score > candidate.score:
+                dominated = True
+                break
+        if not dominated:
+            kept.append(candidate)
+    return sorted(kept, key=lambda s: (-s.score, s.subspace.attributes))

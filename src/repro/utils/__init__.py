@@ -1,0 +1,23 @@
+"""Shared utilities: validation, random-state handling, and timing helpers."""
+
+from .random_state import check_random_state, spawn_child_rng
+from .timing import Stopwatch, timed
+from .validation import (
+    check_data_matrix,
+    check_fraction,
+    check_labels,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "check_random_state",
+    "spawn_child_rng",
+    "Stopwatch",
+    "timed",
+    "check_data_matrix",
+    "check_fraction",
+    "check_labels",
+    "check_positive_int",
+    "check_probability",
+]

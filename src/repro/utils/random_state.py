@@ -1,0 +1,57 @@
+"""Random-state handling.
+
+The Monte Carlo nature of the HiCS contrast estimator makes reproducibility
+important: every stochastic component in the library accepts a ``random_state``
+argument that is normalised through :func:`check_random_state`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..exceptions import ParameterError
+
+__all__ = ["check_random_state", "spawn_child_rng"]
+
+RandomStateLike = Union[None, int, np.random.Generator, np.random.RandomState]
+
+
+def check_random_state(random_state: RandomStateLike = None) -> np.random.Generator:
+    """Normalise a seed-like argument into a :class:`numpy.random.Generator`.
+
+    Accepted inputs are ``None`` (fresh entropy), an integer seed, an existing
+    :class:`numpy.random.Generator` (returned as is) or a legacy
+    :class:`numpy.random.RandomState` (wrapped into a Generator).
+    """
+    if random_state is None:
+        return np.random.default_rng()
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    if isinstance(random_state, np.random.RandomState):
+        return np.random.default_rng(random_state.randint(0, 2**32 - 1))
+    if isinstance(random_state, (int, np.integer)) and not isinstance(random_state, bool):
+        if random_state < 0:
+            raise ParameterError(f"random_state seed must be non-negative, got {random_state}")
+        return np.random.default_rng(int(random_state))
+    raise ParameterError(
+        "random_state must be None, an int, numpy.random.Generator or RandomState, "
+        f"got {type(random_state).__name__}"
+    )
+
+
+def spawn_child_rng(rng: np.random.Generator, n: Optional[int] = None):
+    """Derive independent child generators from a parent generator.
+
+    Parameters
+    ----------
+    rng:
+        Parent generator.
+    n:
+        If given, return a list of ``n`` child generators; otherwise return a
+        single child generator.
+    """
+    if n is None:
+        return np.random.default_rng(rng.integers(0, 2**63 - 1))
+    return [np.random.default_rng(seed) for seed in rng.integers(0, 2**63 - 1, size=n)]

@@ -1,0 +1,72 @@
+"""Lightweight timing helpers for the experiment harness.
+
+The paper reports the *total* processing time (subspace search plus outlier
+ranking).  The evaluation harness uses :class:`Stopwatch` to attribute wall
+time to these phases without pulling in any heavyweight profiling machinery.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+__all__ = ["Stopwatch", "timed"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates wall-clock time per named phase.
+
+    Example
+    -------
+    >>> sw = Stopwatch()
+    >>> with sw.measure("search"):
+    ...     _ = sum(range(1000))
+    >>> sw.total() >= 0.0
+    True
+    """
+
+    durations: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, phase: str) -> Iterator[None]:
+        """Context manager adding the elapsed time of the block to ``phase``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.durations[phase] = self.durations.get(phase, 0.0) + elapsed
+
+    def total(self) -> float:
+        """Total time across all phases in seconds."""
+        return float(sum(self.durations.values()))
+
+    def get(self, phase: str) -> float:
+        """Accumulated time of a phase (0.0 if the phase never ran)."""
+        return self.durations.get(phase, 0.0)
+
+    def reset(self) -> None:
+        """Drop all accumulated measurements."""
+        self.durations.clear()
+
+
+@contextmanager
+def timed() -> Iterator[Dict[str, float]]:
+    """Context manager that exposes the elapsed wall time of its block.
+
+    Example
+    -------
+    >>> with timed() as t:
+    ...     _ = sum(range(1000))
+    >>> t["elapsed"] >= 0.0
+    True
+    """
+    result: Dict[str, float] = {"elapsed": 0.0}
+    start = time.perf_counter()
+    try:
+        yield result
+    finally:
+        result["elapsed"] = time.perf_counter() - start

@@ -1,0 +1,110 @@
+"""Input validation helpers used throughout the library.
+
+Every public entry point validates its inputs through these helpers so that
+error messages are consistent and point at the offending parameter by name.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import DataError, ParameterError
+
+__all__ = [
+    "check_data_matrix",
+    "check_labels",
+    "check_positive_int",
+    "check_fraction",
+    "check_probability",
+]
+
+
+def check_data_matrix(
+    data: np.ndarray,
+    *,
+    name: str = "data",
+    min_objects: int = 1,
+    min_dims: int = 1,
+    allow_nan: bool = False,
+) -> np.ndarray:
+    """Validate and normalise a data matrix.
+
+    Parameters
+    ----------
+    data:
+        Array-like of shape ``(n_objects, n_dims)``.
+    name:
+        Parameter name used in error messages.
+    min_objects, min_dims:
+        Minimum acceptable number of rows / columns.
+    allow_nan:
+        If False (default), NaN or infinite values raise :class:`DataError`.
+
+    Returns
+    -------
+    numpy.ndarray
+        A C-contiguous ``float64`` copy-or-view of the input.
+    """
+    arr = np.asarray(data, dtype=float)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise DataError(f"{name} must be a 2-dimensional matrix, got ndim={arr.ndim}")
+    n_objects, n_dims = arr.shape
+    if n_objects < min_objects:
+        raise DataError(
+            f"{name} must contain at least {min_objects} objects, got {n_objects}"
+        )
+    if n_dims < min_dims:
+        raise DataError(
+            f"{name} must contain at least {min_dims} dimensions, got {n_dims}"
+        )
+    if not allow_nan and not np.all(np.isfinite(arr)):
+        raise DataError(f"{name} contains NaN or infinite values")
+    return np.ascontiguousarray(arr)
+
+
+def check_labels(labels: np.ndarray, n_objects: Optional[int] = None, *, name: str = "labels") -> np.ndarray:
+    """Validate a binary outlier-label vector (1 = outlier, 0 = inlier)."""
+    arr = np.asarray(labels)
+    if arr.ndim != 1:
+        raise DataError(f"{name} must be one-dimensional, got ndim={arr.ndim}")
+    if n_objects is not None and arr.shape[0] != n_objects:
+        raise DataError(
+            f"{name} has length {arr.shape[0]} but the data has {n_objects} objects"
+        )
+    unique = np.unique(arr)
+    if not np.all(np.isin(unique, (0, 1, False, True))):
+        raise DataError(f"{name} must be binary (0/1), got values {unique[:10]}")
+    return arr.astype(int)
+
+
+def check_positive_int(value: int, *, name: str, minimum: int = 1) -> int:
+    """Validate an integer parameter with a lower bound."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise ParameterError(f"{name} must be an integer, got {type(value).__name__}")
+    if value < minimum:
+        raise ParameterError(f"{name} must be >= {minimum}, got {value}")
+    return int(value)
+
+
+def check_fraction(value: float, *, name: str, inclusive_low: bool = False, inclusive_high: bool = False) -> float:
+    """Validate a fraction in the open/closed interval (0, 1)."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ParameterError(f"{name} must be a real number") from exc
+    low_ok = value >= 0.0 if inclusive_low else value > 0.0
+    high_ok = value <= 1.0 if inclusive_high else value < 1.0
+    if not (low_ok and high_ok and np.isfinite(value)):
+        low = "[0" if inclusive_low else "(0"
+        high = "1]" if inclusive_high else "1)"
+        raise ParameterError(f"{name} must lie in {low}, {high}, got {value}")
+    return value
+
+
+def check_probability(value: float, *, name: str) -> float:
+    """Validate a probability in the closed interval [0, 1]."""
+    return check_fraction(value, name=name, inclusive_low=True, inclusive_high=True)

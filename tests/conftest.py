@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite.
+
+Keep the fixture datasets small: the suite favours many focused tests over a
+few slow end-to-end runs, so every fixture is sized to keep a single test in
+the low milliseconds range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset import Dataset, generate_synthetic_dataset
+from repro.dataset.toy import make_correlated_pair, make_uncorrelated_pair
+from repro.types import Subspace
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """Session-wide deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def correlated_2d() -> np.ndarray:
+    """Two strongly correlated attributes plus noise column."""
+    generator = np.random.default_rng(7)
+    x = generator.uniform(size=500)
+    y = x + generator.normal(0.0, 0.01, size=500)
+    z = generator.uniform(size=500)
+    return np.column_stack([x, y, z])
+
+
+@pytest.fixture(scope="session")
+def uncorrelated_3d() -> np.ndarray:
+    """Three independent uniform attributes."""
+    generator = np.random.default_rng(11)
+    return generator.uniform(size=(500, 3))
+
+
+@pytest.fixture(scope="session")
+def small_synthetic() -> Dataset:
+    """A small labelled synthetic dataset with planted subspace outliers."""
+    return generate_synthetic_dataset(
+        n_objects=250,
+        n_dims=8,
+        n_relevant_subspaces=2,
+        subspace_dims=(2, 3),
+        outliers_per_subspace=4,
+        random_state=3,
+    )
+
+
+@pytest.fixture(scope="session")
+def toy_pair():
+    """The Figure 2 pair: (uncorrelated dataset A, correlated dataset B)."""
+    return (
+        make_uncorrelated_pair(300, random_state=21),
+        make_correlated_pair(300, random_state=22),
+    )
+
+
+@pytest.fixture
+def subspace_01() -> Subspace:
+    return Subspace((0, 1))

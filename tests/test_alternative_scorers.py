@@ -1,0 +1,156 @@
+"""Tests for the future-work scorer instantiations: ORCA and adaptive density.
+
+The paper's conclusion proposes ORCA and OUTRES as alternative instantiations
+of the outlier-ranking step.  These tests verify that both scorers satisfy the
+:class:`OutlierScorer` contract, agree with the simpler reference scorers on
+clear-cut cases and plug into the decoupled pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import HiCS, SubspaceOutlierPipeline, roc_auc_score
+from repro.exceptions import ParameterError
+from repro.outliers import (
+    AdaptiveDensityScorer,
+    KNNDistanceScorer,
+    ORCAScorer,
+    adaptive_kernel_density,
+    orca_top_n,
+)
+from repro.types import Subspace
+
+
+def _cluster_with_outliers(n: int = 120, n_outliers: int = 3, seed: int = 0):
+    """Tight Gaussian cluster with a few far-away points (the last rows)."""
+    rng = np.random.default_rng(seed)
+    data = rng.normal(0.0, 0.1, size=(n, 3))
+    for i in range(n_outliers):
+        data[n - 1 - i] = 3.0 + i
+    return data, list(range(n - n_outliers, n))
+
+
+class TestORCAScorer:
+    def test_outliers_rank_on_top(self):
+        data, outliers = _cluster_with_outliers()
+        scores = ORCAScorer(k=10, top_n=5, random_state=0).score(data)
+        top = set(np.argsort(-scores)[: len(outliers)].tolist())
+        assert top == set(outliers)
+
+    def test_top_head_matches_exact_knn_score(self):
+        """The pruned ORCA scores must agree with the exact kNN-distance score
+        on the top-n objects (pruning only affects the tail)."""
+        data, _ = _cluster_with_outliers(n=150, n_outliers=5, seed=1)
+        top_n = 10
+        orca_scores = ORCAScorer(k=8, top_n=top_n, random_state=0).score(data)
+        exact = KNNDistanceScorer(k=8, aggregate="mean").score(data)
+        top_orca = list(np.argsort(-orca_scores)[:top_n])
+        top_exact = list(np.argsort(-exact)[:top_n])
+        assert set(top_orca) == set(top_exact)
+        assert np.allclose(orca_scores[top_exact], exact[top_exact], atol=1e-9)
+
+    def test_subspace_restriction(self):
+        rng = np.random.default_rng(2)
+        data = rng.normal(0.0, 0.05, size=(100, 3))
+        data[:, 2] = rng.uniform(size=100) * 10  # noisy attribute
+        data[-1, :2] = 2.0  # outlier only in attributes (0, 1)
+        scores = ORCAScorer(k=5, random_state=0).score(data, Subspace((0, 1)))
+        assert np.argmax(scores) == 99
+
+    def test_orca_top_n_helper(self):
+        data, outliers = _cluster_with_outliers()
+        top = orca_top_n(data, n_outliers=3, k=10, random_state=0)
+        assert set(top.tolist()) == set(outliers)
+
+    def test_orca_top_n_invalid(self):
+        data, _ = _cluster_with_outliers()
+        with pytest.raises(ParameterError):
+            orca_top_n(data, n_outliers=0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            ORCAScorer(k=0)
+        with pytest.raises(ParameterError):
+            ORCAScorer(top_n=0)
+        with pytest.raises(ParameterError):
+            ORCAScorer(block_size=0)
+
+    def test_scores_non_negative_finite(self):
+        rng = np.random.default_rng(3)
+        data = rng.uniform(size=(200, 4))
+        scores = ORCAScorer(k=5, random_state=1).score(data)
+        assert np.all(np.isfinite(scores))
+        assert np.all(scores >= 0.0)
+
+    def test_works_in_pipeline(self, small_synthetic):
+        pipeline = SubspaceOutlierPipeline(
+            searcher=HiCS(n_iterations=10, max_output_subspaces=10, random_state=0),
+            scorer=ORCAScorer(k=10, random_state=0),
+            max_subspaces=10,
+        )
+        result = pipeline.fit_rank(small_synthetic)
+        assert roc_auc_score(small_synthetic.labels, result.scores) > 0.6
+
+
+class TestAdaptiveDensity:
+    def test_density_higher_inside_cluster(self):
+        data, outliers = _cluster_with_outliers()
+        densities = adaptive_kernel_density(data)
+        inlier_density = np.median(np.delete(densities, outliers))
+        assert all(densities[o] < inlier_density for o in outliers)
+
+    def test_density_subspace_projection(self):
+        rng = np.random.default_rng(0)
+        data = np.hstack([rng.normal(0, 0.05, size=(100, 2)), rng.uniform(size=(100, 1)) * 100])
+        full = adaptive_kernel_density(data)
+        projected = adaptive_kernel_density(data, Subspace((0, 1)))
+        # In the projected space the cluster is dense; with the huge noise
+        # attribute included the densities collapse.
+        assert projected.mean() > full.mean()
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ParameterError):
+            adaptive_kernel_density(np.zeros((10, 2)), bandwidth_scale=0.0)
+        with pytest.raises(ParameterError):
+            AdaptiveDensityScorer(bandwidth_scale=-1.0)
+        with pytest.raises(ParameterError):
+            AdaptiveDensityScorer(n_neighbors=0)
+
+    def test_scorer_flags_outliers(self):
+        data, outliers = _cluster_with_outliers()
+        scores = AdaptiveDensityScorer(n_neighbors=15).score(data)
+        top = set(np.argsort(-scores)[: len(outliers)].tolist())
+        assert top == set(outliers)
+
+    def test_scores_non_negative(self):
+        rng = np.random.default_rng(1)
+        data = rng.uniform(size=(150, 3))
+        scores = AdaptiveDensityScorer(n_neighbors=10).score(data)
+        assert np.all(scores >= 0.0)
+        assert np.all(np.isfinite(scores))
+
+    def test_clustered_objects_score_near_one(self):
+        # For a homogeneous cluster the density ratio against the local
+        # neighbourhood hovers around 1 (the scorer's "inlier" level).
+        rng = np.random.default_rng(2)
+        data = rng.normal(0.0, 0.05, size=(200, 2))
+        scores = AdaptiveDensityScorer(n_neighbors=20).score(data)
+        assert 0.7 < np.median(scores) < 1.5
+
+    def test_subspace_restriction_detects_hidden_outlier(self):
+        rng = np.random.default_rng(3)
+        data = np.hstack([rng.normal(0.5, 0.02, size=(150, 2)), rng.uniform(size=(150, 2))])
+        data[-1, :2] = [0.8, 0.2]
+        scores = AdaptiveDensityScorer(n_neighbors=15).score(data, Subspace((0, 1)))
+        assert np.argmax(scores) == 149
+
+    def test_works_in_pipeline(self, small_synthetic):
+        pipeline = SubspaceOutlierPipeline(
+            searcher=HiCS(n_iterations=10, max_output_subspaces=10, random_state=0),
+            scorer=AdaptiveDensityScorer(n_neighbors=15),
+            max_subspaces=10,
+        )
+        result = pipeline.fit_rank(small_synthetic)
+        assert roc_auc_score(small_synthetic.labels, result.scores) > 0.6

@@ -1,0 +1,138 @@
+"""Tests for the analysis utilities: contrast matrix, relevance, explanations,
+ranking comparison."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    attribute_relevance,
+    explain_object,
+    pairwise_contrast_matrix,
+    ranking_correlation,
+    top_k_overlap,
+)
+from repro.exceptions import DataError, ParameterError
+from repro.outliers import LOFScorer
+from repro.types import RankingResult, ScoredSubspace, Subspace
+
+
+class TestPairwiseContrastMatrix:
+    def test_symmetric_with_zero_diagonal(self, correlated_2d):
+        matrix = pairwise_contrast_matrix(correlated_2d, n_iterations=20, random_state=0)
+        assert matrix.shape == (3, 3)
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    def test_correlated_pair_has_largest_entry(self, correlated_2d):
+        matrix = pairwise_contrast_matrix(correlated_2d, n_iterations=30, random_state=0)
+        assert matrix[0, 1] == matrix.max()
+        assert matrix[0, 1] > matrix[0, 2] + 0.2
+
+    def test_values_bounded(self, uncorrelated_3d):
+        matrix = pairwise_contrast_matrix(uncorrelated_3d, n_iterations=10, random_state=1)
+        assert np.all(matrix >= 0.0) and np.all(matrix <= 1.0)
+
+    def test_requires_two_dims(self):
+        with pytest.raises(DataError):
+            pairwise_contrast_matrix(np.zeros((10, 1)))
+
+
+class TestAttributeRelevance:
+    def test_sums_scores_per_attribute(self):
+        scored = [
+            ScoredSubspace(Subspace((0, 1)), 0.8),
+            ScoredSubspace(Subspace((1, 2)), 0.5),
+        ]
+        relevance = attribute_relevance(scored)
+        assert relevance[0] == pytest.approx(0.8)
+        assert relevance[1] == pytest.approx(1.3)
+        assert relevance[2] == pytest.approx(0.5)
+
+    def test_includes_all_attributes_when_n_dims_given(self):
+        scored = [ScoredSubspace(Subspace((0, 1)), 0.8)]
+        relevance = attribute_relevance(scored, n_dims=4)
+        assert set(relevance) == {0, 1, 2, 3}
+        assert relevance[3] == 0.0
+
+    def test_negative_scores_ignored(self):
+        scored = [ScoredSubspace(Subspace((0, 1)), -0.5)]
+        relevance = attribute_relevance(scored)
+        assert relevance[0] == 0.0
+
+    def test_empty_input(self):
+        assert attribute_relevance([]) == {}
+        assert attribute_relevance([], n_dims=2) == {0: 0.0, 1: 0.0}
+
+
+class TestExplainObject:
+    @pytest.fixture
+    def data_with_subspace_outlier(self):
+        rng = np.random.default_rng(0)
+        data = np.hstack(
+            [rng.normal(0.5, 0.03, size=(150, 2)), rng.uniform(size=(150, 2))]
+        )
+        data[-1, :2] = [0.9, 0.1]
+        return data
+
+    def test_incriminating_subspace_ranked_first(self, data_with_subspace_outlier):
+        explanations = explain_object(
+            data_with_subspace_outlier,
+            149,
+            [Subspace((0, 1)), Subspace((2, 3))],
+            LOFScorer(min_pts=10),
+        )
+        assert explanations[0][0] == Subspace((0, 1))
+        assert explanations[0][2] >= explanations[1][2]
+        assert explanations[0][2] > 0.95  # near the top of the score distribution
+
+    def test_top_parameter_truncates(self, data_with_subspace_outlier):
+        explanations = explain_object(
+            data_with_subspace_outlier, 0, [Subspace((0, 1)), Subspace((2, 3))], top=1
+        )
+        assert len(explanations) == 1
+
+    def test_invalid_arguments(self, data_with_subspace_outlier):
+        with pytest.raises(ParameterError):
+            explain_object(data_with_subspace_outlier, 500, [Subspace((0, 1))])
+        with pytest.raises(ParameterError):
+            explain_object(data_with_subspace_outlier, 0, [])
+
+
+class TestRankingComparison:
+    def test_identical_rankings(self):
+        scores = np.array([0.1, 0.5, 0.9, 0.3])
+        assert ranking_correlation(scores, scores) == pytest.approx(1.0)
+        assert top_k_overlap(scores, scores, k=2) == pytest.approx(1.0)
+
+    def test_reversed_rankings(self):
+        scores = np.arange(10, dtype=float)
+        assert ranking_correlation(scores, -scores) == pytest.approx(-1.0)
+        assert top_k_overlap(scores, -scores, k=3) == 0.0
+
+    def test_accepts_ranking_results(self):
+        a = RankingResult(scores=np.array([1.0, 2.0, 3.0]))
+        b = RankingResult(scores=np.array([1.0, 2.0, 2.9]))
+        assert ranking_correlation(a, b) == pytest.approx(1.0)
+        assert top_k_overlap(a, b, k=1) == pytest.approx(1.0)
+
+    def test_partial_overlap(self):
+        a = np.array([10.0, 9.0, 1.0, 0.0])
+        b = np.array([10.0, 0.0, 9.0, 1.0])
+        # top-2 of a = {0, 1}; top-2 of b = {0, 2} -> Jaccard = 1/3.
+        assert top_k_overlap(a, b, k=2) == pytest.approx(1.0 / 3.0)
+
+    def test_k_larger_than_dataset(self):
+        scores = np.array([1.0, 2.0])
+        assert top_k_overlap(scores, scores, k=10) == pytest.approx(1.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(DataError):
+            ranking_correlation(np.zeros(3), np.zeros(4))
+        with pytest.raises(DataError):
+            top_k_overlap(np.zeros(3), np.zeros(4), k=2)
+
+    def test_invalid_k(self):
+        with pytest.raises(ParameterError):
+            top_k_overlap(np.zeros(3), np.zeros(3), k=0)

@@ -1,0 +1,199 @@
+"""Tests for the competitor methods: RANDSUB, Enclus, RIS, PCA, full space."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    EnclusSearcher,
+    FullSpaceSearcher,
+    PCAReducer,
+    RandomSubspaceSearcher,
+    RISSearcher,
+    dbscan_core_object_count,
+    principal_component_analysis,
+)
+from repro.exceptions import ParameterError
+from repro.types import Subspace
+
+
+def _clustered_pair_data(n: int = 400, n_dims: int = 6, seed: int = 0) -> np.ndarray:
+    """Attributes 0/1 form two tight clusters; the rest are uniform noise."""
+    rng = np.random.default_rng(seed)
+    assignment = rng.integers(0, 2, size=n)
+    centers = np.array([[0.2, 0.2], [0.8, 0.8]])
+    pair = centers[assignment] + rng.normal(0.0, 0.03, size=(n, 2))
+    noise = rng.uniform(size=(n, n_dims - 2))
+    return np.hstack([pair, noise])
+
+
+class TestRandomSubspaceSearcher:
+    def test_number_and_uniqueness(self):
+        data = np.random.default_rng(0).uniform(size=(50, 10))
+        result = RandomSubspaceSearcher(n_subspaces=20, random_state=0).search(data)
+        assert len(result) == 20
+        assert len({s.subspace.attributes for s in result}) == 20
+
+    def test_feature_bagging_dimensionality_range(self):
+        data = np.random.default_rng(0).uniform(size=(50, 10))
+        result = RandomSubspaceSearcher(n_subspaces=30, random_state=1).search(data)
+        dims = [s.subspace.dimensionality for s in result]
+        assert min(dims) >= 5 and max(dims) <= 9
+
+    def test_explicit_dimensionality_range(self):
+        data = np.random.default_rng(0).uniform(size=(50, 10))
+        result = RandomSubspaceSearcher(
+            n_subspaces=15, dimensionality_range=(2, 3), random_state=2
+        ).search(data)
+        assert all(2 <= s.subspace.dimensionality <= 3 for s in result)
+
+    def test_reproducible(self):
+        data = np.random.default_rng(0).uniform(size=(30, 8))
+        a = RandomSubspaceSearcher(n_subspaces=10, random_state=5).search(data)
+        b = RandomSubspaceSearcher(n_subspaces=10, random_state=5).search(data)
+        assert [s.subspace for s in a] == [s.subspace for s in b]
+
+    def test_small_dimensionality_does_not_loop_forever(self):
+        data = np.random.default_rng(0).uniform(size=(30, 2))
+        result = RandomSubspaceSearcher(n_subspaces=50, random_state=0).search(data)
+        # Only one possible 1-D range [1, 1] subspace per attribute; the search
+        # must terminate even though 50 unique subspaces do not exist.
+        assert 1 <= len(result) <= 50
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            RandomSubspaceSearcher(n_subspaces=0)
+        with pytest.raises(ParameterError):
+            RandomSubspaceSearcher(dimensionality_range=(0, 3))
+        with pytest.raises(ParameterError):
+            RandomSubspaceSearcher(dimensionality_range=(4, 2))
+
+
+class TestEnclusSearcher:
+    def test_clustered_subspace_ranked_first(self):
+        data = _clustered_pair_data()
+        result = EnclusSearcher(max_dimensionality=2).search(data)
+        assert result[0].subspace.attributes == (0, 1)
+
+    def test_scores_positive_and_sorted(self):
+        data = _clustered_pair_data()
+        result = EnclusSearcher().search(data)
+        scores = [s.score for s in result]
+        assert scores == sorted(scores, reverse=True)
+        assert all(s >= 0.0 for s in scores)
+
+    def test_max_output_respected(self):
+        data = _clustered_pair_data(n_dims=8)
+        result = EnclusSearcher(max_output_subspaces=5).search(data)
+        assert len(result) <= 5
+
+    def test_entropy_threshold_filters(self):
+        data = np.random.default_rng(0).uniform(size=(300, 4))
+        # An absurdly low threshold rejects every candidate.
+        result = EnclusSearcher(entropy_threshold=0.1).search(data)
+        assert result == []
+
+    def test_max_dimensionality_cap(self):
+        data = _clustered_pair_data(n_dims=6)
+        result = EnclusSearcher(max_dimensionality=2).search(data)
+        assert all(s.subspace.dimensionality == 2 for s in result)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            EnclusSearcher(n_bins=1)
+        with pytest.raises(ParameterError):
+            EnclusSearcher(entropy_threshold=-1.0)
+        with pytest.raises(ParameterError):
+            EnclusSearcher(max_dimensionality=1)
+
+
+class TestRIS:
+    def test_core_object_count(self):
+        # 20 identical points: every object is a core object for min_pts <= 20.
+        data = np.zeros((20, 3))
+        assert dbscan_core_object_count(data, Subspace((0, 1)), epsilon=0.1, min_pts=5) == 20
+
+    def test_core_object_count_sparse(self):
+        data = np.arange(20, dtype=float).reshape(-1, 1) * 10.0
+        data = np.hstack([data, data])
+        assert dbscan_core_object_count(data, Subspace((0, 1)), epsilon=0.1, min_pts=3) == 0
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ParameterError):
+            dbscan_core_object_count(np.zeros((5, 2)), Subspace((0, 1)), epsilon=0.0, min_pts=2)
+
+    def test_clustered_subspace_ranked_first(self):
+        data = _clustered_pair_data()
+        result = RISSearcher(min_pts=10, max_dimensionality=2).search(data)
+        assert result, "RIS returned nothing"
+        assert result[0].subspace.attributes == (0, 1)
+
+    def test_max_output_and_sorting(self):
+        data = _clustered_pair_data(n_dims=7)
+        result = RISSearcher(min_pts=10, max_output_subspaces=6).search(data)
+        assert len(result) <= 6
+        scores = [s.score for s in result]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            RISSearcher(epsilon_fraction=0.0)
+        with pytest.raises(ParameterError):
+            RISSearcher(min_pts=0)
+
+
+class TestPCA:
+    def test_components_orthonormal(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(200, 5)) @ np.diag([3.0, 2.0, 1.0, 0.5, 0.1])
+        components, variance, mean = principal_component_analysis(data)
+        assert components.shape == (5, 5)
+        assert np.allclose(components.T @ components, np.eye(5), atol=1e-8)
+        assert np.all(np.diff(variance) <= 1e-9)
+
+    def test_explained_variance_matches_numpy_svd(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(300, 4))
+        _, variance, _ = principal_component_analysis(data)
+        centered = data - data.mean(axis=0)
+        singular = np.linalg.svd(centered, compute_uv=False)
+        expected = singular**2 / (data.shape[0] - 1)
+        assert np.allclose(np.sort(variance), np.sort(expected), atol=1e-8)
+
+    def test_half_strategy_component_count(self):
+        reducer = PCAReducer("half")
+        data = np.random.default_rng(0).normal(size=(100, 9))
+        projected = reducer.fit_transform(data)
+        assert projected.shape == (100, 5)
+        assert reducer.name == "PCALOF1"
+
+    def test_fixed_strategy_component_count(self):
+        reducer = PCAReducer("fixed", n_components=10)
+        data = np.random.default_rng(0).normal(size=(100, 6))
+        projected = reducer.fit_transform(data)
+        # Capped at the data dimensionality, reproducing the paper's note that
+        # PCALOF2 equals LOF for 10-dimensional data.
+        assert projected.shape == (100, 6)
+        assert reducer.name == "PCALOF2"
+
+    def test_rank_produces_ranking_result(self):
+        data = np.vstack(
+            [np.random.default_rng(0).normal(0, 0.1, size=(99, 4)), [[5.0, 5.0, 5.0, 5.0]]]
+        )
+        result = PCAReducer("half").rank(data)
+        assert result.scores.shape == (100,)
+        assert result.method == "PCALOF1"
+        assert np.argmax(result.scores) == 99
+
+    def test_invalid_strategy(self):
+        with pytest.raises(ParameterError):
+            PCAReducer("third")
+
+
+class TestFullSpace:
+    def test_returns_single_full_subspace(self):
+        data = np.random.default_rng(0).uniform(size=(20, 7))
+        result = FullSpaceSearcher().search(data)
+        assert len(result) == 1
+        assert result[0].subspace.attributes == tuple(range(7))

@@ -1,0 +1,91 @@
+"""Tests for the command line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.dataset import Dataset, save_csv
+
+
+@pytest.fixture
+def csv_dataset(tmp_path):
+    """A small labelled CSV dataset with one obvious full-space outlier."""
+    rng = np.random.default_rng(0)
+    data = rng.normal(0.0, 0.05, size=(80, 4))
+    data[-1] = 3.0
+    labels = np.zeros(80, dtype=int)
+    labels[-1] = 1
+    dataset = Dataset(data=data, labels=labels, name="cli-demo")
+    path = tmp_path / "cli_demo.csv"
+    save_csv(dataset, path)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rank_requires_dataset_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["rank"])
+
+    def test_rank_parses_options(self):
+        args = build_parser().parse_args(
+            ["rank", "--dataset", "toy-correlated", "--method", "LOF", "--top", "5"]
+        )
+        assert args.command == "rank"
+        assert args.method == "LOF"
+        assert args.top == 5
+
+    def test_mutually_exclusive_sources(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["rank", "--csv", "x.csv", "--dataset", "glass"])
+
+    def test_invalid_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["rank", "--dataset", "glass", "--method", "SOD"])
+
+
+class TestCommands:
+    def test_datasets_command_lists_builtins(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "toy-correlated" in out
+        assert "ionosphere" in out
+
+    def test_rank_command_on_csv(self, capsys, csv_dataset):
+        code = main(["rank", "--csv", str(csv_dataset), "--method", "LOF", "--top", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "method: LOF" in out
+        # The planted full-space outlier is object 79 and must rank first.
+        first_row = out.strip().splitlines()[2].split()
+        assert first_row[1] == "79"
+
+    def test_rank_command_on_builtin_dataset(self, capsys):
+        code = main(
+            ["rank", "--dataset", "toy-correlated", "--method", "LOF", "--top", "2", "--seed", "1"]
+        )
+        assert code == 0
+        assert "rank" in capsys.readouterr().out
+
+    def test_contrast_command(self, capsys, csv_dataset):
+        code = main(
+            ["contrast", "--csv", str(csv_dataset), "--iterations", "10", "--top", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "contrast" in out
+        assert "attr_" in out
+
+    def test_compare_command(self, capsys, csv_dataset):
+        code = main(
+            ["compare", "--csv", str(csv_dataset), "--methods", "LOF", "RANDSUB", "--min-pts", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dataset" in out
+        assert "LOF" in out and "RANDSUB" in out

@@ -1,0 +1,173 @@
+"""Unit tests for the Dataset container, CSV I/O and the dataset registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset import (
+    Dataset,
+    available_datasets,
+    load_csv,
+    load_dataset,
+    register_dataset,
+    save_csv,
+)
+from repro.exceptions import DataError, DatasetNotFoundError, ParameterError
+from repro.types import Subspace
+
+
+class TestDataset:
+    def test_basic_properties(self):
+        data = np.arange(12, dtype=float).reshape(4, 3)
+        dataset = Dataset(data=data, labels=np.array([0, 1, 0, 0]), name="demo")
+        assert dataset.n_objects == 4
+        assert dataset.n_dims == 3
+        assert dataset.has_labels
+        assert dataset.n_outliers == 1
+        assert dataset.outlier_rate == pytest.approx(0.25)
+        assert dataset.outlier_indices.tolist() == [1]
+
+    def test_unlabelled_defaults(self):
+        dataset = Dataset(data=np.ones((3, 2)))
+        assert not dataset.has_labels
+        assert dataset.n_outliers == 0
+        assert dataset.outlier_rate == 0.0
+        assert dataset.outlier_indices.size == 0
+
+    def test_default_attribute_names(self):
+        dataset = Dataset(data=np.ones((2, 3)))
+        assert dataset.attribute_names == ("attr_0", "attr_1", "attr_2")
+
+    def test_attribute_name_length_mismatch(self):
+        with pytest.raises(DataError):
+            Dataset(data=np.ones((2, 3)), attribute_names=("a", "b"))
+
+    def test_label_length_mismatch(self):
+        with pytest.raises(DataError):
+            Dataset(data=np.ones((3, 2)), labels=np.array([0, 1]))
+
+    def test_project(self):
+        data = np.arange(12, dtype=float).reshape(4, 3)
+        dataset = Dataset(data=data)
+        projected = dataset.project(Subspace((0, 2)))
+        assert projected.shape == (4, 2)
+        assert np.array_equal(projected, data[:, [0, 2]])
+
+    def test_attribute_accessor(self):
+        data = np.arange(6, dtype=float).reshape(3, 2)
+        dataset = Dataset(data=data)
+        assert np.array_equal(dataset.attribute(1), data[:, 1])
+        with pytest.raises(DataError):
+            dataset.attribute(2)
+
+    def test_subset_preserves_labels(self):
+        dataset = Dataset(data=np.arange(10, dtype=float).reshape(5, 2), labels=np.array([0, 1, 0, 1, 0]))
+        subset = dataset.subset([1, 3])
+        assert subset.n_objects == 2
+        assert subset.labels.tolist() == [1, 1]
+
+    def test_normalized_range(self):
+        data = np.array([[0.0, 5.0], [10.0, 5.0], [5.0, 5.0]])
+        normalised = Dataset(data=data).normalized()
+        assert normalised.data[:, 0].min() == 0.0
+        assert normalised.data[:, 0].max() == 1.0
+        # Constant column maps to 0.5.
+        assert np.allclose(normalised.data[:, 1], 0.5)
+
+    def test_standardized_moments(self):
+        rng = np.random.default_rng(0)
+        dataset = Dataset(data=rng.normal(5.0, 3.0, size=(200, 2))).standardized()
+        assert np.allclose(dataset.data.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(dataset.data.std(axis=0), 1.0, atol=1e-10)
+
+    def test_nan_rejected(self):
+        with pytest.raises(DataError):
+            Dataset(data=np.array([[1.0, np.nan]]))
+
+
+class TestCSVRoundTrip:
+    def test_roundtrip_with_labels(self, tmp_path, small_synthetic):
+        path = save_csv(small_synthetic, tmp_path / "data.csv")
+        loaded = load_csv(path)
+        assert loaded.n_objects == small_synthetic.n_objects
+        assert loaded.n_dims == small_synthetic.n_dims
+        assert np.allclose(loaded.data, small_synthetic.data)
+        assert np.array_equal(loaded.labels, small_synthetic.labels)
+        assert loaded.attribute_names == small_synthetic.attribute_names
+
+    def test_roundtrip_without_labels(self, tmp_path):
+        dataset = Dataset(data=np.arange(6, dtype=float).reshape(3, 2), name="plain")
+        loaded = load_csv(save_csv(dataset, tmp_path / "plain.csv"))
+        assert loaded.labels is None
+        assert np.allclose(loaded.data, dataset.data)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError):
+            load_csv(tmp_path / "missing.csv")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataError):
+            load_csv(path)
+
+    def test_header_only_file(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("a,b,label\n")
+        with pytest.raises(DataError):
+            load_csv(path)
+
+    def test_malformed_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1.0,2.0\n3.0\n")
+        with pytest.raises(DataError):
+            load_csv(path)
+
+    def test_non_numeric_value(self, tmp_path):
+        path = tmp_path / "text.csv"
+        path.write_text("a,b\n1.0,hello\n")
+        with pytest.raises(DataError):
+            load_csv(path)
+
+    def test_custom_name(self, tmp_path):
+        dataset = Dataset(data=np.ones((2, 2)))
+        loaded = load_csv(save_csv(dataset, tmp_path / "x.csv"), name="renamed")
+        assert loaded.name == "renamed"
+
+
+class TestRegistry:
+    def test_builtin_datasets_present(self):
+        names = available_datasets()
+        assert "toy-correlated" in names
+        assert "ionosphere" in names
+        assert "synthetic-50d" in names
+
+    def test_load_by_name(self):
+        dataset = load_dataset("toy-correlated", n_objects=100, random_state=0)
+        assert dataset.n_objects == 100
+
+    def test_load_synthetic_entry(self):
+        dataset = load_dataset("synthetic-10d", n_objects=120, random_state=1)
+        assert dataset.n_dims == 10
+        assert dataset.n_objects == 120
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetNotFoundError):
+            load_dataset("no-such-dataset")
+
+    def test_register_custom_and_duplicate_protection(self):
+        register_dataset(
+            "unit-test-dataset",
+            lambda **kw: Dataset(data=np.ones((5, 2)), name="unit"),
+            overwrite=True,
+        )
+        assert load_dataset("unit-test-dataset").n_objects == 5
+        with pytest.raises(ParameterError):
+            register_dataset("unit-test-dataset", lambda **kw: None)
+
+    def test_register_rejects_bad_arguments(self):
+        with pytest.raises(ParameterError):
+            register_dataset("", lambda **kw: None)
+        with pytest.raises(ParameterError):
+            register_dataset("bad-loader", "not callable", overwrite=True)

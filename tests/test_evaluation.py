@@ -1,0 +1,247 @@
+"""Tests for the evaluation harness: metrics, experiment runner, reporting, sweeps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataset import Dataset, generate_synthetic_dataset
+from repro.evaluation import (
+    ExperimentResult,
+    average_precision,
+    evaluate_method_on_dataset,
+    format_comparison_table,
+    format_results_table,
+    parameter_sweep,
+    precision_at_n,
+    roc_auc_score,
+    roc_curve,
+    run_method_comparison,
+)
+from repro.evaluation.experiments import mean_auc_by_method
+from repro.evaluation.reporting import format_series_table
+from repro.exceptions import DataError
+from repro.pipeline import PipelineConfig, SubspaceOutlierPipeline
+from repro.baselines import RandomSubspaceSearcher
+from repro.outliers import LOFScorer
+
+sklearn_metrics = pytest.importorskip("scipy", reason="scipy unavailable")
+
+
+class TestROCCurve:
+    def test_perfect_ranking(self):
+        labels = np.array([0, 0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.3, 0.8, 0.9])
+        fpr, tpr, thresholds = roc_curve(labels, scores)
+        assert roc_auc_score(labels, scores) == pytest.approx(1.0)
+        assert fpr[0] == 0.0 and tpr[-1] == 1.0
+        assert thresholds[0] == np.inf
+
+    def test_inverted_ranking(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert roc_auc_score(labels, scores) == pytest.approx(0.0)
+
+    def test_random_ranking_close_to_half(self):
+        rng = np.random.default_rng(0)
+        labels = np.r_[np.ones(50, dtype=int), np.zeros(450, dtype=int)]
+        aucs = [roc_auc_score(labels, rng.uniform(size=500)) for _ in range(20)]
+        assert 0.4 < np.mean(aucs) < 0.6
+
+    def test_ties_collapse_to_single_step(self):
+        labels = np.array([1, 0, 1, 0])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        fpr, tpr, _ = roc_curve(labels, scores)
+        # All objects share one threshold: the curve is the diagonal (0,0)->(1,1).
+        assert len(fpr) == 2
+        assert roc_auc_score(labels, scores) == pytest.approx(0.5)
+
+    def test_auc_equals_mann_whitney(self):
+        """AUC must equal the Mann-Whitney U statistic normalised by n+ * n-."""
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 2, size=60)
+        labels[0], labels[1] = 0, 1  # ensure both classes present
+        scores = rng.normal(size=60)
+        positives = scores[labels == 1]
+        negatives = scores[labels == 0]
+        greater = sum((p > n) + 0.5 * (p == n) for p in positives for n in negatives)
+        expected = greater / (positives.size * negatives.size)
+        assert roc_auc_score(labels, scores) == pytest.approx(expected, abs=1e-9)
+
+    def test_errors_on_single_class(self):
+        with pytest.raises(DataError):
+            roc_auc_score(np.zeros(10, dtype=int), np.arange(10))
+        with pytest.raises(DataError):
+            roc_auc_score(np.ones(10, dtype=int), np.arange(10))
+
+    def test_errors_on_nan_scores(self):
+        with pytest.raises(DataError):
+            roc_auc_score(np.array([0, 1]), np.array([np.nan, 1.0]))
+
+    @given(st.integers(min_value=5, max_value=100), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=40)
+    def test_property_auc_bounded_and_antisymmetric(self, n, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 2, size=n)
+        if labels.sum() in (0, n):
+            labels[0] = 1 - labels[0]
+        scores = rng.normal(size=n)
+        auc = roc_auc_score(labels, scores)
+        assert 0.0 <= auc <= 1.0
+        assert roc_auc_score(labels, -scores) == pytest.approx(1.0 - auc, abs=1e-9)
+
+
+class TestOtherMetrics:
+    def test_precision_at_n_defaults_to_outlier_count(self):
+        labels = np.array([1, 1, 0, 0, 0])
+        scores = np.array([0.9, 0.8, 0.7, 0.1, 0.2])
+        assert precision_at_n(labels, scores) == pytest.approx(1.0)
+
+    def test_precision_at_explicit_n(self):
+        labels = np.array([1, 0, 1, 0])
+        scores = np.array([0.9, 0.8, 0.1, 0.2])
+        assert precision_at_n(labels, scores, n=2) == pytest.approx(0.5)
+
+    def test_precision_at_n_larger_than_dataset(self):
+        labels = np.array([1, 0])
+        scores = np.array([0.9, 0.1])
+        assert precision_at_n(labels, scores, n=10) == pytest.approx(0.5)
+
+    def test_average_precision_perfect(self):
+        labels = np.array([1, 1, 0, 0])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert average_precision(labels, scores) == pytest.approx(1.0)
+
+    def test_average_precision_worst(self):
+        labels = np.array([1, 0, 0, 0])
+        scores = np.array([0.0, 0.9, 0.8, 0.7])
+        assert average_precision(labels, scores) == pytest.approx(0.25)
+
+
+def _tiny_config() -> PipelineConfig:
+    return PipelineConfig(min_pts=8, max_subspaces=20, hics_iterations=10, hics_cutoff=50, random_state=0)
+
+
+@pytest.fixture(scope="module")
+def labelled_dataset() -> Dataset:
+    return generate_synthetic_dataset(
+        n_objects=200, n_dims=6, n_relevant_subspaces=2, subspace_dims=(2,),
+        outliers_per_subspace=4, random_state=11,
+    )
+
+
+class TestExperimentRunner:
+    def test_evaluate_single_method(self, labelled_dataset):
+        result = evaluate_method_on_dataset("LOF", labelled_dataset, _tiny_config())
+        assert isinstance(result, ExperimentResult)
+        assert 0.0 <= result.auc <= 1.0
+        assert result.runtime_sec >= 0.0
+        assert result.n_objects == 200 and result.n_dims == 6
+        assert result.dataset == labelled_dataset.name
+
+    def test_evaluate_hics(self, labelled_dataset):
+        result = evaluate_method_on_dataset("HiCS", labelled_dataset, _tiny_config())
+        assert result.n_subspaces >= 1
+        assert 0.5 <= result.auc <= 1.0
+
+    def test_evaluate_pca_method(self, labelled_dataset):
+        result = evaluate_method_on_dataset("PCALOF1", labelled_dataset, _tiny_config())
+        assert 0.0 <= result.auc <= 1.0
+
+    def test_unlabelled_dataset_rejected(self):
+        unlabelled = Dataset(data=np.random.default_rng(0).uniform(size=(50, 4)))
+        with pytest.raises(DataError):
+            evaluate_method_on_dataset("LOF", unlabelled, _tiny_config())
+
+    def test_run_method_comparison_grid(self, labelled_dataset):
+        results = run_method_comparison(["LOF", "RANDSUB"], [labelled_dataset], _tiny_config())
+        assert len(results) == 2
+        assert {r.method for r in results} == {"LOF", "RANDSUB"}
+        table = mean_auc_by_method(results)
+        assert set(table) == {"LOF", "RANDSUB"}
+
+    def test_as_row_keys(self, labelled_dataset):
+        result = evaluate_method_on_dataset("LOF", labelled_dataset, _tiny_config())
+        row = result.as_row()
+        assert {"method", "dataset", "auc", "runtime_sec"}.issubset(row)
+
+
+class TestReporting:
+    def _results(self):
+        return [
+            ExperimentResult("LOF", "ds1", auc=0.8, runtime_sec=0.5),
+            ExperimentResult("HiCS", "ds1", auc=0.95, runtime_sec=1.5),
+            ExperimentResult("LOF", "ds2", auc=0.7, runtime_sec=0.2),
+            ExperimentResult("HiCS", "ds2", auc=0.65, runtime_sec=0.9),
+        ]
+
+    def test_results_table_contains_all_rows(self):
+        text = format_results_table(self._results())
+        assert text.count("\n") >= 5
+        assert "HiCS" in text and "ds2" in text
+
+    def test_comparison_table_layout_and_best_marker(self):
+        text = format_comparison_table(self._results(), value="auc")
+        lines = text.splitlines()
+        assert lines[0].split()[0] == "dataset"
+        assert "95.00*" in text  # HiCS best on ds1, shown in percent
+        assert "70.00*" in text  # LOF best on ds2
+
+    def test_comparison_table_runtime_not_percent(self):
+        text = format_comparison_table(self._results(), value="runtime_sec", percent=False)
+        assert "0.50" in text and "1.50" in text
+
+    def test_missing_cell_rendered_as_dash(self):
+        results = self._results()[:3]  # HiCS missing on ds2
+        text = format_comparison_table(results, value="auc")
+        assert "-" in text.splitlines()[-1]
+
+    def test_series_table(self):
+        series = {"HiCS": {10: 0.9, 20: 0.95}, "LOF": {10: 0.8, 20: 0.6}}
+        text = format_series_table(series, x_label="dimensions", scale=100.0)
+        lines = text.splitlines()
+        assert lines[0].startswith("dimensions")
+        assert "90.00" in text and "60.00" in text
+
+
+class TestParameterSweep:
+    def test_sweep_over_iteration_counts(self, labelled_dataset):
+        def factory(m):
+            from repro.subspaces import HiCS
+
+            return SubspaceOutlierPipeline(
+                searcher=HiCS(n_iterations=m, candidate_cutoff=30, max_output_subspaces=10, random_state=0),
+                scorer=LOFScorer(min_pts=8),
+                max_subspaces=10,
+            )
+
+        points = parameter_sweep([5, 15], factory, [labelled_dataset])
+        assert len(points) == 2
+        assert all(0.0 <= p.auc_mean <= 1.0 for p in points)
+        assert all(p.runtime_mean >= 0.0 for p in points)
+        assert points[0].value == 5
+
+    def test_sweep_with_randsub_factory(self, labelled_dataset):
+        def factory(n):
+            return SubspaceOutlierPipeline(
+                searcher=RandomSubspaceSearcher(n_subspaces=n, random_state=0),
+                scorer=LOFScorer(min_pts=8),
+                max_subspaces=n,
+            )
+
+        points = parameter_sweep([3], factory, [labelled_dataset], repeats=2)
+        assert points[0]["auc_std"] >= 0.0
+
+    def test_sweep_requires_labelled_datasets(self):
+        unlabelled = Dataset(data=np.random.default_rng(0).uniform(size=(30, 3)))
+        with pytest.raises(DataError):
+            parameter_sweep([1], lambda v: None, [unlabelled])
+
+    def test_sweep_requires_datasets(self):
+        with pytest.raises(DataError):
+            parameter_sweep([1], lambda v: None, [])
+
+    def test_sweep_invalid_repeats(self, labelled_dataset):
+        with pytest.raises(DataError):
+            parameter_sweep([1], lambda v: None, [labelled_dataset], repeats=0)

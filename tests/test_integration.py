@@ -1,0 +1,155 @@
+"""Integration tests: end-to-end behaviour that reproduces the paper's claims
+at a miniature scale.
+
+These tests are intentionally slower than the unit tests (a few seconds in
+total); they verify the cross-module claims the benchmarks measure at full
+scale:
+
+* HiCS + LOF clearly beats full-space LOF on data with subspace outliers,
+* the non-trivial outlier of the Figure 2 toy example is found by HiCS+LOF but
+  missed by plain full-space inspection of the marginals,
+* the candidate cutoff controls the amount of work done,
+* both HiCS variants and all baselines run end-to-end through the shared
+  evaluation harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    HiCS,
+    LOFScorer,
+    SubspaceOutlierPipeline,
+    generate_synthetic_dataset,
+    make_method_pipeline,
+)
+from repro.dataset.toy import make_correlated_pair, make_uncorrelated_pair
+from repro.evaluation import evaluate_method_on_dataset, roc_auc_score
+from repro.pipeline import PipelineConfig
+
+
+@pytest.fixture(scope="module")
+def highdim_dataset():
+    """A 16-dimensional dataset with outliers hidden in 2-3 dimensional subspaces."""
+    return generate_synthetic_dataset(
+        n_objects=350,
+        n_dims=16,
+        n_relevant_subspaces=3,
+        subspace_dims=(2, 3),
+        outliers_per_subspace=5,
+        random_state=42,
+    )
+
+
+@pytest.fixture(scope="module")
+def fast_config():
+    return PipelineConfig(
+        min_pts=10, max_subspaces=30, hics_iterations=20, hics_cutoff=60, random_state=0
+    )
+
+
+class TestHeadlineClaim:
+    def test_hics_beats_full_space_lof(self, highdim_dataset, fast_config):
+        """The paper's headline claim (Figure 4) at miniature scale."""
+        hics = evaluate_method_on_dataset("HiCS", highdim_dataset, fast_config)
+        lof = evaluate_method_on_dataset("LOF", highdim_dataset, fast_config)
+        assert hics.auc > lof.auc + 0.05
+        assert hics.auc > 0.85
+
+    def test_hics_beats_pca(self, highdim_dataset, fast_config):
+        """PCA is not an adequate pre-processing step for outlier ranking."""
+        hics = evaluate_method_on_dataset("HiCS", highdim_dataset, fast_config)
+        pca = evaluate_method_on_dataset("PCALOF1", highdim_dataset, fast_config)
+        assert hics.auc > pca.auc
+
+    def test_hics_at_least_as_good_as_randsub(self, highdim_dataset, fast_config):
+        hics = evaluate_method_on_dataset("HiCS", highdim_dataset, fast_config)
+        randsub = evaluate_method_on_dataset("RANDSUB", highdim_dataset, fast_config)
+        assert hics.auc >= randsub.auc - 0.02
+
+    @pytest.mark.parametrize("method", ["HiCS_KS", "Enclus", "RIS", "RANDSUB", "PCALOF2"])
+    def test_all_methods_run_end_to_end(self, method, highdim_dataset, fast_config):
+        result = evaluate_method_on_dataset(method, highdim_dataset, fast_config)
+        assert 0.0 <= result.auc <= 1.0
+        assert np.isfinite(result.runtime_sec)
+
+
+class TestFigure2Scenario:
+    def test_nontrivial_outlier_found_in_correlated_dataset(self):
+        dataset = make_correlated_pair(400, random_state=0)
+        nontrivial = dataset.metadata["outlier_kinds"]["non_trivial"][0]
+        pipeline = SubspaceOutlierPipeline(
+            searcher=HiCS(n_iterations=30, random_state=0), scorer=LOFScorer(min_pts=10)
+        )
+        result = pipeline.fit_rank(dataset)
+        # The non-trivial outlier must rank within the top 3% of all objects.
+        rank_position = int(np.where(result.ranking() == nontrivial)[0][0])
+        assert rank_position < 0.03 * dataset.n_objects
+
+    def test_uncorrelated_dataset_has_lower_contrast(self):
+        uncorrelated = make_uncorrelated_pair(400, random_state=1)
+        correlated = make_correlated_pair(400, random_state=1)
+        searcher = HiCS(n_iterations=40, random_state=0)
+        contrast_uncorrelated = searcher.search(uncorrelated.data)[0].score
+        contrast_correlated = searcher.search(correlated.data)[0].score
+        assert contrast_correlated > contrast_uncorrelated + 0.2
+
+
+class TestWorkloadControls:
+    def test_candidate_cutoff_bounds_evaluated_candidates(self, highdim_dataset):
+        small = HiCS(n_iterations=5, candidate_cutoff=10, random_state=0)
+        large = HiCS(n_iterations=5, candidate_cutoff=80, random_state=0)
+        small.search(highdim_dataset.data)
+        large.search(highdim_dataset.data)
+        assert len(small.evaluated_subspaces_) <= len(large.evaluated_subspaces_)
+
+    def test_subspace_search_time_recorded(self, highdim_dataset, fast_config):
+        pipeline = make_method_pipeline("HiCS", fast_config)
+        result = pipeline.fit_rank(highdim_dataset)
+        assert result.metadata["search_time_sec"] > 0.0
+        assert result.metadata["ranking_time_sec"] > 0.0
+        total = result.metadata["total_time_sec"]
+        assert total == pytest.approx(
+            result.metadata["search_time_sec"] + result.metadata["ranking_time_sec"], rel=0.01
+        )
+
+    def test_scores_deterministic_for_fixed_seed(self, highdim_dataset, fast_config):
+        a = make_method_pipeline("HiCS", fast_config).fit_rank(highdim_dataset)
+        b = make_method_pipeline("HiCS", fast_config).fit_rank(highdim_dataset)
+        assert np.allclose(a.scores, b.scores)
+
+
+class TestRobustnessMiniature:
+    def test_auc_stable_across_alpha(self, highdim_dataset):
+        """Figure 8 in miniature: quality is robust w.r.t. the slice size alpha."""
+        aucs = []
+        for alpha in (0.05, 0.1, 0.3):
+            pipeline = SubspaceOutlierPipeline(
+                searcher=HiCS(
+                    n_iterations=20, alpha=alpha, candidate_cutoff=60,
+                    max_output_subspaces=30, random_state=0,
+                ),
+                scorer=LOFScorer(min_pts=10),
+                max_subspaces=30,
+            )
+            result = pipeline.fit_rank(highdim_dataset)
+            aucs.append(roc_auc_score(highdim_dataset.labels, result.scores))
+        assert min(aucs) > 0.8
+        assert max(aucs) - min(aucs) < 0.15
+
+    def test_auc_stable_across_m(self, highdim_dataset):
+        """Figure 7 in miniature: quality is robust w.r.t. the number of tests M."""
+        aucs = []
+        for m in (10, 40):
+            pipeline = SubspaceOutlierPipeline(
+                searcher=HiCS(
+                    n_iterations=m, candidate_cutoff=60, max_output_subspaces=30, random_state=0
+                ),
+                scorer=LOFScorer(min_pts=10),
+                max_subspaces=30,
+            )
+            result = pipeline.fit_rank(highdim_dataset)
+            aucs.append(roc_auc_score(highdim_dataset.labels, result.scores))
+        assert min(aucs) > 0.8

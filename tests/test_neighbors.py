@@ -1,0 +1,216 @@
+"""Unit and property tests for distances and the kNN searchers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import DataError, ParameterError
+from repro.neighbors import (
+    BruteForceKNN,
+    KDTree,
+    KDTreeKNN,
+    create_knn_searcher,
+    euclidean_distance,
+    manhattan_distance,
+    minkowski_distance,
+    pairwise_distances,
+    subspace_pairwise_distances,
+)
+from repro.types import Subspace
+
+
+class TestDistances:
+    def test_euclidean(self):
+        assert euclidean_distance([0.0, 0.0], [3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_manhattan(self):
+        assert manhattan_distance([0.0, 0.0], [3.0, 4.0]) == pytest.approx(7.0)
+
+    def test_chebyshev_via_inf(self):
+        assert minkowski_distance([0.0, 0.0], [3.0, 4.0], p=np.inf) == pytest.approx(4.0)
+
+    def test_subspace_restriction(self):
+        x, y = [1.0, 100.0, 2.0], [1.0, -100.0, 2.0]
+        assert euclidean_distance(x, y, attributes=[0, 2]) == 0.0
+
+    def test_invalid_order(self):
+        with pytest.raises(ParameterError):
+            minkowski_distance([1.0], [2.0], p=0.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DataError):
+            euclidean_distance([1.0, 2.0], [1.0])
+
+    def test_empty_attribute_selection(self):
+        with pytest.raises(ParameterError):
+            euclidean_distance([1.0], [2.0], attributes=[])
+
+    def test_pairwise_matches_pointwise(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(20, 4))
+        matrix = pairwise_distances(data)
+        for i in range(20):
+            for j in range(20):
+                assert matrix[i, j] == pytest.approx(
+                    euclidean_distance(data[i], data[j]), abs=1e-9
+                )
+
+    def test_pairwise_manhattan(self):
+        data = np.array([[0.0, 0.0], [1.0, 2.0]])
+        matrix = pairwise_distances(data, p=1.0)
+        assert matrix[0, 1] == pytest.approx(3.0)
+
+    def test_pairwise_chebyshev(self):
+        data = np.array([[0.0, 0.0], [1.0, 2.0]])
+        matrix = pairwise_distances(data, p=np.inf)
+        assert matrix[0, 1] == pytest.approx(2.0)
+
+    def test_subspace_pairwise(self):
+        data = np.array([[0.0, 100.0], [3.0, -100.0]])
+        matrix = subspace_pairwise_distances(data, Subspace((0,)))
+        assert matrix[0, 1] == pytest.approx(3.0)
+
+    def test_pairwise_rejects_1d_only_after_reshape(self):
+        with pytest.raises(DataError):
+            pairwise_distances(np.zeros((2, 2, 2)))
+
+    @given(
+        st.lists(
+            st.lists(st.floats(min_value=-100, max_value=100), min_size=3, max_size=3),
+            min_size=2,
+            max_size=15,
+        )
+    )
+    @settings(max_examples=40)
+    def test_property_metric_axioms(self, points):
+        data = np.asarray(points)
+        matrix = pairwise_distances(data)
+        # Symmetry, non-negativity, zero diagonal.
+        assert np.allclose(matrix, matrix.T, atol=1e-9)
+        assert np.all(matrix >= 0.0)
+        assert np.allclose(np.diag(matrix), 0.0)
+        # Triangle inequality on a few triples.
+        n = data.shape[0]
+        for i in range(min(n, 5)):
+            for j in range(min(n, 5)):
+                for k in range(min(n, 5)):
+                    assert matrix[i, j] <= matrix[i, k] + matrix[k, j] + 1e-6
+
+
+class TestBruteForceKNN:
+    def test_neighbors_exclude_self(self):
+        data = np.array([[0.0], [1.0], [2.0], [10.0]])
+        knn = BruteForceKNN(data).kneighbors(2)
+        assert 0 not in knn.indices[0][:1] or knn.indices[0][0] != 0
+        assert knn.indices[0].tolist() == [1, 2]
+        assert knn.distances[0].tolist() == [1.0, 2.0]
+
+    def test_include_self(self):
+        data = np.array([[0.0], [1.0], [2.0]])
+        knn = BruteForceKNN(data).kneighbors(1, exclude_self=False)
+        assert knn.indices[:, 0].tolist() == [0, 1, 2]
+        assert np.allclose(knn.distances, 0.0)
+
+    def test_k_too_large(self):
+        with pytest.raises(ParameterError):
+            BruteForceKNN(np.zeros((3, 2))).kneighbors(3)
+
+    def test_subspace_restriction_changes_neighbors(self):
+        data = np.array([[0.0, 0.0], [0.1, 100.0], [5.0, 0.1]])
+        full = BruteForceKNN(data).kneighbors(1)
+        restricted = BruteForceKNN(data, attributes=[0]).kneighbors(1)
+        assert full.indices[0, 0] == 2
+        assert restricted.indices[0, 0] == 1
+
+    def test_kth_distance(self):
+        data = np.array([[0.0], [1.0], [3.0]])
+        knn = BruteForceKNN(data).kneighbors(2)
+        assert knn.kth_distance().tolist() == [3.0, 2.0, 3.0]
+
+    def test_invalid_attributes(self):
+        with pytest.raises(DataError):
+            BruteForceKNN(np.zeros((5, 2)), attributes=[3])
+        with pytest.raises(ParameterError):
+            BruteForceKNN(np.zeros((5, 2)), attributes=[])
+
+    def test_distance_matrix_cached(self):
+        searcher = BruteForceKNN(np.random.default_rng(0).normal(size=(10, 2)))
+        assert searcher.distance_matrix is searcher.distance_matrix
+
+
+class TestKDTree:
+    def test_query_matches_brute_force(self):
+        rng = np.random.default_rng(1)
+        data = rng.uniform(size=(200, 3))
+        tree = KDTree(data, leaf_size=8)
+        matrix = pairwise_distances(data)
+        for query_index in [0, 17, 99, 150]:
+            idx, dist = tree.query(data[query_index], k=5, exclude_index=query_index)
+            row = matrix[query_index].copy()
+            row[query_index] = np.inf
+            expected = np.sort(row)[:5]
+            assert np.allclose(np.sort(dist), expected, atol=1e-9)
+
+    def test_duplicate_points_handled(self):
+        data = np.ones((20, 2))
+        tree = KDTree(data, leaf_size=4)
+        idx, dist = tree.query(data[0], k=3, exclude_index=0)
+        assert np.allclose(dist, 0.0)
+        assert 0 not in idx
+
+    def test_k_too_large(self):
+        tree = KDTree(np.zeros((3, 2)))
+        with pytest.raises(ParameterError):
+            tree.query(np.zeros(2), k=3, exclude_index=0)
+
+    def test_dimension_mismatch(self):
+        tree = KDTree(np.zeros((5, 3)))
+        with pytest.raises(DataError):
+            tree.query(np.zeros(2), k=1)
+
+    def test_leaf_size_validation(self):
+        with pytest.raises(ParameterError):
+            KDTree(np.zeros((5, 2)), leaf_size=0)
+
+
+class TestKDTreeKNN:
+    def test_agrees_with_brute_force(self):
+        rng = np.random.default_rng(2)
+        data = rng.uniform(size=(150, 4))
+        brute = BruteForceKNN(data).kneighbors(4)
+        tree = KDTreeKNN(data, leaf_size=10).kneighbors(4)
+        assert np.allclose(np.sort(brute.distances, axis=1), np.sort(tree.distances, axis=1), atol=1e-9)
+
+    def test_subspace_projection(self):
+        rng = np.random.default_rng(3)
+        data = rng.uniform(size=(100, 5))
+        brute = BruteForceKNN(data, attributes=[1, 3]).kneighbors(3)
+        tree = KDTreeKNN(data, attributes=[1, 3]).kneighbors(3)
+        assert np.allclose(brute.kth_distance(), tree.kth_distance(), atol=1e-9)
+
+    def test_invalid_attributes(self):
+        with pytest.raises(DataError):
+            KDTreeKNN(np.zeros((5, 2)), attributes=[9])
+        with pytest.raises(ParameterError):
+            KDTreeKNN(np.zeros((5, 2)), attributes=[])
+
+    def test_k_too_large(self):
+        with pytest.raises(ParameterError):
+            KDTreeKNN(np.zeros((4, 2))).kneighbors(4)
+
+
+class TestFactory:
+    def test_auto_prefers_brute_for_small_data(self):
+        searcher = create_knn_searcher(np.zeros((100, 3)))
+        assert isinstance(searcher, BruteForceKNN)
+
+    def test_explicit_backends(self):
+        data = np.random.default_rng(0).normal(size=(50, 2))
+        assert isinstance(create_knn_searcher(data, algorithm="brute"), BruteForceKNN)
+        assert isinstance(create_knn_searcher(data, algorithm="kdtree"), KDTreeKNN)
+
+    def test_unknown_backend(self):
+        with pytest.raises(ParameterError):
+            create_knn_searcher(np.zeros((10, 2)), algorithm="balltree")

@@ -1,0 +1,113 @@
+"""Tests for the SubspaceOutlierPipeline and the method factories."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import FullSpaceSearcher, PCAReducer, RandomSubspaceSearcher
+from repro.exceptions import ParameterError
+from repro.outliers import KNNDistanceScorer, LOFScorer
+from repro.pipeline import (
+    PipelineConfig,
+    SubspaceOutlierPipeline,
+    make_default_pipeline,
+    make_method_pipeline,
+)
+from repro.pipeline.config import METHOD_NAMES
+from repro.subspaces import HiCS
+
+
+def _fast_hics() -> HiCS:
+    return HiCS(n_iterations=10, candidate_cutoff=30, max_output_subspaces=10, random_state=0)
+
+
+class TestSubspaceOutlierPipeline:
+    def test_fit_rank_on_dataset(self, small_synthetic):
+        pipeline = SubspaceOutlierPipeline(searcher=_fast_hics(), scorer=LOFScorer(min_pts=8))
+        result = pipeline.fit_rank(small_synthetic)
+        assert result.n_objects == small_synthetic.n_objects
+        assert result.metadata["searcher"] == "HiCS"
+        assert result.metadata["scorer"] == "LOF"
+        assert result.metadata["total_time_sec"] >= 0.0
+        assert result.metadata["search_time_sec"] >= 0.0
+        assert result.metadata["ranking_time_sec"] >= 0.0
+        assert pipeline.scored_subspaces_, "pipeline did not record the found subspaces"
+
+    def test_fit_rank_on_raw_matrix(self, small_synthetic):
+        pipeline = SubspaceOutlierPipeline(searcher=_fast_hics(), scorer=LOFScorer(min_pts=8))
+        result = pipeline.fit_rank(small_synthetic.data)
+        assert result.n_objects == small_synthetic.n_objects
+
+    def test_alternative_scorer(self, small_synthetic):
+        pipeline = SubspaceOutlierPipeline(
+            searcher=_fast_hics(), scorer=KNNDistanceScorer(k=8)
+        )
+        result = pipeline.fit_rank(small_synthetic)
+        assert result.metadata["scorer"] == "kNN-dist"
+        assert np.all(np.isfinite(result.scores))
+
+    def test_full_space_searcher_equals_plain_lof(self, small_synthetic):
+        pipeline = SubspaceOutlierPipeline(searcher=FullSpaceSearcher(), scorer=LOFScorer(min_pts=8))
+        result = pipeline.fit_rank(small_synthetic)
+        from repro.outliers import local_outlier_factor
+
+        expected = local_outlier_factor(small_synthetic.data, min_pts=8)
+        assert np.allclose(result.scores, expected)
+
+    def test_max_subspaces_cap(self, small_synthetic):
+        pipeline = SubspaceOutlierPipeline(
+            searcher=RandomSubspaceSearcher(n_subspaces=30, random_state=0),
+            scorer=LOFScorer(min_pts=8),
+            max_subspaces=5,
+        )
+        result = pipeline.fit_rank(small_synthetic)
+        assert len(result.subspaces) == 5
+
+    def test_invalid_searcher_rejected(self):
+        with pytest.raises(ParameterError):
+            SubspaceOutlierPipeline(searcher="HiCS")
+
+    def test_default_pipeline_components(self):
+        pipeline = SubspaceOutlierPipeline()
+        assert isinstance(pipeline.searcher, HiCS)
+        assert isinstance(pipeline.scorer, LOFScorer)
+
+
+class TestMethodFactory:
+    def test_default_pipeline_is_hics(self):
+        pipeline = make_default_pipeline()
+        assert isinstance(pipeline, SubspaceOutlierPipeline)
+        assert isinstance(pipeline.searcher, HiCS)
+
+    @pytest.mark.parametrize("method", ["LOF", "HiCS", "HiCS_KS", "Enclus", "RIS", "RANDSUB"])
+    def test_subspace_methods_return_pipeline(self, method):
+        pipeline = make_method_pipeline(method, PipelineConfig(random_state=1))
+        assert isinstance(pipeline, SubspaceOutlierPipeline)
+
+    @pytest.mark.parametrize("method", ["PCALOF1", "PCALOF2"])
+    def test_pca_methods_return_reducer(self, method):
+        assert isinstance(make_method_pipeline(method), PCAReducer)
+
+    def test_hics_variants_use_requested_deviation(self):
+        wt = make_method_pipeline("HiCS_WT")
+        ks = make_method_pipeline("HiCS_KS")
+        assert wt.searcher.deviation == "welch"
+        assert ks.searcher.deviation == "ks"
+
+    def test_config_parameters_forwarded(self):
+        config = PipelineConfig(min_pts=17, max_subspaces=42, hics_iterations=13, hics_alpha=0.2, hics_cutoff=99)
+        pipeline = make_method_pipeline("HiCS", config)
+        assert pipeline.scorer.min_pts == 17
+        assert pipeline.ranker.max_subspaces == 42
+        assert pipeline.searcher.n_iterations == 13
+        assert pipeline.searcher.alpha == 0.2
+        assert pipeline.searcher.candidate_cutoff == 99
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ParameterError):
+            make_method_pipeline("OUTRES")
+
+    def test_method_name_list_covers_factory(self):
+        for method in METHOD_NAMES:
+            assert make_method_pipeline(method, PipelineConfig()) is not None

@@ -1,0 +1,85 @@
+"""Sanity checks on the public API surface.
+
+These tests protect downstream users: everything advertised in ``__all__``
+must be importable, the version string must follow semantic versioning, and
+the package docstring quickstart must keep working.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+import pytest
+
+import repro
+from repro.pipeline.config import METHOD_NAMES
+
+
+class TestPublicExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ advertises missing attribute {name!r}"
+
+    def test_version_is_semver(self):
+        assert re.fullmatch(r"\d+\.\d+\.\d+", repro.__version__)
+
+    def test_subpackage_all_names_resolve(self):
+        import repro.analysis
+        import repro.baselines
+        import repro.dataset
+        import repro.evaluation
+        import repro.index
+        import repro.neighbors
+        import repro.outliers
+        import repro.stats
+        import repro.subspaces
+
+        for module in (
+            repro.analysis,
+            repro.baselines,
+            repro.dataset,
+            repro.evaluation,
+            repro.index,
+            repro.neighbors,
+            repro.outliers,
+            repro.stats,
+            repro.subspaces,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.__all__ advertises {name!r}"
+
+    def test_method_names_unique(self):
+        assert len(set(METHOD_NAMES)) == len(METHOD_NAMES)
+
+    def test_package_docstring_quickstart_runs(self):
+        """The four-line quickstart from the package docstring must keep working."""
+        dataset = repro.generate_synthetic_dataset(n_objects=120, n_dims=6, random_state=0)
+        pipeline = repro.SubspaceOutlierPipeline(
+            searcher=repro.HiCS(n_iterations=5, max_output_subspaces=5, random_state=0)
+        )
+        result = pipeline.fit_rank(dataset)
+        top = result.top(10)
+        assert top.shape == (10,)
+        assert np.all((0 <= top) & (top < dataset.n_objects))
+
+    def test_exceptions_form_single_hierarchy(self):
+        for name in (
+            "ValidationError",
+            "ParameterError",
+            "DataError",
+            "SubspaceError",
+            "NotFittedError",
+            "DatasetNotFoundError",
+        ):
+            exc_type = getattr(repro, name)
+            assert issubclass(exc_type, repro.ReproError)
+
+    def test_registered_datasets_have_unique_names(self):
+        names = repro.available_datasets()
+        assert len(set(names)) == len(names)
+        assert set(repro.available_uci_surrogates()).issubset(set(names))
+
+    @pytest.mark.parametrize("method", METHOD_NAMES)
+    def test_every_method_name_builds(self, method):
+        assert repro.make_method_pipeline(method) is not None

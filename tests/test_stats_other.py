@@ -1,0 +1,218 @@
+"""Unit tests for ECDF, deviation registry, entropy and correlation modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import DataError, ParameterError
+from repro.stats import (
+    available_deviation_functions,
+    cramer_von_mises_deviation,
+    empirical_cdf,
+    empirical_cdf_values,
+    get_deviation_function,
+    grid_cell_counts,
+    ks_deviation,
+    pearson_correlation,
+    register_deviation_function,
+    shannon_entropy,
+    spearman_correlation,
+    subspace_grid_entropy,
+    welch_deviation,
+)
+from repro.stats.correlation import rankdata
+from repro.stats.deviation import mean_shift_deviation
+
+scipy_stats = pytest.importorskip("scipy.stats", reason="scipy unavailable")
+
+
+class TestECDF:
+    def test_step_values(self):
+        cdf = empirical_cdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf(0.5) == 0.0
+        assert cdf(1.0) == 0.25
+        assert cdf(2.5) == 0.5
+        assert cdf(10.0) == 1.0
+
+    def test_vectorised_evaluation(self):
+        values = empirical_cdf_values([1.0, 2.0], np.array([0.0, 1.5, 3.0]))
+        assert values.tolist() == [0.0, 0.5, 1.0]
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(DataError):
+            empirical_cdf([])
+
+    @given(st.lists(st.floats(min_value=-50, max_value=50), min_size=1, max_size=40))
+    @settings(max_examples=50)
+    def test_property_monotone_and_bounded(self, sample):
+        cdf = empirical_cdf(sample)
+        grid = np.linspace(min(sample) - 1, max(sample) + 1, 20)
+        values = cdf(grid)
+        assert np.all(np.diff(values) >= -1e-12)
+        assert values[0] >= 0.0 and values[-1] == 1.0
+
+
+class TestDeviationFunctions:
+    def test_builtin_names_registered(self):
+        names = available_deviation_functions()
+        for expected in ("welch", "ks", "cvm", "mean-shift"):
+            assert expected in names
+
+    def test_get_by_name_and_callable(self):
+        assert get_deviation_function("welch") is welch_deviation
+        assert get_deviation_function("KS") is ks_deviation
+        custom = lambda a, b: 0.0  # noqa: E731
+        assert get_deviation_function(custom) is custom
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ParameterError):
+            get_deviation_function("not-a-test")
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(ParameterError):
+            get_deviation_function(123)
+
+    def test_register_and_overwrite_protection(self):
+        register_deviation_function("test-dev-fn", lambda a, b: 0.5, overwrite=True)
+        assert get_deviation_function("test-dev-fn")([1.0], [1.0]) == 0.5
+        with pytest.raises(ParameterError):
+            register_deviation_function("test-dev-fn", lambda a, b: 0.1)
+
+    def test_register_rejects_non_callable(self):
+        with pytest.raises(ParameterError):
+            register_deviation_function("bad-entry", 42, overwrite=True)
+
+    def test_register_rejects_empty_name(self):
+        with pytest.raises(ParameterError):
+            register_deviation_function("", lambda a, b: 0.0)
+
+    @pytest.mark.parametrize(
+        "deviation",
+        [welch_deviation, ks_deviation, cramer_von_mises_deviation, mean_shift_deviation],
+    )
+    def test_identical_samples_low_deviation(self, deviation):
+        sample = np.linspace(0, 1, 200)
+        assert deviation(sample, sample) <= 0.05
+
+    @pytest.mark.parametrize(
+        "deviation",
+        [welch_deviation, ks_deviation, cramer_von_mises_deviation, mean_shift_deviation],
+    )
+    def test_shifted_samples_high_deviation(self, deviation):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0.0, 0.1, 200)
+        b = rng.normal(5.0, 0.1, 200) + 5.0
+        assert deviation(a, b + 5.0) > 0.5
+
+    @pytest.mark.parametrize("name", ["welch", "ks", "cvm", "mean-shift"])
+    @given(
+        st.lists(st.floats(min_value=-10, max_value=10), min_size=3, max_size=40),
+        st.lists(st.floats(min_value=-10, max_value=10), min_size=3, max_size=40),
+    )
+    @settings(max_examples=25)
+    def test_property_range(self, name, a, b):
+        deviation = get_deviation_function(name)
+        value = deviation(np.asarray(a), np.asarray(b))
+        assert 0.0 <= value <= 1.0
+
+    def test_cvm_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            cramer_von_mises_deviation([], [1.0])
+
+    def test_mean_shift_constant_marginal(self):
+        assert mean_shift_deviation([1.0, 2.0], [3.0, 3.0, 3.0]) == 0.0
+
+
+class TestEntropy:
+    def test_uniform_distribution_max_entropy(self):
+        assert shannon_entropy([0.25, 0.25, 0.25, 0.25]) == pytest.approx(2.0)
+
+    def test_degenerate_distribution_zero_entropy(self):
+        assert shannon_entropy([1.0, 0.0, 0.0]) == pytest.approx(0.0)
+
+    def test_counts_are_renormalised(self):
+        assert shannon_entropy([10, 10]) == pytest.approx(1.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(DataError):
+            shannon_entropy([])
+        with pytest.raises(DataError):
+            shannon_entropy([-0.1, 1.1])
+        with pytest.raises(ParameterError):
+            shannon_entropy([0.5, 0.5], base=1.0)
+
+    def test_zero_total_returns_zero(self):
+        assert shannon_entropy([0.0, 0.0]) == 0.0
+
+    def test_grid_cell_counts_total(self):
+        rng = np.random.default_rng(0)
+        data = rng.uniform(size=(100, 3))
+        counts = grid_cell_counts(data, [0, 2], n_bins=4)
+        assert sum(counts.values()) == 100
+        assert all(len(cell) == 2 for cell in counts)
+        assert all(0 <= b < 4 for cell in counts for b in cell)
+
+    def test_grid_cell_counts_invalid(self):
+        with pytest.raises(ParameterError):
+            grid_cell_counts(np.zeros((5, 2)), [0], n_bins=0)
+        with pytest.raises(ParameterError):
+            grid_cell_counts(np.zeros((5, 2)), [], n_bins=4)
+
+    def test_clustered_subspace_has_lower_entropy_than_uniform(self):
+        rng = np.random.default_rng(1)
+        uniform = rng.uniform(size=(500, 2))
+        clustered = np.vstack(
+            [rng.normal(0.2, 0.02, size=(250, 2)), rng.normal(0.8, 0.02, size=(250, 2))]
+        )
+        assert subspace_grid_entropy(clustered, [0, 1]) < subspace_grid_entropy(uniform, [0, 1])
+
+    def test_entropy_monotone_under_added_dimension(self):
+        # Adding an attribute cannot reduce the grid entropy.
+        rng = np.random.default_rng(2)
+        data = rng.uniform(size=(400, 3))
+        assert subspace_grid_entropy(data, [0, 1]) <= subspace_grid_entropy(data, [0, 1, 2]) + 1e-9
+
+
+class TestCorrelation:
+    def test_perfect_positive(self):
+        x = np.arange(20, dtype=float)
+        assert pearson_correlation(x, 2 * x + 1) == pytest.approx(1.0)
+        assert spearman_correlation(x, x**3) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.arange(20, dtype=float)
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_sample_returns_zero(self):
+        assert pearson_correlation(np.ones(10), np.arange(10)) == 0.0
+
+    def test_against_scipy(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=100)
+        y = 0.5 * x + rng.normal(size=100)
+        assert pearson_correlation(x, y) == pytest.approx(scipy_stats.pearsonr(x, y)[0], abs=1e-10)
+        assert spearman_correlation(x, y) == pytest.approx(
+            scipy_stats.spearmanr(x, y).correlation, abs=1e-10
+        )
+
+    def test_rankdata_ties_match_scipy(self):
+        values = np.array([3.0, 1.0, 2.0, 2.0, 5.0, 2.0])
+        assert rankdata(values).tolist() == scipy_stats.rankdata(values).tolist()
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            pearson_correlation([1.0, 2.0], [1.0, 2.0, 3.0])
+
+    def test_too_short_rejected(self):
+        with pytest.raises(DataError):
+            spearman_correlation([1.0], [2.0])
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=2, max_size=40))
+    @settings(max_examples=40)
+    def test_property_bounded(self, x):
+        rng = np.random.default_rng(0)
+        y = rng.normal(size=len(x))
+        assert -1.0 <= pearson_correlation(np.asarray(x), y) <= 1.0
+        assert -1.0 <= spearman_correlation(np.asarray(x), y) <= 1.0

@@ -1,0 +1,283 @@
+"""Tests for the synthetic generator, the toy datasets and the UCI surrogates.
+
+These generators define the workloads of every reproduced experiment, so the
+tests check the *semantic* guarantees the paper's setup relies on: non-trivial
+outliers are hidden in the marginals but exposed in the planted subspace, the
+relevant subspaces are recorded, and the surrogate shapes match the originals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataset.synthetic import SyntheticConfig, generate_synthetic_dataset
+from repro.dataset.toy import (
+    make_correlated_pair,
+    make_figure2_pair,
+    make_three_dim_counterexample,
+    make_uncorrelated_pair,
+)
+from repro.dataset.uci import UCI_DATASET_SPECS, available_uci_surrogates, load_uci_surrogate
+from repro.exceptions import DatasetNotFoundError, ParameterError
+from repro.outliers.lof import local_outlier_factor
+
+
+class TestSyntheticConfig:
+    def test_defaults_valid(self):
+        SyntheticConfig().validate()
+
+    def test_resolved_subspace_count(self):
+        assert SyntheticConfig(n_dims=50).resolved_n_subspaces() == 5
+        assert SyntheticConfig(n_dims=10).resolved_n_subspaces() == 2
+        assert SyntheticConfig(n_relevant_subspaces=7).resolved_n_subspaces() == 7
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_objects": 10},
+            {"n_dims": 3, "subspace_dims": (4, 5)},
+            {"subspace_dims": (1,)},
+            {"subspace_dims": ()},
+            {"outliers_per_subspace": 0},
+            {"n_clusters_per_subspace": 1},
+            {"cluster_std": 0.9},
+        ],
+    )
+    def test_invalid_configurations_rejected(self, kwargs):
+        with pytest.raises(ParameterError):
+            SyntheticConfig(**kwargs).validate()
+
+    def test_config_and_overrides_mutually_exclusive(self):
+        with pytest.raises(ParameterError):
+            generate_synthetic_dataset(SyntheticConfig(), n_dims=30)
+
+
+class TestSyntheticGenerator:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_synthetic_dataset(
+            n_objects=400, n_dims=12, n_relevant_subspaces=3, subspace_dims=(2, 3),
+            outliers_per_subspace=5, random_state=7,
+        )
+
+    def test_shape_and_labels(self, dataset):
+        assert dataset.data.shape == (400, 12)
+        assert dataset.n_outliers == 15
+        assert dataset.data.min() >= 0.0 and dataset.data.max() <= 1.0
+
+    def test_relevant_subspaces_recorded(self, dataset):
+        assert len(dataset.relevant_subspaces) == 3
+        for subspace in dataset.relevant_subspaces:
+            assert 2 <= subspace.dimensionality <= 3
+
+    def test_disjoint_subspaces_by_default(self, dataset):
+        all_attrs = [a for s in dataset.relevant_subspaces for a in s.attributes]
+        assert len(all_attrs) == len(set(all_attrs))
+
+    def test_metadata_has_planted_rows(self, dataset):
+        rows = dataset.metadata["planted_outlier_rows"]
+        assert set(rows) == set(dataset.outlier_indices.tolist())
+
+    def test_reproducible(self):
+        a = generate_synthetic_dataset(n_objects=200, n_dims=10, random_state=5)
+        b = generate_synthetic_dataset(n_objects=200, n_dims=10, random_state=5)
+        assert np.array_equal(a.data, b.data)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = generate_synthetic_dataset(n_objects=200, n_dims=10, random_state=5)
+        b = generate_synthetic_dataset(n_objects=200, n_dims=10, random_state=6)
+        assert not np.array_equal(a.data, b.data)
+
+    def test_outliers_are_nontrivial(self, dataset):
+        """Planted outliers must be exposed in their subspace but not marginally.
+
+        Check 1 (joint visibility): within its planted subspace, an outlier's
+        distance to the nearest inlier is large compared to typical
+        nearest-neighbour distances.
+        Check 2 (marginal invisibility): each single coordinate of the outlier
+        lies within the central bulk of that attribute's distribution.
+        """
+        data = dataset.data
+        inliers = dataset.labels == 0
+        for subspace in dataset.relevant_subspaces:
+            attrs = subspace.as_array()
+            projected = data[:, attrs]
+            lof = local_outlier_factor(data, min_pts=10, subspace=subspace)
+            for row in dataset.outlier_indices:
+                # Only outliers planted in this subspace stand out here; check
+                # whether this row is among this subspace's planted ones by a
+                # simple distance criterion first.
+                distances = np.linalg.norm(projected[inliers] - projected[row], axis=1)
+                if distances.min() < 0.05:
+                    continue  # this outlier belongs to another subspace
+                # Joint visibility: LOF in the subspace is clearly elevated.
+                assert lof[row] > np.median(lof[inliers])
+                # Marginal invisibility: every coordinate within the 1st-99th
+                # percentile of the attribute's values.
+                for attr in attrs:
+                    column = data[:, attr]
+                    low, high = np.percentile(column, [1, 99])
+                    assert low <= data[row, attr] <= high
+
+    def test_overlapping_subspaces_allowed(self):
+        dataset = generate_synthetic_dataset(
+            n_objects=150, n_dims=6, n_relevant_subspaces=4, subspace_dims=(2, 3),
+            allow_overlapping_subspaces=True, random_state=1,
+        )
+        assert len(dataset.relevant_subspaces) == 4
+
+    def test_noise_std_applied(self):
+        noisy = generate_synthetic_dataset(
+            n_objects=150, n_dims=6, noise_std=0.01, random_state=2
+        )
+        clean = generate_synthetic_dataset(n_objects=150, n_dims=6, random_state=2)
+        assert not np.array_equal(noisy.data, clean.data)
+
+    @given(st.integers(min_value=6, max_value=20), st.integers(min_value=100, max_value=300))
+    @settings(max_examples=10, deadline=None)
+    def test_property_shapes_and_label_counts(self, n_dims, n_objects):
+        dataset = generate_synthetic_dataset(
+            n_objects=n_objects, n_dims=n_dims, n_relevant_subspaces=2,
+            subspace_dims=(2, 3), outliers_per_subspace=3, random_state=0,
+        )
+        assert dataset.data.shape == (n_objects, n_dims)
+        assert dataset.n_outliers == 6
+
+
+class TestToyDatasets:
+    def test_uncorrelated_pair_properties(self):
+        dataset = make_uncorrelated_pair(300, random_state=0)
+        assert dataset.n_dims == 2
+        assert dataset.n_outliers == 1
+        # Marginals of s1 and s2 are near-independent: low absolute correlation.
+        from repro.stats import pearson_correlation
+
+        corr = pearson_correlation(dataset.data[:-1, 0], dataset.data[:-1, 1])
+        assert abs(corr) < 0.25
+
+    def test_correlated_pair_properties(self):
+        dataset = make_correlated_pair(300, random_state=0)
+        assert dataset.n_outliers == 2
+        from repro.stats import pearson_correlation
+
+        corr = pearson_correlation(dataset.data[:-2, 0], dataset.data[:-2, 1])
+        assert corr > 0.8
+        kinds = dataset.metadata["outlier_kinds"]
+        assert len(kinds["trivial"]) == 1 and len(kinds["non_trivial"]) == 1
+
+    def test_nontrivial_outlier_hidden_marginally(self):
+        dataset = make_correlated_pair(400, random_state=1)
+        row = dataset.metadata["outlier_kinds"]["non_trivial"][0]
+        for attr in range(2):
+            column = dataset.data[:, attr]
+            low, high = np.percentile(column, [5, 95])
+            assert low <= dataset.data[row, attr] <= high
+
+    def test_trivial_outlier_extreme_in_s2(self):
+        dataset = make_correlated_pair(400, random_state=1)
+        row = dataset.metadata["outlier_kinds"]["trivial"][0]
+        assert dataset.data[row, 1] >= np.percentile(dataset.data[:, 1], 99)
+
+    def test_counterexample_2d_projections_uniformish(self):
+        dataset = make_three_dim_counterexample(2000, random_state=0)
+        # Every 2-D projection covers all four quadrants with roughly equal mass.
+        for pair in [(0, 1), (0, 2), (1, 2)]:
+            quadrant_counts = []
+            for qx in (0, 1):
+                for qy in (0, 1):
+                    mask = (
+                        (dataset.data[:, pair[0]] >= 0.5 * qx)
+                        & (dataset.data[:, pair[0]] < 0.5 * (qx + 1))
+                        & (dataset.data[:, pair[1]] >= 0.5 * qy)
+                        & (dataset.data[:, pair[1]] < 0.5 * (qy + 1))
+                    )
+                    quadrant_counts.append(mask.sum())
+            counts = np.asarray(quadrant_counts)
+            assert counts.min() > 0.15 * dataset.n_objects
+
+    def test_counterexample_3d_occupies_half_the_octants(self):
+        dataset = make_three_dim_counterexample(2000, random_state=0)
+        bits = (dataset.data >= 0.5).astype(int)
+        occupied = {tuple(row) for row in bits}
+        assert len(occupied) == 4
+        for b1, b2, b3 in occupied:
+            assert b3 == b1 ^ b2
+
+    def test_figure2_pair_helper(self):
+        a, b = make_figure2_pair(200, random_state=0)
+        assert a.name.startswith("toy_uncorrelated")
+        assert b.name.startswith("toy_correlated")
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ParameterError):
+            make_uncorrelated_pair(5)
+        with pytest.raises(ParameterError):
+            make_correlated_pair(5)
+        with pytest.raises(ParameterError):
+            make_three_dim_counterexample(5)
+
+
+class TestUCISurrogates:
+    def test_all_eight_datasets_available(self):
+        assert len(available_uci_surrogates()) == 8
+        assert "ionosphere" in available_uci_surrogates()
+        assert "pendigits" in available_uci_surrogates()
+
+    @pytest.mark.parametrize("name", sorted(UCI_DATASET_SPECS))
+    def test_shape_matches_spec(self, name):
+        spec = UCI_DATASET_SPECS[name]
+        # Subsample the large datasets to keep the test fast; shapes are then
+        # checked proportionally.
+        subsample = 0.25 if spec.n_objects > 2000 else 1.0
+        dataset = load_uci_surrogate(name, random_state=0, subsample=subsample)
+        expected_objects = spec.n_objects if subsample == 1.0 else None
+        if expected_objects is not None:
+            assert dataset.n_objects == expected_objects
+        assert dataset.n_dims == spec.n_dims
+        assert dataset.n_outliers >= 1
+        rate = dataset.outlier_rate
+        assert abs(rate - spec.outlier_rate) < max(0.05, 0.5 * spec.outlier_rate)
+
+    def test_relevant_subspaces_recorded(self):
+        dataset = load_uci_surrogate("ionosphere", random_state=0)
+        assert len(dataset.relevant_subspaces) == UCI_DATASET_SPECS["ionosphere"].n_informative_subspaces
+
+    def test_deterministic_default_seed(self):
+        a = load_uci_surrogate("glass")
+        b = load_uci_surrogate("glass")
+        assert np.array_equal(a.data, b.data)
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetNotFoundError):
+            load_uci_surrogate("mnist")
+
+    def test_invalid_subsample(self):
+        with pytest.raises(ParameterError):
+            load_uci_surrogate("glass", subsample=0.0)
+
+    def test_subsample_stratified(self):
+        full = load_uci_surrogate("ionosphere", random_state=0)
+        half = load_uci_surrogate("ionosphere", random_state=0, subsample=0.5)
+        assert half.n_objects < full.n_objects
+        assert abs(half.outlier_rate - full.outlier_rate) < 0.05
+
+    def test_easy_dataset_easier_than_hard_dataset(self):
+        """The surrogate difficulty calibration must order datasets sensibly.
+
+        Breast-diagnostic (difficulty 0.25) should allow a much better LOF
+        separation in its informative subspace than Breast (difficulty 0.85).
+        """
+        from repro.evaluation.metrics import roc_auc_score
+
+        easy = load_uci_surrogate("breast-diagnostic", random_state=0)
+        hard = load_uci_surrogate("breast", random_state=0)
+        easy_auc = roc_auc_score(
+            easy.labels, local_outlier_factor(easy.data, 10, easy.relevant_subspaces[0])
+        )
+        hard_auc = roc_auc_score(
+            hard.labels, local_outlier_factor(hard.data, 10, hard.relevant_subspaces[0])
+        )
+        assert easy_auc > hard_auc

@@ -1,0 +1,140 @@
+"""Unit tests for repro.types: Subspace, ScoredSubspace, RankingResult."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import SubspaceError
+from repro.types import ContrastResult, RankingResult, ScoredSubspace, Subspace
+
+
+class TestSubspace:
+    def test_attributes_are_sorted_and_unique(self):
+        subspace = Subspace([3, 1, 2, 1])
+        assert subspace.attributes == (1, 2, 3)
+
+    def test_dimensionality_and_len(self):
+        subspace = Subspace((4, 7))
+        assert subspace.dimensionality == 2
+        assert len(subspace) == 2
+
+    def test_empty_subspace_rejected(self):
+        with pytest.raises(SubspaceError):
+            Subspace([])
+
+    def test_negative_attribute_rejected(self):
+        with pytest.raises(SubspaceError):
+            Subspace([-1, 2])
+
+    def test_iteration_and_containment(self):
+        subspace = Subspace((5, 2, 9))
+        assert list(subspace) == [2, 5, 9]
+        assert 5 in subspace
+        assert 4 not in subspace
+
+    def test_union(self):
+        assert Subspace((0, 1)).union(Subspace((1, 2))).attributes == (0, 1, 2)
+
+    def test_without(self):
+        assert Subspace((0, 1, 2)).without(1).attributes == (0, 2)
+
+    def test_without_missing_attribute_raises(self):
+        with pytest.raises(SubspaceError):
+            Subspace((0, 1)).without(5)
+
+    def test_without_last_attribute_raises(self):
+        with pytest.raises(SubspaceError):
+            Subspace((3,)).without(3)
+
+    def test_subset_superset(self):
+        small, big = Subspace((1, 2)), Subspace((1, 2, 3))
+        assert small.is_subset_of(big)
+        assert big.is_superset_of(small)
+        assert not big.is_subset_of(small)
+
+    def test_validate_against_dimensionality(self):
+        Subspace((0, 4)).validate_against_dimensionality(5)
+        with pytest.raises(SubspaceError):
+            Subspace((0, 5)).validate_against_dimensionality(5)
+
+    def test_hashable_and_ordered(self):
+        a, b = Subspace((0, 1)), Subspace((0, 2))
+        assert len({a, b, Subspace((1, 0))}) == 2
+        assert sorted([b, a]) == [a, b]
+
+    def test_as_array_dtype(self):
+        arr = Subspace((2, 0)).as_array()
+        assert arr.dtype == np.intp
+        assert arr.tolist() == [0, 2]
+
+    @given(st.sets(st.integers(min_value=0, max_value=50), min_size=1, max_size=8))
+    def test_property_roundtrip_sorted(self, attrs):
+        subspace = Subspace(attrs)
+        assert set(subspace.attributes) == attrs
+        assert list(subspace.attributes) == sorted(attrs)
+
+    @given(
+        st.sets(st.integers(min_value=0, max_value=20), min_size=1, max_size=5),
+        st.sets(st.integers(min_value=0, max_value=20), min_size=1, max_size=5),
+    )
+    def test_property_union_is_superset(self, attrs_a, attrs_b):
+        a, b = Subspace(attrs_a), Subspace(attrs_b)
+        union = a.union(b)
+        assert union.is_superset_of(a)
+        assert union.is_superset_of(b)
+        assert union.dimensionality == len(attrs_a | attrs_b)
+
+
+class TestScoredSubspace:
+    def test_fields(self):
+        scored = ScoredSubspace(subspace=Subspace((0, 3)), score=0.75)
+        assert scored.dimensionality == 2
+        assert scored.score == 0.75
+
+
+class TestContrastResult:
+    def test_std_of_deviations(self):
+        result = ContrastResult(
+            subspace=Subspace((0, 1)),
+            contrast=0.5,
+            deviations=(0.4, 0.6),
+            n_iterations=2,
+        )
+        assert result.std == pytest.approx(0.1)
+
+    def test_std_empty(self):
+        result = ContrastResult(Subspace((0, 1)), 0.0, (), 0)
+        assert result.std == 0.0
+
+
+class TestRankingResult:
+    def test_ranking_orders_descending(self):
+        result = RankingResult(scores=np.array([0.1, 0.9, 0.5]))
+        assert result.ranking().tolist() == [1, 2, 0]
+
+    def test_top(self):
+        result = RankingResult(scores=np.array([3.0, 1.0, 2.0]))
+        assert result.top(2).tolist() == [0, 2]
+
+    def test_top_negative_raises(self):
+        with pytest.raises(ValueError):
+            RankingResult(scores=np.array([1.0, 2.0])).top(-1)
+
+    def test_rejects_2d_scores(self):
+        with pytest.raises(ValueError):
+            RankingResult(scores=np.zeros((3, 2)))
+
+    def test_len_and_metadata(self):
+        result = RankingResult(scores=np.zeros(5), method="LOF", metadata={"a": 1})
+        assert len(result) == 5
+        assert result.metadata["a"] == 1
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=2, max_size=30))
+    def test_property_ranking_is_permutation_sorted_by_score(self, scores):
+        result = RankingResult(scores=np.asarray(scores))
+        ranking = result.ranking()
+        assert sorted(ranking.tolist()) == list(range(len(scores)))
+        ranked_scores = np.asarray(scores)[ranking]
+        assert all(ranked_scores[i] >= ranked_scores[i + 1] for i in range(len(scores) - 1))

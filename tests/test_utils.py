@@ -1,0 +1,175 @@
+"""Unit tests for repro.utils: validation, random state handling, timing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError, ParameterError
+from repro.utils import (
+    Stopwatch,
+    check_data_matrix,
+    check_fraction,
+    check_labels,
+    check_positive_int,
+    check_probability,
+    check_random_state,
+    spawn_child_rng,
+    timed,
+)
+
+
+class TestCheckDataMatrix:
+    def test_accepts_list_of_lists(self):
+        arr = check_data_matrix([[1, 2], [3, 4]])
+        assert arr.shape == (2, 2)
+        assert arr.dtype == float
+
+    def test_1d_input_becomes_column(self):
+        arr = check_data_matrix([1.0, 2.0, 3.0])
+        assert arr.shape == (3, 1)
+
+    def test_rejects_3d(self):
+        with pytest.raises(DataError):
+            check_data_matrix(np.zeros((2, 2, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(DataError):
+            check_data_matrix([[1.0, np.nan]])
+
+    def test_allows_nan_when_requested(self):
+        arr = check_data_matrix([[1.0, np.nan]], allow_nan=True)
+        assert np.isnan(arr[0, 1])
+
+    def test_min_objects_enforced(self):
+        with pytest.raises(DataError):
+            check_data_matrix([[1.0, 2.0]], min_objects=2)
+
+    def test_min_dims_enforced(self):
+        with pytest.raises(DataError):
+            check_data_matrix([[1.0], [2.0]], min_dims=2)
+
+    def test_output_contiguous(self):
+        arr = check_data_matrix(np.asfortranarray(np.ones((4, 3))))
+        assert arr.flags["C_CONTIGUOUS"]
+
+
+class TestCheckLabels:
+    def test_binary_ok(self):
+        labels = check_labels(np.array([0, 1, 1, 0]))
+        assert labels.dtype == int
+
+    def test_bool_ok(self):
+        labels = check_labels(np.array([True, False]))
+        assert labels.tolist() == [1, 0]
+
+    def test_wrong_length(self):
+        with pytest.raises(DataError):
+            check_labels(np.array([0, 1]), n_objects=3)
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(DataError):
+            check_labels(np.array([0, 2, 1]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(DataError):
+            check_labels(np.zeros((2, 2)))
+
+
+class TestScalarValidators:
+    def test_positive_int_ok(self):
+        assert check_positive_int(5, name="x") == 5
+
+    def test_positive_int_bool_rejected(self):
+        with pytest.raises(ParameterError):
+            check_positive_int(True, name="x")
+
+    def test_positive_int_below_minimum(self):
+        with pytest.raises(ParameterError):
+            check_positive_int(1, name="x", minimum=2)
+
+    def test_positive_int_float_rejected(self):
+        with pytest.raises(ParameterError):
+            check_positive_int(2.0, name="x")
+
+    def test_fraction_open_interval(self):
+        assert check_fraction(0.5, name="alpha") == 0.5
+        with pytest.raises(ParameterError):
+            check_fraction(0.0, name="alpha")
+        with pytest.raises(ParameterError):
+            check_fraction(1.0, name="alpha")
+
+    def test_fraction_inclusive_bounds(self):
+        assert check_fraction(0.0, name="alpha", inclusive_low=True) == 0.0
+        assert check_fraction(1.0, name="alpha", inclusive_high=True) == 1.0
+
+    def test_probability(self):
+        assert check_probability(1.0, name="p") == 1.0
+        with pytest.raises(ParameterError):
+            check_probability(1.5, name="p")
+
+    def test_fraction_non_numeric(self):
+        with pytest.raises(ParameterError):
+            check_fraction("half", name="alpha")
+
+
+class TestRandomState:
+    def test_none_gives_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = check_random_state(42).integers(0, 1000, 10)
+        b = check_random_state(42).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert check_random_state(generator) is generator
+
+    def test_legacy_randomstate_wrapped(self):
+        legacy = np.random.RandomState(0)
+        assert isinstance(check_random_state(legacy), np.random.Generator)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ParameterError):
+            check_random_state(-1)
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(ParameterError):
+            check_random_state("seed")
+
+    def test_spawn_single_child(self):
+        child = spawn_child_rng(np.random.default_rng(0))
+        assert isinstance(child, np.random.Generator)
+
+    def test_spawn_multiple_children_independent(self):
+        children = spawn_child_rng(np.random.default_rng(0), n=3)
+        assert len(children) == 3
+        draws = [c.integers(0, 10**9) for c in children]
+        assert len(set(draws)) > 1
+
+
+class TestTiming:
+    def test_stopwatch_accumulates(self):
+        stopwatch = Stopwatch()
+        with stopwatch.measure("phase"):
+            pass
+        with stopwatch.measure("phase"):
+            pass
+        assert stopwatch.get("phase") >= 0.0
+        assert stopwatch.total() == pytest.approx(sum(stopwatch.durations.values()))
+
+    def test_stopwatch_unknown_phase_zero(self):
+        assert Stopwatch().get("missing") == 0.0
+
+    def test_stopwatch_reset(self):
+        stopwatch = Stopwatch()
+        with stopwatch.measure("a"):
+            pass
+        stopwatch.reset()
+        assert stopwatch.total() == 0.0
+
+    def test_timed_contextmanager(self):
+        with timed() as clock:
+            _ = sum(range(100))
+        assert clock["elapsed"] >= 0.0
