@@ -74,6 +74,15 @@ def main() -> None:
     print("=> the subspace search recovers outliers the full-space ranking misses"
           if hics_auc > lof_auc else "=> unexpected: check the configuration")
 
+    # ---------------------------------------------------------- serving path
+    # The pipeline above is already fitted (fit_rank = fit + in-sample rank):
+    # new, unseen objects are scored against the fitted subspaces and the
+    # reference population without re-running the subspace search.
+    new_points = dataset.data[:3] + 0.05
+    new_scores = pipeline.score_samples(new_points)
+    print("\nscores of three perturbed objects via score_samples:",
+          np.round(new_scores, 3))
+
 
 if __name__ == "__main__":
     main()

@@ -1,8 +1,59 @@
-"""Setup shim for environments without the `wheel` package.
+"""Packaging for the HiCS reproduction.
 
-All project metadata lives in pyproject.toml; this file only enables the
-legacy editable-install code path (`pip install -e . --no-build-isolation`).
+Installs the `repro` package from `src/` and the `repro-hics` console script,
+so the CLI works without `PYTHONPATH=src python -m repro.cli`.
 """
-from setuptools import setup
 
-setup()
+import os
+import re
+
+from setuptools import find_packages, setup
+
+
+def _read_version() -> str:
+    here = os.path.dirname(os.path.abspath(__file__))
+    with open(os.path.join(here, "src", "repro", "__init__.py"), encoding="utf-8") as fh:
+        match = re.search(r'^__version__ = "([^"]+)"', fh.read(), re.MULTILINE)
+    if match is None:
+        raise RuntimeError("cannot find __version__ in src/repro/__init__.py")
+    return match.group(1)
+
+
+def _read_long_description() -> str:
+    here = os.path.dirname(os.path.abspath(__file__))
+    readme = os.path.join(here, "README.md")
+    if not os.path.exists(readme):
+        return ""
+    with open(readme, encoding="utf-8") as fh:
+        return fh.read()
+
+
+setup(
+    name="repro-hics",
+    version=_read_version(),
+    description=(
+        "Reproduction of 'HiCS: High Contrast Subspaces for Density-Based "
+        "Outlier Ranking' (Keller, Mueller, Boehm - ICDE 2012)"
+    ),
+    long_description=_read_long_description(),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.22"],
+    extras_require={"test": ["pytest>=7"]},
+    entry_points={
+        "console_scripts": [
+            "repro-hics = repro.cli:main",
+        ]
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering :: Information Analysis",
+    ],
+)

@@ -10,12 +10,29 @@ The library implements the paper's decoupled two-step processing:
    density-based score — LOF by default — restricted to the selected
    subspaces and aggregates the per-subspace scores.
 
+The public API follows a scikit-learn-style estimator protocol: ``fit`` runs
+the expensive subspace search once against a reference dataset, and
+``score_samples`` / ``rank`` score arbitrarily many *new* objects against the
+fitted subspaces.  Components (searchers, scorers, aggregators) are pluggable
+through the registry in :mod:`repro.registry` and addressable by spec strings
+such as ``"hics(alpha=0.1)+lof(min_pts=10)"``; fitted pipelines can be
+persisted with ``save``/``load``.
+
 Quick start
 -----------
+One-shot batch ranking (the paper's protocol):
+
 >>> from repro import SubspaceOutlierPipeline, generate_synthetic_dataset
 >>> dataset = generate_synthetic_dataset(n_objects=300, n_dims=10, random_state=0)
 >>> result = SubspaceOutlierPipeline().fit_rank(dataset)
 >>> suspicious = result.top(10)
+
+Fit once, score new objects cheaply (the serving path):
+
+>>> pipeline = SubspaceOutlierPipeline().fit(dataset)
+>>> scores = pipeline.score_samples(dataset.data[:5])
+>>> pipeline.save("model.npz")  # doctest: +SKIP
+>>> restored = SubspaceOutlierPipeline.load("model.npz")  # doctest: +SKIP
 """
 
 from .types import ContrastResult, RankingResult, ScoredSubspace, Subspace
@@ -68,6 +85,18 @@ from .pipeline import (
     SubspaceOutlierPipeline,
     make_default_pipeline,
     make_method_pipeline,
+)
+from .registry import (
+    available_aggregators,
+    available_scorers,
+    available_searchers,
+    make_pipeline_from_spec,
+    make_scorer,
+    make_searcher,
+    parse_spec,
+    register_aggregator,
+    register_scorer,
+    register_searcher,
 )
 from .evaluation import (
     average_precision,
@@ -131,6 +160,17 @@ __all__ = [
     "PipelineConfig",
     "make_default_pipeline",
     "make_method_pipeline",
+    # registry
+    "register_searcher",
+    "register_scorer",
+    "register_aggregator",
+    "available_searchers",
+    "available_scorers",
+    "available_aggregators",
+    "make_searcher",
+    "make_scorer",
+    "make_pipeline_from_spec",
+    "parse_spec",
     # evaluation
     "roc_curve",
     "roc_auc_score",

@@ -3,10 +3,13 @@
 Sub-commands
 ------------
 ``rank``      Rank the objects of a CSV dataset (or a named built-in dataset)
-              with a chosen method and print the top outliers.
+              with a chosen method or registry spec and print the top outliers.
+``fit``       Fit a pipeline on a reference dataset and save the fitted model.
+``score``     Score new objects against a previously fitted (saved) model.
 ``contrast``  Print the highest-contrast subspaces HiCS finds in a dataset.
 ``compare``   Run several methods on a labelled dataset and print an AUC table.
 ``datasets``  List the built-in datasets.
+``registry``  List the registered searchers, scorers and aggregators.
 """
 
 from __future__ import annotations
@@ -16,9 +19,19 @@ import sys
 from typing import List, Optional
 
 from .dataset import available_datasets, load_csv, load_dataset
+from .exceptions import ReproError
 from .evaluation.experiments import evaluate_method_on_dataset
 from .evaluation.reporting import format_comparison_table
 from .pipeline.config import METHOD_NAMES, PipelineConfig, make_method_pipeline
+from .pipeline.pipeline import SubspaceOutlierPipeline
+from .registry import (
+    available_aggregators,
+    available_searchers,
+    available_scorers,
+    describe_component,
+    get_scorer,
+    get_searcher,
+)
 from .subspaces.hics import HiCS
 
 __all__ = ["main", "build_parser"]
@@ -40,11 +53,38 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
 
+    def add_method_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--method", default="HiCS", choices=sorted(METHOD_NAMES))
+        sub.add_argument(
+            "--spec",
+            help="registry spec string, e.g. 'hics(alpha=0.1)+lof(min_pts=10)'; overrides --method",
+        )
+        sub.add_argument("--min-pts", type=int, default=10, help="LOF MinPts parameter")
+
     rank = subparsers.add_parser("rank", help="rank the objects of a dataset")
     add_dataset_arguments(rank)
-    rank.add_argument("--method", default="HiCS", choices=sorted(METHOD_NAMES))
+    add_method_arguments(rank)
     rank.add_argument("--top", type=int, default=10, help="number of top outliers to print")
-    rank.add_argument("--min-pts", type=int, default=10, help="LOF MinPts parameter")
+
+    fit = subparsers.add_parser(
+        "fit", help="fit a pipeline on a reference dataset and save the model"
+    )
+    add_dataset_arguments(fit)
+    add_method_arguments(fit)
+    fit.add_argument("--out", required=True, help="path of the fitted model file (.npz)")
+
+    score = subparsers.add_parser(
+        "score", help="score new objects against a fitted (saved) model"
+    )
+    add_dataset_arguments(score)
+    score.add_argument("--model", required=True, help="model file written by 'fit'")
+    score.add_argument("--top", type=int, default=10, help="number of top outliers to print")
+    score.add_argument(
+        "--independent",
+        action="store_true",
+        help="score each object on its own against the reference (slower, but a "
+        "burst of near-duplicate anomalies in one batch cannot mask itself)",
+    )
 
     contrast = subparsers.add_parser("contrast", help="print the highest contrast subspaces")
     add_dataset_arguments(contrast)
@@ -63,9 +103,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=["LOF", "HiCS", "RANDSUB"],
         choices=sorted(METHOD_NAMES),
     )
+    compare.add_argument(
+        "--specs",
+        nargs="*",
+        default=[],
+        help="additional registry spec strings to compare alongside --methods",
+    )
     compare.add_argument("--min-pts", type=int, default=10)
 
     subparsers.add_parser("datasets", help="list the built-in datasets")
+    subparsers.add_parser(
+        "registry", help="list registered searchers, scorers and aggregators"
+    )
     return parser
 
 
@@ -75,15 +124,57 @@ def _load(args: argparse.Namespace):
     return load_dataset(args.dataset, random_state=args.seed)
 
 
+def _print_top(result, top: int) -> None:
+    print(f"{'rank':>4}  {'object':>8}  {'score':>10}")
+    for rank, obj in enumerate(result.top(top), start=1):
+        print(f"{rank:>4}  {obj:>8}  {result.scores[obj]:>10.4f}")
+
+
+def _resolve_method_pipeline(args: argparse.Namespace):
+    """Build the pipeline for the shared --method/--spec/--min-pts arguments."""
+    method = args.spec if args.spec else args.method
+    config = PipelineConfig(min_pts=args.min_pts, random_state=args.seed)
+    return method, make_method_pipeline(method, config)
+
+
 def _command_rank(args: argparse.Namespace) -> int:
     dataset = _load(args)
-    config = PipelineConfig(min_pts=args.min_pts, random_state=args.seed)
-    pipeline = make_method_pipeline(args.method, config)
+    method, pipeline = _resolve_method_pipeline(args)
     result = pipeline.fit_rank(dataset) if hasattr(pipeline, "fit_rank") else pipeline.rank(dataset.data)
-    print(f"method: {args.method}   dataset: {dataset.name}   objects: {dataset.n_objects}")
-    print(f"{'rank':>4}  {'object':>8}  {'score':>10}")
-    for rank, obj in enumerate(result.top(args.top), start=1):
-        print(f"{rank:>4}  {obj:>8}  {result.scores[obj]:>10.4f}")
+    print(f"method: {method}   dataset: {dataset.name}   objects: {dataset.n_objects}")
+    _print_top(result, args.top)
+    return 0
+
+
+def _command_fit(args: argparse.Namespace) -> int:
+    dataset = _load(args)
+    method, pipeline = _resolve_method_pipeline(args)
+    if not isinstance(pipeline, SubspaceOutlierPipeline):
+        print(
+            f"error: method {method!r} does not produce a fittable subspace pipeline",
+            file=sys.stderr,
+        )
+        return 2
+    pipeline.fit(dataset)
+    pipeline.save(args.out)
+    note = " (full-space fallback)" if pipeline.fallback_full_space_ else ""
+    print(
+        f"fitted {method} on {dataset.name!r} "
+        f"({dataset.n_objects} objects, {dataset.n_dims} dims); "
+        f"{len(pipeline.subspaces_)} subspaces{note} -> {args.out}"
+    )
+    return 0
+
+
+def _command_score(args: argparse.Namespace) -> int:
+    dataset = _load(args)
+    pipeline = SubspaceOutlierPipeline.load(args.model)
+    result = pipeline.rank(dataset, independent=args.independent)
+    print(
+        f"model: {args.model}   method: {result.method}   "
+        f"new objects: {dataset.n_objects}"
+    )
+    _print_top(result, args.top)
     return 0
 
 
@@ -107,7 +198,8 @@ def _command_contrast(args: argparse.Namespace) -> int:
 def _command_compare(args: argparse.Namespace) -> int:
     dataset = _load(args)
     config = PipelineConfig(min_pts=args.min_pts, random_state=args.seed)
-    results = [evaluate_method_on_dataset(m, dataset, config) for m in args.methods]
+    methods = list(args.methods) + list(args.specs)
+    results = [evaluate_method_on_dataset(m, dataset, config) for m in methods]
     print(format_comparison_table(results, value="auc"))
     print()
     print(format_comparison_table(results, value="runtime_sec", percent=False, precision=2))
@@ -120,17 +212,41 @@ def _command_datasets(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_registry(_args: argparse.Namespace) -> int:
+    print("searchers:")
+    for name in available_searchers():
+        print(f"  {name}{describe_component(get_searcher(name))}")
+    print("scorers:")
+    for name in available_scorers():
+        print(f"  {name}{describe_component(get_scorer(name))}")
+    print("aggregators:")
+    print("  " + ", ".join(available_aggregators()))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code.
+
+    Library errors caused by user input (unknown components, malformed specs
+    or model files, bad parameters) are reported as a one-line message on
+    stderr with exit code 2 instead of a traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     handlers = {
         "rank": _command_rank,
+        "fit": _command_fit,
+        "score": _command_score,
         "contrast": _command_contrast,
         "compare": _command_compare,
         "datasets": _command_datasets,
+        "registry": _command_registry,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -6,7 +6,12 @@ from .metrics import (
     roc_auc_score,
     roc_curve,
 )
-from .experiments import ExperimentResult, evaluate_method_on_dataset, run_method_comparison
+from .experiments import (
+    ExperimentResult,
+    evaluate_method_on_dataset,
+    evaluate_pipeline_on_dataset,
+    run_method_comparison,
+)
 from .reporting import format_comparison_table, format_results_table
 from .sweep import parameter_sweep
 
@@ -17,6 +22,7 @@ __all__ = [
     "average_precision",
     "ExperimentResult",
     "evaluate_method_on_dataset",
+    "evaluate_pipeline_on_dataset",
     "run_method_comparison",
     "format_results_table",
     "format_comparison_table",

@@ -16,13 +16,18 @@ from typing import Dict, Iterable, List, Optional, Sequence
 import numpy as np
 
 from ..dataset.dataset import Dataset
-from ..exceptions import DataError
+from ..exceptions import DataError, ParameterError
 from ..pipeline.config import PipelineConfig, make_method_pipeline
 from ..types import RankingResult
 from ..utils.timing import timed
 from .metrics import average_precision, precision_at_n, roc_auc_score
 
-__all__ = ["ExperimentResult", "evaluate_method_on_dataset", "run_method_comparison"]
+__all__ = [
+    "ExperimentResult",
+    "evaluate_method_on_dataset",
+    "evaluate_pipeline_on_dataset",
+    "run_method_comparison",
+]
 
 
 @dataclass
@@ -55,19 +60,46 @@ class ExperimentResult:
         }
 
 
-def _run_ranker(pipeline_like, dataset: Dataset) -> RankingResult:
-    """Dispatch on the two pipeline flavours (subspace pipeline vs PCA reducer)."""
+def _run_ranker(pipeline_like, dataset: Dataset, *, independent: bool = False) -> RankingResult:
+    """Dispatch on the pipeline flavours (fitted/unfitted pipeline, PCA reducer).
+
+    An already-fitted pipeline keeps its fitted state: the dataset is scored
+    as *new* objects against the fitted subspaces and reference population
+    (the serving path); ``independent`` selects per-object scoring there.
+    Unfitted pipelines run the classic one-shot ``fit_rank``; front ends
+    without ``fit_rank`` (PCA) rank directly.
+    """
+    if getattr(pipeline_like, "is_fitted", False):
+        return pipeline_like.rank(dataset, independent=independent)
+    if independent:
+        raise ParameterError(
+            "independent=True requires an already-fitted pipeline; call fit() on a "
+            "reference dataset first"
+        )
     if hasattr(pipeline_like, "fit_rank"):
         return pipeline_like.fit_rank(dataset)
     return pipeline_like.rank(dataset.data)
 
 
-def evaluate_method_on_dataset(
-    method: str,
+def evaluate_pipeline_on_dataset(
+    pipeline_like,
     dataset: Dataset,
-    config: Optional[PipelineConfig] = None,
+    *,
+    method: Optional[str] = None,
+    independent: bool = False,
 ) -> ExperimentResult:
-    """Run one method on one labelled dataset and compute ranking metrics.
+    """Run one ready pipeline object on one labelled dataset.
+
+    Accepts anything exposing ``fit_rank(dataset)`` or ``rank(data)`` — a
+    :class:`~repro.pipeline.pipeline.SubspaceOutlierPipeline`, a PCA reducer,
+    or a custom registered front end.  A pipeline that is **already fitted**
+    is *not* refitted: the dataset is scored against its fitted subspaces and
+    reference data, so the reported metrics measure the serving path.  The
+    default joint batch scoring lets evaluated objects influence each other's
+    neighbourhoods (clustered anomalies can mask themselves); pass
+    ``independent=True`` for per-object scoring against the reference only.
+    ``method`` overrides the reported method label (defaults to the result's
+    own method string).
 
     Raises
     ------
@@ -78,13 +110,12 @@ def evaluate_method_on_dataset(
         raise DataError(
             f"dataset {dataset.name!r} has no outlier labels; cannot evaluate AUC"
         )
-    pipeline_like = make_method_pipeline(method, config)
     with timed() as clock:
-        result = _run_ranker(pipeline_like, dataset)
+        result = _run_ranker(pipeline_like, dataset, independent=independent)
     labels = dataset.labels
     scores = result.scores
     return ExperimentResult(
-        method=method,
+        method=method if method is not None else result.method,
         dataset=dataset.name,
         auc=roc_auc_score(labels, scores),
         runtime_sec=float(result.metadata.get("total_time_sec", clock["elapsed"])),
@@ -95,6 +126,26 @@ def evaluate_method_on_dataset(
         n_subspaces=int(result.metadata.get("n_subspaces", len(result.subspaces))),
         metadata=dict(result.metadata),
     )
+
+
+def evaluate_method_on_dataset(
+    method: str,
+    dataset: Dataset,
+    config: Optional[PipelineConfig] = None,
+) -> ExperimentResult:
+    """Run one method on one labelled dataset and compute ranking metrics.
+
+    ``method`` is a paper method name from
+    :data:`~repro.pipeline.config.METHOD_NAMES` or a registry spec string such
+    as ``"hics(alpha=0.1)+knn(k=5)"`` (see :mod:`repro.registry`).
+
+    Raises
+    ------
+    DataError
+        If the dataset has no outlier labels (AUC is undefined then).
+    """
+    pipeline_like = make_method_pipeline(method, config)
+    return evaluate_pipeline_on_dataset(pipeline_like, dataset, method=method)
 
 
 def run_method_comparison(

@@ -50,3 +50,8 @@ class ConvergenceError(ReproError, RuntimeError):
 
 class DatasetNotFoundError(ReproError, KeyError):
     """Raised when a named dataset is not present in the dataset registry."""
+
+    def __str__(self) -> str:
+        # KeyError.__str__ reprs its argument, which would wrap the message in
+        # spurious quotes wherever the error is printed (e.g. the CLI).
+        return str(self.args[0]) if self.args else ""

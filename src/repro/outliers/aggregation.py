@@ -14,7 +14,11 @@ from typing import Callable, Dict, Sequence, Tuple, Union
 import numpy as np
 
 from ..exceptions import DataError, ParameterError
+from ..utils.validation import check_component_name
 
+# register_aggregation/get_aggregation are deliberately not exported here: the
+# public registration surface is repro.registry.register_aggregator /
+# get_aggregator, which delegates to them.
 __all__ = [
     "average_aggregation",
     "maximum_aggregation",
@@ -58,8 +62,37 @@ _AGGREGATIONS: Dict[str, AggregationFunction] = {
 
 
 def available_aggregations() -> Tuple[str, ...]:
-    """Names of the built-in aggregation functions."""
+    """Names of all registered aggregation functions (built-in and custom)."""
     return tuple(sorted(_AGGREGATIONS))
+
+
+def register_aggregation(
+    name: str, func: AggregationFunction, *, overwrite: bool = False
+) -> None:
+    """Register a custom aggregation under a case-insensitive name.
+
+    ``func`` maps the stacked score matrix of shape ``(n_subspaces,
+    n_objects)`` to one score per object; afterwards the name is accepted
+    everywhere an aggregation string is (ranker, pipeline, spec strings).
+    """
+    key = check_component_name(name, kind="aggregation")
+    if not callable(func):
+        raise ParameterError("aggregation func must be callable")
+    if key in _AGGREGATIONS and not overwrite:
+        raise ParameterError(
+            f"aggregation {name!r} is already registered; pass overwrite=True to replace it"
+        )
+    _AGGREGATIONS[key] = func
+
+
+def get_aggregation(name: str) -> AggregationFunction:
+    """Resolve an aggregation name to its registered function."""
+    key = str(name).strip().lower()
+    if key not in _AGGREGATIONS:
+        raise ParameterError(
+            f"unknown aggregation {name!r}; available: {available_aggregations()}"
+        )
+    return _AGGREGATIONS[key]
 
 
 def aggregate_scores(
@@ -77,15 +110,7 @@ def aggregate_scores(
         shape ``(n_subspaces, n_objects)`` to a vector of length ``n_objects``.
     """
     matrix = _stack(per_subspace_scores)
-    if callable(aggregation):
-        func = aggregation
-    else:
-        key = str(aggregation).strip().lower()
-        if key not in _AGGREGATIONS:
-            raise ParameterError(
-                f"unknown aggregation {aggregation!r}; available: {available_aggregations()}"
-            )
-        func = _AGGREGATIONS[key]
+    func = aggregation if callable(aggregation) else get_aggregation(aggregation)
     combined = np.asarray(func(matrix), dtype=float)
     if combined.shape != (matrix.shape[1],):
         raise DataError(

@@ -13,13 +13,22 @@ from typing import Optional
 
 import numpy as np
 
+from ..exceptions import DataError, NotFittedError
 from ..types import Subspace
+from ..utils.validation import check_data_matrix
 
 __all__ = ["OutlierScorer"]
 
 
 class OutlierScorer:
-    """Abstract base class for per-object outlier scorers."""
+    """Abstract base class for per-object outlier scorers.
+
+    Subclasses implement :meth:`score` (batch scoring of a self-contained
+    data matrix).  The estimator-protocol methods :meth:`fit` /
+    :meth:`score_samples` are provided here: after fitting on a reference
+    dataset, new objects are scored *against* that reference, which is the
+    serving-path primitive of the fit/score split.
+    """
 
     #: Human readable name used in rankings and reports.
     name: str = "abstract"
@@ -46,6 +55,64 @@ class OutlierScorer:
     def score_full_space(self, data: np.ndarray) -> np.ndarray:
         """Convenience wrapper for full-space scoring."""
         return self.score(data, subspace=None)
+
+    def fit(self, data: np.ndarray) -> "OutlierScorer":
+        """Remember ``data`` as the reference population for :meth:`score_samples`."""
+        self.reference_data_ = check_data_matrix(data, name="data", min_objects=2)
+        return self
+
+    def score_samples(
+        self, data: np.ndarray, subspace: Optional[Subspace] = None
+    ) -> np.ndarray:
+        """Score *new* objects against the fitted reference population.
+
+        Equivalent to ``score_samples_many(data, [subspace])[0]``; see
+        :meth:`score_samples_many` for the exact (joint) batch semantics.
+
+        Returns scores of shape ``(n_new_objects,)``.
+        """
+        return self.score_samples_many(data, [subspace])[0]
+
+    def score_samples_many(
+        self, data: np.ndarray, subspaces: "list[Optional[Subspace]]"
+    ) -> "list[np.ndarray]":
+        """Score *new* objects in several subspaces with one reference pass.
+
+        The default implementation builds the concatenation of reference and
+        new objects **once** and evaluates :meth:`score` on it per subspace,
+        returning only the scores of the new rows.  It is deterministic
+        whenever :meth:`score` is.
+
+        .. note:: **Batch semantics.**  The new objects are scored *jointly*:
+           they participate in each other's neighbourhoods, so a batch of
+           near-duplicate anomalies can form its own dense cluster and mask
+           itself.  Callers that need every object judged purely against the
+           reference population should score objects one at a time (the
+           pipeline exposes this as ``score_samples(..., independent=True)``).
+
+        Subclasses may override this (or :meth:`score_samples`) with a faster
+        reference-only neighbourhood query.
+
+        Returns one score vector of shape ``(n_new_objects,)`` per entry of
+        ``subspaces``.
+        """
+        reference = getattr(self, "reference_data_", None)
+        if reference is None:
+            raise NotFittedError(
+                f"{type(self).__name__} has no reference data; call fit() first"
+            )
+        data = check_data_matrix(data, name="data", min_objects=1)
+        if data.shape[1] != reference.shape[1]:
+            raise DataError(
+                f"new data has {data.shape[1]} dimensions but the scorer was "
+                f"fitted on {reference.shape[1]}"
+            )
+        combined = np.vstack([reference, data])
+        n_reference = reference.shape[0]
+        return [
+            self.score(combined, subspace=subspace)[n_reference:]
+            for subspace in subspaces
+        ]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"{type(self).__name__}(name={self.name!r})"

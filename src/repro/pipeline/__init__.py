@@ -1,4 +1,11 @@
-"""The decoupled two-step pipeline: subspace search + outlier ranking."""
+"""The decoupled two-step pipeline: subspace search + outlier ranking.
+
+:class:`SubspaceOutlierPipeline` follows a scikit-learn-style estimator
+protocol (``fit`` / ``score_samples`` / ``rank`` plus the one-shot
+``fit_rank``) with ``save``/``load`` persistence for fitted pipelines;
+:func:`make_method_pipeline` resolves the paper's method names and registry
+spec strings through :mod:`repro.registry`.
+"""
 
 from .pipeline import SubspaceOutlierPipeline
 from .config import PipelineConfig, make_default_pipeline, make_method_pipeline

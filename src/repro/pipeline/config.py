@@ -4,20 +4,31 @@ The benchmark harness refers to methods by the names the paper uses in its
 figures (``"HiCS"``, ``"Enclus"``, ``"RIS"``, ``"RANDSUB"``, ``"LOF"``,
 ``"PCALOF1"``, ``"PCALOF2"``).  :func:`make_method_pipeline` builds a ready
 object for each of them so that experiment definitions stay declarative.
+
+Every method name resolves through the component registry
+(:mod:`repro.registry`): the name is translated into a
+:class:`~repro.registry.PipelineSpec` with the shared
+:class:`PipelineConfig` parameters injected, and the registry constructs the
+components.  Arbitrary registry spec strings such as
+``"hics(alpha=0.1)+lof(min_pts=10)"`` are accepted wherever a method name is.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import inspect
+from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, Optional, Tuple, Union
 
-from ..baselines.enclus import EnclusSearcher
-from ..baselines.fullspace import FullSpaceSearcher
 from ..baselines.pca import PCAReducer
-from ..baselines.random_subspaces import RandomSubspaceSearcher
-from ..baselines.ris import RISSearcher
 from ..exceptions import ParameterError
-from ..outliers.lof import LOFScorer
+from ..registry import (
+    ComponentSpec,
+    PipelineSpec,
+    get_scorer,
+    get_searcher,
+    make_pipeline_from_spec,
+    parse_spec,
+)
 from .pipeline import SubspaceOutlierPipeline
 
 __all__ = ["PipelineConfig", "make_default_pipeline", "make_method_pipeline", "METHOD_NAMES"]
@@ -68,16 +79,106 @@ class PipelineConfig:
     random_state: Optional[int] = 0
     extra: Dict[str, object] = field(default_factory=dict)
 
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dictionary (JSON-ready) representation."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "PipelineConfig":
+        """Rebuild a config from :meth:`to_dict` output; rejects unknown keys."""
+        if not isinstance(payload, dict):
+            raise ParameterError(
+                f"config payload must be a mapping, got {type(payload).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ParameterError(f"unknown PipelineConfig keys: {unknown}")
+        return cls(**payload)
+
 
 def make_default_pipeline(config: Optional[PipelineConfig] = None) -> SubspaceOutlierPipeline:
     """The paper's default configuration: HiCS_WT + LOF, average aggregation."""
     return make_method_pipeline("HiCS", config)
 
 
+def _method_spec(key: str, config: PipelineConfig) -> PipelineSpec:
+    """Translate a paper method name into a registry spec with config injected."""
+    scorer = ComponentSpec("lof", {"min_pts": config.min_pts})
+    hics_params = {
+        "n_iterations": config.hics_iterations,
+        "alpha": config.hics_alpha,
+        "candidate_cutoff": config.hics_cutoff,
+        "max_output_subspaces": config.max_subspaces,
+        "random_state": config.random_state,
+    }
+    searchers = {
+        "lof": ComponentSpec("fullspace"),
+        "fullspace": ComponentSpec("fullspace"),
+        "full-space": ComponentSpec("fullspace"),
+        "hics": ComponentSpec("hics", {**hics_params, "deviation": "welch"}),
+        "hics_wt": ComponentSpec("hics", {**hics_params, "deviation": "welch"}),
+        "hics-wt": ComponentSpec("hics", {**hics_params, "deviation": "welch"}),
+        "hics_ks": ComponentSpec("hics", {**hics_params, "deviation": "ks"}),
+        "hics-ks": ComponentSpec("hics", {**hics_params, "deviation": "ks"}),
+        "enclus": ComponentSpec("enclus", {"max_output_subspaces": config.max_subspaces}),
+        "ris": ComponentSpec(
+            "ris", {"min_pts": config.min_pts, "max_output_subspaces": config.max_subspaces}
+        ),
+        "randsub": ComponentSpec(
+            "random_subspaces",
+            {"n_subspaces": config.max_subspaces, "random_state": config.random_state},
+        ),
+        "pcalof1": ComponentSpec("pca", {"strategy": "half"}),
+        "pcalof2": ComponentSpec("pca", {"strategy": "fixed", "n_components": 10}),
+    }
+    if key not in searchers:
+        raise ParameterError(
+            f"unknown method {key!r}; expected one of {METHOD_NAMES} or a registry "
+            f"spec string like 'hics(alpha=0.1)+lof(min_pts=10)'"
+        )
+    return PipelineSpec(searcher=searchers[key], scorer=scorer)
+
+
+def _inject_config_defaults(spec: PipelineSpec, config: PipelineConfig) -> PipelineSpec:
+    """Apply the shared config parameters to spec components that accept them.
+
+    ``min_pts`` and ``random_state`` are the config knobs the CLI exposes
+    (``--min-pts`` / ``--seed``); they are injected into every component whose
+    constructor accepts them, unless the spec already pins the parameter.  A
+    spec without a scorer gets LOF with the config's ``min_pts``.
+    """
+    shared = {"min_pts": config.min_pts, "random_state": config.random_state}
+
+    def merged(component: ComponentSpec, cls: type) -> ComponentSpec:
+        accepted = inspect.signature(cls.__init__).parameters
+        extra = {
+            key: value
+            for key, value in shared.items()
+            if key in accepted and key not in component.params
+        }
+        if not extra:
+            return component
+        return ComponentSpec(component.name, {**component.params, **extra})
+
+    searcher = merged(spec.searcher, get_searcher(spec.searcher.name))
+    scorer = spec.scorer if spec.scorer is not None else ComponentSpec("lof")
+    scorer = merged(scorer, get_scorer(scorer.name))
+    return PipelineSpec(searcher=searcher, scorer=scorer, aggregation=spec.aggregation)
+
+
 def make_method_pipeline(
     method: str, config: Optional[PipelineConfig] = None
 ) -> Union[SubspaceOutlierPipeline, PCAReducer]:
-    """Build the ranking pipeline for a named method.
+    """Build the ranking pipeline for a named method or registry spec string.
+
+    ``method`` is either one of :data:`METHOD_NAMES` (the shared
+    :class:`PipelineConfig` parameters are injected) or a registry spec string
+    such as ``"hics(alpha=0.2)+knn(k=5)+max"``.  For specs, the config's
+    ``max_subspaces`` is applied to the pipeline and its ``min_pts`` /
+    ``random_state`` are injected into components that accept them and do not
+    pin them in the spec; all other component parameters come from the spec
+    verbatim.
 
     Returns either a :class:`SubspaceOutlierPipeline` (for LOF and all subspace
     searchers) or a :class:`PCAReducer` (for the two PCA strategies, which
@@ -85,52 +186,25 @@ def make_method_pipeline(
     expose a method producing a :class:`~repro.types.RankingResult`
     (``fit_rank`` / ``rank``); the evaluation harness dispatches on that.
     """
-    from ..subspaces.hics import HiCS  # local import to avoid a cycle at module load
-
+    if not isinstance(method, str) or not method.strip():
+        raise ParameterError("method must be a non-empty string")
     config = config or PipelineConfig()
-    scorer = LOFScorer(min_pts=config.min_pts)
     key = method.strip().lower()
-
-    if key in ("lof", "fullspace", "full-space"):
-        searcher = FullSpaceSearcher()
-    elif key in ("hics", "hics_wt", "hics-wt"):
-        searcher = HiCS(
-            n_iterations=config.hics_iterations,
-            alpha=config.hics_alpha,
-            deviation="welch",
-            candidate_cutoff=config.hics_cutoff,
-            max_output_subspaces=config.max_subspaces,
-            random_state=config.random_state,
-        )
-    elif key in ("hics_ks", "hics-ks"):
-        searcher = HiCS(
-            n_iterations=config.hics_iterations,
-            alpha=config.hics_alpha,
-            deviation="ks",
-            candidate_cutoff=config.hics_cutoff,
-            max_output_subspaces=config.max_subspaces,
-            random_state=config.random_state,
-        )
-    elif key == "enclus":
-        searcher = EnclusSearcher(max_output_subspaces=config.max_subspaces)
-    elif key == "ris":
-        searcher = RISSearcher(
-            min_pts=config.min_pts, max_output_subspaces=config.max_subspaces
-        )
-    elif key == "randsub":
-        searcher = RandomSubspaceSearcher(
-            n_subspaces=config.max_subspaces, random_state=config.random_state
-        )
-    elif key == "pcalof1":
-        return PCAReducer("half", scorer=scorer)
-    elif key == "pcalof2":
-        return PCAReducer("fixed", n_components=10, scorer=scorer)
+    if "+" in method or "(" in method:
+        spec = _inject_config_defaults(parse_spec(method), config)
     else:
-        raise ParameterError(f"unknown method {method!r}; expected one of {METHOD_NAMES}")
-
-    return SubspaceOutlierPipeline(
-        searcher=searcher,
-        scorer=scorer,
-        aggregation="average",
-        max_subspaces=config.max_subspaces,
-    )
+        try:
+            spec = _method_spec(key, config)
+        except ParameterError as method_error:
+            # Not a paper method name — accept a bare registered searcher or
+            # scorer name ("random_subspaces", "knn", ...) as a one-component
+            # spec; parse_spec maps a lone scorer to full-space scoring.
+            try:
+                get_searcher(key)
+            except ParameterError:
+                try:
+                    get_scorer(key)
+                except ParameterError:
+                    raise method_error  # the unknown-method error lists both options
+            spec = _inject_config_defaults(parse_spec(method), config)
+    return make_pipeline_from_spec(spec, max_subspaces=config.max_subspaces)

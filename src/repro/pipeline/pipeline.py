@@ -5,26 +5,44 @@ any :class:`~repro.subspaces.base.SubspaceSearcher` can be combined with any
 :class:`~repro.outliers.base.OutlierScorer`.  The pipeline also records the
 wall time of each step, because the paper reports the *total* processing time
 of search plus ranking.
+
+The pipeline follows a scikit-learn-style estimator protocol:
+
+* :meth:`fit` runs the (expensive) Monte-Carlo subspace search **once**
+  against a reference dataset;
+* :meth:`score_samples` / :meth:`rank` score batches of *new* objects against
+  the fitted subspaces and reference population without repeating the search;
+* :meth:`fit_rank` composes the two for the classic one-shot batch ranking of
+  the reference data itself (the paper's experimental protocol);
+* :meth:`save` / :meth:`load` persist a fitted pipeline (component spec,
+  fitted subspaces and reference data) for later serving.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Union
+import json
+import zipfile
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
 from ..dataset.dataset import Dataset
-from ..exceptions import ParameterError
+from ..exceptions import DataError, NotFittedError, ParameterError, SubspaceError
+from ..outliers.aggregation import aggregate_scores
 from ..outliers.base import OutlierScorer
 from ..outliers.lof import LOFScorer
 from ..outliers.ranking import SubspaceOutlierRanker
 from ..subspaces.base import SubspaceSearcher
 from ..subspaces.hics import HiCS
-from ..types import RankingResult
+from ..types import RankingResult, ScoredSubspace, Subspace
 from ..utils.timing import Stopwatch
 from ..utils.validation import check_data_matrix
 
 __all__ = ["SubspaceOutlierPipeline"]
+
+#: Format marker written into every persisted pipeline file.
+_PERSISTENCE_FORMAT = "repro-fitted-pipeline"
+_PERSISTENCE_VERSION = 1
 
 
 class SubspaceOutlierPipeline:
@@ -45,11 +63,20 @@ class SubspaceOutlierPipeline:
 
     Examples
     --------
+    One-shot batch ranking (the paper's protocol):
+
     >>> from repro import SubspaceOutlierPipeline, generate_synthetic_dataset
     >>> dataset = generate_synthetic_dataset(n_objects=300, n_dims=10, random_state=0)
     >>> result = SubspaceOutlierPipeline().fit_rank(dataset)
     >>> result.scores.shape
     (300,)
+
+    Fit once, score a stream of new objects (the serving path):
+
+    >>> pipeline = SubspaceOutlierPipeline().fit(dataset)
+    >>> new_scores = pipeline.score_samples(dataset.data[:5])
+    >>> new_scores.shape
+    (5,)
     """
 
     def __init__(
@@ -67,19 +94,140 @@ class SubspaceOutlierPipeline:
         self.ranker = SubspaceOutlierRanker(
             self.scorer, aggregation=aggregation, max_subspaces=max_subspaces
         )
-        # Populated by fit_rank().
-        self.scored_subspaces_ = []
+        # Populated by fit() / fit_rank().
+        self.scored_subspaces_: List[ScoredSubspace] = []
+        self.reference_data_: Optional[np.ndarray] = None
+        self.fallback_full_space_: bool = False
         self.stopwatch_: Optional[Stopwatch] = None
 
-    def fit_rank(self, data: Union[np.ndarray, Dataset]) -> RankingResult:
-        """Run subspace search and outlier ranking on a dataset or raw matrix."""
-        matrix = data.data if isinstance(data, Dataset) else check_data_matrix(data)
+    # ------------------------------------------------------------ protocol
+
+    @property
+    def is_fitted(self) -> bool:
+        """True once :meth:`fit` (or :meth:`fit_rank`) has run."""
+        return self.reference_data_ is not None
+
+    @property
+    def subspaces_(self) -> List[Subspace]:
+        """The subspaces used for scoring, best first.
+
+        When the search found no subspace this falls back to the single
+        full-space subspace, as the :class:`~repro.subspaces.base.SubspaceSearcher`
+        contract requires of its consumers; :attr:`scored_subspaces_` always
+        holds the raw search result (possibly empty).
+        """
+        self._check_fitted()
+        if not self.scored_subspaces_:
+            return [Subspace(range(self.reference_data_.shape[1]))]
+        return [item.subspace for item in self.scored_subspaces_]
+
+    def _check_fitted(self) -> None:
+        if not self.is_fitted:
+            raise NotFittedError(
+                "this SubspaceOutlierPipeline is not fitted; call fit() first"
+            )
+
+    @staticmethod
+    def _as_matrix(data: Union[np.ndarray, Dataset], *, min_objects: int = 1) -> np.ndarray:
+        if isinstance(data, Dataset):
+            return data.data
+        return check_data_matrix(data, name="data", min_objects=min_objects)
+
+    def fit(self, data: Union[np.ndarray, Dataset]) -> "SubspaceOutlierPipeline":
+        """Run the subspace search once against a reference dataset.
+
+        Stores the found subspaces and the reference data, and prepares the
+        scorer so that :meth:`score_samples` can rank new objects without
+        repeating the search.  When the searcher finds no subspace at all,
+        :attr:`subspaces_` falls back to the single full-space subspace and
+        :attr:`fallback_full_space_` is set.  Returns ``self``.
+        """
+        matrix = self._as_matrix(data, min_objects=2)
         stopwatch = Stopwatch()
         with stopwatch.measure("subspace_search"):
-            self.scored_subspaces_ = self.searcher.search(matrix)
-        subspaces = [s.subspace for s in self.scored_subspaces_]
-        result = self.ranker.rank(matrix, subspaces, stopwatch=stopwatch)
+            found = self.searcher.fit(matrix).scored_subspaces_
+        self.fallback_full_space_ = not found
+        self.scored_subspaces_ = list(found)
+        self.reference_data_ = matrix
+        self.scorer.fit(matrix)
         self.stopwatch_ = stopwatch
+        return self
+
+    def score_samples(
+        self, data: Union[np.ndarray, Dataset], *, independent: bool = False
+    ) -> np.ndarray:
+        """Score a batch of *new* objects against the fitted pipeline.
+
+        Each object is scored relative to the reference population in every
+        fitted subspace (capped at ``max_subspaces``) and the per-subspace
+        scores are aggregated exactly as in :meth:`fit_rank`.  The subspace
+        search is **not** re-run.
+
+        By default the batch is scored *jointly* (fast: one scoring pass per
+        subspace), which means the new objects participate in each other's
+        neighbourhoods — a burst of near-duplicate anomalies in one batch can
+        mask itself.  With ``independent=True`` every object is scored on its
+        own against the reference only (immune to that masking, at the cost
+        of one scoring pass per object per subspace).
+
+        Returns scores of shape ``(n_new_objects,)``; larger means more
+        outlying.
+        """
+        self._check_fitted()
+        matrix = self._as_matrix(data)
+        if matrix.shape[1] != self.reference_data_.shape[1]:
+            raise DataError(
+                f"new data has {matrix.shape[1]} dimensions but the pipeline was "
+                f"fitted on {self.reference_data_.shape[1]}"
+            )
+        selected = self.subspaces_[: self.ranker.max_subspaces]
+        if independent:
+            per_object = [
+                self.scorer.score_samples_many(matrix[i : i + 1], selected)
+                for i in range(matrix.shape[0])
+            ]
+            per_subspace = [
+                np.array([per_object[i][s][0] for i in range(matrix.shape[0])])
+                for s in range(len(selected))
+            ]
+        else:
+            per_subspace = self.scorer.score_samples_many(matrix, selected)
+        return aggregate_scores(per_subspace, self.ranker.aggregation)
+
+    def rank(
+        self, data: Union[np.ndarray, Dataset], *, independent: bool = False
+    ) -> RankingResult:
+        """Rank a batch of *new* objects; :meth:`score_samples` with provenance."""
+        self._check_fitted()
+        stopwatch = Stopwatch()
+        with stopwatch.measure("outlier_ranking"):
+            scores = self.score_samples(data, independent=independent)
+        selected = tuple(self.subspaces_[: self.ranker.max_subspaces])
+        result = RankingResult(
+            scores=scores,
+            subspaces=selected,
+            method=f"{self.searcher.name}+{self.scorer.name}",
+            metadata={
+                "searcher": self.searcher.name,
+                "scorer": self.scorer.name,
+                "n_subspaces": len(selected),
+                "n_reference_objects": int(self.reference_data_.shape[0]),
+                "ranking_time_sec": stopwatch.get("outlier_ranking"),
+                "fallback_full_space": self.fallback_full_space_,
+            },
+        )
+        return result
+
+    def fit_rank(self, data: Union[np.ndarray, Dataset]) -> RankingResult:
+        """Run subspace search and outlier ranking on a dataset or raw matrix.
+
+        The classic one-shot batch API: equivalent to :meth:`fit` followed by
+        an in-sample ranking of the reference data itself.
+        """
+        self.fit(data)
+        stopwatch = self.stopwatch_
+        subspaces = self.subspaces_
+        result = self.ranker.rank(self.reference_data_, subspaces, stopwatch=stopwatch)
         result.metadata.update(
             {
                 "searcher": self.searcher.name,
@@ -87,8 +235,148 @@ class SubspaceOutlierPipeline:
                 "search_time_sec": stopwatch.get("subspace_search"),
                 "ranking_time_sec": stopwatch.get("outlier_ranking"),
                 "total_time_sec": stopwatch.total(),
-                "n_found_subspaces": len(subspaces),
+                "n_found_subspaces": len(self.scored_subspaces_),
+                "fallback_full_space": self.fallback_full_space_,
             }
         )
         result.method = f"{self.searcher.name}+{self.scorer.name}"
         return result
+
+    # ------------------------------------------------------- serialisation
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable description of the pipeline *configuration*.
+
+        Components must be registered (see :mod:`repro.registry`) and their
+        parameters JSON-serialisable; the fitted state is not included — use
+        :meth:`save` for fitted pipelines.
+        """
+        from ..registry import component_to_dict
+
+        aggregation = self.ranker.aggregation
+        if not isinstance(aggregation, str):
+            raise ParameterError(
+                "pipelines with a callable aggregation cannot be serialised; "
+                "register the aggregation under a name first"
+            )
+        return {
+            "format": "repro-pipeline",
+            "searcher": component_to_dict(self.searcher, "searcher"),
+            "scorer": component_to_dict(self.scorer, "scorer"),
+            "aggregation": aggregation,
+            "max_subspaces": self.ranker.max_subspaces,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SubspaceOutlierPipeline":
+        """Rebuild an (unfitted) pipeline from its :meth:`to_dict` payload."""
+        from ..registry import component_from_dict
+
+        if not isinstance(payload, dict):
+            raise ParameterError(f"pipeline payload must be a mapping, got {type(payload).__name__}")
+        if payload.get("format") != "repro-pipeline":
+            raise ParameterError(
+                f"not a pipeline payload: format={payload.get('format')!r}"
+            )
+        for key in ("searcher", "scorer"):
+            if key not in payload:
+                raise ParameterError(f"pipeline payload is missing its {key!r} section")
+        try:
+            max_subspaces = int(payload.get("max_subspaces", 100))
+        except (TypeError, ValueError) as exc:
+            raise ParameterError(
+                f"invalid max_subspaces in pipeline payload: "
+                f"{payload.get('max_subspaces')!r}"
+            ) from exc
+        return cls(
+            searcher=component_from_dict(payload["searcher"], "searcher"),
+            scorer=component_from_dict(payload["scorer"], "scorer"),
+            aggregation=payload.get("aggregation", "average"),
+            max_subspaces=max_subspaces,
+        )
+
+    def save(self, path: str) -> None:
+        """Persist the *fitted* pipeline to ``path`` (NumPy ``.npz`` container).
+
+        The file holds the component spec (:meth:`to_dict`), the fitted
+        subspaces with their contrast scores, and the reference data, so that
+        ``load(path).score_samples(X)`` reproduces this pipeline's scores
+        bit-for-bit.
+        """
+        from .. import __version__  # local import: repro/__init__ imports this module
+
+        self._check_fitted()
+        header = {
+            "format": _PERSISTENCE_FORMAT,
+            "format_version": _PERSISTENCE_VERSION,
+            "library_version": __version__,
+            "pipeline": self.to_dict(),
+            "fallback_full_space": self.fallback_full_space_,
+            "subspaces": [list(s.subspace.attributes) for s in self.scored_subspaces_],
+            "subspace_scores": [float(s.score) for s in self.scored_subspaces_],
+        }
+        with open(path, "wb") as handle:
+            np.savez(
+                handle,
+                header=np.array(json.dumps(header)),
+                reference_data=self.reference_data_,
+            )
+
+    @classmethod
+    def load(cls, path: str) -> "SubspaceOutlierPipeline":
+        """Load a fitted pipeline previously written by :meth:`save`."""
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                header_raw = str(archive["header"][()])
+                reference = np.asarray(archive["reference_data"], dtype=float)
+        except (OSError, KeyError, ValueError, zipfile.BadZipFile) as exc:
+            raise DataError(f"cannot read fitted pipeline from {path!r}: {exc}") from exc
+        try:
+            header = json.loads(header_raw)
+        except json.JSONDecodeError as exc:
+            raise DataError(f"corrupt pipeline header in {path!r}") from exc
+        if not isinstance(header, dict):
+            raise DataError(f"corrupt pipeline header in {path!r}: not a mapping")
+        if header.get("format") != _PERSISTENCE_FORMAT:
+            raise DataError(
+                f"{path!r} is not a fitted repro pipeline (format={header.get('format')!r})"
+            )
+        try:
+            format_version = int(header.get("format_version", -1))
+        except (TypeError, ValueError) as exc:
+            raise DataError(
+                f"corrupt pipeline file {path!r}: bad format_version "
+                f"{header.get('format_version')!r}"
+            ) from exc
+        if format_version > _PERSISTENCE_VERSION:
+            raise DataError(
+                f"{path!r} uses persistence format version {header['format_version']}, "
+                f"newer than the supported version {_PERSISTENCE_VERSION}"
+            )
+        payload = header.get("pipeline")
+        if payload is None:
+            raise DataError(f"corrupt pipeline file {path!r}: missing 'pipeline' section")
+        pipeline = cls.from_dict(payload)
+        subspaces = header.get("subspaces", [])
+        scores = header.get("subspace_scores", [])
+        if len(subspaces) != len(scores):
+            raise DataError(
+                f"corrupt pipeline file {path!r}: {len(subspaces)} subspaces but "
+                f"{len(scores)} subspace scores"
+            )
+        pipeline.reference_data_ = check_data_matrix(
+            reference, name="reference_data", min_objects=2
+        )
+        n_dims = pipeline.reference_data_.shape[1]
+        scored = []
+        for attrs, score in zip(subspaces, scores):
+            try:
+                subspace = Subspace(attrs)
+                subspace.validate_against_dimensionality(n_dims)
+                scored.append(ScoredSubspace(subspace=subspace, score=float(score)))
+            except (SubspaceError, TypeError, ValueError) as exc:
+                raise DataError(f"corrupt pipeline file {path!r}: {exc}") from exc
+        pipeline.scored_subspaces_ = scored
+        pipeline.fallback_full_space_ = bool(header.get("fallback_full_space", False))
+        pipeline.scorer.fit(pipeline.reference_data_)
+        return pipeline

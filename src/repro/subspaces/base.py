@@ -13,13 +13,20 @@ from typing import List
 
 import numpy as np
 
-from ..types import ScoredSubspace
+from ..exceptions import NotFittedError
+from ..types import ScoredSubspace, Subspace
 
 __all__ = ["SubspaceSearcher"]
 
 
 class SubspaceSearcher:
-    """Abstract base class for subspace search (pre-processing) methods."""
+    """Abstract base class for subspace search (pre-processing) methods.
+
+    Subclasses implement :meth:`search`; the estimator-protocol methods
+    :meth:`fit` / :attr:`subspaces_` are provided here so that every searcher
+    can be fitted once on a reference dataset and the found subspaces reused
+    to score arbitrarily many new objects.
+    """
 
     #: Human readable name used in experiment reports.
     name: str = "abstract"
@@ -40,6 +47,31 @@ class SubspaceSearcher:
             the full space".
         """
         raise NotImplementedError
+
+    def fit(self, data: np.ndarray) -> "SubspaceSearcher":
+        """Run the search once and remember the result.
+
+        The ranked subspaces become available as :attr:`scored_subspaces_` /
+        :attr:`subspaces_` and can afterwards be applied to new data without
+        repeating the (expensive) search.  Returns ``self``.
+        """
+        self.scored_subspaces_: List[ScoredSubspace] = self.search(data)
+        return self
+
+    @property
+    def subspaces_(self) -> List[Subspace]:
+        """The subspaces found by the last :meth:`fit`, best first.
+
+        This is the raw search result and may be empty; per the :meth:`search`
+        contract, consumers fall back to the full space then (as
+        :class:`~repro.pipeline.pipeline.SubspaceOutlierPipeline` does).
+        """
+        scored = getattr(self, "scored_subspaces_", None)
+        if scored is None:
+            raise NotFittedError(
+                f"{type(self).__name__} has no fitted subspaces; call fit() first"
+            )
+        return [item.subspace for item in scored]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"{type(self).__name__}(name={self.name!r})"

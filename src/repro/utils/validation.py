@@ -6,6 +6,7 @@ error messages are consistent and point at the offending parameter by name.
 
 from __future__ import annotations
 
+import re
 from typing import Optional
 
 import numpy as np
@@ -13,6 +14,7 @@ import numpy as np
 from ..exceptions import DataError, ParameterError
 
 __all__ = [
+    "check_component_name",
     "check_data_matrix",
     "check_labels",
     "check_positive_int",
@@ -79,6 +81,23 @@ def check_labels(labels: np.ndarray, n_objects: Optional[int] = None, *, name: s
     if not np.all(np.isin(unique, (0, 1, False, True))):
         raise DataError(f"{name} must be binary (0/1), got values {unique[:10]}")
     return arr.astype(int)
+
+
+def check_component_name(name: object, *, kind: str = "component") -> str:
+    """Normalise and validate a registry/aggregation name.
+
+    One shared charset rule (lowercase word characters, ``-``, ``.``) keeps
+    every registered name addressable from pipeline spec strings, which split
+    on ``+`` and parentheses.
+    """
+    if not isinstance(name, str) or not name.strip():
+        raise ParameterError(f"{kind} name must be a non-empty string")
+    key = name.strip().lower()
+    if not re.fullmatch(r"[a-z_][\w.-]*", key):
+        raise ParameterError(
+            f"invalid {kind} name {name!r}; use letters, digits, '_', '-' or '.'"
+        )
+    return key
 
 
 def check_positive_int(value: int, *, name: str, minimum: int = 1) -> int:

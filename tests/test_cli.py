@@ -89,3 +89,90 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "dataset" in out
         assert "LOF" in out and "RANDSUB" in out
+
+    def test_rank_command_with_spec(self, capsys, csv_dataset):
+        code = main(
+            ["rank", "--csv", str(csv_dataset), "--spec", "fullspace+lof(min_pts=8)", "--top", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fullspace+lof" in out
+        assert out.strip().splitlines()[2].split()[1] == "79"
+
+    def test_compare_command_with_specs(self, capsys, csv_dataset):
+        code = main(
+            [
+                "compare",
+                "--csv",
+                str(csv_dataset),
+                "--methods",
+                "LOF",
+                "--specs",
+                "random_subspaces(n_subspaces=5)+knn(k=5)",
+            ]
+        )
+        assert code == 0
+        assert "random_subspaces" in capsys.readouterr().out
+
+    def test_registry_command(self, capsys):
+        assert main(["registry"]) == 0
+        out = capsys.readouterr().out
+        assert "searchers:" in out and "scorers:" in out and "aggregators:" in out
+        assert "hics" in out and "lof" in out and "average" in out
+
+    def test_fit_then_score_round_trip(self, capsys, csv_dataset, tmp_path):
+        model = tmp_path / "model.npz"
+        code = main(
+            [
+                "fit",
+                "--csv",
+                str(csv_dataset),
+                "--spec",
+                "fullspace+lof(min_pts=8)",
+                "--out",
+                str(model),
+            ]
+        )
+        assert code == 0
+        assert model.exists()
+        assert "fitted" in capsys.readouterr().out
+        code = main(["score", "--model", str(model), "--csv", str(csv_dataset), "--top", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "model:" in out
+        # Scoring the reference file itself against the model must still put
+        # the planted outlier first.
+        assert out.strip().splitlines()[2].split()[1] == "79"
+        # Independent scoring reaches the same conclusion on this batch.
+        code = main(
+            ["score", "--model", str(model), "--csv", str(csv_dataset), "--top", "3", "--independent"]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.strip().splitlines()[2].split()[1] == "79"
+
+    def test_user_errors_exit_cleanly(self, capsys, csv_dataset, tmp_path):
+        # Spec typo: one-line error on stderr, exit 2, no traceback.
+        code = main(["rank", "--csv", str(csv_dataset), "--spec", "hics(bogus=1)+lof"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "bogus" in err
+        # Unreadable model file.
+        missing = tmp_path / "missing.npz"
+        code = main(["score", "--model", str(missing), "--csv", str(csv_dataset)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_fit_rejects_pca_front_end(self, capsys, csv_dataset, tmp_path):
+        code = main(
+            [
+                "fit",
+                "--csv",
+                str(csv_dataset),
+                "--method",
+                "PCALOF1",
+                "--out",
+                str(tmp_path / "m.npz"),
+            ]
+        )
+        assert code == 2
+        assert "fittable" in capsys.readouterr().err

@@ -166,6 +166,44 @@ class TestExperimentRunner:
         row = result.as_row()
         assert {"method", "dataset", "auc", "runtime_sec"}.issubset(row)
 
+    def test_spec_string_accepted_as_method(self, labelled_dataset):
+        result = evaluate_method_on_dataset(
+            "fullspace+lof(min_pts=8)", labelled_dataset, _tiny_config()
+        )
+        assert 0.0 <= result.auc <= 1.0
+
+    def test_fitted_pipeline_is_not_refitted(self, labelled_dataset, monkeypatch):
+        from repro.evaluation import evaluate_pipeline_on_dataset
+        from repro.outliers import LOFScorer
+        from repro.subspaces import HiCS
+
+        pipeline = SubspaceOutlierPipeline(
+            searcher=HiCS(n_iterations=5, candidate_cutoff=20, random_state=0),
+            scorer=LOFScorer(min_pts=8),
+        )
+        pipeline.fit(labelled_dataset.data)
+
+        def boom(data):
+            raise AssertionError("fitted pipeline must not re-run the search")
+
+        monkeypatch.setattr(pipeline.searcher, "search", boom)
+        result = evaluate_pipeline_on_dataset(pipeline, labelled_dataset)
+        assert 0.0 <= result.auc <= 1.0
+        assert result.metadata["n_reference_objects"] == labelled_dataset.n_objects
+        # Independent per-object scoring is available for serving metrics that
+        # must not let evaluated objects shadow each other.
+        solo = evaluate_pipeline_on_dataset(pipeline, labelled_dataset, independent=True)
+        assert 0.0 <= solo.auc <= 1.0
+
+    def test_independent_requires_fitted_pipeline(self, labelled_dataset):
+        from repro.evaluation import evaluate_pipeline_on_dataset
+        from repro.exceptions import ParameterError
+
+        with pytest.raises(ParameterError, match="fitted"):
+            evaluate_pipeline_on_dataset(
+                SubspaceOutlierPipeline(), labelled_dataset, independent=True
+            )
+
 
 class TestReporting:
     def _results(self):

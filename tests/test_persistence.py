@@ -1,0 +1,324 @@
+"""Tests for the fit/score split and fitted-pipeline persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import FullSpaceSearcher
+from repro.exceptions import DataError, NotFittedError, ParameterError
+from repro.outliers import KNNDistanceScorer, LOFScorer, local_outlier_factor
+from repro.pipeline import PipelineConfig, SubspaceOutlierPipeline
+from repro.subspaces import HiCS
+from repro.types import ScoredSubspace, Subspace
+
+
+def _fast_hics() -> HiCS:
+    return HiCS(n_iterations=10, candidate_cutoff=30, max_output_subspaces=10, random_state=0)
+
+
+class TestScorerFitScore:
+    def test_score_samples_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            LOFScorer().score_samples(np.zeros((3, 2)))
+
+    def test_score_samples_matches_concatenated_score(self, small_synthetic):
+        reference, new = small_synthetic.data[:200], small_synthetic.data[200:]
+        scorer = LOFScorer(min_pts=8).fit(reference)
+        expected = scorer.score(np.vstack([reference, new]))[200:]
+        assert np.array_equal(scorer.score_samples(new), expected)
+
+    def test_dimensionality_mismatch_rejected(self, small_synthetic):
+        scorer = LOFScorer().fit(small_synthetic.data)
+        with pytest.raises(DataError):
+            scorer.score_samples(small_synthetic.data[:, :3])
+
+    def test_score_samples_many_matches_individual_calls(self, small_synthetic):
+        scorer = LOFScorer(min_pts=8).fit(small_synthetic.data[:200])
+        new = small_synthetic.data[200:]
+        subspaces = [None, Subspace((0, 1)), Subspace((2, 3, 4))]
+        many = scorer.score_samples_many(new, subspaces)
+        for result, subspace in zip(many, subspaces):
+            assert np.array_equal(result, scorer.score_samples(new, subspace=subspace))
+
+
+class TestBatchVsIndependentScoring:
+    def test_independent_mode_resists_duplicate_burst_masking(self):
+        rng = np.random.default_rng(0)
+        reference = rng.normal(0.0, 0.05, size=(150, 4))
+        outlier = np.full((1, 4), 3.0)
+        burst = np.repeat(outlier, 25, axis=0)  # 25 near-identical anomalies
+
+        pipeline = SubspaceOutlierPipeline(
+            searcher=FullSpaceSearcher(), scorer=LOFScorer(min_pts=10)
+        ).fit(reference)
+
+        alone = pipeline.score_samples(outlier)[0]
+        joint = pipeline.score_samples(burst)
+        independent = pipeline.score_samples(burst, independent=True)
+        # Jointly scored, the burst forms its own dense cluster and masks
+        # itself; independently scored, every copy keeps the standalone score.
+        assert joint[0] < alone
+        assert np.allclose(independent, alone)
+
+    def test_rank_forwards_independent_flag(self, small_synthetic):
+        pipeline = SubspaceOutlierPipeline(
+            searcher=FullSpaceSearcher(), scorer=LOFScorer(min_pts=8)
+        ).fit(small_synthetic)
+        batch = small_synthetic.data[:6]
+        via_rank = pipeline.rank(batch, independent=True).scores
+        direct = pipeline.score_samples(batch, independent=True)
+        assert np.array_equal(via_rank, direct)
+
+
+class TestSearcherFit:
+    def test_fit_records_search_result(self, small_synthetic):
+        searcher = _fast_hics()
+        assert searcher.fit(small_synthetic.data) is searcher
+        assert searcher.scored_subspaces_
+        assert searcher.subspaces_ == [s.subspace for s in searcher.scored_subspaces_]
+
+    def test_subspaces_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            _ = _fast_hics().subspaces_
+
+    def test_pipeline_fit_goes_through_searcher_fit(self, small_synthetic):
+        pipeline = SubspaceOutlierPipeline(searcher=_fast_hics(), scorer=LOFScorer(min_pts=8))
+        pipeline.fit(small_synthetic)
+        assert pipeline.searcher.subspaces_ == pipeline.subspaces_
+
+
+class TestPipelineFitScore:
+    def test_fit_returns_self_and_stores_state(self, small_synthetic):
+        pipeline = SubspaceOutlierPipeline(searcher=_fast_hics(), scorer=LOFScorer(min_pts=8))
+        assert pipeline.fit(small_synthetic) is pipeline
+        assert pipeline.is_fitted
+        assert pipeline.scored_subspaces_
+        assert pipeline.reference_data_.shape == small_synthetic.data.shape
+
+    def test_score_samples_requires_fit(self, small_synthetic):
+        pipeline = SubspaceOutlierPipeline(searcher=_fast_hics())
+        with pytest.raises(NotFittedError):
+            pipeline.score_samples(small_synthetic.data[:5])
+        with pytest.raises(NotFittedError):
+            pipeline.rank(small_synthetic.data[:5])
+
+    def test_score_samples_does_not_rerun_search(self, small_synthetic, monkeypatch):
+        pipeline = SubspaceOutlierPipeline(searcher=_fast_hics(), scorer=LOFScorer(min_pts=8))
+        pipeline.fit(small_synthetic)
+
+        def boom(data):
+            raise AssertionError("search must not run during scoring")
+
+        monkeypatch.setattr(pipeline.searcher, "search", boom)
+        scores = pipeline.score_samples(small_synthetic.data[:7])
+        assert scores.shape == (7,)
+
+    def test_full_space_pipeline_scores_against_reference(self, small_synthetic):
+        reference, new = small_synthetic.data[:200], small_synthetic.data[200:]
+        pipeline = SubspaceOutlierPipeline(
+            searcher=FullSpaceSearcher(), scorer=LOFScorer(min_pts=8)
+        )
+        pipeline.fit(reference)
+        expected = local_outlier_factor(np.vstack([reference, new]), min_pts=8)[200:]
+        assert np.allclose(pipeline.score_samples(new), expected)
+
+    def test_rank_new_points_metadata(self, small_synthetic):
+        pipeline = SubspaceOutlierPipeline(searcher=_fast_hics(), scorer=LOFScorer(min_pts=8))
+        pipeline.fit(small_synthetic)
+        result = pipeline.rank(small_synthetic.data[:9])
+        assert result.n_objects == 9
+        assert result.metadata["n_reference_objects"] == small_synthetic.n_objects
+        assert result.metadata["n_subspaces"] == len(result.subspaces)
+
+    def test_dimensionality_mismatch_rejected(self, small_synthetic):
+        pipeline = SubspaceOutlierPipeline(searcher=_fast_hics()).fit(small_synthetic)
+        with pytest.raises(DataError):
+            pipeline.score_samples(small_synthetic.data[:, :4])
+
+    def test_fit_rank_equals_fit_plus_in_sample_ranking(self, small_synthetic):
+        one_shot = SubspaceOutlierPipeline(searcher=_fast_hics(), scorer=LOFScorer(min_pts=8))
+        result = one_shot.fit_rank(small_synthetic)
+        two_step = SubspaceOutlierPipeline(searcher=_fast_hics(), scorer=LOFScorer(min_pts=8))
+        two_step.fit(small_synthetic)
+        rescored = two_step.ranker.rank(small_synthetic.data, two_step.subspaces_)
+        assert np.array_equal(result.scores, rescored.scores)
+
+
+class TestEmptySubspaceFallback:
+    class EmptySearcher(FullSpaceSearcher):
+        """A degenerate searcher that never finds a subspace."""
+
+        def search(self, data):
+            return []
+
+    def test_fit_rank_falls_back_to_full_space(self, small_synthetic):
+        pipeline = SubspaceOutlierPipeline(
+            searcher=self.EmptySearcher(), scorer=LOFScorer(min_pts=8)
+        )
+        result = pipeline.fit_rank(small_synthetic)
+        expected = local_outlier_factor(small_synthetic.data, min_pts=8)
+        assert np.allclose(result.scores, expected)
+        assert result.metadata["fallback_full_space"] is True
+        assert result.metadata["n_found_subspaces"] == 0
+        # scored_subspaces_ keeps the raw (empty) search result; the fallback
+        # only shows up in the subspaces actually used for scoring.
+        assert pipeline.scored_subspaces_ == []
+        assert pipeline.subspaces_ == [Subspace(range(small_synthetic.n_dims))]
+
+    def test_score_samples_works_after_fallback(self, small_synthetic):
+        pipeline = SubspaceOutlierPipeline(
+            searcher=self.EmptySearcher(), scorer=LOFScorer(min_pts=8)
+        )
+        pipeline.fit(small_synthetic)
+        assert pipeline.fallback_full_space_
+        scores = pipeline.score_samples(small_synthetic.data[:5])
+        assert scores.shape == (5,) and np.all(np.isfinite(scores))
+
+    def test_fallback_pipeline_survives_save_load(self, small_synthetic, tmp_path, monkeypatch):
+        # A registered searcher type (required for save) whose search finds nothing.
+        searcher = FullSpaceSearcher()
+        monkeypatch.setattr(searcher, "search", lambda data: [])
+        pipeline = SubspaceOutlierPipeline(
+            searcher=searcher, scorer=LOFScorer(min_pts=8)
+        ).fit(small_synthetic)
+        path = tmp_path / "fallback.npz"
+        pipeline.save(path)
+        restored = SubspaceOutlierPipeline.load(path)
+        assert restored.fallback_full_space_
+        assert restored.scored_subspaces_ == []
+        assert np.array_equal(
+            restored.score_samples(small_synthetic.data[:5]),
+            pipeline.score_samples(small_synthetic.data[:5]),
+        )
+
+
+class TestConfigRoundTrip:
+    def test_pipeline_config_to_from_dict(self):
+        config = PipelineConfig(min_pts=7, hics_alpha=0.25, extra={"note": "x"})
+        assert PipelineConfig.from_dict(config.to_dict()) == config
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ParameterError, match="unknown"):
+            PipelineConfig.from_dict({"min_pts": 5, "bogus": 1})
+
+    def test_pipeline_to_from_dict(self):
+        pipeline = SubspaceOutlierPipeline(
+            searcher=HiCS(n_iterations=6, alpha=0.2, random_state=4),
+            scorer=KNNDistanceScorer(k=6),
+            aggregation="max",
+            max_subspaces=12,
+        )
+        rebuilt = SubspaceOutlierPipeline.from_dict(pipeline.to_dict())
+        assert isinstance(rebuilt.searcher, HiCS)
+        assert rebuilt.searcher.n_iterations == 6
+        assert rebuilt.scorer.k == 6
+        assert rebuilt.ranker.aggregation == "max"
+        assert rebuilt.ranker.max_subspaces == 12
+
+    def test_callable_aggregation_not_serialisable(self):
+        pipeline = SubspaceOutlierPipeline(aggregation=lambda m: m.mean(axis=0))
+        with pytest.raises(ParameterError):
+            pipeline.to_dict()
+
+    def test_from_dict_rejects_foreign_payload(self):
+        with pytest.raises(ParameterError):
+            SubspaceOutlierPipeline.from_dict({"format": "something-else"})
+
+
+class TestSaveLoad:
+    def test_save_requires_fit(self, tmp_path):
+        with pytest.raises(NotFittedError):
+            SubspaceOutlierPipeline(searcher=_fast_hics()).save(tmp_path / "m.npz")
+
+    def test_save_load_reproduces_scores_bit_for_bit(self, small_synthetic, tmp_path):
+        reference, new = small_synthetic.data[:220], small_synthetic.data[220:]
+        pipeline = SubspaceOutlierPipeline(
+            searcher=_fast_hics(), scorer=LOFScorer(min_pts=8), max_subspaces=6
+        )
+        pipeline.fit(reference)
+        before = pipeline.score_samples(new)
+        path = tmp_path / "model.npz"
+        pipeline.save(path)
+        restored = SubspaceOutlierPipeline.load(path)
+        assert np.array_equal(restored.score_samples(new), before)
+        assert restored.subspaces_ == pipeline.subspaces_
+        assert [s.score for s in restored.scored_subspaces_] == [
+            s.score for s in pipeline.scored_subspaces_
+        ]
+        assert restored.ranker.max_subspaces == 6
+
+    def test_load_rejects_non_model_file(self, tmp_path):
+        path = tmp_path / "not_a_model.npz"
+        np.savez(path, data=np.zeros((3, 2)))
+        with pytest.raises(DataError):
+            SubspaceOutlierPipeline.load(path)
+
+    def test_load_rejects_truncated_zip(self, tmp_path):
+        path = tmp_path / "corrupt.npz"
+        path.write_bytes(b"PK\x03\x04" + b"garbage")
+        with pytest.raises(DataError):
+            SubspaceOutlierPipeline.load(path)
+
+    def test_load_rejects_non_numeric_header_fields(self, small_synthetic, tmp_path):
+        pipeline = SubspaceOutlierPipeline(searcher=_fast_hics(), scorer=LOFScorer(min_pts=8))
+        pipeline.fit(small_synthetic)
+        good = tmp_path / "good.npz"
+        pipeline.save(good)
+        for field, value in (
+            ("format_version", "two"),
+            ("subspace_scores", ["x"] * len(pipeline.scored_subspaces_)),
+            ("pipeline", {"format": "repro-pipeline", "max_subspaces": "abc"}),
+            ("pipeline", {"format": "repro-pipeline"}),  # missing searcher/scorer
+        ):
+            bad = tmp_path / f"bad_{field}.npz"
+            self._tamper_header(good, bad, lambda h, f=field, v=value: h.__setitem__(f, v))
+            with pytest.raises((DataError, ParameterError)):
+                SubspaceOutlierPipeline.load(bad)
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(DataError):
+            SubspaceOutlierPipeline.load(tmp_path / "missing.npz")
+
+    @staticmethod
+    def _tamper_header(src, dst, mutate):
+        """Rewrite a saved model with a mutated JSON header."""
+        import json
+
+        with np.load(src, allow_pickle=False) as archive:
+            header = json.loads(str(archive["header"][()]))
+            reference = np.asarray(archive["reference_data"])
+        mutate(header)
+        with open(dst, "wb") as handle:
+            np.savez(handle, header=np.array(json.dumps(header)), reference_data=reference)
+
+    def test_load_rejects_out_of_range_subspace(self, small_synthetic, tmp_path):
+        pipeline = SubspaceOutlierPipeline(searcher=_fast_hics(), scorer=LOFScorer(min_pts=8))
+        pipeline.fit(small_synthetic)
+        good, bad = tmp_path / "good.npz", tmp_path / "bad.npz"
+        pipeline.save(good)
+        self._tamper_header(
+            good, bad, lambda h: h["subspaces"].__setitem__(0, [0, small_synthetic.n_dims])
+        )
+        with pytest.raises(DataError, match="corrupt"):
+            SubspaceOutlierPipeline.load(bad)
+
+    def test_load_rejects_mismatched_subspace_scores(self, small_synthetic, tmp_path):
+        pipeline = SubspaceOutlierPipeline(searcher=_fast_hics(), scorer=LOFScorer(min_pts=8))
+        pipeline.fit(small_synthetic)
+        good, bad = tmp_path / "good.npz", tmp_path / "bad.npz"
+        pipeline.save(good)
+        self._tamper_header(good, bad, lambda h: h["subspace_scores"].pop())
+        with pytest.raises(DataError, match="corrupt"):
+            SubspaceOutlierPipeline.load(bad)
+
+    def test_loaded_pipeline_preserves_subspace_order(self, small_synthetic, tmp_path):
+        pipeline = SubspaceOutlierPipeline(searcher=_fast_hics(), scorer=LOFScorer(min_pts=8))
+        pipeline.fit(small_synthetic)
+        path = tmp_path / "model.npz"
+        pipeline.save(path)
+        restored = SubspaceOutlierPipeline.load(path)
+        assert all(
+            isinstance(item, ScoredSubspace) for item in restored.scored_subspaces_
+        )
+        assert restored.subspaces_ == pipeline.subspaces_

@@ -73,6 +73,18 @@ class TestSubspaceOutlierPipeline:
         assert isinstance(pipeline.searcher, HiCS)
         assert isinstance(pipeline.scorer, LOFScorer)
 
+    def test_fit_rank_reports_fallback_flag(self, small_synthetic):
+        pipeline = SubspaceOutlierPipeline(searcher=_fast_hics(), scorer=LOFScorer(min_pts=8))
+        result = pipeline.fit_rank(small_synthetic)
+        assert result.metadata["fallback_full_space"] is False
+
+    def test_fit_then_score_samples_roundtrip(self, small_synthetic):
+        pipeline = SubspaceOutlierPipeline(searcher=_fast_hics(), scorer=LOFScorer(min_pts=8))
+        pipeline.fit(small_synthetic)
+        scores = pipeline.score_samples(small_synthetic.data[:11])
+        assert scores.shape == (11,)
+        assert np.all(np.isfinite(scores))
+
 
 class TestMethodFactory:
     def test_default_pipeline_is_hics(self):

@@ -1,0 +1,346 @@
+"""Tests for the component registry and spec-string resolution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import registry
+from repro.baselines import FullSpaceSearcher, PCAReducer, RandomSubspaceSearcher
+from repro.exceptions import ParameterError
+from repro.outliers import KNNDistanceScorer, LOFScorer, OutlierScorer
+from repro.outliers.aggregation import aggregate_scores
+from repro.pipeline import SubspaceOutlierPipeline, make_method_pipeline
+from repro.pipeline.config import METHOD_NAMES, PipelineConfig
+from repro.registry import (
+    ComponentSpec,
+    available_aggregators,
+    available_scorers,
+    available_searchers,
+    component_from_dict,
+    component_to_dict,
+    describe_component,
+    get_scorer,
+    get_searcher,
+    make_pipeline_from_spec,
+    make_scorer,
+    make_searcher,
+    parse_component_spec,
+    parse_spec,
+    register_aggregator,
+    register_scorer,
+    register_searcher,
+)
+from repro.subspaces import HiCS, SubspaceSearcher
+
+
+class TestResolution:
+    def test_builtin_searchers_registered(self):
+        names = available_searchers()
+        for expected in ("hics", "enclus", "ris", "random_subspaces", "pca", "fullspace"):
+            assert expected in names
+
+    def test_builtin_scorers_registered(self):
+        names = available_scorers()
+        for expected in ("lof", "knn", "orca", "adaptive_density"):
+            assert expected in names
+
+    def test_builtin_aggregators_registered(self):
+        names = available_aggregators()
+        assert "average" in names and "max" in names
+
+    def test_aliases_resolve_to_canonical_class(self):
+        assert get_searcher("randsub") is RandomSubspaceSearcher
+        assert get_searcher("RANDSUB") is RandomSubspaceSearcher
+        assert get_scorer("knn-dist") is KNNDistanceScorer
+
+    def test_unknown_searcher_error_lists_available(self):
+        with pytest.raises(ParameterError, match="available"):
+            get_searcher("no_such_searcher")
+
+    def test_unknown_scorer_rejected(self):
+        with pytest.raises(ParameterError):
+            get_scorer("no_such_scorer")
+
+    def test_make_searcher_forwards_params(self):
+        searcher = make_searcher("hics", n_iterations=7, alpha=0.2)
+        assert isinstance(searcher, HiCS)
+        assert searcher.n_iterations == 7
+        assert searcher.alpha == 0.2
+
+    def test_make_scorer_invalid_param_reports_signature(self):
+        with pytest.raises(ParameterError, match="signature"):
+            make_scorer("lof", bogus_param=3)
+
+    def test_non_type_error_constructor_failures_wrapped(self):
+        # PCAReducer calls strategy.strip(); an int raises AttributeError,
+        # which must surface as a ParameterError, not a raw traceback.
+        with pytest.raises(ParameterError, match="invalid parameters"):
+            make_pipeline_from_spec("pca(strategy=5)+lof")
+
+    def test_describe_component_shows_defaults(self):
+        assert "min_pts=10" in describe_component(LOFScorer)
+
+
+class TestRegistration:
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ParameterError, match="already registered"):
+            register_searcher("hics", HiCS)
+
+    def test_decorator_and_overwrite(self):
+        @register_scorer("_test_scorer")
+        class DummyScorer(OutlierScorer):
+            name = "dummy"
+
+            def score(self, data, subspace=None):
+                return np.zeros(np.asarray(data).shape[0])
+
+        assert get_scorer("_test_scorer") is DummyScorer
+        with pytest.raises(ParameterError):
+            register_scorer("_test_scorer", DummyScorer)
+        register_scorer("_test_scorer", DummyScorer, overwrite=True)
+
+    def test_non_class_rejected(self):
+        with pytest.raises(ParameterError):
+            register_searcher("_not_a_class", lambda: None)
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ParameterError):
+            register_searcher("", HiCS)
+        with pytest.raises(ParameterError):
+            register_searcher("has space", HiCS)
+
+    def test_register_aggregator_rejects_spec_breaking_names(self):
+        for bad in ("p95+mean", "has space", "with(parens)", ""):
+            with pytest.raises(ParameterError):
+                register_aggregator(bad, lambda m: m.mean(axis=0))
+
+    def test_register_aggregator_usable_by_name(self):
+        @register_aggregator("_test_median", overwrite=True)
+        def median_aggregation(matrix):
+            return np.median(matrix, axis=0)
+
+        stacked = [np.array([1.0, 2.0]), np.array([3.0, 10.0]), np.array([5.0, 4.0])]
+        assert np.allclose(aggregate_scores(stacked, "_test_median"), [3.0, 4.0])
+
+
+class TestSpecParsing:
+    def test_bare_name(self):
+        spec = parse_component_spec("hics")
+        assert spec == ComponentSpec("hics", {})
+
+    def test_params_with_literals(self):
+        spec = parse_component_spec("hics(alpha=0.2, n_iterations=5, random_state=None)")
+        assert spec.name == "hics"
+        assert spec.params == {"alpha": 0.2, "n_iterations": 5, "random_state": None}
+
+    def test_bare_word_values_become_strings(self):
+        spec = parse_component_spec("hics(deviation=welch)")
+        assert spec.params == {"deviation": "welch"}
+
+    def test_bare_constant_words_become_constants(self):
+        spec = parse_component_spec("hics(prune_redundant=false, random_state=none)")
+        assert spec.params == {"prune_redundant": False, "random_state": None}
+        assert parse_component_spec("hics(prune_redundant=true)").params == {
+            "prune_redundant": True
+        }
+
+    def test_tuple_values(self):
+        spec = parse_component_spec("random_subspaces(dimensionality_range=(2, 3))")
+        assert spec.params == {"dimensionality_range": (2, 3)}
+
+    def test_positional_args_rejected(self):
+        with pytest.raises(ParameterError):
+            parse_component_spec("lof(10)")
+
+    def test_garbage_rejected(self):
+        for bad in ("", "hics(", "hics)x(", "(lof)", "lof(min_pts=)"):
+            with pytest.raises(ParameterError):
+                parse_component_spec(bad)
+
+    def test_chained_parameter_groups_rejected(self):
+        # "(a=1)(b=2)" must not silently drop the first group.
+        with pytest.raises(ParameterError):
+            parse_component_spec("hics(alpha=0.3)(n_iterations=5)")
+
+    def test_quoted_values_may_contain_structural_characters(self):
+        spec = parse_spec("hics(deviation='we(ird')+lof")
+        assert spec.searcher.params == {"deviation": "we(ird"}
+        assert spec.scorer.name == "lof"
+        spec = parse_spec("hics(deviation='+')+lof")
+        assert spec.searcher.params == {"deviation": "+"}
+
+    def test_unterminated_quote_rejected(self):
+        with pytest.raises(ParameterError, match="unterminated"):
+            parse_spec("hics(deviation='oops)+lof")
+
+    def test_full_spec_three_segments(self):
+        spec = parse_spec("hics(alpha=0.1)+lof(min_pts=10)+max")
+        assert spec.searcher.name == "hics"
+        assert spec.scorer.name == "lof"
+        assert spec.aggregation == "max"
+
+    def test_scorer_defaults_to_none_when_omitted(self):
+        spec = parse_spec("enclus")
+        assert spec.scorer is None and spec.aggregation is None
+
+    def test_lone_scorer_spec_maps_to_full_space(self):
+        spec = parse_spec("lof(min_pts=8)")
+        assert spec.searcher == ComponentSpec("fullspace")
+        assert spec.scorer == ComponentSpec("lof", {"min_pts": 8})
+        pipeline = make_pipeline_from_spec("knn(k=4)")
+        assert isinstance(pipeline.scorer, KNNDistanceScorer)
+        assert pipeline.scorer.k == 4
+
+    def test_two_part_spec_with_aggregation_in_second_slot(self):
+        spec = parse_spec("hics+max")
+        assert spec.scorer is None and spec.aggregation == "max"
+        pipeline = make_pipeline_from_spec("fullspace+max")
+        assert isinstance(pipeline.scorer, LOFScorer)
+        assert pipeline.ranker.aggregation == "max"
+
+    def test_two_part_spec_with_unknown_second_reports_scorer(self):
+        with pytest.raises(ParameterError, match="unknown scorer"):
+            make_pipeline_from_spec("hics+bogus")
+
+    def test_unknown_aggregation_in_spec_rejected(self):
+        with pytest.raises(ParameterError):
+            parse_spec("hics+lof+no_such_aggregation")
+
+    def test_too_many_segments_rejected(self):
+        with pytest.raises(ParameterError):
+            parse_spec("hics+lof+max+average")
+
+    def test_render_round_trip(self):
+        spec = parse_spec("hics(alpha=0.2)+knn(k=5)+max")
+        assert parse_spec(spec.render()) == spec
+
+
+class TestMakePipelineFromSpec:
+    def test_builds_pipeline_with_params(self):
+        pipeline = make_pipeline_from_spec("hics(n_iterations=5)+knn(k=7)+max")
+        assert isinstance(pipeline, SubspaceOutlierPipeline)
+        assert pipeline.searcher.n_iterations == 5
+        assert pipeline.scorer.k == 7
+        assert pipeline.ranker.aggregation == "max"
+
+    def test_scorer_defaults_to_lof(self):
+        pipeline = make_pipeline_from_spec("fullspace")
+        assert isinstance(pipeline.scorer, LOFScorer)
+
+    def test_pca_spec_returns_reducer_with_scorer(self):
+        reducer = make_pipeline_from_spec("pca(strategy=fixed, n_components=3)+lof(min_pts=5)")
+        assert isinstance(reducer, PCAReducer)
+        assert reducer.strategy == "fixed"
+        assert reducer.scorer.min_pts == 5
+
+    def test_pca_spec_with_aggregation_rejected(self):
+        with pytest.raises(ParameterError, match="no effect"):
+            make_pipeline_from_spec("pca(strategy=half)+lof+max")
+
+    def test_custom_registered_searcher_resolves(self):
+        @register_searcher("_test_trivial", overwrite=True)
+        class TrivialSearcher(FullSpaceSearcher):
+            pass
+
+        pipeline = make_pipeline_from_spec("_test_trivial+lof(min_pts=3)")
+        assert isinstance(pipeline.searcher, TrivialSearcher)
+
+
+class TestMethodFactoryViaRegistry:
+    @pytest.mark.parametrize("method", METHOD_NAMES)
+    def test_every_method_name_resolves(self, method):
+        assert make_method_pipeline(method, PipelineConfig()) is not None
+
+    def test_spec_string_accepted_as_method(self):
+        pipeline = make_method_pipeline("hics(n_iterations=3)+knn(k=4)")
+        assert isinstance(pipeline, SubspaceOutlierPipeline)
+        assert pipeline.scorer.k == 4
+
+    def test_config_max_subspaces_applied_to_spec_pipelines(self):
+        pipeline = make_method_pipeline("fullspace+lof", PipelineConfig(max_subspaces=7))
+        assert pipeline.ranker.max_subspaces == 7
+
+    def test_config_min_pts_injected_into_spec_scorer(self):
+        pipeline = make_method_pipeline("fullspace+lof", PipelineConfig(min_pts=20))
+        assert pipeline.scorer.min_pts == 20
+
+    def test_spec_pinned_param_wins_over_config(self):
+        pipeline = make_method_pipeline("fullspace+lof(min_pts=5)", PipelineConfig(min_pts=20))
+        assert pipeline.scorer.min_pts == 5
+
+    def test_config_seed_injected_into_spec_searcher(self):
+        pipeline = make_method_pipeline(
+            "random_subspaces(n_subspaces=5)+knn(k=3)", PipelineConfig(random_state=7)
+        )
+        assert pipeline.searcher.random_state == 7
+
+    def test_spec_without_scorer_gets_lof_with_config_min_pts(self):
+        pipeline = make_method_pipeline("random_subspaces(n_subspaces=5)", PipelineConfig(min_pts=17))
+        assert isinstance(pipeline.scorer, LOFScorer)
+        assert pipeline.scorer.min_pts == 17
+
+    def test_bare_registered_searcher_name_accepted(self):
+        pipeline = make_method_pipeline("random_subspaces", PipelineConfig(min_pts=9))
+        assert isinstance(pipeline, SubspaceOutlierPipeline)
+        assert isinstance(pipeline.searcher, RandomSubspaceSearcher)
+        assert pipeline.scorer.min_pts == 9
+        assert isinstance(make_method_pipeline("pca"), PCAReducer)
+
+    def test_unknown_bare_name_still_reports_unknown_method(self):
+        with pytest.raises(ParameterError, match="unknown method"):
+            make_method_pipeline("OUTRES")
+
+
+class TestComponentSerialisation:
+    def test_round_trip_searcher(self):
+        original = HiCS(n_iterations=9, alpha=0.3, random_state=5)
+        payload = component_to_dict(original, "searcher")
+        assert payload["name"] == "hics"
+        rebuilt = component_from_dict(payload, "searcher")
+        assert isinstance(rebuilt, HiCS)
+        assert rebuilt.n_iterations == 9
+        assert rebuilt.alpha == 0.3
+        assert rebuilt.random_state == 5
+
+    def test_round_trip_scorer(self):
+        payload = component_to_dict(KNNDistanceScorer(k=4, aggregate="mean"), "scorer")
+        rebuilt = component_from_dict(payload, "scorer")
+        assert rebuilt.k == 4 and rebuilt.aggregate == "mean"
+
+    def test_unregistered_component_rejected(self):
+        class Unregistered(SubspaceSearcher):
+            pass
+
+        with pytest.raises(ParameterError, match="not a registered"):
+            component_to_dict(Unregistered(), "searcher")
+
+    def test_non_serialisable_param_rejected(self):
+        searcher = HiCS(deviation=lambda a, b: 0.0)
+        with pytest.raises(ParameterError, match="serialisable"):
+            component_to_dict(searcher, "searcher")
+
+    def test_param_not_stored_as_attribute_rejected(self):
+        @register_scorer("_test_hidden_param")
+        class HiddenParamScorer(OutlierScorer):
+            name = "hidden"
+
+            def __init__(self, k: int = 2):
+                self._k = k  # deliberately not self.k
+
+            def score(self, data, subspace=None):
+                return np.zeros(np.asarray(data).shape[0])
+
+        with pytest.raises(ParameterError, match="cannot be serialised"):
+            component_to_dict(HiddenParamScorer(k=20), "scorer")
+
+
+@pytest.fixture(autouse=True)
+def _cleanup_test_registrations():
+    """Drop names registered by these tests so state never leaks between tests."""
+    yield
+    from repro.outliers import aggregation
+
+    for table in (registry._SEARCHERS, registry._SCORERS, aggregation._AGGREGATIONS):
+        for key in [k for k in table if k.startswith("_test_")]:
+            del table[key]
