@@ -1,0 +1,65 @@
+"""Fast perf smoke check: the batch engine must never be slower than scalar.
+
+A CI guard, not a benchmark: one small fixture, best-of-three timing per
+engine, non-zero exit when the vectorised batch engine loses to the scalar
+reference path (or the two disagree on a single bit).  Finishes in a few
+seconds so it can run on every push.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from itertools import combinations
+
+import numpy as np
+
+from repro.subspaces.contrast import ContrastEstimator
+from repro.types import Subspace
+
+
+def best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main() -> int:
+    data = np.random.default_rng(9).uniform(size=(250, 20))
+    subspaces = [Subspace(p) for p in combinations(range(20), 2)]
+
+    timings = {}
+    results = {}
+    for engine in ("batch", "scalar"):
+        estimator = ContrastEstimator(
+            data, n_iterations=20, random_state=1, engine=engine, cache=False
+        )
+        results[engine] = estimator.contrast_many(subspaces)
+        fresh = lambda: ContrastEstimator(  # noqa: E731 - tiny timing closure
+            data, n_iterations=20, random_state=1, engine=engine, cache=False
+        ).contrast_many(subspaces)
+        timings[engine] = best_of(3, fresh)
+
+    speedup = timings["scalar"] / timings["batch"]
+    print(
+        f"batch {timings['batch']:.3f}s  scalar {timings['scalar']:.3f}s  "
+        f"speedup {speedup:.2f}x"
+    )
+    if results["batch"] != results["scalar"]:
+        print("FAIL: engines disagree", file=sys.stderr)
+        return 1
+    if timings["batch"] >= timings["scalar"]:
+        print("FAIL: batch engine is not faster than the scalar path", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

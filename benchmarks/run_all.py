@@ -1,0 +1,148 @@
+"""Benchmark regression harness: batch vs scalar contrast engine per PR.
+
+Runs the fig-4/fig-5-style synthetic suites (including the 50-dimensional
+search workload from the acceptance criterion), records wall time for the
+vectorised batch engine against the scalar reference engine, verifies the two
+agree bit-for-bit, computes the ranking AUC of the full HiCS+LOF pipeline on
+each labelled suite, and writes everything to ``BENCH_contrast.json`` so the
+performance trajectory is tracked across PRs.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/run_all.py [--out BENCH_contrast.json]
+
+Exit code is non-zero when the engines disagree or the batch engine fails the
+minimum speedup on the 50-d suite (``--min-speedup``, default 3.0), which is
+what the acceptance criterion pins.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.dataset import generate_synthetic_dataset
+from repro.evaluation.experiments import evaluate_method_on_dataset
+from repro.pipeline import PipelineConfig
+from repro.subspaces.hics import HiCS
+
+#: (name, n_objects, n_dims, n_relevant_subspaces) — fig-4/fig-5 style scaled
+#: workloads; the 50-d suite is the acceptance-criterion workload.
+SUITES = (
+    ("fig4_20d", 400, 20, 4),
+    ("fig5_30d", 300, 30, 3),
+    ("fig5_50d", 300, 50, 5),
+)
+
+SEARCH_PARAMS = dict(
+    n_iterations=25,
+    candidate_cutoff=100,
+    max_output_subspaces=50,
+    max_dimensionality=3,
+    random_state=0,
+)
+
+
+def run_search(data: np.ndarray, engine: str) -> Dict[str, object]:
+    searcher = HiCS(engine=engine, cache=False, **SEARCH_PARAMS)
+    start = time.perf_counter()
+    scored = searcher.search(data)
+    elapsed = time.perf_counter() - start
+    return {
+        "wall_time_sec": elapsed,
+        "result": [(s.subspace.attributes, s.score) for s in scored],
+        "n_evaluated_subspaces": len(searcher.evaluated_subspaces_),
+    }
+
+
+def run_suite(name: str, n_objects: int, n_dims: int, n_relevant: int) -> Dict[str, object]:
+    dataset = generate_synthetic_dataset(
+        n_objects=n_objects,
+        n_dims=n_dims,
+        n_relevant_subspaces=n_relevant,
+        subspace_dims=(2, 3),
+        outliers_per_subspace=5,
+        random_state=n_dims,
+    )
+    batch = run_search(dataset.data, "batch")
+    scalar = run_search(dataset.data, "scalar")
+    identical = batch["result"] == scalar["result"]
+    config = PipelineConfig(
+        max_subspaces=50, hics_iterations=25, hics_cutoff=100, random_state=0
+    )
+    auc = evaluate_method_on_dataset("HiCS", dataset, config).auc
+    suite = {
+        "suite": name,
+        "n_objects": n_objects,
+        "n_dims": n_dims,
+        "n_evaluated_subspaces": batch["n_evaluated_subspaces"],
+        "wall_time_batch_sec": round(batch["wall_time_sec"], 4),
+        "wall_time_scalar_sec": round(scalar["wall_time_sec"], 4),
+        "speedup": round(scalar["wall_time_sec"] / batch["wall_time_sec"], 2),
+        "engines_identical": identical,
+        "auc": round(auc, 4),
+    }
+    return suite
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_contrast.json", help="output JSON path")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=3.0,
+        help="required batch-over-scalar speedup on the 50-d suite",
+    )
+    args = parser.parse_args(argv)
+
+    suites = []
+    for name, n_objects, n_dims, n_relevant in SUITES:
+        print(f"running {name} (N={n_objects}, D={n_dims}) ...", flush=True)
+        suite = run_suite(name, n_objects, n_dims, n_relevant)
+        print(
+            f"  batch {suite['wall_time_batch_sec']}s  "
+            f"scalar {suite['wall_time_scalar_sec']}s  "
+            f"speedup {suite['speedup']}x  auc {suite['auc']}  "
+            f"identical={suite['engines_identical']}"
+        )
+        suites.append(suite)
+
+    target = next(s for s in suites if s["suite"] == "fig5_50d")
+    payload = {
+        "benchmark": "contrast-engine",
+        "search_params": SEARCH_PARAMS,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "suites": suites,
+        "acceptance": {
+            "required_speedup_50d": args.min_speedup,
+            "measured_speedup_50d": target["speedup"],
+            "meets_speedup": target["speedup"] >= args.min_speedup,
+            "all_engines_identical": all(s["engines_identical"] for s in suites),
+        },
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"wrote {args.out}")
+
+    if not payload["acceptance"]["all_engines_identical"]:
+        print("FAIL: batch and scalar engines disagree", file=sys.stderr)
+        return 1
+    if not payload["acceptance"]["meets_speedup"]:
+        print(
+            f"FAIL: 50-d speedup {target['speedup']}x < {args.min_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,7 +56,7 @@ from .dataset import (
     load_uci_surrogate,
     save_csv,
 )
-from .subspaces import ContrastEstimator, HiCS
+from .subspaces import ContrastCache, ContrastEstimator, HiCS
 from .baselines import (
     EnclusSearcher,
     FullSpaceSearcher,
@@ -134,6 +134,7 @@ __all__ = [
     "save_csv",
     # core
     "HiCS",
+    "ContrastCache",
     "ContrastEstimator",
     # baselines
     "EnclusSearcher",

@@ -60,6 +60,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="registry spec string, e.g. 'hics(alpha=0.1)+lof(min_pts=10)'; overrides --method",
         )
         sub.add_argument("--min-pts", type=int, default=10, help="LOF MinPts parameter")
+        sub.add_argument(
+            "--n-jobs",
+            type=int,
+            default=1,
+            help="worker processes for the contrast search (-1 = all cores); "
+            "results are identical for any value",
+        )
 
     rank = subparsers.add_parser("rank", help="rank the objects of a dataset")
     add_dataset_arguments(rank)
@@ -94,6 +101,19 @@ def build_parser() -> argparse.ArgumentParser:
     contrast.add_argument(
         "--deviation", default="welch", choices=["welch", "ks"], help="statistical test"
     )
+    contrast.add_argument(
+        "--engine",
+        default="batch",
+        choices=["batch", "scalar"],
+        help="contrast engine: vectorised batch (default) or the scalar "
+        "reference path; both produce identical contrasts",
+    )
+    contrast.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        help="worker processes for the contrast search (-1 = all cores)",
+    )
 
     compare = subparsers.add_parser("compare", help="compare methods on a labelled dataset")
     add_dataset_arguments(compare)
@@ -110,6 +130,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="additional registry spec strings to compare alongside --methods",
     )
     compare.add_argument("--min-pts", type=int, default=10)
+    compare.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        help="worker processes for the contrast search (-1 = all cores)",
+    )
 
     subparsers.add_parser("datasets", help="list the built-in datasets")
     subparsers.add_parser(
@@ -133,7 +159,9 @@ def _print_top(result, top: int) -> None:
 def _resolve_method_pipeline(args: argparse.Namespace):
     """Build the pipeline for the shared --method/--spec/--min-pts arguments."""
     method = args.spec if args.spec else args.method
-    config = PipelineConfig(min_pts=args.min_pts, random_state=args.seed)
+    config = PipelineConfig(
+        min_pts=args.min_pts, random_state=args.seed, n_jobs=args.n_jobs
+    )
     return method, make_method_pipeline(method, config)
 
 
@@ -185,6 +213,8 @@ def _command_contrast(args: argparse.Namespace) -> int:
         alpha=args.alpha,
         deviation=args.deviation,
         random_state=args.seed,
+        engine=args.engine,
+        n_jobs=args.n_jobs,
     )
     scored = searcher.search(dataset.data)[: args.top]
     print(f"dataset: {dataset.name}   dims: {dataset.n_dims}   objects: {dataset.n_objects}")
@@ -197,7 +227,9 @@ def _command_contrast(args: argparse.Namespace) -> int:
 
 def _command_compare(args: argparse.Namespace) -> int:
     dataset = _load(args)
-    config = PipelineConfig(min_pts=args.min_pts, random_state=args.seed)
+    config = PipelineConfig(
+        min_pts=args.min_pts, random_state=args.seed, n_jobs=args.n_jobs
+    )
     methods = list(args.methods) + list(args.specs)
     results = [evaluate_method_on_dataset(m, dataset, config) for m in methods]
     print(format_comparison_table(results, value="auc"))

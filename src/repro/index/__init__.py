@@ -8,6 +8,6 @@ dimensionality.
 """
 
 from .sorted_index import AttributeIndex, SortedDatabaseIndex
-from .slicing import SliceSampler
+from .slicing import SliceBatch, SliceSampler
 
-__all__ = ["AttributeIndex", "SortedDatabaseIndex", "SliceSampler"]
+__all__ = ["AttributeIndex", "SortedDatabaseIndex", "SliceBatch", "SliceSampler"]

@@ -11,6 +11,7 @@ dimensionality of the subspace (no curse of dimensionality in the slice).
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
@@ -20,7 +21,71 @@ from ..types import SliceCondition, Subspace, SubspaceSlice
 from ..utils.random_state import check_random_state
 from .sorted_index import SortedDatabaseIndex
 
-__all__ = ["SliceSampler"]
+__all__ = ["SliceBatch", "SliceSampler"]
+
+#: Upper bound on the number of boolean cells materialised at once while
+#: evaluating batched slice masks; batches larger than this are processed in
+#: row chunks to keep peak memory flat.
+_MAX_MASK_CELLS = 1 << 24
+
+
+@dataclass(frozen=True)
+class SliceBatch:
+    """All Monte Carlo slices of one subspace, drawn and evaluated in one shot.
+
+    The batched counterpart of :class:`~repro.types.SubspaceSlice`: instead of
+    one Python object per iteration, the batch stores the drawn conditions as
+    index arrays plus a single ``(n_slices, n_objects)`` selection-mask matrix.
+
+    Attributes
+    ----------
+    subspace:
+        The subspace all slices were drawn from.
+    test_attributes:
+        Array of shape ``(n_slices,)``: the test attribute of each iteration.
+    start_ranks:
+        Integer array of shape ``(n_slices, d)`` aligned with
+        ``subspace.attributes``; entry ``[m, j]`` is the start rank of the
+        condition block on attribute ``attributes[j]`` in iteration ``m``.  The
+        test attribute's column holds ``-1`` (no condition).
+    block_size:
+        Number of objects per condition block (identical for all conditions of
+        a fixed subspace size).
+    selected:
+        Boolean matrix of shape ``(n_slices, n_objects)``; row ``m`` marks the
+        objects satisfying all conditions of iteration ``m``.
+    counts:
+        ``selected.sum(axis=1)`` — the conditional sample size per iteration.
+    degenerate:
+        Boolean array marking iterations whose conditional sample stayed below
+        the required minimum size even after all redraw rounds.  Degenerate
+        iterations are excluded from the contrast mean (the documented
+        deterministic fallback).
+    n_redraw_rounds:
+        How many retry rounds the sampler needed (0 when every slice was large
+        enough on the first draw).
+    """
+
+    subspace: Subspace
+    test_attributes: np.ndarray = field(repr=False)
+    start_ranks: np.ndarray = field(repr=False)
+    block_size: int = 0
+    selected: np.ndarray = field(repr=False, default=None)
+    counts: np.ndarray = field(repr=False, default=None)
+    degenerate: np.ndarray = field(repr=False, default=None)
+    n_redraw_rounds: int = 0
+
+    @property
+    def n_slices(self) -> int:
+        return int(self.test_attributes.shape[0])
+
+    @property
+    def n_degenerate(self) -> int:
+        return int(self.degenerate.sum())
+
+    def conditional_indices(self, iteration: int) -> np.ndarray:
+        """Object indices selected by one iteration's slice (ascending)."""
+        return np.flatnonzero(self.selected[iteration])
 
 
 class SliceSampler:
@@ -151,6 +216,144 @@ class SliceSampler:
             conditions=tuple(conditions),
             selected_mask=selected,
         )
+
+    def sample_slice_batch(
+        self,
+        subspace: Subspace,
+        n_slices: int,
+        *,
+        rng: Optional[np.random.Generator] = None,
+        min_conditional_size: int = 1,
+        max_retries: int = 0,
+    ) -> SliceBatch:
+        """Draw ``n_slices`` Monte Carlo slices of one subspace in one shot.
+
+        The batched replacement for calling :meth:`sample_slice` in a loop:
+        test attributes and condition start ranks are drawn as whole arrays,
+        and the selection masks of all slices are evaluated against the
+        precomputed rank matrix of the index with a handful of vectorised
+        comparisons per attribute instead of one boolean mask per condition.
+
+        Slices whose conditional sample is smaller than
+        ``min_conditional_size`` are redrawn in rounds (new start ranks, same
+        test attribute) up to ``max_retries`` times, mirroring the scalar
+        retry loop.  Iterations still below ``max(2, min_conditional_size)``
+        after the last round are flagged ``degenerate`` — the deterministic
+        fallback is to *exclude* them from the contrast mean rather than to
+        score a meaningless test (see :class:`SliceBatch`).
+
+        Parameters
+        ----------
+        subspace:
+            The subspace to slice; at least two attributes.
+        n_slices:
+            Number of Monte Carlo iterations ``M``.
+        rng:
+            Generator to draw from; defaults to the sampler's own stream.
+            Passing an explicit generator makes the batch a pure function of
+            the generator state, which is what the contrast cache and the
+            process-parallel search rely on.
+        min_conditional_size:
+            Minimum conditional sample size below which a slice is redrawn.
+        max_retries:
+            Maximum number of redraw rounds.
+
+        Returns
+        -------
+        SliceBatch
+        """
+        subspace.validate_against_dimensionality(self.index.n_dims)
+        if subspace.dimensionality < 2:
+            raise SubspaceError("subspace slices require at least two attributes")
+        if n_slices < 1:
+            raise ParameterError(f"n_slices must be >= 1, got {n_slices}")
+        if min_conditional_size < 1:
+            raise ParameterError(
+                f"min_conditional_size must be >= 1, got {min_conditional_size}"
+            )
+        if max_retries < 0:
+            raise ParameterError(f"max_retries must be >= 0, got {max_retries}")
+        rng = self._rng if rng is None else rng
+
+        attrs = subspace.as_array()
+        d = attrs.shape[0]
+        n = self.index.n_objects
+        block = self.block_size(d)
+        max_start = n - block
+
+        # One draw for the test-attribute positions, one per redraw round for
+        # the start ranks; the test attribute is kept across redraws exactly
+        # like the scalar retry loop does.
+        test_positions = rng.integers(0, d, size=n_slices)
+        start_ranks = np.full((n_slices, d), -1, dtype=np.intp)
+        condition_mask = np.ones((n_slices, d), dtype=bool)
+        condition_mask[np.arange(n_slices), test_positions] = False
+
+        def draw_starts(n_rows: int) -> np.ndarray:
+            if max_start > 0:
+                return rng.integers(0, max_start + 1, size=(n_rows, d - 1))
+            return np.zeros((n_rows, d - 1), dtype=np.intp)
+
+        start_ranks[condition_mask] = draw_starts(n_slices).ravel()
+        selected = self._evaluate_masks(attrs, start_ranks, block)
+        counts = selected.sum(axis=1)
+
+        rounds = 0
+        while rounds < max_retries:
+            failing = np.flatnonzero(counts < min_conditional_size)
+            if failing.size == 0:
+                break
+            rounds += 1
+            redraw = np.full((failing.size, d), -1, dtype=np.intp)
+            redraw[condition_mask[failing]] = draw_starts(failing.size).ravel()
+            start_ranks[failing] = redraw
+            selected[failing] = self._evaluate_masks(attrs, redraw, block)
+            counts[failing] = selected[failing].sum(axis=1)
+
+        degenerate = counts < max(2, min_conditional_size)
+        counts.setflags(write=False)
+        selected.setflags(write=False)
+        return SliceBatch(
+            subspace=subspace,
+            test_attributes=attrs[test_positions],
+            start_ranks=start_ranks,
+            block_size=block,
+            selected=selected,
+            counts=counts,
+            degenerate=degenerate,
+            n_redraw_rounds=rounds,
+        )
+
+    def _evaluate_masks(
+        self, attrs: np.ndarray, start_ranks: np.ndarray, block: int
+    ) -> np.ndarray:
+        """Selection masks for a matrix of drawn condition start ranks.
+
+        ``start_ranks`` has one row per slice and one column per subspace
+        attribute (-1 marking the unconditioned test attribute).  A block
+        ``[start, start + block)`` on an attribute selects exactly the objects
+        whose rank under that attribute falls inside the interval, so the mask
+        of each slice is the conjunction of ``d - 1`` rank-interval tests —
+        evaluated here column by column over all slices at once.
+        """
+        n = self.index.n_objects
+        n_rows = start_ranks.shape[0]
+        chunk = max(1, min(n_rows, _MAX_MASK_CELLS // max(1, n)))
+        out = np.empty((n_rows, n), dtype=bool)
+        ranks = self.index.rank_matrix
+        for lo in range(0, n_rows, chunk):
+            hi = min(n_rows, lo + chunk)
+            sel = np.ones((hi - lo, n), dtype=bool)
+            for j, attribute in enumerate(attrs):
+                starts = start_ranks[lo:hi, j, None]
+                column = ranks[:, attribute][None, :]
+                inside = (column >= starts) & (column < starts + block)
+                # Unconditioned (test-attribute) rows have start == -1; their
+                # interval test is replaced by all-True.
+                np.logical_or(inside, starts < 0, out=inside)
+                sel &= inside
+            out[lo:hi] = sel
+        return out
 
     def conditional_sample(self, subspace_slice: SubspaceSlice) -> np.ndarray:
         """Values of the test attribute for the objects selected by the slice."""

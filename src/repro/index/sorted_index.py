@@ -50,6 +50,11 @@ class AttributeIndex:
         return self._order
 
     @property
+    def values(self) -> np.ndarray:
+        """The attribute values in original (object index) order."""
+        return self._values
+
+    @property
     def sorted_values(self) -> np.ndarray:
         """The attribute values in ascending order."""
         return self._sorted_values
@@ -100,6 +105,7 @@ class SortedDatabaseIndex:
     def __init__(self, data: np.ndarray):
         self._data = check_data_matrix(data, name="data")
         self._indices: Dict[int, AttributeIndex] = {}
+        self._rank_matrix: np.ndarray = None
 
     @property
     def data(self) -> np.ndarray:
@@ -129,6 +135,40 @@ class SortedDatabaseIndex:
         for attribute in range(self.n_dims):
             self.attribute_index(attribute)
         return self
+
+    @property
+    def rank_matrix(self) -> np.ndarray:
+        """Per-attribute rank of every object, shape ``(n_objects, n_dims)``.
+
+        ``rank_matrix[i, a]`` is the position of object ``i`` in the sorted
+        order of attribute ``a`` (``order[rank_matrix[i, a]] == i``), so each
+        column is a permutation of ``0..n_objects-1``.  An index block
+        ``[start, stop)`` on attribute ``a`` selects exactly the objects with
+        ``start <= rank_matrix[:, a] < stop`` — this is the representation the
+        batched slice sampler uses to evaluate all Monte Carlo iterations of a
+        subspace with a handful of array comparisons instead of per-condition
+        boolean masks.
+
+        Built lazily on first access and cached; ties inherit the stable
+        (mergesort) ordering of :class:`AttributeIndex`.
+        """
+        if self._rank_matrix is None:
+            n, d = self._data.shape
+            ranks = np.empty((n, d), dtype=np.intp)
+            positions = np.arange(n, dtype=np.intp)
+            for attribute in range(d):
+                ranks[self.attribute_index(attribute).order, attribute] = positions
+            self._rank_matrix = ranks
+            self._rank_matrix.setflags(write=False)
+        return self._rank_matrix
+
+    def ranks(self, attribute: int) -> np.ndarray:
+        """Sorted-order rank of every object under one attribute (read-only)."""
+        if attribute < 0 or attribute >= self.n_dims:
+            raise SubspaceError(
+                f"attribute {attribute} out of range for {self.n_dims}-dimensional data"
+            )
+        return self.rank_matrix[:, attribute]
 
     def values(self, attribute: int) -> np.ndarray:
         """Raw (unsorted) values of an attribute."""

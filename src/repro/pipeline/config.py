@@ -67,6 +67,10 @@ class PipelineConfig:
         Candidate cutoff (paper default 400).
     random_state:
         Seed forwarded to the stochastic methods.
+    n_jobs:
+        Process fan-out for the contrast search (forwarded to every component
+        whose constructor accepts ``n_jobs``); ``-1`` uses all cores.  Purely
+        a throughput knob — results are independent of it.
     extra:
         Free-form per-method overrides.
     """
@@ -77,6 +81,7 @@ class PipelineConfig:
     hics_alpha: float = 0.1
     hics_cutoff: int = 400
     random_state: Optional[int] = 0
+    n_jobs: int = 1
     extra: Dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
@@ -111,6 +116,7 @@ def _method_spec(key: str, config: PipelineConfig) -> PipelineSpec:
         "candidate_cutoff": config.hics_cutoff,
         "max_output_subspaces": config.max_subspaces,
         "random_state": config.random_state,
+        "n_jobs": config.n_jobs,
     }
     searchers = {
         "lof": ComponentSpec("fullspace"),
@@ -143,12 +149,17 @@ def _method_spec(key: str, config: PipelineConfig) -> PipelineSpec:
 def _inject_config_defaults(spec: PipelineSpec, config: PipelineConfig) -> PipelineSpec:
     """Apply the shared config parameters to spec components that accept them.
 
-    ``min_pts`` and ``random_state`` are the config knobs the CLI exposes
-    (``--min-pts`` / ``--seed``); they are injected into every component whose
-    constructor accepts them, unless the spec already pins the parameter.  A
-    spec without a scorer gets LOF with the config's ``min_pts``.
+    ``min_pts``, ``random_state`` and ``n_jobs`` are the config knobs the CLI
+    exposes (``--min-pts`` / ``--seed`` / ``--n-jobs``); they are injected into
+    every component whose constructor accepts them, unless the spec already
+    pins the parameter.  A spec without a scorer gets LOF with the config's
+    ``min_pts``.
     """
-    shared = {"min_pts": config.min_pts, "random_state": config.random_state}
+    shared = {
+        "min_pts": config.min_pts,
+        "random_state": config.random_state,
+        "n_jobs": config.n_jobs,
+    }
 
     def merged(component: ComponentSpec, cls: type) -> ComponentSpec:
         accepted = inspect.signature(cls.__init__).parameters

@@ -13,19 +13,35 @@ cross-checks them against SciPy where it is available.
 from .correlation import pearson_correlation, spearman_correlation
 from .descriptive import sample_mean, sample_moments, sample_std, sample_variance
 from .deviation import (
+    BatchDeviationFunction,
     DeviationFunction,
     available_deviation_functions,
     cramer_von_mises_deviation,
+    get_batch_deviation_function,
     get_deviation_function,
     ks_deviation,
+    ks_deviation_batch,
     register_deviation_function,
     welch_deviation,
+    welch_deviation_batch,
 )
 from .ecdf import empirical_cdf, empirical_cdf_values
 from .entropy import grid_cell_counts, shannon_entropy, subspace_grid_entropy
-from .ks import ks_two_sample_statistic, ks_two_sample_test
-from .tdist import student_t_cdf, student_t_sf, student_t_two_tailed_pvalue
-from .welch import welch_satterthwaite_df, welch_t_statistic, welch_t_test
+from .ks import ks_two_sample_statistic, ks_two_sample_statistic_batch, ks_two_sample_test
+from .tdist import (
+    student_t_cdf,
+    student_t_sf,
+    student_t_two_tailed_pvalue,
+    student_t_two_tailed_pvalue_batch,
+)
+from .welch import (
+    welch_satterthwaite_df,
+    welch_satterthwaite_df_batch,
+    welch_t_statistic,
+    welch_t_statistic_batch,
+    welch_t_test,
+    welch_t_test_batch,
+)
 
 __all__ = [
     "pearson_correlation",
@@ -34,24 +50,33 @@ __all__ = [
     "sample_moments",
     "sample_std",
     "sample_variance",
+    "BatchDeviationFunction",
     "DeviationFunction",
     "available_deviation_functions",
     "cramer_von_mises_deviation",
+    "get_batch_deviation_function",
     "get_deviation_function",
     "ks_deviation",
+    "ks_deviation_batch",
     "register_deviation_function",
     "welch_deviation",
+    "welch_deviation_batch",
     "empirical_cdf",
     "empirical_cdf_values",
     "grid_cell_counts",
     "shannon_entropy",
     "subspace_grid_entropy",
     "ks_two_sample_statistic",
+    "ks_two_sample_statistic_batch",
     "ks_two_sample_test",
     "student_t_cdf",
     "student_t_sf",
     "student_t_two_tailed_pvalue",
+    "student_t_two_tailed_pvalue_batch",
     "welch_satterthwaite_df",
+    "welch_satterthwaite_df_batch",
     "welch_t_statistic",
+    "welch_t_statistic_batch",
     "welch_t_test",
+    "welch_t_test_batch",
 ]

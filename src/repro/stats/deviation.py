@@ -15,26 +15,36 @@ in ``[0, 1]`` where 0 means "indistinguishable" and values close to 1 mean
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..exceptions import ParameterError
-from .ks import ks_two_sample_statistic
-from .welch import welch_t_test
+from .ks import ks_two_sample_statistic, ks_two_sample_statistic_batch
+from .welch import welch_t_test, welch_t_test_batch
 
 __all__ = [
     "DeviationFunction",
+    "BatchDeviationFunction",
     "welch_deviation",
+    "welch_deviation_batch",
     "ks_deviation",
+    "ks_deviation_batch",
     "cramer_von_mises_deviation",
     "mean_shift_deviation",
     "register_deviation_function",
     "get_deviation_function",
+    "get_batch_deviation_function",
+    "batch_fallback",
     "available_deviation_functions",
 ]
 
 DeviationFunction = Callable[[np.ndarray, np.ndarray], float]
+
+#: A batched deviation maps ``(conditional_samples, marginal_sample)`` to one
+#: deviation value per conditional sample.  The optional ``marginal_sorted``
+#: keyword lets callers holding a sorted-index reuse the pre-sorted marginal.
+BatchDeviationFunction = Callable[..., np.ndarray]
 
 
 def welch_deviation(conditional_sample: np.ndarray, marginal_sample: np.ndarray) -> float:
@@ -93,10 +103,80 @@ def mean_shift_deviation(conditional_sample: np.ndarray, marginal_sample: np.nda
     return float(min(1.0, abs(float(np.mean(a)) - float(np.mean(b))) / spread))
 
 
+def welch_deviation_batch(
+    conditional_samples: Sequence[np.ndarray],
+    marginal_sample: np.ndarray,
+    *,
+    marginal_sorted: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Batched HiCS_WT deviation: one Welch test per conditional sample.
+
+    Bit-for-bit equal to calling :func:`welch_deviation` once per sample (the
+    per-sample moments are extracted with the identical routine; statistic,
+    degrees of freedom and p-values are evaluated with exact array
+    arithmetic).  ``marginal_sorted`` is accepted for interface uniformity but
+    unused — the Welch test only needs the marginal's moments.
+    """
+    del marginal_sorted
+    _, _, pvalues = welch_t_test_batch(conditional_samples, marginal_sample)
+    return np.clip(1.0 - pvalues, 0.0, 1.0)
+
+
+def ks_deviation_batch(
+    conditional_samples: Sequence[np.ndarray],
+    marginal_sample: np.ndarray,
+    *,
+    marginal_sorted: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Batched HiCS_KS deviation: one KS statistic per conditional sample.
+
+    Bit-for-bit equal to calling :func:`ks_deviation` per sample; the marginal
+    is sorted once (or never, when ``marginal_sorted`` is provided).
+    """
+    return ks_two_sample_statistic_batch(
+        conditional_samples, marginal_sample, reference_sorted=marginal_sorted
+    )
+
+
+def batch_fallback(scalar_deviation: DeviationFunction) -> BatchDeviationFunction:
+    """Lift a scalar deviation function into the batched interface.
+
+    Used for custom / unregistered deviations that have no array-level
+    implementation: the scalar function is simply applied per sample, which is
+    trivially bit-for-bit equal to the scalar engine while still benefiting
+    from the batched slice drawing.
+    """
+
+    def batched(
+        conditional_samples: Sequence[np.ndarray],
+        marginal_sample: np.ndarray,
+        *,
+        marginal_sorted: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        del marginal_sorted
+        return np.array(
+            [float(scalar_deviation(s, marginal_sample)) for s in conditional_samples],
+            dtype=float,
+        )
+
+    batched.__name__ = f"batched_{getattr(scalar_deviation, '__name__', 'deviation')}"
+    return batched
+
+
 _REGISTRY: Dict[str, DeviationFunction] = {}
 
+#: Scalar deviation callable -> its exact array-level implementation.  Keyed
+#: by the resolved callable so every registered alias shares the batch path.
+_BATCH_REGISTRY: Dict[DeviationFunction, BatchDeviationFunction] = {}
 
-def register_deviation_function(name: str, func: DeviationFunction, *, overwrite: bool = False) -> None:
+
+def register_deviation_function(
+    name: str,
+    func: DeviationFunction,
+    *,
+    batch: Optional[BatchDeviationFunction] = None,
+    overwrite: bool = False,
+) -> None:
     """Register a deviation function under a case-insensitive name.
 
     Parameters
@@ -105,6 +185,12 @@ def register_deviation_function(name: str, func: DeviationFunction, *, overwrite
         Registry key (e.g. ``"welch"``).
     func:
         Callable mapping two 1-D samples to a deviation in ``[0, 1]``.
+    batch:
+        Optional array-level implementation mapping
+        ``(conditional_samples, marginal_sample)`` to one deviation per
+        sample.  It must reproduce ``func`` bit-for-bit per sample; when
+        omitted, the batch contrast engine falls back to applying ``func``
+        per sample (:func:`batch_fallback`).
     overwrite:
         Allow replacing an existing entry.  Defaults to False to protect the
         built-in instantiations from accidental shadowing.
@@ -116,7 +202,11 @@ def register_deviation_function(name: str, func: DeviationFunction, *, overwrite
         raise ParameterError(f"deviation function {name!r} is already registered")
     if not callable(func):
         raise ParameterError("deviation function must be callable")
+    if batch is not None and not callable(batch):
+        raise ParameterError("batch deviation function must be callable")
     _REGISTRY[key] = func
+    if batch is not None:
+        _BATCH_REGISTRY[func] = batch
 
 
 def get_deviation_function(name_or_func) -> DeviationFunction:
@@ -143,17 +233,33 @@ def get_deviation_function(name_or_func) -> DeviationFunction:
     return _REGISTRY[key]
 
 
+def get_batch_deviation_function(name_or_func) -> BatchDeviationFunction:
+    """Resolve the array-level implementation of a deviation function.
+
+    Accepts the same inputs as :func:`get_deviation_function`.  When the
+    resolved scalar function has a registered batch implementation (the
+    built-in Welch and KS deviations do), that implementation is returned;
+    otherwise a per-sample fallback wrapper around the scalar function is
+    built, which is exact by construction.
+    """
+    scalar = get_deviation_function(name_or_func)
+    batch = _BATCH_REGISTRY.get(scalar)
+    if batch is not None:
+        return batch
+    return batch_fallback(scalar)
+
+
 def available_deviation_functions() -> Tuple[str, ...]:
     """Names of all registered deviation functions, sorted alphabetically."""
     return tuple(sorted(_REGISTRY))
 
 
 # Built-in registrations.
-register_deviation_function("welch", welch_deviation)
-register_deviation_function("wt", welch_deviation)
-register_deviation_function("t-test", welch_deviation)
-register_deviation_function("ks", ks_deviation)
-register_deviation_function("kolmogorov-smirnov", ks_deviation)
+register_deviation_function("welch", welch_deviation, batch=welch_deviation_batch)
+register_deviation_function("wt", welch_deviation, batch=welch_deviation_batch)
+register_deviation_function("t-test", welch_deviation, batch=welch_deviation_batch)
+register_deviation_function("ks", ks_deviation, batch=ks_deviation_batch)
+register_deviation_function("kolmogorov-smirnov", ks_deviation, batch=ks_deviation_batch)
 register_deviation_function("cvm", cramer_von_mises_deviation)
 register_deviation_function("cramer-von-mises", cramer_von_mises_deviation)
 register_deviation_function("mean-shift", mean_shift_deviation)

@@ -13,13 +13,14 @@
 """
 
 from .base import SubspaceSearcher
-from .contrast import ContrastEstimator
+from .contrast import ContrastCache, ContrastEstimator
 from .apriori import generate_candidates, merge_subspaces
 from .pruning import prune_redundant_subspaces
 from .hics import HiCS
 
 __all__ = [
     "SubspaceSearcher",
+    "ContrastCache",
     "ContrastEstimator",
     "generate_candidates",
     "merge_subspaces",

@@ -13,22 +13,124 @@ conditioning the remaining ``|S| - 1`` attributes on adaptive index blocks of
 per-condition selectivity ``alpha^(1/|S|)``.  The deviation function is a
 two-sample statistical test comparing the conditional sample against the
 marginal sample (Welch's t-test for HiCS_WT, the KS statistic for HiCS_KS).
+
+Two execution engines share one slice-drawing protocol
+(:meth:`~repro.index.SliceSampler.sample_slice_batch`):
+
+``"batch"`` (default)
+    The vectorised hot path: all ``M`` selection masks are evaluated against
+    the precomputed rank matrix at once, the conditional samples are gathered
+    with a single ``nonzero``/``split`` pass, and the deviations of all
+    iterations are computed through the array-level statistics
+    (:func:`~repro.stats.deviation.welch_deviation_batch`,
+    :func:`~repro.stats.deviation.ks_deviation_batch`).
+
+``"scalar"``
+    The reference implementation: per-iteration boolean masks built condition
+    by condition through :meth:`~repro.index.AttributeIndex.block_mask`, one
+    scalar two-sample test per iteration.  Both engines produce bit-for-bit
+    identical contrasts under a shared seed; the golden-equivalence suite
+    (``tests/test_contrast_batch.py``) enforces this.
+
+The randomness of each subspace evaluation is derived from the estimator seed
+*and* the subspace's attributes, so a subspace's contrast does not depend on
+evaluation order.  That property makes results cacheable
+(:class:`ContrastCache`) and lets :meth:`ContrastEstimator.contrast_many` fan
+candidate levels out across worker processes (``n_jobs``) without changing a
+single bit of the output.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Union
+import hashlib
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..exceptions import ParameterError, SubspaceError
-from ..index import SliceSampler, SortedDatabaseIndex
-from ..stats.deviation import DeviationFunction, get_deviation_function
+from ..index import SliceBatch, SliceSampler, SortedDatabaseIndex
+from ..stats.descriptive import sample_moments, sample_moments_batch
+from ..stats.deviation import (
+    DeviationFunction,
+    get_batch_deviation_function,
+    get_deviation_function,
+    ks_deviation,
+    welch_deviation,
+)
+from ..stats.ks import ks_statistic_against_superset_batch
+from ..stats.tdist import student_t_two_tailed_pvalue_batch
+from ..stats.welch import welch_satterthwaite_df_batch, welch_t_statistic_batch
 from ..types import ContrastResult, Subspace
-from ..utils.random_state import check_random_state
 from ..utils.validation import check_positive_int
 
-__all__ = ["ContrastEstimator"]
+__all__ = ["ContrastCache", "ContrastEstimator"]
+
+_ENGINES = ("batch", "scalar")
+
+
+class ContrastCache:
+    """Memo table for Monte Carlo contrast results.
+
+    Keys combine the data fingerprint, the estimation parameters, the seed
+    entropy and the subspace, so a hit is guaranteed to be the exact result a
+    fresh evaluation would produce (contrasts are pure functions of that key
+    thanks to per-subspace seed derivation).  A cache can be shared between
+    estimators — :class:`~repro.subspaces.hics.HiCS` keeps one across repeated
+    ``fit`` calls so parameter sweeps never recompute an already-scored level.
+
+    Parameters
+    ----------
+    max_entries:
+        Optional bound on the number of stored results; when full, the oldest
+        inserted entry is evicted (FIFO).  ``None`` means unbounded.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None):
+        if max_entries is not None:
+            max_entries = check_positive_int(max_entries, name="max_entries")
+        self.max_entries = max_entries
+        self._entries: Dict[tuple, ContrastResult] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple) -> Optional[ContrastResult]:
+        result = self._entries.get(key)
+        if result is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return result
+
+    def put(self, key: tuple, result: ContrastResult) -> None:
+        if self.max_entries is not None and key not in self._entries:
+            while len(self._entries) >= self.max_entries:
+                self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = result
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters and current size, for diagnostics and tests."""
+        return {"hits": self.hits, "misses": self.misses, "size": len(self._entries)}
+
+
+def _resolve_n_jobs(n_jobs: int) -> int:
+    """Normalise an ``n_jobs`` parameter (-1 meaning "all cores")."""
+    if not isinstance(n_jobs, (int, np.integer)) or isinstance(n_jobs, bool):
+        raise ParameterError(f"n_jobs must be an integer, got {type(n_jobs).__name__}")
+    n_jobs = int(n_jobs)
+    if n_jobs == -1:
+        return max(1, os.cpu_count() or 1)
+    if n_jobs < 1:
+        raise ParameterError(f"n_jobs must be >= 1 or -1 (all cores), got {n_jobs}")
+    return n_jobs
 
 
 class ContrastEstimator:
@@ -52,9 +154,24 @@ class ContrastEstimator:
     min_conditional_size:
         Slices that select fewer objects than this are redrawn (up to
         ``max_retries`` times) because the statistical tests are meaningless on
-        nearly empty samples.
+        nearly empty samples.  Iterations that stay below the minimum after the
+        last retry are *excluded* from the contrast mean (deterministic
+        degradation; see :attr:`~repro.types.ContrastResult.n_degenerate`).
     random_state:
-        Seed or generator for the Monte Carlo procedure.
+        Seed or generator for the Monte Carlo procedure.  Each subspace's
+        randomness is derived from this seed and the subspace's attributes, so
+        contrasts are independent of the order in which subspaces are
+        evaluated.
+    engine:
+        ``"batch"`` (vectorised, default) or ``"scalar"`` (per-iteration
+        reference).  Both produce bit-for-bit identical contrasts.
+    n_jobs:
+        Default process fan-out for :meth:`contrast_many`; ``-1`` uses all
+        cores, 1 (default) stays sequential.
+    cache:
+        ``True`` (default) attaches a fresh :class:`ContrastCache`; pass an
+        existing cache to share results between estimators, or ``False`` /
+        ``None`` to disable memoisation.
     """
 
     def __init__(
@@ -67,6 +184,9 @@ class ContrastEstimator:
         min_conditional_size: int = 5,
         max_retries: int = 10,
         random_state=None,
+        engine: str = "batch",
+        n_jobs: int = 1,
+        cache: Union[bool, ContrastCache, None] = True,
     ):
         self.n_iterations = check_positive_int(n_iterations, name="n_iterations")
         if not (0.0 < alpha < 1.0):
@@ -76,14 +196,59 @@ class ContrastEstimator:
         self.deviation_name = deviation if isinstance(deviation, str) else getattr(
             deviation, "__name__", "custom"
         )
+        # How the deviation was specified: a registered name can be rebuilt in
+        # worker processes and keyed by string; a bare callable must itself be
+        # shipped to workers and used as the cache-key component (identity
+        # semantics — a custom callable that merely shares a built-in's name
+        # must never alias it).
+        self._deviation_spec = deviation if isinstance(deviation, str) else None
+        self._deviation_batch = get_batch_deviation_function(self.deviation)
         self.min_conditional_size = check_positive_int(
             min_conditional_size, name="min_conditional_size"
         )
         self.max_retries = check_positive_int(max_retries, name="max_retries")
-        self._rng = check_random_state(random_state)
+        if engine not in _ENGINES:
+            raise ParameterError(f"engine must be one of {_ENGINES}, got {engine!r}")
+        self.engine = engine
+        self.n_jobs = _resolve_n_jobs(n_jobs)
+        self._entropy = self._derive_entropy(random_state)
         self.index = SortedDatabaseIndex(data).build_all()
-        self._sampler = SliceSampler(
-            self.index, alpha=self.alpha, random_state=self._rng
+        self._sampler = SliceSampler(self.index, alpha=self.alpha)
+        if cache is True:
+            self.cache: Optional[ContrastCache] = ContrastCache()
+        elif isinstance(cache, ContrastCache):
+            self.cache = cache
+        elif cache in (False, None):
+            self.cache = None
+        else:
+            raise ParameterError(
+                "cache must be a bool, None or a ContrastCache instance, got "
+                f"{type(cache).__name__}"
+            )
+        self._data_fingerprint: Optional[str] = None
+        self._marginal_moments: Dict[int, Tuple[float, float, int]] = {}
+        self._marginal_cdf: Dict[int, np.ndarray] = {}
+
+    @staticmethod
+    def _derive_entropy(random_state) -> int:
+        """Root entropy for the per-subspace seed derivation."""
+        if random_state is None:
+            return int(np.random.SeedSequence().entropy)
+        if isinstance(random_state, (int, np.integer)) and not isinstance(
+            random_state, bool
+        ):
+            if random_state < 0:
+                raise ParameterError(
+                    f"random_state seed must be non-negative, got {random_state}"
+                )
+            return int(random_state)
+        if isinstance(random_state, np.random.Generator):
+            return int(random_state.integers(0, 2**63 - 1))
+        if isinstance(random_state, np.random.RandomState):
+            return int(random_state.randint(0, 2**32 - 1))
+        raise ParameterError(
+            "random_state must be None, an int, numpy.random.Generator or "
+            f"RandomState, got {type(random_state).__name__}"
         )
 
     # ------------------------------------------------------------------ properties
@@ -96,16 +261,43 @@ class ContrastEstimator:
     def n_dims(self) -> int:
         return self.index.n_dims
 
-    # ------------------------------------------------------------------ estimation
+    # ------------------------------------------------------------------ seeding
 
-    def _draw_valid_slice(self, subspace: Subspace, test_attribute: int):
-        """Draw a slice, retrying when the conditional sample is too small."""
-        slice_ = self._sampler.sample_slice(subspace, test_attribute=test_attribute)
-        retries = 0
-        while slice_.n_selected < self.min_conditional_size and retries < self.max_retries:
-            slice_ = self._sampler.sample_slice(subspace, test_attribute=test_attribute)
-            retries += 1
-        return slice_
+    def _subspace_rng(self, subspace: Subspace) -> np.random.Generator:
+        """Generator for one subspace: a pure function of seed and attributes."""
+        return np.random.default_rng(
+            np.random.SeedSequence(self._entropy, spawn_key=subspace.attributes)
+        )
+
+    def _fingerprint(self) -> str:
+        """SHA1 of the data, computed lazily on first cache access."""
+        if self._data_fingerprint is None:
+            self._data_fingerprint = hashlib.sha1(
+                np.ascontiguousarray(self.index.data).tobytes()
+            ).hexdigest()
+        return self._data_fingerprint
+
+    def _cache_key(self, subspace: Subspace) -> tuple:
+        # A registered name keys by string; a custom callable keys by the
+        # callable object itself — the key holds a live reference, so two
+        # different functions can never alias (not even via id() reuse).
+        deviation_key = (
+            self._deviation_spec.strip().lower()
+            if self._deviation_spec is not None
+            else self.deviation
+        )
+        return (
+            self._fingerprint(),
+            subspace.attributes,
+            self.n_iterations,
+            self.alpha,
+            deviation_key,
+            self.min_conditional_size,
+            self.max_retries,
+            self._entropy,
+        )
+
+    # ------------------------------------------------------------------ estimation
 
     def contrast(self, subspace: Subspace) -> float:
         """The scalar contrast of a subspace (Definition 5)."""
@@ -126,32 +318,361 @@ class ContrastEstimator:
                 "contrast is only defined for subspaces with at least two attributes"
             )
         subspace.validate_against_dimensionality(self.n_dims)
+        if self.cache is not None:
+            key = self._cache_key(subspace)
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+        result = self._evaluate(subspace)
+        if self.cache is not None:
+            self.cache.put(key, result)
+        return result
 
-        attributes = list(subspace.attributes)
-        deviations = []
-        for _ in range(self.n_iterations):
-            # "Permute list of subspace attributes" — drawing the test
-            # attribute uniformly at random is equivalent to taking the last
-            # element of a random permutation.
-            test_attribute = int(self._rng.choice(attributes))
-            slice_ = self._draw_valid_slice(subspace, test_attribute)
-            conditional = self._sampler.conditional_sample(slice_)
-            if conditional.size < 2:
-                # Degenerate slice even after retries (tiny datasets); a
-                # deviation of 0 is the conservative choice.
-                deviations.append(0.0)
-                continue
-            marginal = self._sampler.marginal_sample(test_attribute)
-            deviations.append(float(self.deviation(conditional, marginal)))
-
-        contrast_value = float(np.mean(deviations)) if deviations else 0.0
+    def _evaluate(self, subspace: Subspace) -> ContrastResult:
+        batch = self._sampler.sample_slice_batch(
+            subspace,
+            self.n_iterations,
+            rng=self._subspace_rng(subspace),
+            min_conditional_size=self.min_conditional_size,
+            max_retries=self.max_retries,
+        )
+        if self.engine == "scalar":
+            deviations = self._deviations_scalar(batch)
+        else:
+            deviations = self._deviations_batch(batch)
+        contrast_value = float(np.mean(deviations)) if deviations.size else 0.0
         return ContrastResult(
             subspace=subspace,
             contrast=contrast_value,
-            deviations=tuple(deviations),
+            deviations=tuple(float(v) for v in deviations),
             n_iterations=self.n_iterations,
+            n_degenerate=batch.n_degenerate,
         )
 
-    def contrast_many(self, subspaces) -> dict:
-        """Contrast of several subspaces; returns ``{subspace: contrast}``."""
-        return {s: self.contrast(s) for s in subspaces}
+    def _deviations_scalar(self, batch: SliceBatch) -> np.ndarray:
+        """Reference engine: per-iteration masks and scalar two-sample tests.
+
+        Rebuilds each iteration's selection mask condition by condition through
+        :meth:`~repro.index.AttributeIndex.block_mask` — deliberately *not*
+        reusing the batch-evaluated masks, so the golden-equivalence tests
+        cover the vectorised mask evaluation as well as the statistics.
+        """
+        attrs = batch.subspace.attributes
+        valid = np.flatnonzero(~batch.degenerate)
+        deviations = np.empty(valid.size, dtype=float)
+        for out_pos, m in enumerate(valid):
+            selected = np.ones(self.n_objects, dtype=bool)
+            for j, attribute in enumerate(attrs):
+                start = batch.start_ranks[m, j]
+                if start < 0:
+                    continue
+                selected &= self.index.attribute_index(attribute).block_mask(
+                    int(start), batch.block_size
+                )
+            test_attribute = int(batch.test_attributes[m])
+            conditional = self.index.values(test_attribute)[selected]
+            marginal = self.index.values(test_attribute)
+            deviations[out_pos] = float(self.deviation(conditional, marginal))
+        return deviations
+
+    def _marginal_moment_arrays(
+        self, test_attributes: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, int]:
+        """Per-row marginal moments, computed once per attribute and cached."""
+        mean_b = np.empty(test_attributes.shape[0], dtype=float)
+        var_b = np.empty(test_attributes.shape[0], dtype=float)
+        for attribute in np.unique(test_attributes):
+            moments = self._marginal_moments.get(int(attribute))
+            if moments is None:
+                moments = sample_moments(self.index.values(int(attribute)))
+                self._marginal_moments[int(attribute)] = moments
+            rows = test_attributes == attribute
+            mean_b[rows] = moments[0]
+            var_b[rows] = moments[1]
+        return mean_b, var_b, self.n_objects
+
+    def _marginal_ks_tables(
+        self, attribute: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached ``(order, tie-group ends, marginal ECDF)`` of one attribute."""
+        tables = self._marginal_cdf.get(attribute)
+        if tables is None:
+            attr_index = self.index.attribute_index(attribute)
+            sorted_values = attr_index.sorted_values
+            right = np.searchsorted(sorted_values, sorted_values, side="right")
+            tables = (attr_index.order, right - 1, right / sorted_values.size)
+            self._marginal_cdf[attribute] = tables
+        return tables
+
+    def _gather_samples(
+        self, batch: SliceBatch
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, List[np.ndarray]]:
+        """Compact per-iteration conditional samples of the valid iterations."""
+        valid = np.flatnonzero(~batch.degenerate)
+        selected = batch.selected[valid]
+        test_attributes = batch.test_attributes[valid]
+        counts = batch.counts[valid]
+        row_idx, obj_idx = np.nonzero(selected)
+        # np.nonzero is row-major, so each row's objects come out in ascending
+        # index order — the same order as boolean-mask extraction in the
+        # scalar engine, which keeps the sample means bit-identical.
+        flat_values = self.index.data[obj_idx, test_attributes[row_idx]]
+        samples = np.split(flat_values, np.cumsum(counts)[:-1])
+        return valid, selected, test_attributes, counts, samples
+
+    def _welch_t_df(
+        self, test_attributes: np.ndarray, samples: List[np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Welch statistic and degrees of freedom of many conditional samples."""
+        means, variances, sizes = sample_moments_batch(samples)
+        mean_b, var_b, n_b = self._marginal_moment_arrays(test_attributes)
+        t = welch_t_statistic_batch(means, variances, sizes, mean_b, var_b, n_b)
+        df = welch_satterthwaite_df_batch(variances, sizes, var_b, n_b)
+        return t, df
+
+    def _deviations_batch(self, batch: SliceBatch) -> np.ndarray:
+        """Vectorised engine: one gather pass plus array-level statistics."""
+        valid, selected, test_attributes, counts, samples = self._gather_samples(batch)
+        if valid.size == 0:
+            return np.empty(0, dtype=float)
+
+        # The paper's two instantiations get fully grouped fast paths that
+        # exploit what the engine knows (one shared reference population whose
+        # moments / sorted order are cached, conditional samples that are
+        # sub-multisets of the marginal).  Both remain bit-for-bit equal to
+        # the scalar deviations; the golden-equivalence suite pins this.
+        if self.deviation is welch_deviation:
+            t, df = self._welch_t_df(test_attributes, samples)
+            pvalues = student_t_two_tailed_pvalue_batch(t, df)
+            return np.clip(1.0 - pvalues, 0.0, 1.0)
+        if self.deviation is ks_deviation:
+            # KS in the rank domain: the conditional ECDF evaluated at the
+            # marginal points is a cumulative count of selected objects along
+            # the attribute's sorted order (ties collapse to the last index of
+            # their group), so the whole statistic reduces to one cumsum and
+            # one row-max per iteration group — no per-sample sort or search.
+            # Counts are integers, so the resulting quotients are bitwise the
+            # same floats the scalar searchsorted formulation produces.
+            deviations = np.empty(valid.size, dtype=float)
+            for attribute in np.unique(test_attributes):
+                rows = np.flatnonzero(test_attributes == attribute)
+                order, tie_end, ref_cdf = self._marginal_ks_tables(int(attribute))
+                cum = np.cumsum(selected[rows][:, order], axis=1)
+                cdf_rows = cum[:, tie_end] / counts[rows][:, None]
+                deviations[rows] = np.max(np.abs(cdf_rows - ref_cdf), axis=1)
+            return deviations
+        deviations = np.empty(valid.size, dtype=float)
+        for attribute in np.unique(test_attributes):
+            rows = np.flatnonzero(test_attributes == attribute)
+            attr_index = self.index.attribute_index(int(attribute))
+            deviations[rows] = self._deviation_batch(
+                [samples[r] for r in rows],
+                attr_index.values,
+                marginal_sorted=attr_index.sorted_values,
+            )
+        return deviations
+
+    def contrast_many(
+        self,
+        subspaces: Iterable[Subspace],
+        *,
+        n_jobs: Optional[int] = None,
+    ) -> Dict[Subspace, float]:
+        """Contrast of several subspaces; returns ``{subspace: contrast}``.
+
+        With ``n_jobs > 1`` the evaluations are fanned out over worker
+        processes (cache hits are served locally first).  Because every
+        subspace's randomness derives from the estimator seed and the
+        subspace itself, the parallel results are bit-for-bit identical to
+        the sequential ones — the fan-out is purely a throughput knob.
+        """
+        subspace_list = list(subspaces)
+        n_jobs = self.n_jobs if n_jobs is None else _resolve_n_jobs(n_jobs)
+        if n_jobs > 1 and len(subspace_list) >= 2:
+            return self._contrast_many_parallel(subspace_list, n_jobs)
+        if (
+            self.engine == "batch"
+            and self.deviation is welch_deviation
+            and len(subspace_list) >= 2
+        ):
+            return self._contrast_many_level(subspace_list)
+        return {s: self.contrast(s) for s in subspace_list}
+
+    def contrast_many_detailed(
+        self, subspaces: Iterable[Subspace]
+    ) -> Dict[Subspace, ContrastResult]:
+        """Like :meth:`contrast_many` but with full per-subspace results."""
+        return {s: self.contrast_detailed(s) for s in subspaces}
+
+    def _contrast_many_level(
+        self, subspace_list: List[Subspace]
+    ) -> Dict[Subspace, float]:
+        """Score a whole candidate level with one shared p-value evaluation.
+
+        The Welch deviation spends most of its time in the incomplete-beta
+        continued fraction; its per-iteration cost is dominated by array-call
+        overhead, not arithmetic.  Stacking the ``t``/``df`` pairs of *all*
+        candidate subspaces into a single
+        :func:`~repro.stats.tdist.student_t_two_tailed_pvalue_batch` call
+        amortises that overhead across the level.  The p-values are computed
+        element-wise, so the grouping changes nothing — results stay
+        bit-for-bit identical to per-subspace evaluation (and are cached under
+        the same keys).
+        """
+        results: Dict[Subspace, float] = {}
+        pending: List[Subspace] = []
+        for subspace in subspace_list:
+            if subspace.dimensionality < 2:
+                raise SubspaceError(
+                    "contrast is only defined for subspaces with at least two attributes"
+                )
+            subspace.validate_against_dimensionality(self.n_dims)
+            cached = (
+                self.cache.get(self._cache_key(subspace))
+                if self.cache is not None
+                else None
+            )
+            if cached is not None:
+                results[subspace] = cached.contrast
+            else:
+                pending.append(subspace)
+
+        stats_parts: List[Tuple[np.ndarray, np.ndarray]] = []
+        degenerate_counts: List[int] = []
+        for subspace in pending:
+            batch = self._sampler.sample_slice_batch(
+                subspace,
+                self.n_iterations,
+                rng=self._subspace_rng(subspace),
+                min_conditional_size=self.min_conditional_size,
+                max_retries=self.max_retries,
+            )
+            _, _, test_attributes, _, samples = self._gather_samples(batch)
+            stats_parts.append(self._welch_t_df(test_attributes, samples))
+            degenerate_counts.append(batch.n_degenerate)
+
+        if pending:
+            lengths = [t.shape[0] for t, _ in stats_parts]
+            pvalues = student_t_two_tailed_pvalue_batch(
+                np.concatenate([t for t, _ in stats_parts]),
+                np.concatenate([df for _, df in stats_parts]),
+            )
+            offsets = np.cumsum([0] + lengths)
+            for i, subspace in enumerate(pending):
+                deviations = np.clip(
+                    1.0 - pvalues[offsets[i] : offsets[i + 1]], 0.0, 1.0
+                )
+                contrast_value = float(np.mean(deviations)) if deviations.size else 0.0
+                result = ContrastResult(
+                    subspace=subspace,
+                    contrast=contrast_value,
+                    deviations=tuple(float(v) for v in deviations),
+                    n_iterations=self.n_iterations,
+                    n_degenerate=degenerate_counts[i],
+                )
+                if self.cache is not None:
+                    self.cache.put(self._cache_key(subspace), result)
+                results[subspace] = result.contrast
+        return {s: results[s] for s in subspace_list}
+
+    def _contrast_many_parallel(
+        self, subspace_list: List[Subspace], n_jobs: int
+    ) -> Dict[Subspace, float]:
+        results: Dict[Subspace, float] = {}
+        pending: List[Subspace] = []
+        for subspace in subspace_list:
+            if subspace.dimensionality < 2:
+                raise SubspaceError(
+                    "contrast is only defined for subspaces with at least two attributes"
+                )
+            subspace.validate_against_dimensionality(self.n_dims)
+            cached = (
+                self.cache.get(self._cache_key(subspace))
+                if self.cache is not None
+                else None
+            )
+            if cached is not None:
+                results[subspace] = cached.contrast
+            else:
+                pending.append(subspace)
+        if not pending:
+            return {s: results[s] for s in subspace_list}
+
+        import concurrent.futures
+        import multiprocessing
+
+        params = {
+            "n_iterations": self.n_iterations,
+            "alpha": self.alpha,
+            # A registered name is rebuilt by the worker's registry; a bare
+            # callable is shipped as-is (it must then be picklable, i.e. a
+            # module-level function — lambdas fail with a clear pickle error).
+            "deviation": self._deviation_spec
+            if self._deviation_spec is not None
+            else self.deviation,
+            "min_conditional_size": self.min_conditional_size,
+            "max_retries": self.max_retries,
+            "engine": self.engine,
+            "entropy": self._entropy,
+        }
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context()
+        attr_lists = [s.attributes for s in pending]
+        chunksize = max(1, len(attr_lists) // (4 * n_jobs))
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(n_jobs, len(attr_lists)),
+            mp_context=context,
+            initializer=_init_contrast_worker,
+            initargs=(self.index.data, params),
+        ) as pool:
+            for attrs, payload in zip(
+                attr_lists,
+                pool.map(_evaluate_contrast_worker, attr_lists, chunksize=chunksize),
+            ):
+                subspace = Subspace(attrs)
+                result = ContrastResult(
+                    subspace=subspace,
+                    contrast=payload[0],
+                    deviations=payload[1],
+                    n_iterations=self.n_iterations,
+                    n_degenerate=payload[2],
+                )
+                if self.cache is not None:
+                    self.cache.put(self._cache_key(subspace), result)
+                results[subspace] = result.contrast
+        return {s: results[s] for s in subspace_list}
+
+
+# ----------------------------------------------------------------- worker API
+
+_WORKER_ESTIMATOR: Optional[ContrastEstimator] = None
+
+
+def _init_contrast_worker(data: np.ndarray, params: Dict[str, object]) -> None:
+    """Build one estimator per worker process (data is shipped exactly once)."""
+    global _WORKER_ESTIMATOR
+    entropy = params["entropy"]
+    estimator = ContrastEstimator(
+        data,
+        n_iterations=params["n_iterations"],
+        alpha=params["alpha"],
+        deviation=params["deviation"],
+        min_conditional_size=params["min_conditional_size"],
+        max_retries=params["max_retries"],
+        engine=params["engine"],
+        n_jobs=1,
+        cache=False,
+        random_state=0,
+    )
+    estimator._entropy = int(entropy)
+    _WORKER_ESTIMATOR = estimator
+
+
+def _evaluate_contrast_worker(
+    attributes: Sequence[int],
+) -> Tuple[float, Tuple[float, ...], int]:
+    """Evaluate one subspace in a worker; returns a picklable payload."""
+    result = _WORKER_ESTIMATOR.contrast_detailed(Subspace(attributes))
+    return result.contrast, result.deviations, result.n_degenerate

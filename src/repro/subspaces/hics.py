@@ -26,10 +26,16 @@ from ..types import ScoredSubspace, Subspace
 from ..utils.validation import check_data_matrix, check_positive_int
 from .apriori import all_two_dimensional_subspaces, apply_cutoff, generate_candidates
 from .base import SubspaceSearcher
-from .contrast import ContrastEstimator
+from .contrast import ContrastCache, ContrastEstimator, _resolve_n_jobs
 from .pruning import prune_redundant_subspaces
 
 __all__ = ["HiCS"]
+
+#: Bound on the shared per-searcher contrast cache.  Entries are keyed by a
+#: data fingerprint, so re-fitting on fresh data strands the old entries;
+#: FIFO eviction at this size keeps a long-lived searcher's memory flat
+#: (~50 MB worst case at the paper's M=50) instead of growing per fit.
+_CACHE_MAX_ENTRIES = 65536
 
 
 class HiCS(SubspaceSearcher):
@@ -58,6 +64,20 @@ class HiCS(SubspaceSearcher):
         exposed for the pruning ablation benchmark.
     random_state:
         Seed or generator for the Monte Carlo contrast estimation.
+    engine:
+        Contrast execution engine: ``"batch"`` (vectorised, default) or
+        ``"scalar"`` (per-iteration reference).  Both are bit-for-bit
+        identical under a shared seed; the scalar path exists as the
+        reference implementation and for the perf-regression harness.
+    n_jobs:
+        Process fan-out for scoring each candidate level
+        (:meth:`ContrastEstimator.contrast_many`); ``-1`` uses all cores.
+        Results are independent of ``n_jobs``.
+    cache:
+        Keep a :class:`~repro.subspaces.contrast.ContrastCache` across
+        :meth:`search` calls (default True) so repeated fits on the same data
+        with the same parameters — e.g. parameter sweeps over ``candidate_cutoff``
+        or ``max_output_subspaces`` — never recompute a level.
 
     Examples
     --------
@@ -85,6 +105,9 @@ class HiCS(SubspaceSearcher):
         max_dimensionality: Optional[int] = None,
         prune_redundant: bool = True,
         random_state=None,
+        engine: str = "batch",
+        n_jobs: int = 1,
+        cache: bool = True,
     ):
         self.n_iterations = check_positive_int(n_iterations, name="n_iterations")
         if not (0.0 < alpha < 1.0):
@@ -102,6 +125,17 @@ class HiCS(SubspaceSearcher):
         self.max_dimensionality = max_dimensionality
         self.prune_redundant = bool(prune_redundant)
         self.random_state = random_state
+        if engine not in ("batch", "scalar"):
+            raise ParameterError(
+                f"engine must be 'batch' or 'scalar', got {engine!r}"
+            )
+        self.engine = engine
+        _resolve_n_jobs(n_jobs)  # fail fast; stored unresolved for persistence
+        self.n_jobs = n_jobs
+        self.cache = bool(cache)
+        self._shared_cache: Optional[ContrastCache] = (
+            ContrastCache(max_entries=_CACHE_MAX_ENTRIES) if self.cache else None
+        )
         # Populated by search(): contrast of every evaluated subspace, per level.
         self.evaluated_subspaces_: Dict[Subspace, float] = {}
         self.levels_: List[List[ScoredSubspace]] = []
@@ -124,6 +158,9 @@ class HiCS(SubspaceSearcher):
             alpha=self.alpha,
             deviation=self.deviation,
             random_state=self.random_state,
+            engine=self.engine,
+            n_jobs=self.n_jobs,
+            cache=self._shared_cache if self.cache else False,
         )
         self.evaluated_subspaces_ = {}
         self.levels_ = []
@@ -131,8 +168,11 @@ class HiCS(SubspaceSearcher):
         candidates = all_two_dimensional_subspaces(data.shape[1])
         all_scored: List[ScoredSubspace] = []
         while candidates:
+            # One batched call scores the entire candidate level (and fans it
+            # out across processes when n_jobs > 1).
+            level_scores = estimator.contrast_many(candidates)
             scored_level = [
-                ScoredSubspace(subspace=s, score=estimator.contrast(s)) for s in candidates
+                ScoredSubspace(subspace=s, score=level_scores[s]) for s in candidates
             ]
             for item in scored_level:
                 self.evaluated_subspaces_[item.subspace] = item.score

@@ -125,17 +125,26 @@ class ContrastResult:
     subspace:
         The evaluated subspace.
     contrast:
-        The averaged deviation over all Monte Carlo iterations (Definition 5).
+        The averaged deviation over all *valid* Monte Carlo iterations
+        (Definition 5).  Iterations whose slice stayed degenerate after all
+        retries are excluded from the mean rather than contributing a fake
+        deviation of zero; when every iteration is degenerate the contrast
+        is 0.0 by convention.
     deviations:
-        The individual deviation values of each iteration.
+        The individual deviation values of the valid iterations.
     n_iterations:
-        Number of Monte Carlo iterations actually performed.
+        Number of Monte Carlo iterations requested (``M``).
+    n_degenerate:
+        Number of iterations excluded because their conditional sample stayed
+        below the minimum size even after all slice redraws
+        (``len(deviations) == n_iterations - n_degenerate``).
     """
 
     subspace: Subspace
     contrast: float
     deviations: Tuple[float, ...]
     n_iterations: int
+    n_degenerate: int = 0
 
     @property
     def std(self) -> float:

@@ -1,0 +1,357 @@
+"""Golden-equivalence suite: the batch engine against the scalar reference.
+
+The contract under test is the strongest one the library makes: the vectorised
+batch contrast engine must reproduce the scalar reference engine **bit for
+bit** under a shared seed — across deviation functions, alphas, subspace
+sizes, degenerate data (ties, constant columns) and the retry/degradation
+edge cases.  A single ulp of drift anywhere in the slicing, moment extraction
+or p-value pipeline fails these tests.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.subspaces import HiCS
+from repro.subspaces.contrast import ContrastCache, ContrastEstimator
+from repro.types import Subspace
+
+
+def _shadowing_welch(conditional, marginal):
+    """Module-level (picklable) custom deviation named like the built-in."""
+    return 0.25
+
+
+_shadowing_welch.__name__ = "welch"
+
+
+def make_estimator(data, engine, **overrides):
+    params = dict(n_iterations=20, random_state=5, cache=False)
+    params.update(overrides)
+    return ContrastEstimator(data, engine=engine, **params)
+
+
+def assert_identical(result_a, result_b):
+    assert result_a.contrast == result_b.contrast
+    assert result_a.deviations == result_b.deviations
+    assert result_a.n_degenerate == result_b.n_degenerate
+    assert result_a.n_iterations == result_b.n_iterations
+
+
+@pytest.fixture(scope="module")
+def mixed_data():
+    """Six columns: a correlated pair, uniforms, heavy ties, a constant."""
+    rng = np.random.default_rng(17)
+    x = rng.uniform(size=300)
+    return np.column_stack(
+        [
+            x,
+            x + rng.normal(0.0, 0.02, size=300),
+            rng.uniform(size=300),
+            rng.integers(0, 4, size=300).astype(float),  # heavy ties
+            np.full(300, 1.25),  # constant column
+            rng.normal(size=300),
+        ]
+    )
+
+
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("deviation", ["welch", "ks", "cvm", "mean-shift"])
+    @pytest.mark.parametrize("alpha", [0.05, 0.1, 0.35])
+    def test_engines_identical_across_deviations_and_alphas(
+        self, mixed_data, deviation, alpha
+    ):
+        subspaces = [Subspace(p) for p in combinations(range(6), 2)]
+        subspaces += [Subspace((0, 1, 2)), Subspace((1, 3, 5)), Subspace((0, 1, 2, 3))]
+        batch = make_estimator(mixed_data, "batch", deviation=deviation, alpha=alpha)
+        scalar = make_estimator(mixed_data, "scalar", deviation=deviation, alpha=alpha)
+        for subspace in subspaces:
+            assert_identical(
+                batch.contrast_detailed(subspace), scalar.contrast_detailed(subspace)
+            )
+
+    @pytest.mark.parametrize("seed", [0, 1, 99, 2**40])
+    def test_engines_identical_across_seeds(self, mixed_data, seed):
+        subspace = Subspace((0, 1, 5))
+        batch = make_estimator(mixed_data, "batch", random_state=seed)
+        scalar = make_estimator(mixed_data, "scalar", random_state=seed)
+        assert_identical(
+            batch.contrast_detailed(subspace), scalar.contrast_detailed(subspace)
+        )
+
+    def test_contrast_many_matches_individual_calls(self, mixed_data):
+        subspaces = [Subspace(p) for p in combinations(range(6), 2)]
+        estimator = make_estimator(mixed_data, "batch")
+        level = estimator.contrast_many(subspaces)
+        for subspace in subspaces:
+            single = make_estimator(mixed_data, "batch").contrast(subspace)
+            assert level[subspace] == single
+
+    def test_contrast_many_engines_identical(self, mixed_data):
+        subspaces = [Subspace(p) for p in combinations(range(6), 2)]
+        assert make_estimator(mixed_data, "batch").contrast_many(subspaces) == (
+            make_estimator(mixed_data, "scalar").contrast_many(subspaces)
+        )
+
+    def test_order_independence(self, mixed_data):
+        """Per-subspace seeding: evaluation order cannot change any contrast."""
+        subspaces = [Subspace(p) for p in combinations(range(6), 2)]
+        forward = make_estimator(mixed_data, "batch").contrast_many(subspaces)
+        backward = make_estimator(mixed_data, "batch").contrast_many(subspaces[::-1])
+        assert forward == backward
+
+    def test_custom_callable_deviation_parity(self, mixed_data):
+        def trimmed_range(conditional, marginal):
+            return float(
+                min(1.0, abs(np.median(conditional) - np.median(marginal)))
+            )
+
+        subspace = Subspace((0, 1, 2))
+        batch = make_estimator(mixed_data, "batch", deviation=trimmed_range)
+        scalar = make_estimator(mixed_data, "scalar", deviation=trimmed_range)
+        assert_identical(
+            batch.contrast_detailed(subspace), scalar.contrast_detailed(subspace)
+        )
+
+    def test_parallel_matches_sequential(self, mixed_data):
+        subspaces = [Subspace(p) for p in combinations(range(6), 2)]
+        sequential = make_estimator(mixed_data, "batch").contrast_many(subspaces)
+        parallel = make_estimator(mixed_data, "batch").contrast_many(
+            subspaces, n_jobs=2
+        )
+        assert sequential == parallel
+
+    def test_parallel_with_custom_callable_deviation(self, mixed_data):
+        """Workers receive the callable itself, not a (possibly wrong) name."""
+        subspaces = [Subspace((0, 1)), Subspace((1, 2)), Subspace((2, 3))]
+        sequential = make_estimator(
+            mixed_data, "batch", deviation=_shadowing_welch
+        ).contrast_many(subspaces)
+        parallel = make_estimator(
+            mixed_data, "batch", deviation=_shadowing_welch
+        ).contrast_many(subspaces, n_jobs=2)
+        assert sequential == parallel
+        assert all(v == 0.25 for v in parallel.values())
+
+    def test_hics_search_engines_identical(self, mixed_data):
+        results = {}
+        for engine in ("batch", "scalar"):
+            searcher = HiCS(
+                n_iterations=15,
+                candidate_cutoff=10,
+                max_dimensionality=3,
+                random_state=2,
+                engine=engine,
+            )
+            results[engine] = [
+                (s.subspace.attributes, s.score) for s in searcher.search(mixed_data)
+            ]
+        assert results["batch"] == results["scalar"]
+
+
+class TestDegenerateRetryFallback:
+    """The documented min_conditional_size degradation (regression tests).
+
+    Historically, iterations whose slice stayed too small after all retries
+    fell through to the statistical test anyway (or silently appended a
+    deviation of 0.0), skewing the contrast mean downward.  The fixed
+    behaviour: such iterations are *excluded* from the mean, counted in
+    ``n_degenerate``, and all of it is deterministic under a seed.
+    """
+
+    @pytest.fixture()
+    def tiny_data(self):
+        rng = np.random.default_rng(3)
+        return rng.uniform(size=(12, 4))
+
+    def test_degenerate_iterations_are_excluded_not_zeroed(self, tiny_data):
+        estimator = ContrastEstimator(
+            tiny_data,
+            n_iterations=30,
+            alpha=0.05,
+            min_conditional_size=9,
+            max_retries=1,
+            random_state=0,
+            cache=False,
+        )
+        result = estimator.contrast_detailed(Subspace((0, 1, 2, 3)))
+        assert result.n_degenerate > 0
+        assert len(result.deviations) == result.n_iterations - result.n_degenerate
+        if result.deviations:
+            # The mean is over the surviving deviations only — no zero padding.
+            assert result.contrast == pytest.approx(np.mean(result.deviations))
+
+    def test_all_degenerate_yields_zero_contrast(self, tiny_data):
+        estimator = ContrastEstimator(
+            tiny_data,
+            n_iterations=10,
+            alpha=0.05,
+            min_conditional_size=50,  # impossible to satisfy on 12 objects
+            max_retries=2,
+            random_state=0,
+            cache=False,
+        )
+        result = estimator.contrast_detailed(Subspace((0, 1, 2)))
+        assert result.n_degenerate == 10
+        assert result.deviations == ()
+        assert result.contrast == 0.0
+
+    def test_degradation_is_deterministic(self, tiny_data):
+        def run():
+            return ContrastEstimator(
+                tiny_data,
+                n_iterations=25,
+                alpha=0.05,
+                min_conditional_size=9,
+                max_retries=1,
+                random_state=8,
+                cache=False,
+            ).contrast_detailed(Subspace((0, 1, 2, 3)))
+
+        first, second = run(), run()
+        assert_identical(first, second)
+
+    def test_degenerate_parity_between_engines(self, tiny_data):
+        batch = ContrastEstimator(
+            tiny_data,
+            n_iterations=30,
+            alpha=0.05,
+            min_conditional_size=9,
+            max_retries=1,
+            random_state=4,
+            engine="batch",
+            cache=False,
+        ).contrast_detailed(Subspace((0, 1, 2, 3)))
+        scalar = ContrastEstimator(
+            tiny_data,
+            n_iterations=30,
+            alpha=0.05,
+            min_conditional_size=9,
+            max_retries=1,
+            random_state=4,
+            engine="scalar",
+            cache=False,
+        ).contrast_detailed(Subspace((0, 1, 2, 3)))
+        assert_identical(batch, scalar)
+
+    def test_retries_recover_small_slices(self, correlated_2d):
+        """With generous retries, normal data produces no degenerate iterations."""
+        estimator = ContrastEstimator(
+            correlated_2d,
+            n_iterations=25,
+            min_conditional_size=5,
+            max_retries=10,
+            random_state=0,
+            cache=False,
+        )
+        result = estimator.contrast_detailed(Subspace((0, 1)))
+        assert result.n_degenerate == 0
+        assert len(result.deviations) == 25
+
+
+class TestContrastCache:
+    def test_cache_hit_returns_identical_result(self, mixed_data):
+        estimator = make_estimator(mixed_data, "batch", cache=True)
+        subspace = Subspace((0, 1))
+        first = estimator.contrast_detailed(subspace)
+        second = estimator.contrast_detailed(subspace)
+        assert first is second
+        assert estimator.cache.hits == 1
+
+    def test_cache_shared_between_engines(self, mixed_data):
+        shared = ContrastCache()
+        batch = make_estimator(mixed_data, "batch", cache=shared)
+        scalar = make_estimator(mixed_data, "scalar", cache=shared)
+        subspace = Subspace((0, 2))
+        result = batch.contrast_detailed(subspace)
+        # The scalar estimator gets a hit: identical key, identical value.
+        assert scalar.contrast_detailed(subspace) is result
+        assert shared.hits == 1
+
+    def test_different_seeds_do_not_collide(self, mixed_data):
+        shared = ContrastCache()
+        a = make_estimator(mixed_data, "batch", cache=shared, random_state=1)
+        b = make_estimator(mixed_data, "batch", cache=shared, random_state=2)
+        subspace = Subspace((0, 5))
+        a.contrast(subspace)
+        b.contrast(subspace)
+        assert len(shared) == 2
+
+    def test_custom_callable_never_aliases_builtin_in_cache(self, mixed_data):
+        """A custom deviation named 'welch' must not hit the built-in's entry."""
+        shared = ContrastCache()
+        subspace = Subspace((0, 1))
+        builtin = make_estimator(mixed_data, "batch", cache=shared, deviation="welch")
+        custom = make_estimator(
+            mixed_data, "batch", cache=shared, deviation=_shadowing_welch
+        )
+        assert builtin.contrast(subspace) != 0.25
+        assert custom.contrast(subspace) == 0.25
+        assert len(shared) == 2
+
+    def test_different_data_does_not_collide(self, mixed_data, uncorrelated_3d):
+        shared = ContrastCache()
+        a = make_estimator(mixed_data, "batch", cache=shared)
+        b = make_estimator(uncorrelated_3d, "batch", cache=shared)
+        subspace = Subspace((0, 1))
+        assert a.contrast(subspace) != b.contrast(subspace) or len(shared) == 2
+        assert len(shared) == 2
+
+    def test_cache_bounded_eviction(self):
+        cache = ContrastCache(max_entries=2)
+        for i in range(4):
+            cache.put(("key", i), object())
+        assert len(cache) == 2
+
+    def test_contrast_many_uses_cache(self, mixed_data):
+        estimator = make_estimator(mixed_data, "batch", cache=True)
+        subspaces = [Subspace(p) for p in combinations(range(4), 2)]
+        first = estimator.contrast_many(subspaces)
+        misses = estimator.cache.misses
+        second = estimator.contrast_many(subspaces)
+        assert first == second
+        assert estimator.cache.misses == misses  # second sweep is all hits
+
+    def test_hics_shared_cache_across_fits(self, mixed_data):
+        searcher = HiCS(
+            n_iterations=10,
+            candidate_cutoff=8,
+            max_dimensionality=2,
+            random_state=0,
+            cache=True,
+        )
+        first = searcher.search(mixed_data)
+        cache = searcher._shared_cache
+        assert cache is not None and cache.misses > 0
+        misses_after_first = cache.misses
+        second = searcher.search(mixed_data)
+        assert [(s.subspace, s.score) for s in first] == [
+            (s.subspace, s.score) for s in second
+        ]
+        assert cache.misses == misses_after_first
+
+    def test_invalid_cache_argument_rejected(self, mixed_data):
+        with pytest.raises(ParameterError):
+            ContrastEstimator(mixed_data, cache="yes")
+
+
+class TestEngineParameter:
+    def test_unknown_engine_rejected(self, mixed_data):
+        with pytest.raises(ParameterError):
+            ContrastEstimator(mixed_data, engine="quantum")
+        with pytest.raises(ParameterError):
+            HiCS(engine="quantum")
+
+    def test_invalid_n_jobs_rejected(self, mixed_data):
+        with pytest.raises(ParameterError):
+            ContrastEstimator(mixed_data, n_jobs=0)
+        with pytest.raises(ParameterError):
+            ContrastEstimator(mixed_data, n_jobs=-2)
+
+    def test_n_jobs_all_cores_accepted(self, mixed_data):
+        estimator = ContrastEstimator(mixed_data, n_jobs=-1, cache=False)
+        assert estimator.n_jobs >= 1

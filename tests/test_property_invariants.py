@@ -1,0 +1,231 @@
+"""Property-based tests (hypothesis) for the batched statistics and the index.
+
+Three families of invariants:
+
+* the array-level Welch-t / KS implementations are bit-for-bit equal to their
+  scalar counterparts on arbitrary sample pairs,
+* :class:`SortedDatabaseIndex` structural invariants — each rank-matrix column
+  is a permutation consistent with the sorted order, also under heavy ties,
+* batched subspace slices always hit the target selectivity bounds: every
+  condition selects exactly ``block_size`` objects and the conjunction can
+  only shrink that set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index import SliceSampler, SortedDatabaseIndex
+from repro.stats.descriptive import sample_moments, sample_moments_batch
+from repro.stats.ks import (
+    ks_statistic_against_superset_batch,
+    ks_two_sample_statistic,
+    ks_two_sample_statistic_batch,
+)
+from repro.stats.tdist import (
+    regularized_incomplete_beta,
+    regularized_incomplete_beta_batch,
+    student_t_two_tailed_pvalue,
+    student_t_two_tailed_pvalue_batch,
+)
+from repro.stats.welch import (
+    welch_satterthwaite_df,
+    welch_satterthwaite_df_batch,
+    welch_t_statistic,
+    welch_t_statistic_batch,
+    welch_t_test,
+    welch_t_test_batch,
+)
+from repro.types import Subspace
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+samples_strategy = st.lists(finite_floats, min_size=1, max_size=60).map(
+    lambda values: np.asarray(values, dtype=float)
+)
+
+
+class TestWelchBatchProperties:
+    @given(sample_a=samples_strategy, sample_b=samples_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_welch_t_test_batch_bit_equal(self, sample_a, sample_b):
+        scalar = welch_t_test(sample_a, sample_b)
+        t, df, p = welch_t_test_batch([sample_a], sample_b)
+        assert t[0] == scalar.statistic
+        assert df[0] == scalar.df
+        assert p[0] == scalar.pvalue
+
+    @given(
+        moments=st.lists(
+            st.tuples(
+                finite_floats,
+                st.floats(min_value=0.0, max_value=1e6),
+                st.integers(min_value=1, max_value=500),
+            ),
+            min_size=1,
+            max_size=20,
+        ),
+        mean_b=finite_floats,
+        var_b=st.floats(min_value=0.0, max_value=1e6),
+        n_b=st.integers(min_value=1, max_value=500),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_statistic_and_df_batch_bit_equal(self, moments, mean_b, var_b, n_b):
+        means = np.array([m for m, _, _ in moments])
+        variances = np.array([v for _, v, _ in moments])
+        sizes = np.array([n for _, _, n in moments])
+        t_batch = welch_t_statistic_batch(means, variances, sizes, mean_b, var_b, n_b)
+        df_batch = welch_satterthwaite_df_batch(variances, sizes, var_b, n_b)
+        for i in range(len(moments)):
+            assert t_batch[i] == welch_t_statistic(
+                means[i], variances[i], int(sizes[i]), mean_b, var_b, n_b
+            )
+            assert df_batch[i] == welch_satterthwaite_df(
+                variances[i], int(sizes[i]), var_b, n_b
+            )
+
+    @given(
+        ts=st.lists(
+            st.floats(min_value=-50, max_value=50, allow_nan=False), min_size=1, max_size=30
+        ),
+        df=st.floats(min_value=1.0, max_value=500.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pvalue_batch_bit_equal(self, ts, df):
+        t = np.asarray(ts, dtype=float)
+        p = student_t_two_tailed_pvalue_batch(t, np.full(t.shape, df))
+        for i, value in enumerate(ts):
+            assert p[i] == student_t_two_tailed_pvalue(value, df)
+
+    @given(
+        a=st.floats(min_value=0.5, max_value=300.0),
+        x=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_incomplete_beta_batch_bit_equal(self, a, x):
+        batch = regularized_incomplete_beta_batch(
+            np.array([a]), np.array([0.5]), np.array([x])
+        )
+        assert batch[0] == regularized_incomplete_beta(a, 0.5, x)
+
+    @given(samples=st.lists(samples_strategy, min_size=1, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_sample_moments_batch_bit_equal(self, samples):
+        means, variances, sizes = sample_moments_batch(samples)
+        for i, sample in enumerate(samples):
+            mean, variance, n = sample_moments(sample)
+            assert means[i] == mean
+            assert variances[i] == variance
+            assert sizes[i] == n
+
+
+class TestKSBatchProperties:
+    @given(sample_a=samples_strategy, sample_b=samples_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_ks_batch_bit_equal(self, sample_a, sample_b):
+        scalar = ks_two_sample_statistic(sample_a, sample_b)
+        batch = ks_two_sample_statistic_batch([sample_a], sample_b)
+        assert batch[0] == scalar
+        presorted = ks_two_sample_statistic_batch(
+            [sample_a], sample_b, reference_sorted=np.sort(sample_b)
+        )
+        assert presorted[0] == scalar
+
+    @given(
+        reference=st.lists(finite_floats, min_size=2, max_size=60),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_superset_ks_bit_equal(self, reference, data):
+        """On sub-multisets, the reference-support evaluation is exact."""
+        ref = np.asarray(reference, dtype=float)
+        subset_size = data.draw(st.integers(min_value=1, max_value=len(reference)))
+        picks = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(reference) - 1),
+                min_size=subset_size,
+                max_size=subset_size,
+            )
+        )
+        sample = ref[picks]
+        scalar = ks_two_sample_statistic(sample, ref)
+        batch = ks_statistic_against_superset_batch([sample], np.sort(ref))
+        assert batch[0] == scalar
+
+
+class TestSortedIndexInvariants:
+    @given(
+        n_objects=st.integers(min_value=1, max_value=80),
+        n_dims=st.integers(min_value=1, max_value=6),
+        tie_levels=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_rank_matrix_columns_are_permutations(
+        self, n_objects, n_dims, tie_levels, seed
+    ):
+        rng = np.random.default_rng(seed)
+        # tie_levels == 1 yields a constant column; small levels force ties.
+        data = rng.integers(0, tie_levels, size=(n_objects, n_dims)).astype(float)
+        index = SortedDatabaseIndex(data)
+        ranks = index.rank_matrix
+        assert ranks.shape == (n_objects, n_dims)
+        for attribute in range(n_dims):
+            column = ranks[:, attribute]
+            assert np.array_equal(np.sort(column), np.arange(n_objects))
+            order = index.attribute_index(attribute).order
+            # order and rank matrix are inverse permutations of each other.
+            assert np.array_equal(order[column], np.arange(n_objects))
+            # ranks respect the attribute ordering (stable under ties).
+            sorted_by_rank = data[np.argsort(column), attribute]
+            assert np.all(np.diff(sorted_by_rank) >= 0)
+
+    @given(
+        n_objects=st.integers(min_value=20, max_value=120),
+        subspace_size=st.integers(min_value=2, max_value=4),
+        alpha=st.floats(min_value=0.05, max_value=0.6),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_slice_batch_hits_selectivity_bounds(
+        self, n_objects, subspace_size, alpha, seed
+    ):
+        rng = np.random.default_rng(seed)
+        data = rng.uniform(size=(n_objects, subspace_size + 1))
+        index = SortedDatabaseIndex(data)
+        sampler = SliceSampler(index, alpha=alpha)
+        subspace = Subspace(range(subspace_size))
+        batch = sampler.sample_slice_batch(
+            subspace, 8, rng=np.random.default_rng(seed + 1)
+        )
+        block = sampler.block_size(subspace_size)
+        assert sampler.min_block_size <= block <= n_objects
+        ranks = index.rank_matrix
+        for m in range(batch.n_slices):
+            conjunction = np.ones(n_objects, dtype=bool)
+            for j, attribute in enumerate(subspace.attributes):
+                start = batch.start_ranks[m, j]
+                if attribute == batch.test_attributes[m]:
+                    assert start == -1  # the test attribute is unconditioned
+                    continue
+                assert 0 <= start <= n_objects - block
+                condition = (ranks[:, attribute] >= start) & (
+                    ranks[:, attribute] < start + block
+                )
+                # Every single condition selects exactly block_size objects.
+                assert int(condition.sum()) == block
+                conjunction &= condition
+            # The conjunction is what the batch reports, and it can only
+            # shrink the single-condition selection.
+            assert np.array_equal(conjunction, batch.selected[m])
+            assert batch.counts[m] == int(conjunction.sum()) <= block
+
+    def test_rank_matrix_is_read_only(self):
+        index = SortedDatabaseIndex(np.random.default_rng(0).uniform(size=(30, 3)))
+        with pytest.raises(ValueError):
+            index.rank_matrix[0, 0] = 5
+        assert np.array_equal(index.ranks(1), index.rank_matrix[:, 1])
