@@ -1,13 +1,18 @@
-"""Fast perf smoke check: the batch engine must never be slower than scalar.
+"""Fast perf smoke checks: engine fast paths must never lose to their references.
 
-A CI guard, not a benchmark: one small fixture, best-of-three timing per
-engine, non-zero exit when the vectorised batch engine loses to the scalar
-reference path (or the two disagree on a single bit).  Finishes in a few
-seconds so it can run on every push.
+A CI guard, not a benchmark: small fixtures, best-of-three timing, non-zero
+exit when a fast engine loses to its bit-for-bit reference path (or the two
+disagree on a single bit).  Two checks, runnable separately or together:
+
+* ``contrast`` — the vectorised batch contrast engine vs the scalar path
+  (PR 2's guard).
+* ``scoring`` — the shared-neighborhood scoring engine vs the per-subspace
+  path: joint multi-subspace ranking must not regress, and independent
+  (streaming) scoring must beat the per-object reference by at least 3x.
 
 Run from the repository root::
 
-    PYTHONPATH=src python benchmarks/perf_smoke.py
+    PYTHONPATH=src python benchmarks/perf_smoke.py [contrast|scoring]
 """
 
 from __future__ import annotations
@@ -18,7 +23,11 @@ from itertools import combinations
 
 import numpy as np
 
+from repro.dataset import generate_synthetic_dataset
+from repro.outliers import LOFScorer, SubspaceOutlierRanker
+from repro.pipeline import SubspaceOutlierPipeline
 from repro.subspaces.contrast import ContrastEstimator
+from repro.subspaces.hics import HiCS
 from repro.types import Subspace
 
 
@@ -31,7 +40,7 @@ def best_of(repeats: int, fn) -> float:
     return best
 
 
-def main() -> int:
+def contrast_smoke() -> int:
     data = np.random.default_rng(9).uniform(size=(250, 20))
     subspaces = [Subspace(p) for p in combinations(range(20), 2)]
 
@@ -49,16 +58,98 @@ def main() -> int:
 
     speedup = timings["scalar"] / timings["batch"]
     print(
-        f"batch {timings['batch']:.3f}s  scalar {timings['scalar']:.3f}s  "
+        f"contrast: batch {timings['batch']:.3f}s  scalar {timings['scalar']:.3f}s  "
         f"speedup {speedup:.2f}x"
     )
     if results["batch"] != results["scalar"]:
-        print("FAIL: engines disagree", file=sys.stderr)
+        print("FAIL: contrast engines disagree", file=sys.stderr)
         return 1
     if timings["batch"] >= timings["scalar"]:
         print("FAIL: batch engine is not faster than the scalar path", file=sys.stderr)
         return 1
     return 0
+
+
+def scoring_smoke() -> int:
+    dataset = generate_synthetic_dataset(
+        n_objects=400,
+        n_dims=12,
+        n_relevant_subspaces=3,
+        subspace_dims=(2, 3),
+        random_state=0,
+    )
+    searcher = HiCS(
+        n_iterations=10, candidate_cutoff=40, max_output_subspaces=40, random_state=0
+    )
+    scored = searcher.search(dataset.data)
+    subspaces = [s.subspace for s in scored]
+
+    # Joint multi-subspace ranking: identical scores, no regression.
+    timings, scores = {}, {}
+    for engine in ("shared", "per-subspace"):
+        rank = lambda: SubspaceOutlierRanker(  # noqa: E731 - tiny timing closure
+            LOFScorer(min_pts=10), engine=engine
+        ).rank(dataset.data, subspaces)
+        scores[engine] = rank().scores
+        timings[engine] = best_of(3, rank)
+    joint_speedup = timings["per-subspace"] / timings["shared"]
+    print(
+        f"scoring joint: shared {timings['shared']:.3f}s  "
+        f"per-subspace {timings['per-subspace']:.3f}s  speedup {joint_speedup:.2f}x"
+    )
+    if not np.array_equal(scores["shared"], scores["per-subspace"]):
+        print("FAIL: scoring engines disagree on the joint ranking", file=sys.stderr)
+        return 1
+    if timings["shared"] >= timings["per-subspace"]:
+        print("FAIL: shared engine lost the joint ranking", file=sys.stderr)
+        return 1
+
+    # Independent streaming: identical scores, >= 3x (typically far more).
+    batch = np.random.default_rng(1).uniform(size=(5, dataset.n_dims))
+    pipes = {}
+    for engine in ("shared", "per-subspace"):
+        pipe = SubspaceOutlierPipeline(searcher, LOFScorer(min_pts=10), engine=engine)
+        pipe.reference_data_ = dataset.data
+        pipe.scored_subspaces_ = list(scored)
+        pipe.scorer.fit(dataset.data)
+        pipes[engine] = pipe
+    independent = {
+        engine: pipe.score_samples(batch, independent=True)
+        for engine, pipe in pipes.items()
+    }
+    timings = {
+        engine: best_of(2, lambda p=pipe: p.score_samples(batch, independent=True))
+        for engine, pipe in pipes.items()
+    }
+    independent_speedup = timings["per-subspace"] / timings["shared"]
+    print(
+        f"scoring independent: shared {timings['shared']:.3f}s  "
+        f"per-subspace {timings['per-subspace']:.3f}s  speedup {independent_speedup:.2f}x"
+    )
+    if not np.array_equal(independent["shared"], independent["per-subspace"]):
+        print("FAIL: scoring engines disagree on independent scoring", file=sys.stderr)
+        return 1
+    if independent_speedup < 3.0:
+        print(
+            f"FAIL: independent streaming speedup {independent_speedup:.2f}x < 3x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    which = argv[0] if argv else "all"
+    if which not in ("contrast", "scoring", "all"):
+        print(f"usage: perf_smoke.py [contrast|scoring]", file=sys.stderr)
+        return 2
+    status = 0
+    if which in ("contrast", "all"):
+        status |= contrast_smoke()
+    if which in ("scoring", "all"):
+        status |= scoring_smoke()
+    return status
 
 
 if __name__ == "__main__":

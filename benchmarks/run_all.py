@@ -1,19 +1,29 @@
-"""Benchmark regression harness: batch vs scalar contrast engine per PR.
+"""Benchmark regression harness: contrast engine and scoring engine per PR.
 
-Runs the fig-4/fig-5-style synthetic suites (including the 50-dimensional
-search workload from the acceptance criterion), records wall time for the
-vectorised batch engine against the scalar reference engine, verifies the two
-agree bit-for-bit, computes the ranking AUC of the full HiCS+LOF pipeline on
-each labelled suite, and writes everything to ``BENCH_contrast.json`` so the
-performance trajectory is tracked across PRs.
+Two benchmark families, each with a golden-equivalence check and a speedup
+gate, tracked across PRs:
+
+* **Contrast** (``BENCH_contrast.json``): the fig-4/fig-5-style synthetic
+  search suites comparing the vectorised batch contrast engine against the
+  scalar reference engine (PR 2's acceptance criterion).
+* **Scoring** (``BENCH_scoring.json``): a fig-10/fig-11-style multi-subspace
+  real-world workload — the best 100 HiCS subspaces of a correlated dataset,
+  scored with LOF — comparing the shared-neighborhood scoring engine against
+  the per-subspace reference path, for one-shot batch ranking, joint
+  streaming scoring and independent streaming scoring (the serving path,
+  where the engine's asymmetric query mode replaces one full scoring pass
+  per object).
 
 Run from the repository root::
 
-    PYTHONPATH=src python benchmarks/run_all.py [--out BENCH_contrast.json]
+    PYTHONPATH=src python benchmarks/run_all.py [--only contrast|scoring]
 
-Exit code is non-zero when the engines disagree or the batch engine fails the
-minimum speedup on the 50-d suite (``--min-speedup``, default 3.0), which is
-what the acceptance criterion pins.
+Exit code is non-zero when any engine pair disagrees by a single bit, when
+the batch contrast engine misses its 3x gate on the 50-d suite, or when the
+shared scoring engine misses its 3x gate on the independent streaming
+workload (joint modes have a no-regression floor instead: an exact shared
+top-k pass can win at most ~2-3x there because the partition cost is common
+to both engines).
 """
 
 from __future__ import annotations
@@ -29,8 +39,11 @@ import numpy as np
 
 from repro.dataset import generate_synthetic_dataset
 from repro.evaluation.experiments import evaluate_method_on_dataset
-from repro.pipeline import PipelineConfig
+from repro.outliers import LOFScorer, SubspaceOutlierRanker
+from repro.pipeline import PipelineConfig, SubspaceOutlierPipeline
 from repro.subspaces.hics import HiCS
+
+# ----------------------------------------------------------------- contrast
 
 #: (name, n_objects, n_dims, n_relevant_subspaces) — fig-4/fig-5 style scaled
 #: workloads; the 50-d suite is the acceptance-criterion workload.
@@ -91,17 +104,7 @@ def run_suite(name: str, n_objects: int, n_dims: int, n_relevant: int) -> Dict[s
     return suite
 
 
-def main(argv: List[str] = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_contrast.json", help="output JSON path")
-    parser.add_argument(
-        "--min-speedup",
-        type=float,
-        default=3.0,
-        help="required batch-over-scalar speedup on the 50-d suite",
-    )
-    args = parser.parse_args(argv)
-
+def run_contrast_benchmark(out: str, min_speedup: float) -> int:
     suites = []
     for name, n_objects, n_dims, n_relevant in SUITES:
         print(f"running {name} (N={n_objects}, D={n_dims}) ...", flush=True)
@@ -122,26 +125,250 @@ def main(argv: List[str] = None) -> int:
         "numpy": np.__version__,
         "suites": suites,
         "acceptance": {
-            "required_speedup_50d": args.min_speedup,
+            "required_speedup_50d": min_speedup,
             "measured_speedup_50d": target["speedup"],
-            "meets_speedup": target["speedup"] >= args.min_speedup,
+            "meets_speedup": target["speedup"] >= min_speedup,
             "all_engines_identical": all(s["engines_identical"] for s in suites),
         },
     }
-    with open(args.out, "w") as handle:
+    with open(out, "w") as handle:
         json.dump(payload, handle, indent=2)
-    print(f"wrote {args.out}")
+    print(f"wrote {out}")
 
     if not payload["acceptance"]["all_engines_identical"]:
         print("FAIL: batch and scalar engines disagree", file=sys.stderr)
         return 1
     if not payload["acceptance"]["meets_speedup"]:
         print(
-            f"FAIL: 50-d speedup {target['speedup']}x < {args.min_speedup}x",
+            f"FAIL: 50-d speedup {target['speedup']}x < {min_speedup}x",
             file=sys.stderr,
         )
         return 1
     return 0
+
+
+# ------------------------------------------------------------------ scoring
+
+#: The fig-10/fig-11-style scoring workload: a correlated mid-size dataset,
+#: the best 100 HiCS subspaces (heavily overlapping dimensions), LOF MinPts 10.
+SCORING_WORKLOAD = dict(
+    n_objects=800,
+    n_dims=20,
+    n_subspaces=100,
+    min_pts=10,
+    joint_stream_batch=50,
+    independent_stream_batch=10,
+)
+
+
+def _best_of(repeats: int, fn):
+    best, value = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def run_scoring_benchmark(out: str, min_speedup: float) -> int:
+    w = SCORING_WORKLOAD
+    dataset = generate_synthetic_dataset(
+        n_objects=w["n_objects"],
+        n_dims=w["n_dims"],
+        n_relevant_subspaces=4,
+        subspace_dims=(2, 4),
+        outliers_per_subspace=8,
+        random_state=0,
+    )
+    searcher = HiCS(
+        n_iterations=20,
+        candidate_cutoff=100,
+        max_output_subspaces=w["n_subspaces"],
+        random_state=0,
+    )
+    scored_subspaces = searcher.search(dataset.data)
+    subspaces = [s.subspace for s in scored_subspaces]
+    print(
+        f"scoring workload: N={w['n_objects']} D={w['n_dims']} "
+        f"subspaces={len(subspaces)} "
+        f"(mean |S| {np.mean([len(s) for s in subspaces]):.2f})",
+        flush=True,
+    )
+    rng = np.random.default_rng(1)
+    joint_batch = rng.uniform(0.0, 1.0, size=(w["joint_stream_batch"], w["n_dims"]))
+    independent_batch = joint_batch[: w["independent_stream_batch"]]
+
+    def pipeline(engine: str) -> SubspaceOutlierPipeline:
+        pipe = SubspaceOutlierPipeline(
+            searcher, LOFScorer(min_pts=w["min_pts"]), engine=engine
+        )
+        # Install the already-searched subspaces directly; the benchmark
+        # times the scoring phase only.
+        pipe.reference_data_ = dataset.data
+        pipe.scored_subspaces_ = list(scored_subspaces)
+        pipe.scorer.fit(dataset.data)
+        return pipe
+
+    suites = []
+
+    def record(suite, shared_time, reference_time, identical, gate, required):
+        entry = {
+            "suite": suite,
+            "wall_time_shared_sec": round(shared_time, 4),
+            "wall_time_per_subspace_sec": round(reference_time, 4),
+            "speedup": round(reference_time / shared_time, 2),
+            "engines_identical": bool(identical),
+            "gate": gate,
+            "required_speedup": required,
+        }
+        suites.append(entry)
+        print(
+            f"  {suite}: shared {entry['wall_time_shared_sec']}s  "
+            f"per-subspace {entry['wall_time_per_subspace_sec']}s  "
+            f"speedup {entry['speedup']}x  identical={identical}"
+        )
+
+    # One-shot batch ranking (fig-10 protocol: rank the dataset itself).
+    shared_time, shared_scores = _best_of(
+        3,
+        lambda: SubspaceOutlierRanker(
+            LOFScorer(min_pts=w["min_pts"]), engine="shared"
+        ).rank(dataset.data, subspaces).scores,
+    )
+    reference_time, reference_scores = _best_of(
+        3,
+        lambda: SubspaceOutlierRanker(
+            LOFScorer(min_pts=w["min_pts"]), engine="per-subspace"
+        ).rank(dataset.data, subspaces).scores,
+    )
+    record(
+        "rank_multisubspace",
+        shared_time,
+        reference_time,
+        np.array_equal(shared_scores, reference_scores),
+        "no_regression",
+        1.0,
+    )
+
+    # Joint streaming: score incoming batches against the fitted subspaces.
+    shared_pipe, reference_pipe = pipeline("shared"), pipeline("per-subspace")
+    shared_time, shared_scores = _best_of(
+        3, lambda: shared_pipe.score_samples(joint_batch)
+    )
+    reference_time, reference_scores = _best_of(
+        3, lambda: reference_pipe.score_samples(joint_batch)
+    )
+    record(
+        "stream_joint",
+        shared_time,
+        reference_time,
+        np.array_equal(shared_scores, reference_scores),
+        "no_regression",
+        1.0,
+    )
+
+    # Independent streaming (the serving path this engine exists for): every
+    # object is scored on its own against the reference population.  The
+    # shared engine answers from cached reference blocks + neighbour lists
+    # via its asymmetric query mode; the reference path re-runs one full
+    # scoring pass per object per subspace.  Timed warm (reference engine
+    # built), as in a long-running scoring service.
+    shared_pipe.score_samples(independent_batch[:1], independent=True)
+    shared_time, shared_scores = _best_of(
+        2, lambda: shared_pipe.score_samples(independent_batch, independent=True)
+    )
+    reference_time, reference_scores = _best_of(
+        1, lambda: reference_pipe.score_samples(independent_batch, independent=True)
+    )
+    record(
+        "stream_independent",
+        shared_time,
+        reference_time,
+        np.array_equal(shared_scores, reference_scores),
+        "min_speedup",
+        min_speedup,
+    )
+
+    all_identical = all(s["engines_identical"] for s in suites)
+    gates_met = all(
+        s["speedup"] >= s["required_speedup"]
+        for s in suites
+        if s["gate"] == "min_speedup"
+    )
+    no_regression = all(
+        s["speedup"] >= s["required_speedup"]
+        for s in suites
+        if s["gate"] == "no_regression"
+    )
+    payload = {
+        "benchmark": "scoring-engine",
+        "workload": {**SCORING_WORKLOAD, "n_subspaces_found": len(subspaces)},
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "suites": suites,
+        "acceptance": {
+            "required_speedup_independent": min_speedup,
+            "measured_speedup_independent": next(
+                s["speedup"] for s in suites if s["suite"] == "stream_independent"
+            ),
+            "meets_speedup": gates_met,
+            "no_joint_regression": no_regression,
+            "all_engines_identical": all_identical,
+        },
+    }
+    with open(out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"wrote {out}")
+
+    if not all_identical:
+        print("FAIL: shared and per-subspace engines disagree", file=sys.stderr)
+        return 1
+    if not gates_met:
+        print(
+            f"FAIL: independent streaming speedup below {min_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
+    if not no_regression:
+        print("FAIL: shared engine regressed a joint scoring suite", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out-contrast", default="BENCH_contrast.json", help="contrast output path"
+    )
+    parser.add_argument(
+        "--out-scoring", default="BENCH_scoring.json", help="scoring output path"
+    )
+    parser.add_argument(
+        "--only",
+        choices=["contrast", "scoring"],
+        default=None,
+        help="run a single benchmark family",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=3.0,
+        help="required batch-over-scalar speedup on the 50-d contrast suite",
+    )
+    parser.add_argument(
+        "--min-scoring-speedup",
+        type=float,
+        default=3.0,
+        help="required shared-engine speedup on the independent streaming suite",
+    )
+    args = parser.parse_args(argv)
+
+    status = 0
+    if args.only in (None, "contrast"):
+        status |= run_contrast_benchmark(args.out_contrast, args.min_speedup)
+    if args.only in (None, "scoring"):
+        status |= run_scoring_benchmark(args.out_scoring, args.min_scoring_speedup)
+    return status
 
 
 if __name__ == "__main__":

@@ -6,6 +6,14 @@ dataset, the fitted pipeline is saved to disk, and a separate "serving
 process" loads the model and scores incoming batches of new objects without
 ever repeating the search.
 
+Since the shared-neighborhood scoring engine, the serving process also keeps
+per-dimension distance blocks and reference neighbour lists warm across
+batches, so even ``independent=True`` scoring — every object judged on its
+own against the reference, immune to batch self-masking — costs an
+incremental neighbourhood update per object instead of a full scoring pass.
+The per-subspace reference path produces bit-for-bit identical scores; the
+engine is purely a throughput knob.
+
 Run with::
 
     python examples/fit_once_score_stream.py
@@ -36,6 +44,7 @@ def main() -> None:
     pipeline = SubspaceOutlierPipeline(
         searcher=HiCS(n_iterations=40, random_state=0),
         scorer=LOFScorer(min_pts=10),
+        engine="shared",  # the default; "per-subspace" scores identically
     )
     started = time.perf_counter()
     pipeline.fit(reference)
@@ -58,11 +67,31 @@ def main() -> None:
         scores = serving.score_samples(batch)
         score_ms = (time.perf_counter() - started) * 1000.0
         flagged = int(np.argmax(scores))
-        print(f"batch {batch_id}: scored {len(batch)} objects in {score_ms:.1f} ms, "
-              f"most suspicious object = {flagged} (score {scores[flagged]:.3f})")
+        print(f"batch {batch_id}: scored {len(batch)} objects jointly in "
+              f"{score_ms:.1f} ms, most suspicious object = {flagged} "
+              f"(score {scores[flagged]:.3f})")
 
-    # The same pipeline is also reachable via a registry spec string:
-    same = make_pipeline_from_spec("hics(n_iterations=40, random_state=0)+lof(min_pts=10)")
+    # ------------------------------------- online: independent (streaming)
+    # Joint scoring lets a batch of near-duplicate anomalies mask itself by
+    # forming its own dense cluster; independent=True scores each object as
+    # if it arrived alone.  The engine's asymmetric query mode answers this
+    # from cached reference blocks + neighbour lists, so the second batch on
+    # is dramatically cheaper than the per-object reference loop.
+    attack = np.tile(rng.uniform(0.9, 0.95, size=(1, reference.n_dims)), (10, 1))
+    joint = serving.score_samples(attack)
+    serving.score_samples(attack, independent=True)  # warm the engine caches
+    started = time.perf_counter()
+    independent = serving.score_samples(attack, independent=True)
+    independent_ms = (time.perf_counter() - started) * 1000.0
+    print(f"duplicate-burst masking: joint max score {joint.max():.3f} vs "
+          f"independent max score {independent.max():.3f} "
+          f"({independent_ms:.1f} ms warm for {len(attack)} objects)")
+
+    # The same pipeline is also reachable via a registry spec string; the
+    # engine segment is part of the grammar.
+    same = make_pipeline_from_spec(
+        "hics(n_iterations=40, random_state=0)+lof(min_pts=10)+shared"
+    )
     same.fit(reference)
     check = rng.uniform(size=(5, reference.n_dims))
     assert np.array_equal(same.score_samples(check), pipeline.score_samples(check))

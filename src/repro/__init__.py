@@ -64,6 +64,7 @@ from .baselines import (
     RISSearcher,
     RandomSubspaceSearcher,
 )
+from .neighbors import SharedNeighborEngine
 from .outliers import (
     AdaptiveDensityScorer,
     KNNDistanceScorer,
@@ -142,6 +143,8 @@ __all__ = [
     "RandomSubspaceSearcher",
     "PCAReducer",
     "FullSpaceSearcher",
+    # neighbors
+    "SharedNeighborEngine",
     # outliers
     "LOFScorer",
     "local_outlier_factor",

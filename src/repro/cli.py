@@ -67,6 +67,23 @@ def build_parser() -> argparse.ArgumentParser:
             help="worker processes for the contrast search (-1 = all cores); "
             "results are identical for any value",
         )
+        add_engine_arguments(sub)
+
+    def add_engine_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--scoring-engine",
+            default="shared",
+            choices=["shared", "per-subspace"],
+            help="scoring engine: 'shared' (default) computes one distance pass "
+            "for all fitted subspaces, 'per-subspace' is the bit-for-bit "
+            "identical reference path",
+        )
+        sub.add_argument(
+            "--memory-budget-mb",
+            type=float,
+            default=256.0,
+            help="cache budget of the shared scoring engine in MiB (default 256)",
+        )
 
     rank = subparsers.add_parser("rank", help="rank the objects of a dataset")
     add_dataset_arguments(rank)
@@ -89,9 +106,11 @@ def build_parser() -> argparse.ArgumentParser:
     score.add_argument(
         "--independent",
         action="store_true",
-        help="score each object on its own against the reference (slower, but a "
-        "burst of near-duplicate anomalies in one batch cannot mask itself)",
+        help="score each object on its own against the reference (a burst of "
+        "near-duplicate anomalies in one batch cannot mask itself; cheap "
+        "under the shared engine's asymmetric query mode)",
     )
+    add_engine_arguments(score)
 
     contrast = subparsers.add_parser("contrast", help="print the highest contrast subspaces")
     add_dataset_arguments(contrast)
@@ -136,6 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for the contrast search (-1 = all cores)",
     )
+    add_engine_arguments(compare)
 
     subparsers.add_parser("datasets", help="list the built-in datasets")
     subparsers.add_parser(
@@ -160,7 +180,11 @@ def _resolve_method_pipeline(args: argparse.Namespace):
     """Build the pipeline for the shared --method/--spec/--min-pts arguments."""
     method = args.spec if args.spec else args.method
     config = PipelineConfig(
-        min_pts=args.min_pts, random_state=args.seed, n_jobs=args.n_jobs
+        min_pts=args.min_pts,
+        random_state=args.seed,
+        n_jobs=args.n_jobs,
+        scoring_engine=args.scoring_engine,
+        memory_budget_mb=args.memory_budget_mb,
     )
     return method, make_method_pipeline(method, config)
 
@@ -197,6 +221,11 @@ def _command_fit(args: argparse.Namespace) -> int:
 def _command_score(args: argparse.Namespace) -> int:
     dataset = _load(args)
     pipeline = SubspaceOutlierPipeline.load(args.model)
+    # Serve-time override: the engine is a throughput knob, not part of the
+    # fitted model, so the scoring host may pick a different one than the
+    # machine that ran fit.
+    pipeline.engine = pipeline.ranker.engine = args.scoring_engine
+    pipeline.memory_budget_mb = pipeline.ranker.memory_budget_mb = args.memory_budget_mb
     result = pipeline.rank(dataset, independent=args.independent)
     print(
         f"model: {args.model}   method: {result.method}   "
@@ -228,7 +257,11 @@ def _command_contrast(args: argparse.Namespace) -> int:
 def _command_compare(args: argparse.Namespace) -> int:
     dataset = _load(args)
     config = PipelineConfig(
-        min_pts=args.min_pts, random_state=args.seed, n_jobs=args.n_jobs
+        min_pts=args.min_pts,
+        random_state=args.seed,
+        n_jobs=args.n_jobs,
+        scoring_engine=args.scoring_engine,
+        memory_budget_mb=args.memory_budget_mb,
     )
     methods = list(args.methods) + list(args.specs)
     results = [evaluate_method_on_dataset(m, dataset, config) for m in methods]

@@ -11,22 +11,30 @@ from .distance import (
     manhattan_distance,
     minkowski_distance,
     pairwise_distances,
+    squared_difference_block,
     subspace_pairwise_distances,
 )
 from .brute import BruteForceKNN
 from .kdtree import KDTree, KDTreeKNN
 from .base import KNNResult, NearestNeighborSearcher, create_knn_searcher
+from .engine import SharedEngineKNN, SharedNeighborEngine, normalise_engine_mode
+from .topk import top_k_smallest
 
 __all__ = [
     "euclidean_distance",
     "manhattan_distance",
     "minkowski_distance",
     "pairwise_distances",
+    "squared_difference_block",
     "subspace_pairwise_distances",
     "BruteForceKNN",
     "KDTree",
     "KDTreeKNN",
     "KNNResult",
     "NearestNeighborSearcher",
+    "SharedEngineKNN",
+    "SharedNeighborEngine",
     "create_knn_searcher",
+    "normalise_engine_mode",
+    "top_k_smallest",
 ]

@@ -78,10 +78,13 @@ def create_knn_searcher(
     ``"auto"`` picks the vectorised brute-force backend for all but very large
     low-dimensional inputs: the dense NumPy distance matrix is faster than a
     pure-Python KD-tree traversal up to several thousand objects, and the
-    datasets of the paper stay in that regime.  ``"brute"`` / ``"kdtree"``
-    force a backend.
+    datasets of the paper stay in that regime.  ``"brute"`` / ``"kdtree"`` /
+    ``"shared"`` force a backend; ``"shared"`` runs on a
+    :class:`~repro.neighbors.engine.SharedNeighborEngine` and produces the
+    same neighbours as ``"brute"``, bit for bit.
     """
     from .brute import BruteForceKNN
+    from .engine import SharedEngineKNN
     from .kdtree import KDTreeKNN
 
     algorithm = algorithm.strip().lower()
@@ -93,6 +96,8 @@ def create_knn_searcher(
         return BruteForceKNN(data, attributes)
     if algorithm == "kdtree":
         return KDTreeKNN(data, attributes)
+    if algorithm == "shared":
+        return SharedEngineKNN(data, attributes)
     raise ParameterError(
-        f"unknown kNN algorithm {algorithm!r}; expected 'auto', 'brute' or 'kdtree'"
+        f"unknown kNN algorithm {algorithm!r}; expected 'auto', 'brute', 'kdtree' or 'shared'"
     )

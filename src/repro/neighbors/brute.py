@@ -16,6 +16,7 @@ from ..exceptions import DataError, ParameterError
 from ..utils.validation import check_data_matrix, check_positive_int
 from .base import KNNResult, NearestNeighborSearcher
 from .distance import pairwise_distances
+from .topk import top_k_smallest
 
 __all__ = ["BruteForceKNN"]
 
@@ -74,11 +75,18 @@ class BruteForceKNN(NearestNeighborSearcher):
             raise ParameterError(
                 f"k={k} is too large for {n} objects (max {max_k} with exclude_self={exclude_self})"
             )
-        distances = self.distance_matrix.copy()
+        distances = self.distance_matrix
+        # Temporarily mask the diagonal in place instead of copying the cached
+        # n x n matrix per query; the true diagonal is exactly zero, so
+        # restoring it afterwards is lossless.
         if exclude_self:
             np.fill_diagonal(distances, np.inf)
-        # argsort is deterministic (stable for equal keys after the lexical
-        # tie-break on index), which keeps LOF reproducible across runs.
-        order = np.argsort(distances, axis=1, kind="stable")[:, :k]
-        neighbor_distances = np.take_along_axis(distances, order, axis=1)
+        try:
+            # top_k_smallest applies the same deterministic index tie-break a
+            # stable full-row argsort would, which keeps LOF reproducible
+            # across runs, at partial-sort instead of full-sort cost.
+            order, neighbor_distances = top_k_smallest(distances, k)
+        finally:
+            if exclude_self:
+                np.fill_diagonal(distances, 0.0)
         return KNNResult(indices=order, distances=neighbor_distances)

@@ -20,6 +20,7 @@ __all__ = [
     "euclidean_distance",
     "manhattan_distance",
     "pairwise_distances",
+    "squared_difference_block",
     "subspace_pairwise_distances",
 ]
 
@@ -79,6 +80,25 @@ def manhattan_distance(
     return minkowski_distance(x, y, p=1.0, attributes=attributes)
 
 
+def squared_difference_block(column: np.ndarray, other: Optional[np.ndarray] = None) -> np.ndarray:
+    """Squared-difference block ``(x_i - y_j)^2`` of one attribute column.
+
+    This is the per-dimension building block of every Euclidean distance in
+    the library: subspace distance matrices are the sum of these blocks over
+    the subspace's attributes (in ascending attribute order).  Both the
+    per-subspace reference path (:func:`pairwise_distances`) and the
+    :class:`~repro.neighbors.engine.SharedNeighborEngine` assemble distances
+    from this primitive, which is what makes the two paths bit-for-bit
+    identical.  With ``other`` given, the block is the asymmetric
+    query-vs-reference rectangle ``(column_i - other_j)^2``.
+    """
+    x = np.asarray(column, dtype=float).ravel()
+    y = x if other is None else np.asarray(other, dtype=float).ravel()
+    diff = x[:, None] - y[None, :]
+    diff *= diff
+    return diff
+
+
 def pairwise_distances(
     data: np.ndarray,
     attributes: Optional[Sequence[int]] = None,
@@ -86,8 +106,11 @@ def pairwise_distances(
 ) -> np.ndarray:
     """Full pairwise distance matrix of a data matrix.
 
-    Uses the vectorised ``(a-b)^2 = a^2 - 2ab + b^2`` expansion for the
-    Euclidean case and broadcasting otherwise.  The diagonal is exactly zero.
+    The Euclidean case accumulates per-dimension squared-difference blocks in
+    ascending attribute order (see :func:`squared_difference_block`), which is
+    exact for duplicate points (no cancellation) and deterministic across
+    BLAS implementations; other orders use broadcasting.  The diagonal is
+    exactly zero.
     """
     arr = _select(np.asarray(data, dtype=float), attributes)
     if arr.ndim != 2:
@@ -95,9 +118,9 @@ def pairwise_distances(
     if p <= 0:
         raise ParameterError(f"Minkowski order p must be positive, got {p}")
     if p == 2.0:
-        squared_norms = np.sum(arr**2, axis=1)
-        squared = squared_norms[:, None] - 2.0 * arr @ arr.T + squared_norms[None, :]
-        np.maximum(squared, 0.0, out=squared)
+        squared = np.zeros((arr.shape[0], arr.shape[0]))
+        for column in arr.T:
+            squared += squared_difference_block(column)
         distances = np.sqrt(squared)
     elif np.isinf(p):
         distances = np.max(np.abs(arr[:, None, :] - arr[None, :, :]), axis=2)

@@ -1,0 +1,410 @@
+"""The shared-neighborhood scoring engine: one distance pass for all subspaces.
+
+Scoring every object in *each* high-contrast subspace is the dominant cost of
+the pipeline once the contrast search is vectorised: the selected subspaces
+heavily share dimensions, yet the per-subspace path rebuilds its own
+``O(n^2 * |S|)`` distance matrix from scratch for every subspace.  The
+:class:`SharedNeighborEngine` pays the expensive pass once instead:
+
+* per-dimension squared-difference blocks ``(x_id - x_jd)^2`` are computed
+  once per dataset and cached under a configurable memory budget,
+* subspace distance matrices are assembled by summing dimension blocks in
+  ascending attribute order, with **prefix memoisation** — subspaces sharing a
+  sorted-attribute prefix (ubiquitous in apriori-style outputs) reuse the
+  partial sums of that prefix,
+* top-k neighbour queries run row-chunked via ``argpartition`` with the
+  library-wide stable index tie-break (:func:`~repro.neighbors.topk.top_k_smallest`),
+* an asymmetric query-vs-reference mode scores new points against the fitted
+  reference without Python-level per-object loops.
+
+Because the per-subspace reference path (:func:`~repro.neighbors.distance.pairwise_distances`)
+accumulates the very same :func:`~repro.neighbors.distance.squared_difference_block`
+floats in the very same order, every distance, neighbour index and downstream
+outlier score the engine produces is **bit-for-bit identical** to the
+per-subspace path — the equivalence the golden suite in
+``tests/test_shared_engine.py`` pins.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import DataError, ParameterError
+from ..utils.validation import check_data_matrix, check_positive_int
+from .base import KNNResult, NearestNeighborSearcher
+from .distance import squared_difference_block
+from .topk import top_k_smallest
+
+__all__ = ["SharedNeighborEngine", "SharedEngineKNN", "normalise_engine_mode"]
+
+#: Canonical engine-mode names accepted everywhere an engine switch appears
+#: (pipeline, ranker, config, spec grammar, CLI).
+ENGINE_MODES = ("shared", "per-subspace")
+
+
+def normalise_engine_mode(value: object) -> str:
+    """Validate an engine-mode name, accepting ``per_subspace`` as an alias."""
+    if not isinstance(value, str):
+        raise ParameterError(f"engine must be a string, got {type(value).__name__}")
+    key = value.strip().lower().replace("_", "-")
+    if key not in ENGINE_MODES:
+        raise ParameterError(
+            f"unknown scoring engine {value!r}; expected one of {ENGINE_MODES}"
+        )
+    return key
+
+
+class SharedNeighborEngine:
+    """Shared distance/neighbour substrate over one fixed data matrix.
+
+    Parameters
+    ----------
+    data:
+        Data matrix of shape ``(n_objects, n_dims)``.  The engine keeps a
+        reference and never mutates it.
+    memory_budget_mb:
+        Upper bound (in MiB) on the memory spent caching per-dimension blocks
+        and prefix partial sums.  Least-recently-used entries are evicted when
+        the budget is exceeded; a budget too small for a single ``n x n``
+        block simply disables caching, in which case every assembly is
+        recomputed chunk-by-chunk — slower, but never above budget.
+    """
+
+    def __init__(self, data: np.ndarray, *, memory_budget_mb: float = 256.0):
+        self._data = check_data_matrix(data, name="data", min_objects=2)
+        try:
+            budget = float(memory_budget_mb)
+        except (TypeError, ValueError) as exc:
+            raise ParameterError(
+                f"memory_budget_mb must be a number, got {memory_budget_mb!r}"
+            ) from exc
+        if not np.isfinite(budget) or budget <= 0:
+            raise ParameterError(f"memory_budget_mb must be positive, got {memory_budget_mb}")
+        self.memory_budget_mb = budget
+        self._budget_bytes = int(budget * 1024 * 1024)
+        n = self._data.shape[0]
+        self._block_nbytes = n * n * 8
+        # Sorted-attribute-prefix -> accumulated squared-distance matrix.  A
+        # single-attribute prefix is the dimension's raw block.  LRU-evicted
+        # under the byte budget.
+        self._prefixes: "OrderedDict[Tuple[int, ...], np.ndarray]" = OrderedDict()
+        self._cache_bytes = 0
+        # Assembled subspace matrices only enter the cache on their *second*
+        # request: a one-shot scoring pass touches every subspace exactly
+        # once, and parking its matrices in the cache would both evict the
+        # (constantly reused) dimension blocks and starve the allocator of
+        # reusable pages.  Streaming workloads re-request and get cached.
+        self._assembly_requests: "dict" = {}
+        # Reusable scratch rows for assemble-and-partition passes, so the hot
+        # top-k loop runs on warm pages instead of fresh allocations.
+        self._scratch: Optional[np.ndarray] = None
+        # Memoised kneighbors() results keyed by (attrs, k, exclude_self).
+        # Small (n x k each) but hot: streaming independent scoring re-reads
+        # the same reference neighbour lists for every incoming batch.
+        self._knn_cache: "OrderedDict[Tuple, KNNResult]" = OrderedDict()
+
+    # ------------------------------------------------------------- basics
+
+    @property
+    def n_objects(self) -> int:
+        return self._data.shape[0]
+
+    @property
+    def n_dims(self) -> int:
+        return self._data.shape[1]
+
+    @property
+    def data(self) -> np.ndarray:
+        """The underlying data matrix (do not mutate)."""
+        return self._data
+
+    def _attributes(self, attributes: Optional[Iterable[int]]) -> Tuple[int, ...]:
+        if attributes is None:
+            return tuple(range(self.n_dims))
+        attrs = tuple(int(a) for a in attributes)
+        if not attrs:
+            raise ParameterError("attributes must not be empty")
+        if min(attrs) < 0 or max(attrs) >= self.n_dims:
+            raise DataError(
+                f"attributes {attrs} out of range for {self.n_dims}-dimensional data"
+            )
+        return attrs
+
+    # ------------------------------------------------------------- caching
+
+    def _cache_put(self, key: Tuple[int, ...], matrix: np.ndarray) -> None:
+        if matrix.nbytes > self._budget_bytes:
+            return
+        previous = self._prefixes.pop(key, None)
+        if previous is not None:
+            self._cache_bytes -= previous.nbytes
+        while self._prefixes and self._cache_bytes + matrix.nbytes > self._budget_bytes:
+            _, evicted = self._prefixes.popitem(last=False)
+            self._cache_bytes -= evicted.nbytes
+        self._prefixes[key] = matrix
+        self._cache_bytes += matrix.nbytes
+
+    def _cache_get(self, key: Tuple[int, ...]) -> Optional[np.ndarray]:
+        matrix = self._prefixes.get(key)
+        if matrix is not None:
+            self._prefixes.move_to_end(key)
+        return matrix
+
+    @property
+    def cache_bytes(self) -> int:
+        """Bytes currently held by the prefix/block cache."""
+        return self._cache_bytes
+
+    def _block(self, attribute: int) -> np.ndarray:
+        """The cached squared-difference block of one dimension."""
+        key = (attribute,)
+        cached = self._cache_get(key)
+        if cached is not None:
+            return cached
+        block = squared_difference_block(self._data[:, attribute])
+        self._cache_put(key, block)
+        return block
+
+    def _longest_cached_base(self, attrs: Tuple[int, ...]) -> "Tuple[int, np.ndarray]":
+        """Longest cached prefix of ``attrs`` to start an assembly from."""
+        depth = len(attrs) - 1
+        while depth >= 2:
+            base = self._cache_get(attrs[:depth])
+            if base is not None:
+                return depth, base
+            depth -= 1
+        return 1, self._block(attrs[0])
+
+    def _should_cache_assembly(self, attrs: Tuple[int, ...]) -> bool:
+        """Cache an assembled subspace matrix only once it is re-requested."""
+        count = self._assembly_requests.get(attrs, 0) + 1
+        if count > 1 or len(self._assembly_requests) < 65536:
+            self._assembly_requests[attrs] = count
+        return count >= 2
+
+    def _squared_prefix(self, attrs: Tuple[int, ...]) -> np.ndarray:
+        """Accumulated squared distances over ``attrs`` (cached, do not mutate).
+
+        Starts from the longest cached prefix of ``attrs`` and adds the
+        remaining dimension blocks in place.  Summation runs left-to-right
+        over ``attrs`` — the same association as the reference accumulation in
+        ``pairwise_distances`` — so assembled matrices are bit-for-bit
+        identical however deep the prefix reuse goes.  Only dimension blocks
+        and re-requested subspace matrices enter the cache; caching every
+        one-shot assembly would flood the budget with matrices that are never
+        read again.
+        """
+        if len(attrs) == 1:
+            return self._block(attrs[0])
+        cached = self._cache_get(attrs)
+        if cached is not None:
+            return cached
+        depth, base = self._longest_cached_base(attrs)
+        accumulated = base.copy()
+        for attribute in attrs[depth:]:
+            np.add(accumulated, self._block(attribute), out=accumulated)
+        if self._should_cache_assembly(attrs):
+            self._cache_put(attrs, accumulated)
+        return accumulated
+
+    def _scratch_rows(self, n_rows: int) -> np.ndarray:
+        """A persistent scratch buffer of ``(n_rows, n)`` rows (warm pages)."""
+        if self._scratch is None or self._scratch.shape[0] < n_rows:
+            self._scratch = np.empty((n_rows, self.n_objects))
+        return self._scratch[:n_rows]
+
+    def _assemble_squared_into(self, attrs: Tuple[int, ...], out: np.ndarray) -> None:
+        """Write the full squared subspace matrix into ``out`` (same floats)."""
+        if len(attrs) == 1:
+            np.copyto(out, self._block(attrs[0]))
+            return
+        cached = self._cache_get(attrs)
+        if cached is not None:
+            np.copyto(out, cached)
+            return
+        depth, base = self._longest_cached_base(attrs)
+        np.copyto(out, base)
+        for attribute in attrs[depth:]:
+            np.add(out, self._block(attribute), out=out)
+        if self._should_cache_assembly(attrs):
+            self._cache_put(attrs, out.copy())
+
+    def _squared_rows(self, attrs: Tuple[int, ...], start: int, stop: int) -> np.ndarray:
+        """Squared distances of rows ``[start, stop)`` to all objects.
+
+        Served from the prefix cache when a full block fits the budget;
+        otherwise the row band is accumulated directly from the data columns,
+        which keeps peak memory at ``O(chunk * n)`` — same floats either way.
+        """
+        if self._block_nbytes <= self._budget_bytes:
+            return self._squared_prefix(attrs)[start:stop]
+        squared = np.zeros((stop - start, self.n_objects))
+        for attribute in attrs:
+            squared += squared_difference_block(
+                self._data[start:stop, attribute], self._data[:, attribute]
+            )
+        return squared
+
+    # ------------------------------------------------------------ queries
+
+    def squared_distances(self, attributes: Optional[Iterable[int]] = None) -> np.ndarray:
+        """Assembled squared subspace distances, shape ``(n, n)`` (fresh array)."""
+        attrs = self._attributes(attributes)
+        return self._squared_prefix(attrs).copy()
+
+    def distance_matrix(self, attributes: Optional[Iterable[int]] = None) -> np.ndarray:
+        """Subspace distance matrix, bit-for-bit equal to ``pairwise_distances``.
+
+        Returns a fresh array the caller may mutate.
+        """
+        attrs = self._attributes(attributes)
+        distances = np.sqrt(self._squared_prefix(attrs))
+        np.fill_diagonal(distances, 0.0)
+        return distances
+
+    def _chunk_rows(self) -> int:
+        """Rows per top-k chunk so transient buffers stay within the budget."""
+        n = self.n_objects
+        per_row = n * 8 * 3  # squared chunk + sqrt + comparison scratch
+        return int(max(1, min(n, self._budget_bytes // max(per_row, 1) or 1)))
+
+    def kneighbors(
+        self,
+        k: int,
+        attributes: Optional[Iterable[int]] = None,
+        *,
+        exclude_self: bool = True,
+    ) -> KNNResult:
+        """k nearest neighbours of every object in the given subspace.
+
+        Identical (indices and distances) to
+        ``BruteForceKNN(data, attributes).kneighbors(k, exclude_self=...)``.
+        """
+        k = check_positive_int(k, name="k")
+        attrs = self._attributes(attributes)
+        n = self.n_objects
+        max_k = n - 1 if exclude_self else n
+        if k > max_k:
+            raise ParameterError(
+                f"k={k} is too large for {n} objects (max {max_k} with exclude_self={exclude_self})"
+            )
+        cache_key = (attrs, k, exclude_self)
+        cached = self._knn_cache.get(cache_key)
+        if cached is not None:
+            self._knn_cache.move_to_end(cache_key)
+            return cached
+        chunk = self._chunk_rows()
+        diagonal = np.inf if exclude_self else 0.0
+        if chunk >= n:
+            # Fused fast path: assemble and square-root in one persistent
+            # scratch buffer so the top-k partition runs on warm pages.
+            rows = self._scratch_rows(n)
+            self._assemble_squared_into(attrs, rows)
+            np.sqrt(rows, out=rows)
+            rows[np.arange(n), np.arange(n)] = diagonal
+            indices, distances = top_k_smallest(rows, k)
+        else:
+            indices = np.empty((n, k), dtype=np.intp)
+            distances = np.empty((n, k), dtype=float)
+            for start in range(0, n, chunk):
+                stop = min(start + chunk, n)
+                rows = np.sqrt(self._squared_rows(attrs, start, stop))
+                rows[np.arange(stop - start), np.arange(start, stop)] = diagonal
+                idx, vals = top_k_smallest(rows, k)
+                indices[start:stop] = idx
+                distances[start:stop] = vals
+        result = KNNResult(indices=indices, distances=distances)
+        while len(self._knn_cache) >= 128:
+            self._knn_cache.popitem(last=False)
+        self._knn_cache[cache_key] = result
+        return result
+
+    def query_squared_distances(
+        self, queries: np.ndarray, attributes: Optional[Iterable[int]] = None
+    ) -> np.ndarray:
+        """Asymmetric squared distances of query points to every reference object.
+
+        Shape ``(n_queries, n_objects)``.  Blocks are accumulated in the same
+        attribute order as the symmetric case, so each row is bit-for-bit what
+        the row of a combined ``[reference; queries]`` matrix would hold.
+        """
+        attrs = self._attributes(attributes)
+        queries = check_data_matrix(queries, name="queries", min_objects=1)
+        if queries.shape[1] != self.n_dims:
+            raise DataError(
+                f"queries have {queries.shape[1]} dimensions, expected {self.n_dims}"
+            )
+        squared = np.zeros((queries.shape[0], self.n_objects))
+        for attribute in attrs:
+            squared += squared_difference_block(
+                queries[:, attribute], self._data[:, attribute]
+            )
+        return squared
+
+    def query_distances(
+        self, queries: np.ndarray, attributes: Optional[Iterable[int]] = None
+    ) -> np.ndarray:
+        """Asymmetric distances (see :meth:`query_squared_distances`)."""
+        return np.sqrt(self.query_squared_distances(queries, attributes))
+
+    def query_kneighbors(
+        self,
+        queries: np.ndarray,
+        k: int,
+        attributes: Optional[Iterable[int]] = None,
+    ) -> KNNResult:
+        """k nearest *reference* objects of each query point (asymmetric mode).
+
+        Queries are never their own neighbours by construction; ties are
+        broken on the reference index as everywhere else.
+        """
+        k = check_positive_int(k, name="k")
+        if k > self.n_objects:
+            raise ParameterError(
+                f"k={k} is too large for {self.n_objects} reference objects"
+            )
+        distances = self.query_distances(queries, attributes)
+        indices, values = top_k_smallest(distances, k)
+        return KNNResult(indices=indices, distances=values)
+
+
+class SharedEngineKNN(NearestNeighborSearcher):
+    """:class:`NearestNeighborSearcher` adapter over a :class:`SharedNeighborEngine`.
+
+    Makes the engine addressable through ``create_knn_searcher(...,
+    algorithm="shared")`` so any scorer that accepts a kNN backend name can run
+    on the shared substrate.  An existing engine may be passed to share its
+    block cache across searchers.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        attributes: Optional[Sequence[int]] = None,
+        *,
+        engine: Optional[SharedNeighborEngine] = None,
+        memory_budget_mb: float = 256.0,
+    ):
+        if engine is None:
+            engine = SharedNeighborEngine(data, memory_budget_mb=memory_budget_mb)
+        else:
+            shaped = np.asarray(data, dtype=float)
+            if shaped.shape != engine.data.shape:
+                raise DataError(
+                    f"engine was built over data of shape {engine.data.shape}, "
+                    f"got {shaped.shape}"
+                )
+        self.engine = engine
+        self._attributes = None if attributes is None else tuple(int(a) for a in attributes)
+        # Fail fast on bad attribute selections, like the other backends.
+        engine._attributes(self._attributes)
+
+    @property
+    def n_objects(self) -> int:
+        return self.engine.n_objects
+
+    def kneighbors(self, k: int, *, exclude_self: bool = True) -> KNNResult:
+        return self.engine.kneighbors(k, self._attributes, exclude_self=exclude_self)

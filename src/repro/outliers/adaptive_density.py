@@ -22,15 +22,17 @@ the paper proposes as future work.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
 from ..exceptions import ParameterError
 from ..neighbors.distance import pairwise_distances
+from ..neighbors.engine import SharedNeighborEngine
+from ..neighbors.topk import top_k_smallest
 from ..types import Subspace
 from ..utils.validation import check_data_matrix, check_positive_int
-from .base import OutlierScorer
+from .base import DEFAULT_MEMORY_BUDGET_MB, OutlierScorer
 
 __all__ = ["AdaptiveDensityScorer", "adaptive_kernel_density"]
 
@@ -44,6 +46,22 @@ def _adaptive_bandwidth(n_objects: int, n_dims: int, scale: float) -> float:
     of kernel neighbours.
     """
     return float(scale * np.sqrt(n_dims) * n_objects ** (-1.0 / (n_dims + 4)))
+
+
+def _density_from_distances(
+    distances: np.ndarray, n_dims: int, bandwidth_scale: float
+) -> np.ndarray:
+    """Epanechnikov kernel densities from a (zero-diagonal) distance matrix.
+
+    Shared by the per-subspace reference path and the engine-backed batch
+    path so both produce identical floats.
+    """
+    n = distances.shape[0]
+    bandwidth = _adaptive_bandwidth(n, n_dims, bandwidth_scale)
+    scaled = distances / bandwidth
+    kernel = np.maximum(0.0, 1.0 - scaled**2)
+    np.fill_diagonal(kernel, 0.0)
+    return kernel.sum(axis=1) / (n - 1)
 
 
 def adaptive_kernel_density(
@@ -77,12 +95,8 @@ def adaptive_kernel_density(
         subspace.validate_against_dimensionality(data.shape[1])
         attributes = subspace.attributes
     distances = pairwise_distances(data, attributes=attributes)
-    n, d = data.shape[0], (len(attributes) if attributes else data.shape[1])
-    bandwidth = _adaptive_bandwidth(n, d, bandwidth_scale)
-    scaled = distances / bandwidth
-    kernel = np.maximum(0.0, 1.0 - scaled**2)
-    np.fill_diagonal(kernel, 0.0)
-    return kernel.sum(axis=1) / (n - 1)
+    d = len(attributes) if attributes else data.shape[1]
+    return _density_from_distances(distances, d, bandwidth_scale)
 
 
 class AdaptiveDensityScorer(OutlierScorer):
@@ -129,3 +143,88 @@ class AdaptiveDensityScorer(OutlierScorer):
         floor = max(float(densities.mean()) * 1e-6, np.finfo(float).tiny)
         ratio = mu / np.maximum(densities, floor)
         return np.maximum(0.0, ratio)
+
+    def score_batch(
+        self,
+        data: np.ndarray,
+        subspaces: "List[Optional[Subspace]]",
+        *,
+        engine: Optional[SharedNeighborEngine] = None,
+    ) -> "List[np.ndarray]":
+        """Engine-backed batch scoring: one assembled distance matrix per subspace.
+
+        The reference :meth:`score` computes the pairwise matrix twice per
+        subspace (once for the densities, once for the neighbourhoods) and
+        full-sorts every row; here the matrix is assembled once from the
+        shared dimension blocks and the neighbourhoods come from the engine's
+        partial-sort top-k — identical scores either way.
+        """
+        if engine is None:
+            return super().score_batch(data, subspaces, engine=engine)
+        data = check_data_matrix(data, name="data", min_objects=3)
+        self._check_engine(engine, data)
+        n = data.shape[0]
+        k = min(self.n_neighbors, n - 1)
+        scores = []
+        for subspace in subspaces:
+            attributes = self._subspace_attributes(data, subspace)
+            distances = engine.distance_matrix(attributes)
+            n_dims = len(attributes) if attributes else data.shape[1]
+            densities = _density_from_distances(distances, n_dims, self.bandwidth_scale)
+            # The matrix is a fresh assembly this scorer owns, so the
+            # neighbourhoods come straight from it — no second assembly.
+            np.fill_diagonal(distances, np.inf)
+            neighbours = top_k_smallest(distances, k)[0]
+            mu = densities[neighbours].mean(axis=1)
+            floor = max(float(densities.mean()) * 1e-6, np.finfo(float).tiny)
+            scores.append(np.maximum(0.0, mu / np.maximum(densities, floor)))
+        return scores
+
+    def score_samples_independent(
+        self,
+        data: np.ndarray,
+        subspaces: "List[Optional[Subspace]]",
+        *,
+        engine: Optional[str] = None,
+        memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB,
+    ) -> "List[np.ndarray]":
+        """Independent scoring on per-query combined matrices assembled once.
+
+        The reference-to-reference distance matrix of each subspace is
+        assembled a single time from the shared blocks; every query only adds
+        its own asymmetric distance row, instead of recomputing the full
+        ``(n+1) x (n+1)`` matrix (twice) and full-sorting all rows per object.
+        """
+        data = self._check_reference(data)
+        mode = self._resolve_engine_mode(engine)
+        if mode != "shared":
+            return super().score_samples_independent(
+                data, subspaces, engine=engine, memory_budget_mb=memory_budget_mb
+            )
+        shared = self._shared_reference_engine(memory_budget_mb)
+        n = self.reference_data_.shape[0]
+        n_queries = data.shape[0]
+        k = min(self.n_neighbors, n)  # the combined dataset has n + 1 objects
+        results = []
+        for subspace in subspaces:
+            attributes = self._subspace_attributes(data, subspace)
+            reference_matrix = shared.distance_matrix(attributes)
+            query_rows = shared.query_distances(data, attributes)
+            query_neighbours = top_k_smallest(query_rows, k)[0]
+            n_dims = len(attributes) if attributes else data.shape[1]
+            combined = np.empty((n + 1, n + 1))
+            combined[:n, :n] = reference_matrix
+            scores = np.empty(n_queries)
+            for qi in range(n_queries):
+                combined[:n, n] = query_rows[qi]
+                combined[n, :n] = query_rows[qi]
+                combined[n, n] = 0.0
+                densities = _density_from_distances(
+                    combined, n_dims, self.bandwidth_scale
+                )
+                neighbours = query_neighbours[qi]
+                mu = densities[neighbours].mean()
+                floor = max(float(densities.mean()) * 1e-6, np.finfo(float).tiny)
+                scores[qi] = max(0.0, mu / max(densities[n], floor))
+            results.append(scores)
+        return results

@@ -5,29 +5,43 @@ outlier score per object, larger meaning more outlying.  HiCS is agnostic to
 the concrete scorer — the paper stresses that "any other density-based scoring
 function could be used" — so the ranking engine in
 :mod:`repro.outliers.ranking` depends only on this interface.
+
+Since the shared-neighborhood refactor the interface is a *batch* protocol:
+:meth:`score_batch` scores one data matrix in many subspaces at once and may
+consume a :class:`~repro.neighbors.engine.SharedNeighborEngine`, which
+computes per-dimension distance blocks once and shares them across all
+subspaces.  The single-subspace :meth:`score` remains the per-subspace
+reference implementation; engine-based overrides are bit-for-bit equivalent
+to it (see ``tests/test_shared_engine.py``).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
 from ..exceptions import DataError, NotFittedError
+from ..neighbors.engine import SharedNeighborEngine, normalise_engine_mode
 from ..types import Subspace
 from ..utils.validation import check_data_matrix
 
 __all__ = ["OutlierScorer"]
+
+#: Default cache budget (MiB) for engines built implicitly by scorers.
+DEFAULT_MEMORY_BUDGET_MB = 256.0
 
 
 class OutlierScorer:
     """Abstract base class for per-object outlier scorers.
 
     Subclasses implement :meth:`score` (batch scoring of a self-contained
-    data matrix).  The estimator-protocol methods :meth:`fit` /
-    :meth:`score_samples` are provided here: after fitting on a reference
-    dataset, new objects are scored *against* that reference, which is the
-    serving-path primitive of the fit/score split.
+    data matrix) and may override :meth:`score_batch` /
+    :meth:`score_samples_independent` with engine-backed fast paths.  The
+    estimator-protocol methods :meth:`fit` / :meth:`score_samples` are
+    provided here: after fitting on a reference dataset, new objects are
+    scored *against* that reference, which is the serving-path primitive of
+    the fit/score split.
     """
 
     #: Human readable name used in rankings and reports.
@@ -56,10 +70,103 @@ class OutlierScorer:
         """Convenience wrapper for full-space scoring."""
         return self.score(data, subspace=None)
 
+    # --------------------------------------------------------------- batch
+
+    def score_batch(
+        self,
+        data: np.ndarray,
+        subspaces: "List[Optional[Subspace]]",
+        *,
+        engine: Optional[SharedNeighborEngine] = None,
+    ) -> "List[np.ndarray]":
+        """Score one data matrix in several subspaces with shared work.
+
+        ``engine``, when given, is a :class:`SharedNeighborEngine` built over
+        ``data``; scorers whose neighbourhood queries can be answered from the
+        shared per-dimension distance blocks override this method to consume
+        it.  The base implementation is the **per-subspace reference path**:
+        one independent :meth:`score` pass per subspace, ignoring the engine.
+
+        Returns one score vector of shape ``(n_objects,)`` per subspace.
+        """
+        data = check_data_matrix(data, name="data", min_objects=2)
+        self._check_engine(engine, data)
+        return [self.score(data, subspace=subspace) for subspace in subspaces]
+
+    @staticmethod
+    def _check_engine(engine: Optional[SharedNeighborEngine], data: np.ndarray) -> None:
+        if engine is not None and engine.n_objects != data.shape[0]:
+            raise DataError(
+                f"engine was built over {engine.n_objects} objects but the data "
+                f"has {data.shape[0]}"
+            )
+
+    @staticmethod
+    def _engine_matches_backend(algorithm: str, n_objects: int) -> bool:
+        """Whether the shared engine reproduces this kNN backend bit for bit.
+
+        The engine is exactly brute-force.  ``create_knn_searcher``'s
+        ``"auto"`` resolves to the KD-tree for very large low-dimensional
+        inputs, whose ordering of exact distance ties may differ, so such
+        configurations must stay on their own per-subspace path.
+        """
+        if algorithm in ("brute", "shared"):
+            return True
+        return algorithm == "auto" and n_objects <= 20000
+
+    @staticmethod
+    def _subspace_attributes(
+        data: np.ndarray, subspace: Optional[Subspace]
+    ) -> "Optional[tuple]":
+        if subspace is None:
+            return None
+        subspace.validate_against_dimensionality(data.shape[1])
+        return subspace.attributes
+
+    # ----------------------------------------------------------- protocol
+
     def fit(self, data: np.ndarray) -> "OutlierScorer":
         """Remember ``data`` as the reference population for :meth:`score_samples`."""
         self.reference_data_ = check_data_matrix(data, name="data", min_objects=2)
+        self._reference_engine_: Optional[SharedNeighborEngine] = None
         return self
+
+    def _check_reference(self, data: np.ndarray) -> np.ndarray:
+        reference = getattr(self, "reference_data_", None)
+        if reference is None:
+            raise NotFittedError(
+                f"{type(self).__name__} has no reference data; call fit() first"
+            )
+        data = check_data_matrix(data, name="data", min_objects=1)
+        if data.shape[1] != reference.shape[1]:
+            raise DataError(
+                f"new data has {data.shape[1]} dimensions but the scorer was "
+                f"fitted on {reference.shape[1]}"
+            )
+        return data
+
+    def _shared_reference_engine(self, memory_budget_mb: float) -> SharedNeighborEngine:
+        """Engine over the fitted reference data, cached across scoring calls.
+
+        The per-dimension blocks and precomputed neighbour lists it holds are
+        what makes streaming ``independent=True`` scoring cheap: they are paid
+        once per fit, not once per batch.
+        """
+        engine = getattr(self, "_reference_engine_", None)
+        if engine is None or engine.memory_budget_mb != memory_budget_mb:
+            engine = SharedNeighborEngine(
+                self.reference_data_, memory_budget_mb=memory_budget_mb
+            )
+            self._reference_engine_ = engine
+        return engine
+
+    @staticmethod
+    def _resolve_engine_mode(engine: Optional[str]) -> Optional[str]:
+        """Normalise an engine-mode argument; None means per-subspace."""
+        if engine is None:
+            return None
+        mode = normalise_engine_mode(engine)
+        return None if mode == "per-subspace" else mode
 
     def score_samples(
         self, data: np.ndarray, subspace: Optional[Subspace] = None
@@ -74,44 +181,76 @@ class OutlierScorer:
         return self.score_samples_many(data, [subspace])[0]
 
     def score_samples_many(
-        self, data: np.ndarray, subspaces: "list[Optional[Subspace]]"
-    ) -> "list[np.ndarray]":
+        self,
+        data: np.ndarray,
+        subspaces: "List[Optional[Subspace]]",
+        *,
+        engine: Optional[str] = None,
+        memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB,
+    ) -> "List[np.ndarray]":
         """Score *new* objects in several subspaces with one reference pass.
 
-        The default implementation builds the concatenation of reference and
-        new objects **once** and evaluates :meth:`score` on it per subspace,
-        returning only the scores of the new rows.  It is deterministic
-        whenever :meth:`score` is.
+        Builds the concatenation of reference and new objects **once** and
+        evaluates :meth:`score_batch` on it, returning only the scores of the
+        new rows.  With ``engine="shared"`` a
+        :class:`SharedNeighborEngine` over the combined matrix shares the
+        per-dimension distance blocks across all subspaces; with
+        ``engine="per-subspace"`` (or ``None``) every subspace recomputes its
+        own distances — both produce identical scores, bit for bit.
 
         .. note:: **Batch semantics.**  The new objects are scored *jointly*:
            they participate in each other's neighbourhoods, so a batch of
            near-duplicate anomalies can form its own dense cluster and mask
            itself.  Callers that need every object judged purely against the
-           reference population should score objects one at a time (the
-           pipeline exposes this as ``score_samples(..., independent=True)``).
-
-        Subclasses may override this (or :meth:`score_samples`) with a faster
-        reference-only neighbourhood query.
+           reference population should use :meth:`score_samples_independent`
+           (the pipeline exposes this as ``score_samples(..., independent=True)``).
 
         Returns one score vector of shape ``(n_new_objects,)`` per entry of
         ``subspaces``.
         """
-        reference = getattr(self, "reference_data_", None)
-        if reference is None:
-            raise NotFittedError(
-                f"{type(self).__name__} has no reference data; call fit() first"
-            )
-        data = check_data_matrix(data, name="data", min_objects=1)
-        if data.shape[1] != reference.shape[1]:
-            raise DataError(
-                f"new data has {data.shape[1]} dimensions but the scorer was "
-                f"fitted on {reference.shape[1]}"
-            )
-        combined = np.vstack([reference, data])
-        n_reference = reference.shape[0]
+        data = self._check_reference(data)
+        mode = self._resolve_engine_mode(engine)
+        combined = np.vstack([self.reference_data_, data])
+        shared = (
+            SharedNeighborEngine(combined, memory_budget_mb=memory_budget_mb)
+            if mode == "shared"
+            else None
+        )
+        n_reference = self.reference_data_.shape[0]
         return [
-            self.score(combined, subspace=subspace)[n_reference:]
-            for subspace in subspaces
+            scores[n_reference:]
+            for scores in self.score_batch(combined, subspaces, engine=shared)
+        ]
+
+    def score_samples_independent(
+        self,
+        data: np.ndarray,
+        subspaces: "List[Optional[Subspace]]",
+        *,
+        engine: Optional[str] = None,
+        memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB,
+    ) -> "List[np.ndarray]":
+        """Score every new object *on its own* against the reference.
+
+        Each object is scored as if it were the only addition to the
+        reference population, so a burst of near-duplicate anomalies in one
+        batch cannot mask itself.  The base implementation is the reference
+        path — one :meth:`score_samples_many` call per object.  Engine-aware
+        scorers override it to answer all per-object queries from the shared
+        reference blocks (the engine's asymmetric query mode) without a
+        Python-level scoring pass per object; the results are identical.
+
+        Returns one score vector of shape ``(n_new_objects,)`` per entry of
+        ``subspaces``.
+        """
+        data = self._check_reference(data)
+        per_object = [
+            self.score_samples_many(data[i : i + 1], subspaces)
+            for i in range(data.shape[0])
+        ]
+        return [
+            np.array([per_object[i][s][0] for i in range(data.shape[0])])
+            for s in range(len(subspaces))
         ]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

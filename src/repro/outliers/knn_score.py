@@ -9,7 +9,7 @@ subspace selection is not tied to LOF.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -17,7 +17,8 @@ from ..exceptions import ParameterError
 from ..types import Subspace
 from ..utils.validation import check_data_matrix, check_positive_int
 from ..neighbors.base import create_knn_searcher
-from .base import OutlierScorer
+from ..neighbors.engine import SharedNeighborEngine
+from .base import DEFAULT_MEMORY_BUDGET_MB, OutlierScorer
 
 __all__ = ["knn_distance_score", "KNNDistanceScorer"]
 
@@ -86,6 +87,64 @@ class KNNDistanceScorer(OutlierScorer):
             aggregate=self.aggregate,
             algorithm=self.algorithm,
         )
+
+    def _aggregate_distances(self, distances: np.ndarray) -> np.ndarray:
+        if self.aggregate == "kth":
+            return distances[:, -1].copy()
+        return distances.mean(axis=1)
+
+    def score_batch(
+        self,
+        data: np.ndarray,
+        subspaces: "List[Optional[Subspace]]",
+        *,
+        engine: Optional[SharedNeighborEngine] = None,
+    ) -> "List[np.ndarray]":
+        """All subspaces answered from the engine's shared distance blocks."""
+        data = check_data_matrix(data, name="data", min_objects=2)
+        if engine is None or not self._engine_matches_backend(
+            self.algorithm, data.shape[0]
+        ):
+            return super().score_batch(data, subspaces, engine=engine)
+        self._check_engine(engine, data)
+        effective_k = min(self.k, data.shape[0] - 1)
+        scores = []
+        for subspace in subspaces:
+            attributes = self._subspace_attributes(data, subspace)
+            knn = engine.kneighbors(effective_k, attributes)
+            scores.append(self._aggregate_distances(knn.distances))
+        return scores
+
+    def score_samples_independent(
+        self,
+        data: np.ndarray,
+        subspaces: "List[Optional[Subspace]]",
+        *,
+        engine: Optional[str] = None,
+        memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB,
+    ) -> "List[np.ndarray]":
+        """Independent scoring via the engine's asymmetric query mode.
+
+        The kNN-distance score of a lone new object depends only on its own
+        neighbourhood among the references, so the whole batch reduces to one
+        asymmetric top-k query per subspace — no per-object passes at all.
+        """
+        data = self._check_reference(data)
+        mode = self._resolve_engine_mode(engine)
+        if mode != "shared" or not self._engine_matches_backend(
+            self.algorithm, self.reference_data_.shape[0] + 1
+        ):
+            return super().score_samples_independent(
+                data, subspaces, engine=engine, memory_budget_mb=memory_budget_mb
+            )
+        shared = self._shared_reference_engine(memory_budget_mb)
+        effective_k = min(self.k, self.reference_data_.shape[0])
+        results = []
+        for subspace in subspaces:
+            attributes = self._subspace_attributes(data, subspace)
+            knn = shared.query_kneighbors(data, effective_k, attributes)
+            results.append(self._aggregate_distances(knn.distances))
+        return results
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"KNNDistanceScorer(k={self.k}, aggregate={self.aggregate!r})"

@@ -15,7 +15,7 @@ paper, all distances are simply computed in the projected space (``dist_S``).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -23,9 +23,14 @@ from ..exceptions import ParameterError
 from ..types import Subspace
 from ..utils.validation import check_data_matrix, check_positive_int
 from ..neighbors.base import create_knn_searcher
-from .base import OutlierScorer
+from ..neighbors.engine import SharedNeighborEngine
+from ..neighbors.topk import top_k_smallest
+from .base import DEFAULT_MEMORY_BUDGET_MB, OutlierScorer
 
 __all__ = ["LOFScorer", "local_outlier_factor"]
+
+#: kNN backend names accepted by the LOF front ends.
+_ALGORITHMS = ("auto", "brute", "kdtree", "shared")
 
 
 def _lof_from_knn(indices: np.ndarray, distances: np.ndarray) -> np.ndarray:
@@ -78,7 +83,7 @@ def local_outlier_factor(
     subspace:
         Optional subspace restricting the distance computation.
     algorithm:
-        kNN backend: ``"auto"``, ``"brute"`` or ``"kdtree"``.
+        kNN backend: ``"auto"``, ``"brute"``, ``"kdtree"`` or ``"shared"``.
 
     Returns
     -------
@@ -112,9 +117,9 @@ class LOFScorer(OutlierScorer):
 
     def __init__(self, min_pts: int = 10, *, algorithm: str = "auto"):
         self.min_pts = check_positive_int(min_pts, name="min_pts")
-        if algorithm not in ("auto", "brute", "kdtree"):
+        if algorithm not in _ALGORITHMS:
             raise ParameterError(
-                f"algorithm must be 'auto', 'brute' or 'kdtree', got {algorithm!r}"
+                f"algorithm must be one of {_ALGORITHMS}, got {algorithm!r}"
             )
         self.algorithm = algorithm
 
@@ -127,6 +132,118 @@ class LOFScorer(OutlierScorer):
         return local_outlier_factor(
             data, effective_min_pts, subspace, algorithm=self.algorithm
         )
+
+    def score_batch(
+        self,
+        data: np.ndarray,
+        subspaces: "List[Optional[Subspace]]",
+        *,
+        engine: Optional[SharedNeighborEngine] = None,
+    ) -> "List[np.ndarray]":
+        """One shared kNN pass per subspace instead of a fresh distance matrix.
+
+        Configurations whose reference path resolves to the KD-tree (pinned,
+        or ``"auto"`` on very large low-dimensional data) keep their own
+        per-subspace trees; every other backend answers all subspaces from
+        the engine's shared per-dimension blocks with identical results.
+        """
+        data = check_data_matrix(data, name="data", min_objects=2)
+        if engine is None or not self._engine_matches_backend(
+            self.algorithm, data.shape[0]
+        ):
+            return super().score_batch(data, subspaces, engine=engine)
+        self._check_engine(engine, data)
+        effective_min_pts = min(self.min_pts, data.shape[0] - 1)
+        scores = []
+        for subspace in subspaces:
+            attributes = self._subspace_attributes(data, subspace)
+            knn = engine.kneighbors(effective_min_pts, attributes)
+            scores.append(_lof_from_knn(knn.indices, knn.distances))
+        return scores
+
+    def score_samples_independent(
+        self,
+        data: np.ndarray,
+        subspaces: "List[Optional[Subspace]]",
+        *,
+        engine: Optional[str] = None,
+        memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB,
+    ) -> "List[np.ndarray]":
+        """Independent scoring through the engine's asymmetric query mode.
+
+        Scoring object ``q`` independently means running LOF on
+        ``reference + [q]``; inserting ``q`` changes a reference object's
+        neighbour list only when ``dist(r, q)`` beats ``r``'s current
+        k-distance.  The reference neighbour lists are therefore computed
+        once per subspace and patched per query, which replaces the
+        per-object full scoring pass with an ``O(n k)`` update while staying
+        bit-for-bit equal to the reference loop.
+        """
+        data = self._check_reference(data)
+        n_reference = self.reference_data_.shape[0]
+        mode = self._resolve_engine_mode(engine)
+        # The incremental path needs the full MinPts neighbourhood among the
+        # references alone; fall back on tiny references and on KD-tree
+        # configurations (each per-query reference pass runs over
+        # n_reference + 1 objects, which decides what "auto" resolves to).
+        if (
+            mode != "shared"
+            or not self._engine_matches_backend(self.algorithm, n_reference + 1)
+            or self.min_pts > n_reference - 1
+        ):
+            return super().score_samples_independent(
+                data, subspaces, engine=engine, memory_budget_mb=memory_budget_mb
+            )
+        shared = self._shared_reference_engine(memory_budget_mb)
+        k = self.min_pts
+        n_queries = data.shape[0]
+        columns = np.arange(k)[None, :]
+        results = []
+        for subspace in subspaces:
+            attributes = self._subspace_attributes(data, subspace)
+            reference_knn = shared.kneighbors(k, attributes)
+            ref_indices, ref_distances = reference_knn.indices, reference_knn.distances
+            kth = ref_distances[:, -1]
+            query_rows = shared.query_distances(data, attributes)
+            query_indices, query_distances = top_k_smallest(query_rows, k)
+            scores = np.empty(n_queries)
+            for qi in range(n_queries):
+                row = query_rows[qi]
+                combined_indices = np.vstack([ref_indices, query_indices[qi : qi + 1]])
+                combined_distances = np.vstack(
+                    [ref_distances, query_distances[qi : qi + 1]]
+                )
+                affected = np.flatnonzero(row < kth)
+                if affected.size:
+                    # Insert the query (combined index n, losing all distance
+                    # ties by index) into each affected neighbour list and
+                    # drop the old k-th neighbour.
+                    old_i = ref_indices[affected]
+                    old_d = ref_distances[affected]
+                    query_d = row[affected][:, None]
+                    position = np.count_nonzero(old_d <= query_d, axis=1)[:, None]
+                    shifted = np.maximum(columns - 1, 0)
+                    combined_indices[affected] = np.where(
+                        columns < position,
+                        old_i,
+                        np.where(
+                            columns == position,
+                            n_reference,
+                            np.take_along_axis(old_i, shifted, axis=1),
+                        ),
+                    )
+                    combined_distances[affected] = np.where(
+                        columns < position,
+                        old_d,
+                        np.where(
+                            columns == position,
+                            query_d,
+                            np.take_along_axis(old_d, shifted, axis=1),
+                        ),
+                    )
+                scores[qi] = _lof_from_knn(combined_indices, combined_distances)[-1]
+            results.append(scores)
+        return results
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"LOFScorer(min_pts={self.min_pts}, algorithm={self.algorithm!r})"

@@ -14,11 +14,12 @@ from typing import Optional, Sequence, Union
 import numpy as np
 
 from ..exceptions import ParameterError
+from ..neighbors.engine import SharedNeighborEngine, normalise_engine_mode
 from ..types import RankingResult, Subspace
 from ..utils.timing import Stopwatch
 from ..utils.validation import check_data_matrix
 from .aggregation import aggregate_scores
-from .base import OutlierScorer
+from .base import DEFAULT_MEMORY_BUDGET_MB, OutlierScorer
 from .lof import LOFScorer
 
 __all__ = ["SubspaceOutlierRanker"]
@@ -38,6 +39,14 @@ class SubspaceOutlierRanker:
         Upper bound on the number of subspaces that are actually scored; the
         paper keeps only the best 100 subspaces of every search method "to
         enforce a concise subspace selection".
+    engine:
+        ``"shared"`` (default) computes per-dimension distance blocks once
+        through a :class:`~repro.neighbors.engine.SharedNeighborEngine` and
+        shares them across all subspaces; ``"per-subspace"`` is the reference
+        path that rebuilds every subspace's distances from scratch.  Both
+        produce identical scores, bit for bit.
+    memory_budget_mb:
+        Cache budget of the shared engine (ignored for ``"per-subspace"``).
     """
 
     def __init__(
@@ -46,6 +55,8 @@ class SubspaceOutlierRanker:
         *,
         aggregation: Union[str, callable] = "average",
         max_subspaces: int = 100,
+        engine: str = "shared",
+        memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB,
     ):
         self.scorer = scorer if scorer is not None else LOFScorer()
         if not isinstance(self.scorer, OutlierScorer):
@@ -54,6 +65,8 @@ class SubspaceOutlierRanker:
         if max_subspaces < 1:
             raise ParameterError(f"max_subspaces must be >= 1, got {max_subspaces}")
         self.max_subspaces = int(max_subspaces)
+        self.engine = normalise_engine_mode(engine)
+        self.memory_budget_mb = float(memory_budget_mb)
 
     def rank(
         self,
@@ -81,7 +94,12 @@ class SubspaceOutlierRanker:
                     method=f"{self.scorer.name} (full space)",
                     metadata={"runtime_sec": stopwatch.total(), "n_subspaces": 0},
                 )
-            per_subspace = [self.scorer.score(data, subspace=s) for s in selected]
+            shared = (
+                SharedNeighborEngine(data, memory_budget_mb=self.memory_budget_mb)
+                if self.engine == "shared"
+                else None
+            )
+            per_subspace = self.scorer.score_batch(data, selected, engine=shared)
             combined = aggregate_scores(per_subspace, self.aggregation)
         return RankingResult(
             scores=combined,

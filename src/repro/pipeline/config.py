@@ -71,6 +71,13 @@ class PipelineConfig:
         Process fan-out for the contrast search (forwarded to every component
         whose constructor accepts ``n_jobs``); ``-1`` uses all cores.  Purely
         a throughput knob — results are independent of it.
+    scoring_engine:
+        Scoring engine of the ranking step: ``"shared"`` (default) shares one
+        distance pass across all fitted subspaces, ``"per-subspace"`` is the
+        bit-for-bit-identical reference path.  Like ``n_jobs``, purely a
+        throughput knob.
+    memory_budget_mb:
+        Cache budget of the shared scoring engine in MiB.
     extra:
         Free-form per-method overrides.
     """
@@ -82,6 +89,8 @@ class PipelineConfig:
     hics_cutoff: int = 400
     random_state: Optional[int] = 0
     n_jobs: int = 1
+    scoring_engine: str = "shared"
+    memory_budget_mb: float = 256.0
     extra: Dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
@@ -175,7 +184,12 @@ def _inject_config_defaults(spec: PipelineSpec, config: PipelineConfig) -> Pipel
     searcher = merged(spec.searcher, get_searcher(spec.searcher.name))
     scorer = spec.scorer if spec.scorer is not None else ComponentSpec("lof")
     scorer = merged(scorer, get_scorer(scorer.name))
-    return PipelineSpec(searcher=searcher, scorer=scorer, aggregation=spec.aggregation)
+    return PipelineSpec(
+        searcher=searcher,
+        scorer=scorer,
+        aggregation=spec.aggregation,
+        engine=spec.engine,
+    )
 
 
 def make_method_pipeline(
@@ -218,4 +232,9 @@ def make_method_pipeline(
                 except ParameterError:
                     raise method_error  # the unknown-method error lists both options
             spec = _inject_config_defaults(parse_spec(method), config)
-    return make_pipeline_from_spec(spec, max_subspaces=config.max_subspaces)
+    return make_pipeline_from_spec(
+        spec,
+        max_subspaces=config.max_subspaces,
+        engine=config.scoring_engine,
+        memory_budget_mb=config.memory_budget_mb,
+    )

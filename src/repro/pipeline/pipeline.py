@@ -28,8 +28,9 @@ import numpy as np
 
 from ..dataset.dataset import Dataset
 from ..exceptions import DataError, NotFittedError, ParameterError, SubspaceError
+from ..neighbors.engine import normalise_engine_mode
 from ..outliers.aggregation import aggregate_scores
-from ..outliers.base import OutlierScorer
+from ..outliers.base import DEFAULT_MEMORY_BUDGET_MB, OutlierScorer
 from ..outliers.lof import LOFScorer
 from ..outliers.ranking import SubspaceOutlierRanker
 from ..subspaces.base import SubspaceSearcher
@@ -60,6 +61,18 @@ class SubspaceOutlierPipeline:
         Score aggregation across subspaces, ``"average"`` by default.
     max_subspaces:
         Number of best subspaces actually used for the ranking (paper: 100).
+    engine:
+        Scoring engine: ``"shared"`` (default) computes per-dimension distance
+        blocks once per dataset through a
+        :class:`~repro.neighbors.engine.SharedNeighborEngine` and shares them
+        across all fitted subspaces; ``"per-subspace"`` is the reference path
+        that recomputes every subspace's distances from scratch.  Both
+        produce identical scores, bit for bit — the switch is purely a
+        throughput/memory knob.
+    memory_budget_mb:
+        Cache budget of the shared engine in MiB (per-dimension blocks,
+        prefix partial sums and neighbour lists); ignored by
+        ``"per-subspace"``.
 
     Examples
     --------
@@ -86,13 +99,25 @@ class SubspaceOutlierPipeline:
         *,
         aggregation: str = "average",
         max_subspaces: int = 100,
+        engine: str = "shared",
+        memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB,
     ):
         self.searcher = searcher if searcher is not None else HiCS()
         if not isinstance(self.searcher, SubspaceSearcher):
             raise ParameterError("searcher must be a SubspaceSearcher instance")
         self.scorer = scorer if scorer is not None else LOFScorer()
+        self.engine = normalise_engine_mode(engine)
+        self.memory_budget_mb = float(memory_budget_mb)
+        if not self.memory_budget_mb > 0:
+            raise ParameterError(
+                f"memory_budget_mb must be positive, got {memory_budget_mb}"
+            )
         self.ranker = SubspaceOutlierRanker(
-            self.scorer, aggregation=aggregation, max_subspaces=max_subspaces
+            self.scorer,
+            aggregation=aggregation,
+            max_subspaces=max_subspaces,
+            engine=self.engine,
+            memory_budget_mb=self.memory_budget_mb,
         )
         # Populated by fit() / fit_rank().
         self.scored_subspaces_: List[ScoredSubspace] = []
@@ -167,8 +192,11 @@ class SubspaceOutlierPipeline:
         subspace), which means the new objects participate in each other's
         neighbourhoods — a burst of near-duplicate anomalies in one batch can
         mask itself.  With ``independent=True`` every object is scored on its
-        own against the reference only (immune to that masking, at the cost
-        of one scoring pass per object per subspace).
+        own against the reference only (immune to that masking).  Under the
+        ``"shared"`` engine both modes run on shared distance blocks; the
+        independent mode uses the engine's asymmetric query mode, so even a
+        1-row query costs an incremental neighbourhood update instead of a
+        full per-object scoring pass.
 
         Returns scores of shape ``(n_new_objects,)``; larger means more
         outlying.
@@ -181,18 +209,35 @@ class SubspaceOutlierPipeline:
                 f"fitted on {self.reference_data_.shape[1]}"
             )
         selected = self.subspaces_[: self.ranker.max_subspaces]
-        if independent:
-            per_object = [
-                self.scorer.score_samples_many(matrix[i : i + 1], selected)
-                for i in range(matrix.shape[0])
-            ]
-            per_subspace = [
-                np.array([per_object[i][s][0] for i in range(matrix.shape[0])])
-                for s in range(len(selected))
-            ]
-        else:
-            per_subspace = self.scorer.score_samples_many(matrix, selected)
+        method = (
+            self.scorer.score_samples_independent
+            if independent
+            else self.scorer.score_samples_many
+        )
+        per_subspace = self._call_scoring_method(method, matrix, selected)
         return aggregate_scores(per_subspace, self.ranker.aggregation)
+
+    def _call_scoring_method(self, method, matrix, selected):
+        """Invoke a scorer batch method, tolerating pre-engine overrides.
+
+        Custom scorers written before the shared-neighborhood refactor may
+        override ``score_samples_many(data, subspaces)`` without the engine
+        keywords; they simply keep their own scoring path.
+        """
+        import inspect
+
+        parameters = inspect.signature(method).parameters
+        accepts_engine = "engine" in parameters or any(
+            p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+        )
+        if not accepts_engine:
+            return method(matrix, selected)
+        return method(
+            matrix,
+            selected,
+            engine=self.engine,
+            memory_budget_mb=self.memory_budget_mb,
+        )
 
     def rank(
         self, data: Union[np.ndarray, Dataset], *, independent: bool = False
@@ -265,6 +310,8 @@ class SubspaceOutlierPipeline:
             "scorer": component_to_dict(self.scorer, "scorer"),
             "aggregation": aggregation,
             "max_subspaces": self.ranker.max_subspaces,
+            "engine": self.engine,
+            "memory_budget_mb": self.memory_budget_mb,
         }
 
     @classmethod
@@ -288,11 +335,25 @@ class SubspaceOutlierPipeline:
                 f"invalid max_subspaces in pipeline payload: "
                 f"{payload.get('max_subspaces')!r}"
             ) from exc
+        try:
+            memory_budget_mb = float(
+                payload.get("memory_budget_mb", DEFAULT_MEMORY_BUDGET_MB)
+            )
+        except (TypeError, ValueError) as exc:
+            raise ParameterError(
+                f"invalid memory_budget_mb in pipeline payload: "
+                f"{payload.get('memory_budget_mb')!r}"
+            ) from exc
         return cls(
             searcher=component_from_dict(payload["searcher"], "searcher"),
             scorer=component_from_dict(payload["scorer"], "scorer"),
             aggregation=payload.get("aggregation", "average"),
             max_subspaces=max_subspaces,
+            # Pre-engine payloads (format_version 1 files written before the
+            # shared-neighborhood refactor) default to the shared engine —
+            # scores are identical either way.
+            engine=payload.get("engine", "shared"),
+            memory_budget_mb=memory_budget_mb,
         )
 
     def save(self, path: str) -> None:

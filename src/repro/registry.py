@@ -240,11 +240,12 @@ class ComponentSpec:
 
 @dataclass(frozen=True)
 class PipelineSpec:
-    """A parsed pipeline spec: searcher + optional scorer + optional aggregation."""
+    """A parsed pipeline spec: searcher + optional scorer/aggregation/engine."""
 
     searcher: ComponentSpec
     scorer: Optional[ComponentSpec] = None
     aggregation: Optional[str] = None
+    engine: Optional[ComponentSpec] = None
 
     def render(self) -> str:
         parts = [self.searcher.render()]
@@ -252,6 +253,8 @@ class PipelineSpec:
             parts.append(self.scorer.render())
         if self.aggregation is not None:
             parts.append(self.aggregation)
+        if self.engine is not None:
+            parts.append(self.engine.render())
         return "+".join(parts)
 
 
@@ -346,21 +349,63 @@ def parse_component_spec(text: str) -> ComponentSpec:
     return ComponentSpec(name=_normalise_name(name), params=params)
 
 
+#: Spec-grammar names selecting the scoring engine (4th, optional segment).
+#: ``shared`` may carry a cache budget: ``shared(memory_budget_mb=64)``.
+_ENGINE_NAMES = ("shared", "per-subspace", "per_subspace")
+
+
+def _extract_engine_spec(parts: "list") -> Tuple["list", Optional[ComponentSpec]]:
+    """Pull the (at most one) engine segment out of a split spec string."""
+    remaining = [parts[0]]
+    engine: Optional[ComponentSpec] = None
+    for part in parts[1:]:
+        try:
+            component = parse_component_spec(part)
+        except ParameterError:
+            remaining.append(part)
+            continue
+        if component.name not in _ENGINE_NAMES:
+            remaining.append(part)
+            continue
+        if engine is not None:
+            raise ParameterError(
+                f"duplicate scoring engine in spec: {engine.render()!r} and {part!r}"
+            )
+        unknown = sorted(set(component.params) - {"memory_budget_mb"})
+        if unknown:
+            raise ParameterError(
+                f"unknown engine parameter(s) {unknown} in spec segment {part!r}; "
+                f"only 'memory_budget_mb' is accepted"
+            )
+        engine = component
+    return remaining, engine
+
+
 def parse_spec(text: str) -> PipelineSpec:
     """Parse a full pipeline spec string.
 
-    Grammar: ``searcher[(params)] [+ scorer[(params)] [+ aggregation]]``, e.g.
-    ``"hics(alpha=0.1)+lof(min_pts=10)"``.  The scorer defaults to LOF and the
-    aggregation to ``"average"`` when omitted; a two-part spec whose second
-    segment is a bare aggregation name rather than a scorer
-    (``"hics+max"``) is accepted as searcher + aggregation.
+    Grammar: ``searcher[(params)] [+ scorer[(params)] [+ aggregation]]
+    [+ engine]``, e.g. ``"hics(alpha=0.1)+lof(min_pts=10)"`` or
+    ``"hics+lof+average+shared(memory_budget_mb=64)"``.  The scorer defaults
+    to LOF and the aggregation to ``"average"`` when omitted; a two-part spec
+    whose second segment is a bare aggregation name rather than a scorer
+    (``"hics+max"``) is accepted as searcher + aggregation.  The engine
+    segment (``shared`` or ``per-subspace``) selects the scoring engine and
+    may appear after any other segment.
     """
     if not isinstance(text, str) or not text.strip():
         raise ParameterError("pipeline spec must be a non-empty string")
     parts = [p.strip() for p in _split_top_level(text.strip(), "+")]
-    if not 1 <= len(parts) <= 3 or any(not p for p in parts):
+    if len(parts) < 1 or any(not p for p in parts):
         raise ParameterError(
-            f"invalid pipeline spec {text!r}; expected 'searcher[+scorer[+aggregation]]'"
+            f"invalid pipeline spec {text!r}; expected "
+            f"'searcher[+scorer[+aggregation]][+engine]'"
+        )
+    parts, engine = _extract_engine_spec(parts)
+    if len(parts) > 3:
+        raise ParameterError(
+            f"invalid pipeline spec {text!r}; expected "
+            f"'searcher[+scorer[+aggregation]][+engine]'"
         )
     searcher = parse_component_spec(parts[0])
     scorer = None
@@ -388,7 +433,9 @@ def parse_spec(text: str) -> PipelineSpec:
         is_scorer = searcher.name in _SCORERS or searcher.name in _SCORER_ALIASES
         if not is_searcher and is_scorer:
             scorer, searcher = searcher, ComponentSpec("fullspace")
-    return PipelineSpec(searcher=searcher, scorer=scorer, aggregation=aggregation)
+    return PipelineSpec(
+        searcher=searcher, scorer=scorer, aggregation=aggregation, engine=engine
+    )
 
 
 def make_pipeline_from_spec(
@@ -396,6 +443,8 @@ def make_pipeline_from_spec(
     *,
     aggregation: Optional[str] = None,
     max_subspaces: int = 100,
+    engine: Optional[str] = None,
+    memory_budget_mb: Optional[float] = None,
 ):
     """Build a ready pipeline from a spec string (or parsed spec).
 
@@ -404,9 +453,10 @@ def make_pipeline_from_spec(
     :class:`~repro.subspaces.base.SubspaceSearcher` subclasses (the PCA
     reducers) are constructed with the scorer and returned directly.
 
-    An aggregation named in the spec's third segment wins over the
-    ``aggregation`` keyword.
+    An aggregation or scoring engine named in the spec wins over the
+    ``aggregation`` / ``engine`` / ``memory_budget_mb`` keywords.
     """
+    from .outliers.base import DEFAULT_MEMORY_BUDGET_MB
     from .pipeline.pipeline import SubspaceOutlierPipeline
     from .subspaces.base import SubspaceSearcher
 
@@ -417,11 +467,20 @@ def make_pipeline_from_spec(
     searcher_key, searcher_cls = _resolve(
         _SEARCHERS, _SEARCHER_ALIASES, searcher_spec.name, "searcher"
     )
+    if parsed.engine is not None:
+        engine = parsed.engine.name
+        if "memory_budget_mb" in parsed.engine.params:
+            memory_budget_mb = parsed.engine.params["memory_budget_mb"]
     if not issubclass(searcher_cls, SubspaceSearcher):
         if parsed.aggregation is not None:
             raise ParameterError(
                 f"aggregation {parsed.aggregation!r} has no effect with the "
                 f"{searcher_key!r} front end, which does not aggregate subspace scores"
+            )
+        if parsed.engine is not None:
+            raise ParameterError(
+                f"scoring engine {parsed.engine.render()!r} has no effect with the "
+                f"{searcher_key!r} front end, which does not score subspaces"
             )
         params = dict(searcher_spec.params)
         params["scorer"] = scorer
@@ -432,6 +491,10 @@ def make_pipeline_from_spec(
         scorer=scorer,
         aggregation=parsed.aggregation or aggregation or "average",
         max_subspaces=max_subspaces,
+        engine=engine if engine is not None else "shared",
+        memory_budget_mb=(
+            memory_budget_mb if memory_budget_mb is not None else DEFAULT_MEMORY_BUDGET_MB
+        ),
     )
 
 

@@ -11,14 +11,32 @@ from repro.neighbors import (
     BruteForceKNN,
     KDTree,
     KDTreeKNN,
+    SharedEngineKNN,
+    SharedNeighborEngine,
     create_knn_searcher,
     euclidean_distance,
     manhattan_distance,
     minkowski_distance,
     pairwise_distances,
     subspace_pairwise_distances,
+    top_k_smallest,
 )
 from repro.types import Subspace
+
+
+def _tie_heavy_data(seed: int = 0) -> np.ndarray:
+    """Random data mixed with duplicate rows and exact coordinate ties."""
+    rng = np.random.default_rng(seed)
+    data = np.vstack(
+        [
+            rng.normal(size=(30, 5)),
+            np.ones((8, 5)),  # one duplicate cluster ...
+            np.ones((4, 5)) * 2.0,  # ... and another
+            rng.integers(0, 3, size=(20, 5)).astype(float),  # lattice: exact ties
+        ]
+    )
+    data[50] = data[3]  # a duplicate pair far apart in index space
+    return data
 
 
 class TestDistances:
@@ -99,6 +117,51 @@ class TestDistances:
                     assert matrix[i, j] <= matrix[i, k] + matrix[k, j] + 1e-6
 
 
+class TestTopKSmallest:
+    """top_k_smallest must match a stable full-row argsort bit for bit."""
+
+    @staticmethod
+    def _reference(matrix: np.ndarray, k: int):
+        order = np.argsort(matrix, axis=1, kind="stable")[:, :k]
+        return order, np.take_along_axis(matrix, order, axis=1)
+
+    @given(st.integers(min_value=0, max_value=50), st.integers(min_value=1, max_value=12))
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_stable_argsort_with_ties(self, seed, k):
+        rng = np.random.default_rng(seed)
+        # Few distinct values -> plenty of ties, including across the k-th.
+        matrix = rng.integers(0, 4, size=(11, 12)).astype(float)
+        ref_idx, ref_val = self._reference(matrix, k)
+        idx, val = top_k_smallest(matrix, k)
+        assert np.array_equal(idx, ref_idx)
+        assert np.array_equal(val, ref_val)
+
+    def test_all_equal_rows_pick_lowest_indices(self):
+        matrix = np.zeros((3, 7))
+        idx, val = top_k_smallest(matrix, 4)
+        assert idx.tolist() == [[0, 1, 2, 3]] * 3
+        assert np.all(val == 0.0)
+
+    def test_k_equals_row_length(self):
+        matrix = np.array([[3.0, 1.0, 1.0, 2.0]])
+        idx, _ = top_k_smallest(matrix, 4)
+        assert idx.tolist() == [[1, 2, 3, 0]]
+
+    def test_input_not_modified(self):
+        matrix = np.random.default_rng(0).normal(size=(5, 9))
+        backup = matrix.copy()
+        top_k_smallest(matrix, 3)
+        assert np.array_equal(matrix, backup)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ParameterError):
+            top_k_smallest(np.zeros(3), 1)
+        with pytest.raises(ParameterError):
+            top_k_smallest(np.zeros((2, 3)), 4)
+        with pytest.raises(ParameterError):
+            top_k_smallest(np.zeros((2, 3)), 0)
+
+
 class TestBruteForceKNN:
     def test_neighbors_exclude_self(self):
         data = np.array([[0.0], [1.0], [2.0], [10.0]])
@@ -138,6 +201,36 @@ class TestBruteForceKNN:
     def test_distance_matrix_cached(self):
         searcher = BruteForceKNN(np.random.default_rng(0).normal(size=(10, 2)))
         assert searcher.distance_matrix is searcher.distance_matrix
+
+    def test_kneighbors_does_not_copy_or_corrupt_cached_matrix(self):
+        searcher = BruteForceKNN(_tie_heavy_data())
+        matrix = searcher.distance_matrix
+        searcher.kneighbors(5)
+        searcher.kneighbors(3, exclude_self=False)
+        assert searcher.distance_matrix is matrix
+        assert np.all(np.diag(matrix) == 0.0)
+
+    def test_tie_break_on_index_with_duplicates(self):
+        # Three identical points: neighbours of each are the *other* two,
+        # ordered by ascending index.
+        data = np.vstack([np.ones((3, 2)), [[5.0, 5.0]]])
+        knn = BruteForceKNN(data).kneighbors(2)
+        assert knn.indices[0].tolist() == [1, 2]
+        assert knn.indices[1].tolist() == [0, 2]
+        assert knn.indices[2].tolist() == [0, 1]
+
+    def test_matches_stable_argsort_reference_on_ties(self):
+        data = _tie_heavy_data()
+        matrix = pairwise_distances(data)
+        for k in (1, 4, 9):
+            reference = matrix.copy()
+            np.fill_diagonal(reference, np.inf)
+            order = np.argsort(reference, axis=1, kind="stable")[:, :k]
+            knn = BruteForceKNN(data).kneighbors(k)
+            assert np.array_equal(knn.indices, order)
+            assert np.array_equal(
+                knn.distances, np.take_along_axis(reference, order, axis=1)
+            )
 
 
 class TestKDTree:
@@ -201,6 +294,114 @@ class TestKDTreeKNN:
             KDTreeKNN(np.zeros((4, 2))).kneighbors(4)
 
 
+class TestSharedNeighborEngine:
+    def test_kneighbors_identical_to_brute_on_duplicates_and_ties(self):
+        data = _tie_heavy_data()
+        engine = SharedNeighborEngine(data)
+        for attrs in (None, (0, 2), (1, 3, 4)):
+            for k in (1, 5, 10):
+                for exclude in (True, False):
+                    brute = BruteForceKNN(data, attrs).kneighbors(k, exclude_self=exclude)
+                    shared = engine.kneighbors(k, attrs, exclude_self=exclude)
+                    assert np.array_equal(shared.indices, brute.indices)
+                    assert np.array_equal(shared.distances, brute.distances)
+
+    def test_kdtree_agrees_on_distances_in_subspaces(self):
+        # The KD-tree may order exact ties differently, so compare the
+        # distance profile (which is tie-invariant) across all three backends.
+        data = _tie_heavy_data(seed=5)
+        engine = SharedNeighborEngine(data)
+        for attrs in ((0, 1), (1, 3, 4)):
+            tree = KDTreeKNN(data, attrs).kneighbors(4)
+            brute = BruteForceKNN(data, attrs).kneighbors(4)
+            shared = engine.kneighbors(4, attrs)
+            assert np.allclose(tree.distances, shared.distances, atol=1e-9)
+            assert np.array_equal(brute.distances, shared.distances)
+
+    def test_distance_matrix_matches_pairwise_distances(self):
+        data = _tie_heavy_data(seed=2)
+        engine = SharedNeighborEngine(data)
+        # Overlapping subspaces exercise prefix reuse in the block cache.
+        for attrs in ((0,), (0, 1), (0, 1, 2), (0, 1, 3), (2, 4), None):
+            expected = pairwise_distances(data, attributes=attrs)
+            assert np.array_equal(engine.distance_matrix(attrs), expected)
+
+    def test_distance_matrix_returns_fresh_array(self):
+        engine = SharedNeighborEngine(np.random.default_rng(0).normal(size=(12, 3)))
+        first = engine.distance_matrix((0, 1))
+        first[0, 1] = -1.0
+        assert engine.distance_matrix((0, 1))[0, 1] != -1.0
+
+    def test_tiny_memory_budget_stays_exact(self):
+        # A budget below one n x n block disables caching; the chunked path
+        # must produce identical neighbours anyway.
+        data = _tie_heavy_data(seed=3)
+        roomy = SharedNeighborEngine(data, memory_budget_mb=64.0)
+        tiny = SharedNeighborEngine(data, memory_budget_mb=0.001)
+        assert tiny.cache_bytes == 0
+        for attrs in (None, (0, 2, 3)):
+            a = roomy.kneighbors(6, attrs)
+            b = tiny.kneighbors(6, attrs)
+            assert np.array_equal(a.indices, b.indices)
+            assert np.array_equal(a.distances, b.distances)
+
+    def test_cache_respects_budget(self):
+        data = np.random.default_rng(1).normal(size=(40, 10))
+        budget_mb = 0.05  # room for ~4 blocks of 40*40*8 bytes
+        engine = SharedNeighborEngine(data, memory_budget_mb=budget_mb)
+        for attrs in ((0, 1), (2, 3), (4, 5), (6, 7), (8, 9), (0, 2), (1, 3)):
+            engine.distance_matrix(attrs)
+        assert engine.cache_bytes <= budget_mb * 1024 * 1024
+
+    def test_asymmetric_query_mode_matches_combined_matrix(self):
+        data = _tie_heavy_data(seed=4)
+        rng = np.random.default_rng(9)
+        queries = np.vstack([rng.normal(size=(6, 5)), data[7:8]])  # incl. a duplicate
+        combined = np.vstack([data, queries])
+        engine = SharedNeighborEngine(data)
+        for attrs in (None, (0, 1, 3)):
+            full = pairwise_distances(combined, attributes=attrs)
+            expected_rows = full[len(data) :, : len(data)]
+            assert np.array_equal(engine.query_distances(queries, attrs), expected_rows)
+            order = np.argsort(expected_rows, axis=1, kind="stable")[:, :5]
+            knn = engine.query_kneighbors(queries, 5, attrs)
+            assert np.array_equal(knn.indices, order)
+            assert np.array_equal(
+                knn.distances, np.take_along_axis(expected_rows, order, axis=1)
+            )
+
+    def test_kneighbors_results_are_memoised(self):
+        engine = SharedNeighborEngine(np.random.default_rng(2).normal(size=(30, 4)))
+        assert engine.kneighbors(3, (0, 1)) is engine.kneighbors(3, (0, 1))
+        assert engine.kneighbors(3, (0, 1)) is not engine.kneighbors(4, (0, 1))
+
+    def test_validation(self):
+        data = np.random.default_rng(0).normal(size=(10, 3))
+        with pytest.raises(ParameterError):
+            SharedNeighborEngine(data, memory_budget_mb=0.0)
+        engine = SharedNeighborEngine(data)
+        with pytest.raises(ParameterError):
+            engine.kneighbors(10)  # k > n - 1 with exclude_self
+        with pytest.raises(DataError):
+            engine.kneighbors(2, (0, 7))
+        with pytest.raises(ParameterError):
+            engine.kneighbors(2, ())
+        with pytest.raises(DataError):
+            engine.query_distances(np.zeros((2, 5)))  # dimension mismatch
+
+    def test_shared_engine_knn_adapter(self):
+        data = _tie_heavy_data(seed=6)
+        engine = SharedNeighborEngine(data)
+        adapter = SharedEngineKNN(data, (0, 2), engine=engine)
+        brute = BruteForceKNN(data, (0, 2)).kneighbors(4)
+        result = adapter.kneighbors(4)
+        assert adapter.n_objects == data.shape[0]
+        assert np.array_equal(result.indices, brute.indices)
+        assert np.array_equal(result.distances, brute.distances)
+        with pytest.raises(DataError):
+            SharedEngineKNN(data[:5], engine=engine)  # shape mismatch
+
+
 class TestFactory:
     def test_auto_prefers_brute_for_small_data(self):
         searcher = create_knn_searcher(np.zeros((100, 3)))
@@ -210,6 +411,14 @@ class TestFactory:
         data = np.random.default_rng(0).normal(size=(50, 2))
         assert isinstance(create_knn_searcher(data, algorithm="brute"), BruteForceKNN)
         assert isinstance(create_knn_searcher(data, algorithm="kdtree"), KDTreeKNN)
+        assert isinstance(create_knn_searcher(data, algorithm="shared"), SharedEngineKNN)
+
+    def test_shared_backend_matches_brute(self):
+        data = _tie_heavy_data(seed=7)
+        brute = create_knn_searcher(data, (1, 3), algorithm="brute").kneighbors(5)
+        shared = create_knn_searcher(data, (1, 3), algorithm="shared").kneighbors(5)
+        assert np.array_equal(brute.indices, shared.indices)
+        assert np.array_equal(brute.distances, shared.distances)
 
     def test_unknown_backend(self):
         with pytest.raises(ParameterError):
