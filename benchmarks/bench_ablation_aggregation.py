@@ -1,52 +1,17 @@
 """Ablation A2 — aggregation of per-subspace scores: average vs maximum.
 
 Section IV-C argues for the average: the maximum is sensitive to fluctuations
-of the outlierness (especially with many selected subspaces) and the average
-makes outlierness cumulative across subspaces.  This ablation measures both
-aggregations with an identical subspace selection.
+of the outlierness and the average makes outlierness cumulative across
+subspaces.  The ``ablation_aggregation`` experiment measures both
+aggregations with an identical subspace selection.  See
+:mod:`repro.experiments.paper`.
 """
 
 from __future__ import annotations
 
-from typing import Dict
-
 import pytest
-
-from repro.evaluation import roc_auc_score
-from repro.outliers import LOFScorer
-from repro.pipeline import SubspaceOutlierPipeline
-from repro.subspaces import HiCS
-
-AGGREGATIONS = ("average", "max")
 
 
 @pytest.mark.paper_figure("ablation-aggregation")
-def test_ablation_average_vs_maximum_aggregation(benchmark, synthetic_20d):
-    def run() -> Dict[str, float]:
-        aucs: Dict[str, float] = {}
-        for aggregation in AGGREGATIONS:
-            pipeline = SubspaceOutlierPipeline(
-                searcher=HiCS(
-                    n_iterations=25,
-                    candidate_cutoff=100,
-                    max_output_subspaces=50,
-                    random_state=0,
-                ),
-                scorer=LOFScorer(min_pts=10),
-                aggregation=aggregation,
-                max_subspaces=50,
-            )
-            result = pipeline.fit_rank(synthetic_20d)
-            aucs[aggregation] = roc_auc_score(synthetic_20d.labels, result.scores)
-        return aucs
-
-    aucs = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    print("\n=== Ablation: aggregation function vs AUC ===")
-    for aggregation, auc in aucs.items():
-        print(f"  {aggregation:<8} AUC = {auc * 100:.2f}%")
-
-    # The average aggregation (the paper's choice) is at least as good as the
-    # maximum on data with outliers spread over several subspaces.
-    assert aucs["average"] >= aucs["max"] - 0.02
-    assert aucs["average"] > 0.85
+def test_ablation_average_vs_maximum_aggregation(benchmark, run_figure):
+    run_figure(benchmark, "ablation_aggregation")

@@ -1,61 +1,18 @@
 """Ablation A1 — choice of the deviation function (statistical test).
 
-DESIGN.md calls out the deviation function as the central pluggable design
-choice of HiCS.  The paper evaluates Welch-t and Kolmogorov-Smirnov; this
-ablation additionally runs the Cramér-von-Mises-style L2 deviation and the
-deliberately weak mean-shift deviation through the registry to confirm that
-
-* the two paper instantiations reach comparable quality,
-* the extension point works end-to-end with non-paper deviations,
-* a clearly weaker deviation does not beat the principled statistical tests.
+The deviation function is the central pluggable design choice of HiCS.  The
+``ablation_deviation`` experiment runs the two paper instantiations (Welch-t,
+Kolmogorov-Smirnov) plus the Cramér-von-Mises-style L2 deviation and the
+deliberately weak mean-shift deviation through the registry, confirming the
+extension point works end-to-end and the principled tests win.  See
+:mod:`repro.experiments.paper`.
 """
 
 from __future__ import annotations
 
-from typing import Dict
-
 import pytest
-
-from repro.evaluation import roc_auc_score
-from repro.outliers import LOFScorer
-from repro.pipeline import SubspaceOutlierPipeline
-from repro.subspaces import HiCS
-
-DEVIATIONS = ("welch", "ks", "cvm", "mean-shift")
 
 
 @pytest.mark.paper_figure("ablation-deviation")
-def test_ablation_deviation_functions(benchmark, synthetic_20d):
-    def run() -> Dict[str, float]:
-        aucs: Dict[str, float] = {}
-        for deviation in DEVIATIONS:
-            pipeline = SubspaceOutlierPipeline(
-                searcher=HiCS(
-                    n_iterations=25,
-                    deviation=deviation,
-                    candidate_cutoff=100,
-                    max_output_subspaces=50,
-                    random_state=0,
-                ),
-                scorer=LOFScorer(min_pts=10),
-                max_subspaces=50,
-            )
-            result = pipeline.fit_rank(synthetic_20d)
-            aucs[deviation] = roc_auc_score(synthetic_20d.labels, result.scores)
-        return aucs
-
-    aucs = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    print("\n=== Ablation: deviation function vs AUC ===")
-    for deviation, auc in aucs.items():
-        print(f"  {deviation:<12} AUC = {auc * 100:.2f}%")
-
-    # Both paper instantiations achieve good and comparable results.
-    assert aucs["welch"] > 0.85
-    assert aucs["ks"] > 0.85
-    assert abs(aucs["welch"] - aucs["ks"]) < 0.1
-    # The extra deviations run end-to-end and produce sane values.
-    assert 0.5 <= aucs["cvm"] <= 1.0
-    assert 0.0 <= aucs["mean-shift"] <= 1.0
-    # The naive mean-shift deviation is not better than the best statistical test.
-    assert aucs["mean-shift"] <= max(aucs["welch"], aucs["ks"]) + 0.02
+def test_ablation_deviation_functions(benchmark, run_figure):
+    run_figure(benchmark, "ablation_deviation")

@@ -1,54 +1,17 @@
 """Ablation A3 — redundancy pruning of the final subspace list.
 
 The paper prunes a d-dimensional subspace when a (d+1)-dimensional superset
-with higher contrast is present, to keep the subspace ranking concise.  This
-ablation verifies that the pruning does not hurt ranking quality while it
-reduces (or at least does not increase) the number of subspaces that the
-outlier-ranking step has to process.
+with higher contrast is present.  The ``ablation_pruning`` experiment
+verifies that pruning does not hurt ranking quality while never returning
+more subspaces than the unpruned variant.  See
+:mod:`repro.experiments.paper`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
-
 import pytest
-
-from repro.evaluation import roc_auc_score
-from repro.outliers import LOFScorer
-from repro.pipeline import SubspaceOutlierPipeline
-from repro.subspaces import HiCS
 
 
 @pytest.mark.paper_figure("ablation-pruning")
-def test_ablation_redundancy_pruning(benchmark, synthetic_20d):
-    def run() -> Dict[str, Tuple[float, int]]:
-        outcomes: Dict[str, Tuple[float, int]] = {}
-        for label, prune in (("pruned", True), ("unpruned", False)):
-            searcher = HiCS(
-                n_iterations=25,
-                candidate_cutoff=100,
-                max_output_subspaces=50,
-                prune_redundant=prune,
-                random_state=0,
-            )
-            pipeline = SubspaceOutlierPipeline(
-                searcher=searcher, scorer=LOFScorer(min_pts=10), max_subspaces=50
-            )
-            result = pipeline.fit_rank(synthetic_20d)
-            auc = roc_auc_score(synthetic_20d.labels, result.scores)
-            outcomes[label] = (auc, len(pipeline.scored_subspaces_))
-        return outcomes
-
-    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    print("\n=== Ablation: redundancy pruning ===")
-    for label, (auc, n_subspaces) in outcomes.items():
-        print(f"  {label:<9} AUC = {auc * 100:.2f}%   subspaces returned = {n_subspaces}")
-
-    pruned_auc, pruned_count = outcomes["pruned"]
-    unpruned_auc, unpruned_count = outcomes["unpruned"]
-    # Pruning must not cost noticeable quality ...
-    assert pruned_auc >= unpruned_auc - 0.03
-    # ... and never returns more subspaces than the unpruned variant.
-    assert pruned_count <= unpruned_count
-    assert pruned_auc > 0.85
+def test_ablation_redundancy_pruning(benchmark, run_figure):
+    run_figure(benchmark, "ablation_pruning")

@@ -1,63 +1,18 @@
 """Ablation A4 — alternative outlier scorers driven by the same HiCS subspaces.
 
-The paper's conclusion proposes replacing LOF with other density-based scores
-(naming ORCA and OUTRES) thanks to the decoupled processing.  This ablation
-runs four scorers — LOF, kNN-distance, ORCA and the OUTRES-style adaptive
-density — on an identical HiCS subspace selection and reports the AUC of each
-combination, verifying that the subspace selection benefits every scorer.
+The paper's conclusion proposes replacing LOF with other density-based
+scores thanks to the decoupled processing.  The ``ablation_scorers``
+experiment runs LOF, kNN-distance, ORCA and the OUTRES-style adaptive
+density on an identical HiCS subspace selection and in the full space,
+verifying the subspace selection benefits every scorer.  See
+:mod:`repro.experiments.paper`.
 """
 
 from __future__ import annotations
 
-from typing import Dict
-
 import pytest
-
-from repro.evaluation import roc_auc_score
-from repro.outliers import AdaptiveDensityScorer, KNNDistanceScorer, LOFScorer, ORCAScorer
-from repro.pipeline import SubspaceOutlierPipeline
-from repro.subspaces import HiCS
-
-SCORERS = {
-    "LOF": lambda: LOFScorer(min_pts=10),
-    "kNN-dist": lambda: KNNDistanceScorer(k=10),
-    "ORCA": lambda: ORCAScorer(k=10, top_n=30, random_state=0),
-    "OUTRES-density": lambda: AdaptiveDensityScorer(n_neighbors=20),
-}
 
 
 @pytest.mark.paper_figure("ablation-scorers")
-def test_ablation_alternative_scorers(benchmark, synthetic_20d):
-    def run() -> Dict[str, Dict[str, float]]:
-        outcomes: Dict[str, Dict[str, float]] = {}
-        for name, factory in SCORERS.items():
-            # Subspace pipeline (HiCS selection) vs the same scorer in the full space.
-            pipeline = SubspaceOutlierPipeline(
-                searcher=HiCS(
-                    n_iterations=25, candidate_cutoff=100, max_output_subspaces=50, random_state=0
-                ),
-                scorer=factory(),
-                max_subspaces=50,
-            )
-            with_hics = roc_auc_score(
-                synthetic_20d.labels, pipeline.fit_rank(synthetic_20d).scores
-            )
-            full_space = roc_auc_score(
-                synthetic_20d.labels, factory().score(synthetic_20d.data)
-            )
-            outcomes[name] = {"with_hics": with_hics, "full_space": full_space}
-        return outcomes
-
-    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    print("\n=== Ablation: outlier scorer instantiations (AUC [%]) ===")
-    print(f"{'scorer':<16} {'HiCS subspaces':>15} {'full space':>12}")
-    for name, values in outcomes.items():
-        print(f"{name:<16} {values['with_hics'] * 100:>15.2f} {values['full_space'] * 100:>12.2f}")
-
-    for name, values in outcomes.items():
-        # The HiCS subspace selection helps every scorer on subspace-outlier data.
-        assert values["with_hics"] >= values["full_space"] - 0.02, name
-        assert values["with_hics"] > 0.75, name
-    # The paper's default (LOF) remains a strong instantiation.
-    assert outcomes["LOF"]["with_hics"] > 0.9
+def test_ablation_alternative_scorers(benchmark, run_figure):
+    run_figure(benchmark, "ablation_scorers")

@@ -2,88 +2,30 @@
 
 The paper's Figure 2 contrasts two 2-D datasets with identical marginals:
 dataset A (uncorrelated, only a trivial outlier) and dataset B (correlated,
-with an additional non-trivial outlier).  This benchmark reproduces the
-quantitative claim behind the figure: the correlated subspace receives a much
-higher contrast, and LOF applied in that subspace ranks both outliers at the
-top, including the non-trivial one that is invisible in the marginals.
+with an additional non-trivial outlier).  Three registered experiments back the
+figure's quantitative claims: ``fig02`` (the correlated subspace receives a
+much higher contrast), ``fig02_lof`` (LOF applied in that subspace ranks
+both outliers — including the non-trivial one invisible in the marginals —
+at the very top) and ``fig02_hics`` (HiCS applied to the concatenation of
+both toy datasets ranks the correlated pair first).  Grids, profiles and
+assertions live in :mod:`repro.experiments.paper`.
 """
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro import HiCS, LOFScorer
-from repro.dataset.toy import make_correlated_pair, make_uncorrelated_pair
-from repro.subspaces.contrast import ContrastEstimator
-from repro.types import Subspace
+
+@pytest.mark.paper_figure("figure-2")
+def test_fig02_contrast_separates_dataset_a_from_dataset_b(benchmark, run_figure):
+    run_figure(benchmark, "fig02")
 
 
 @pytest.mark.paper_figure("figure-2")
-def test_fig02_contrast_separates_dataset_a_from_dataset_b(benchmark):
-    dataset_a = make_uncorrelated_pair(500, random_state=0)
-    dataset_b = make_correlated_pair(500, random_state=0)
-    subspace = Subspace((0, 1))
-
-    def measure():
-        contrast_a = ContrastEstimator(
-            dataset_a.data, n_iterations=100, random_state=0
-        ).contrast(subspace)
-        contrast_b = ContrastEstimator(
-            dataset_b.data, n_iterations=100, random_state=0
-        ).contrast(subspace)
-        return contrast_a, contrast_b
-
-    contrast_a, contrast_b = benchmark.pedantic(measure, rounds=1, iterations=1)
-
-    print("\n=== Figure 2: subspace contrast of the toy datasets ===")
-    print(f"dataset A (uncorrelated)  contrast = {contrast_a:.3f}")
-    print(f"dataset B (correlated)    contrast = {contrast_b:.3f}")
-
-    # Shape check: the correlated dataset has a clearly higher contrast.
-    assert contrast_b > contrast_a + 0.2
-    assert contrast_b > 0.75
+def test_fig02_lof_in_high_contrast_subspace_finds_both_outliers(benchmark, run_figure):
+    run_figure(benchmark, "fig02_lof")
 
 
 @pytest.mark.paper_figure("figure-2")
-def test_fig02_lof_in_high_contrast_subspace_finds_both_outliers(benchmark):
-    dataset_b = make_correlated_pair(500, random_state=1)
-    kinds = dataset_b.metadata["outlier_kinds"]
-    trivial, nontrivial = kinds["trivial"][0], kinds["non_trivial"][0]
-
-    def rank():
-        scores = LOFScorer(min_pts=10).score(dataset_b.data, Subspace((0, 1)))
-        return scores
-
-    scores = benchmark.pedantic(rank, rounds=1, iterations=1)
-    order = np.argsort(-scores)
-    rank_of = {int(obj): int(np.where(order == obj)[0][0]) for obj in (trivial, nontrivial)}
-
-    print("\n=== Figure 2: LOF ranking inside the high-contrast subspace ===")
-    print(f"trivial outlier rank:     {rank_of[trivial]} / {dataset_b.n_objects}")
-    print(f"non-trivial outlier rank: {rank_of[nontrivial]} / {dataset_b.n_objects}")
-
-    # Both outliers must appear in the top 2% of the ranking.
-    assert rank_of[trivial] < 0.02 * dataset_b.n_objects
-    assert rank_of[nontrivial] < 0.02 * dataset_b.n_objects
-
-
-@pytest.mark.paper_figure("figure-2")
-def test_fig02_hics_ranks_the_correlated_pair_first(benchmark):
-    """HiCS applied to the concatenation of both toy datasets (4 attributes:
-    A's two and B's two) must rank B's subspace above A's."""
-    # Use distinct seeds so that the mode assignments of the two toy datasets
-    # are statistically independent of each other.
-    dataset_a = make_uncorrelated_pair(500, random_state=101)
-    dataset_b = make_correlated_pair(500, random_state=202)
-    combined = np.hstack([dataset_a.data, dataset_b.data])
-
-    result = benchmark.pedantic(
-        lambda: HiCS(n_iterations=60, random_state=0).search(combined), rounds=1, iterations=1
-    )
-    ranking = [(list(s.subspace.attributes), round(s.score, 3)) for s in result[:5]]
-    print("\n=== Figure 2: HiCS subspace ranking on A ++ B ===")
-    for attrs, score in ranking:
-        print(f"  contrast={score:.3f}  subspace={attrs}")
-
-    assert result[0].subspace.attributes == (2, 3), "the correlated pair must rank first"
+def test_fig02_hics_ranks_the_correlated_pair_first(benchmark, run_figure):
+    run_figure(benchmark, "fig02_hics")

@@ -1,66 +1,18 @@
 """Figure 3 — high-dimensional correlation without low-dimensional correlation.
 
 The paper constructs a 3-D dataset whose 2-D projections are all uniform
-(uncorrelated) while the 3-D joint distribution is strongly correlated,
-demonstrating that no anti-monotonicity property holds for the subspace
-contrast.  This benchmark regenerates that construction and verifies that the
-contrast estimator reproduces the non-monotone behaviour, and that the
-Apriori-style bottom-up search of HiCS (which relies on the heuristic that
-correlation is *usually* visible in projections) consequently ranks the 3-D
-space only through its level-wise growth.
+while the 3-D joint distribution is strongly correlated, demonstrating that
+no anti-monotonicity property holds for the subspace contrast.  The ``fig03``
+experiment measures the contrast of all three 2-D projections and the full
+3-D space under both deviation functions (Welch-t and KS); the check asserts
+the non-monotone gap.  Grids and assertions: :mod:`repro.experiments.paper`.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.dataset.toy import make_three_dim_counterexample
-from repro.subspaces.contrast import ContrastEstimator
-from repro.types import Subspace
-
 
 @pytest.mark.paper_figure("figure-3")
-def test_fig03_three_dim_contrast_without_two_dim_contrast(benchmark):
-    dataset = make_three_dim_counterexample(2000, random_state=0)
-
-    def measure():
-        estimator = ContrastEstimator(dataset.data, n_iterations=100, random_state=0)
-        pairs = {
-            pair: estimator.contrast(Subspace(pair)) for pair in [(0, 1), (0, 2), (1, 2)]
-        }
-        full = estimator.contrast(Subspace((0, 1, 2)))
-        return pairs, full
-
-    pairs, full = benchmark.pedantic(measure, rounds=1, iterations=1)
-
-    print("\n=== Figure 3: contrast of the parity counterexample ===")
-    for pair, value in pairs.items():
-        print(f"  2-D subspace {pair}: contrast = {value:.3f}")
-    print(f"  3-D subspace (0, 1, 2): contrast = {full:.3f}")
-
-    # All 2-D projections hover at the statistical-noise level while the 3-D
-    # space is clearly correlated: the contrast is not monotone.
-    assert full > max(pairs.values()) + 0.15
-    assert full > 0.8
-
-
-@pytest.mark.paper_figure("figure-3")
-def test_fig03_ks_variant_shows_the_same_effect(benchmark):
-    dataset = make_three_dim_counterexample(2000, random_state=1)
-
-    def measure():
-        estimator = ContrastEstimator(
-            dataset.data, n_iterations=100, deviation="ks", random_state=0
-        )
-        worst_pair = max(
-            estimator.contrast(Subspace(pair)) for pair in [(0, 1), (0, 2), (1, 2)]
-        )
-        return worst_pair, estimator.contrast(Subspace((0, 1, 2)))
-
-    worst_pair, full = benchmark.pedantic(measure, rounds=1, iterations=1)
-    print("\n=== Figure 3 (HiCS_KS): max 2-D contrast vs 3-D contrast ===")
-    print(f"  max 2-D contrast = {worst_pair:.3f}, 3-D contrast = {full:.3f}")
-    # The KS statistic lives on a compressed scale compared to 1-p of the
-    # Welch test; assert the relative gap rather than an absolute offset.
-    assert full > 2.0 * worst_pair
-    assert full > worst_pair + 0.08
+def test_fig03_three_dim_contrast_without_two_dim_contrast(benchmark, run_figure):
+    run_figure(benchmark, "fig03")

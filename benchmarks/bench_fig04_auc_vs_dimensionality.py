@@ -1,79 +1,19 @@
 """Figure 4 — outlier-ranking quality (AUC) w.r.t. increasing dimensionality.
 
 Paper protocol: synthetic datasets of growing dimensionality with outliers
-planted in 2-5-dimensional subspaces; every subspace search method feeds the
-best subspaces to the same LOF configuration; quality is the ROC AUC of the
-final ranking.  Expected shape (paper): HiCS stays near the top across all
-dimensionalities, Enclus scales but with lower quality, RANDSUB lies in
-between, full-space LOF degrades with the dimensionality, and PCA-based
-reduction is the weakest (near random guessing at high D).
-
-Scaled-down workload: dimensionalities {10, 20, 30, 40}, 300 objects and one
-dataset per dimensionality instead of {10..100}, 1000 objects and three
-repetitions.  Raise ``DIMENSIONALITIES``/``N_OBJECTS`` for a full run.
+planted in low-dimensional subspaces; every subspace search method feeds the
+best subspaces to the same LOF configuration.  Expected shape: HiCS stays
+near the top across all dimensionalities, full-space LOF degrades, PCA-based
+reduction is the weakest.  The ``fig04`` experiment encodes the grid; its
+check asserts the shape at quick/full scale.  See
+:mod:`repro.experiments.paper`.
 """
 
 from __future__ import annotations
 
-from typing import Dict
-
 import pytest
-
-from repro.dataset import generate_synthetic_dataset
-from repro.evaluation import evaluate_method_on_dataset
-from repro.evaluation.reporting import format_series_table
-from repro.pipeline import PipelineConfig
-
-DIMENSIONALITIES = (10, 20, 30, 40)
-N_OBJECTS = 300
-METHODS = ("LOF", "HiCS", "Enclus", "RIS", "RANDSUB", "PCALOF1", "PCALOF2")
-
-
-def _dataset(n_dims: int):
-    return generate_synthetic_dataset(
-        n_objects=N_OBJECTS,
-        n_dims=n_dims,
-        n_relevant_subspaces=max(2, n_dims // 10),
-        subspace_dims=(2, 3, 4),
-        outliers_per_subspace=5,
-        random_state=n_dims,
-    )
 
 
 @pytest.mark.paper_figure("figure-4")
-def test_fig04_auc_vs_dimensionality(benchmark, bench_config: PipelineConfig):
-    datasets = {d: _dataset(d) for d in DIMENSIONALITIES}
-
-    def run() -> Dict[str, Dict[int, float]]:
-        series: Dict[str, Dict[int, float]] = {m: {} for m in METHODS}
-        for n_dims, dataset in datasets.items():
-            for method in METHODS:
-                result = evaluate_method_on_dataset(method, dataset, bench_config)
-                series[method][n_dims] = result.auc
-        return series
-
-    series = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    print("\n=== Figure 4: AUC [%] vs dimensionality ===")
-    print(format_series_table(series, x_label="dimensions", scale=100.0))
-
-    def mean_auc(method: str) -> float:
-        values = series[method]
-        return sum(values.values()) / len(values)
-
-    highest_dim = max(DIMENSIONALITIES)
-
-    # Shape assertions mirroring the paper's qualitative findings.
-    # 1. HiCS is the best (or tied-best) method on average.
-    best_mean = max(mean_auc(m) for m in METHODS)
-    assert mean_auc("HiCS") >= best_mean - 0.03
-    # 2. HiCS keeps high quality at the highest dimensionality.
-    assert series["HiCS"][highest_dim] > 0.85
-    # 3. Full-space LOF degrades with dimensionality.
-    assert series["LOF"][highest_dim] < series["LOF"][min(DIMENSIONALITIES)] + 0.02
-    assert series["HiCS"][highest_dim] > series["LOF"][highest_dim] + 0.05
-    # 4. PCA-based reduction is no better than full-space LOF on average.
-    assert mean_auc("PCALOF1") <= mean_auc("HiCS")
-    assert mean_auc("PCALOF2") <= mean_auc("HiCS")
-    # 5. The naive random selection does not beat HiCS.
-    assert mean_auc("RANDSUB") <= mean_auc("HiCS") + 0.02
+def test_fig04_auc_vs_dimensionality(benchmark, run_figure):
+    run_figure(benchmark, "fig04")

@@ -1,65 +1,18 @@
 """Figure 5 — total runtime (subspace search + outlier ranking) w.r.t. dimensionality.
 
-Paper protocol: same synthetic datasets as Figure 4, fixed database size,
-total processing time reported per subspace method.  Expected shape: HiCS'
-runtime flattens once the candidate cutoff binds, Enclus is the fastest
-search, RANDSUB pays for its large random subspaces in the LOF step, and RIS
-is the slowest growth-wise.
-
-Scaled-down workload: dimensionalities {10, 20, 30}, 300 objects.  Absolute
-seconds are not comparable to the paper's C++/i3-550 numbers; only relative
-behaviour is asserted.
+Paper protocol: same synthetic data family as Figure 4, fixed database size,
+total processing time per subspace method.  Expected shape: every method
+needs more time in higher dimensions, and the candidate cutoff keeps the
+HiCS growth bounded.  The ``fig05`` experiment encodes the grid; absolute
+seconds are not comparable to the paper's C++ numbers, only relative
+behaviour is asserted.  See :mod:`repro.experiments.paper`.
 """
 
 from __future__ import annotations
 
-from typing import Dict
-
 import pytest
-
-from repro.dataset import generate_synthetic_dataset
-from repro.evaluation import evaluate_method_on_dataset
-from repro.evaluation.reporting import format_series_table
-from repro.pipeline import PipelineConfig
-
-DIMENSIONALITIES = (10, 20, 30)
-N_OBJECTS = 300
-METHODS = ("HiCS", "Enclus", "RIS", "RANDSUB")
 
 
 @pytest.mark.paper_figure("figure-5")
-def test_fig05_runtime_vs_dimensionality(benchmark, bench_config: PipelineConfig):
-    datasets = {
-        d: generate_synthetic_dataset(
-            n_objects=N_OBJECTS,
-            n_dims=d,
-            n_relevant_subspaces=max(2, d // 10),
-            subspace_dims=(2, 3),
-            outliers_per_subspace=5,
-            random_state=d,
-        )
-        for d in DIMENSIONALITIES
-    }
-
-    def run() -> Dict[str, Dict[int, float]]:
-        series: Dict[str, Dict[int, float]] = {m: {} for m in METHODS}
-        for n_dims, dataset in datasets.items():
-            for method in METHODS:
-                result = evaluate_method_on_dataset(method, dataset, bench_config)
-                series[method][n_dims] = result.runtime_sec
-        return series
-
-    series = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    print("\n=== Figure 5: total runtime [s] vs dimensionality (D), N=300 ===")
-    print(format_series_table(series, x_label="dimensions", scale=1.0, precision=3))
-
-    low, high = min(DIMENSIONALITIES), max(DIMENSIONALITIES)
-    # Every subspace method needs more time for more dimensions (more 2-D candidates).
-    for method in METHODS:
-        assert series[method][high] >= series[method][low] * 0.8
-    # The candidate cutoff keeps the HiCS growth bounded: going from the lowest
-    # to the highest dimensionality must not blow up by more than the growth of
-    # the number of 2-D candidates (quadratic in D) times a small constant.
-    quadratic_growth = (high / low) ** 2
-    assert series["HiCS"][high] / max(series["HiCS"][low], 1e-9) < 4.0 * quadratic_growth
+def test_fig05_runtime_vs_dimensionality(benchmark, run_figure):
+    run_figure(benchmark, "fig05")

@@ -1,65 +1,17 @@
 """Figure 6 — total runtime w.r.t. database size, fixed dimensionality.
 
-Paper protocol: synthetic data with a fixed number of dimensions (25 in the
-paper), growing numbers of objects; total processing time per method.
-Expected shape: the LOF step's quadratic cost dominates all methods for large
-databases, RIS grows fastest (approximately cubic in the paper), RANDSUB is
-slower than HiCS/Enclus because its random subspaces are much larger, and the
-subspace-search overhead of HiCS and Enclus becomes negligible relative to the
-ranking cost as N grows.
-
-Scaled-down workload: N in {200, 400, 800}, D = 15.
+Paper protocol: synthetic data with fixed dimensionality and growing numbers
+of objects; total processing time per method.  Expected shape: runtime grows
+with the database size for every method and RIS shows the steepest growth.
+The ``fig06`` experiment encodes the grid.  See
+:mod:`repro.experiments.paper`.
 """
 
 from __future__ import annotations
 
-from typing import Dict
-
 import pytest
-
-from repro.dataset import generate_synthetic_dataset
-from repro.evaluation import evaluate_method_on_dataset
-from repro.evaluation.reporting import format_series_table
-from repro.pipeline import PipelineConfig
-
-DB_SIZES = (200, 400, 800)
-N_DIMS = 15
-METHODS = ("HiCS", "Enclus", "RIS", "RANDSUB")
 
 
 @pytest.mark.paper_figure("figure-6")
-def test_fig06_runtime_vs_database_size(benchmark, bench_config: PipelineConfig):
-    datasets = {
-        n: generate_synthetic_dataset(
-            n_objects=n,
-            n_dims=N_DIMS,
-            n_relevant_subspaces=3,
-            subspace_dims=(2, 3),
-            outliers_per_subspace=5,
-            random_state=n,
-        )
-        for n in DB_SIZES
-    }
-
-    def run() -> Dict[str, Dict[int, float]]:
-        series: Dict[str, Dict[int, float]] = {m: {} for m in METHODS}
-        for n_objects, dataset in datasets.items():
-            for method in METHODS:
-                result = evaluate_method_on_dataset(method, dataset, bench_config)
-                series[method][n_objects] = result.runtime_sec
-        return series
-
-    series = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    print("\n=== Figure 6: total runtime [s] vs database size N, D=15 ===")
-    print(format_series_table(series, x_label="db_size", scale=1.0, precision=3))
-
-    small, large = min(DB_SIZES), max(DB_SIZES)
-    # Runtime grows with the database size for every method.
-    for method in METHODS:
-        assert series[method][large] > series[method][small]
-    # RIS shows the steepest growth of all methods (cubic-ish in the paper).
-    ris_growth = series["RIS"][large] / max(series["RIS"][small], 1e-9)
-    hics_growth = series["HiCS"][large] / max(series["HiCS"][small], 1e-9)
-    enclus_growth = series["Enclus"][large] / max(series["Enclus"][small], 1e-9)
-    assert ris_growth >= 0.8 * max(hics_growth, enclus_growth)
+def test_fig06_runtime_vs_database_size(benchmark, run_figure):
+    run_figure(benchmark, "fig06")

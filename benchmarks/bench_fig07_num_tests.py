@@ -1,57 +1,17 @@
 """Figure 7 — robustness w.r.t. the number of Monte Carlo statistical tests (M).
 
 Paper finding: the AUC is insensitive to M over a wide range; around 50 tests
-is a robust default, very small M only adds mild fluctuation.  Both the
-Welch-t (HiCS_WT) and Kolmogorov-Smirnov (HiCS_KS) instantiations behave this
-way.
+is a robust default.  The ``fig07`` experiment sweeps M for both the Welch-t
+(HiCS_WT) and Kolmogorov-Smirnov (HiCS_KS) instantiations; the check asserts
+high quality and a small spread across the sweep.  See
+:mod:`repro.experiments.paper`.
 """
 
 from __future__ import annotations
 
-from typing import Dict
-
 import pytest
-
-from repro.evaluation.reporting import format_series_table
-from repro.evaluation.sweep import parameter_sweep
-from repro.outliers import LOFScorer
-from repro.pipeline import SubspaceOutlierPipeline
-from repro.subspaces import HiCS
-
-M_VALUES = (5, 10, 25, 50)
-VARIANTS = {"HiCS_WT": "welch", "HiCS_KS": "ks"}
 
 
 @pytest.mark.paper_figure("figure-7")
-def test_fig07_auc_vs_number_of_statistical_tests(benchmark, synthetic_20d):
-    def run() -> Dict[str, Dict[int, float]]:
-        series: Dict[str, Dict[int, float]] = {}
-        for variant, deviation in VARIANTS.items():
-            def factory(m, _deviation=deviation):
-                return SubspaceOutlierPipeline(
-                    searcher=HiCS(
-                        n_iterations=m,
-                        deviation=_deviation,
-                        candidate_cutoff=100,
-                        max_output_subspaces=50,
-                        random_state=0,
-                    ),
-                    scorer=LOFScorer(min_pts=10),
-                    max_subspaces=50,
-                )
-
-            points = parameter_sweep(M_VALUES, factory, [synthetic_20d])
-            series[variant] = {p.value: p.auc_mean for p in points}
-        return series
-
-    series = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    print("\n=== Figure 7: AUC [%] vs number of statistical tests M ===")
-    print(format_series_table(series, x_label="M", scale=100.0))
-
-    for variant, values in series.items():
-        aucs = list(values.values())
-        # Both variants stay at high quality for every M...
-        assert min(aucs) > 0.8, f"{variant} collapsed for small M"
-        # ...and the spread across the M range is small (robust parameter).
-        assert max(aucs) - min(aucs) < 0.12, f"{variant} is too sensitive to M"
+def test_fig07_auc_vs_number_of_statistical_tests(benchmark, run_figure):
+    run_figure(benchmark, "fig07")

@@ -1,58 +1,16 @@
 """Figure 8 — robustness w.r.t. the size of the test statistic (alpha).
 
-Paper finding: the quality is fairly robust w.r.t. alpha.  Very small values
-(fewer than ~50 selected objects) add fluctuation; very large values make the
-statistical tests less sensitive and cost a minor quality reduction.  The
-recommended default is alpha = 0.1.
+Paper finding: the quality is fairly robust w.r.t. alpha, with the
+recommended default alpha = 0.1 within a small margin of the best value.
+The ``fig08`` experiment sweeps alpha for both deviation variants.  See
+:mod:`repro.experiments.paper`.
 """
 
 from __future__ import annotations
 
-from typing import Dict
-
 import pytest
-
-from repro.evaluation.reporting import format_series_table
-from repro.evaluation.sweep import parameter_sweep
-from repro.outliers import LOFScorer
-from repro.pipeline import SubspaceOutlierPipeline
-from repro.subspaces import HiCS
-
-ALPHA_VALUES = (0.05, 0.1, 0.2, 0.4)
-VARIANTS = {"HiCS_WT": "welch", "HiCS_KS": "ks"}
 
 
 @pytest.mark.paper_figure("figure-8")
-def test_fig08_auc_vs_alpha(benchmark, synthetic_20d):
-    def run() -> Dict[str, Dict[float, float]]:
-        series: Dict[str, Dict[float, float]] = {}
-        for variant, deviation in VARIANTS.items():
-            def factory(alpha, _deviation=deviation):
-                return SubspaceOutlierPipeline(
-                    searcher=HiCS(
-                        n_iterations=25,
-                        alpha=alpha,
-                        deviation=_deviation,
-                        candidate_cutoff=100,
-                        max_output_subspaces=50,
-                        random_state=0,
-                    ),
-                    scorer=LOFScorer(min_pts=10),
-                    max_subspaces=50,
-                )
-
-            points = parameter_sweep(ALPHA_VALUES, factory, [synthetic_20d])
-            series[variant] = {p.value: p.auc_mean for p in points}
-        return series
-
-    series = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    print("\n=== Figure 8: AUC [%] vs test statistic size alpha ===")
-    print(format_series_table(series, x_label="alpha", scale=100.0))
-
-    for variant, values in series.items():
-        aucs = list(values.values())
-        assert min(aucs) > 0.8, f"{variant} collapsed for some alpha"
-        assert max(aucs) - min(aucs) < 0.12, f"{variant} is too sensitive to alpha"
-        # The recommended default alpha=0.1 is within a small margin of the best.
-        assert values[0.1] >= max(aucs) - 0.08
+def test_fig08_auc_vs_alpha(benchmark, run_figure):
+    run_figure(benchmark, "fig08")

@@ -1,58 +1,16 @@
 """Figure 9 — quality and runtime w.r.t. the candidate cutoff parameter.
 
-Paper finding: the quality peaks around a cutoff of a few hundred candidates;
-very small cutoffs remove good candidates and cost quality, very large cutoffs
-mainly add redundant subspaces and runtime.  The cutoff gives precise control
-over the total runtime.
-
-Scaled-down workload: cutoffs {5, 20, 60, 150} on a 20-dimensional dataset.
+Paper finding: the quality peaks around a cutoff of a few hundred candidates
+while the cutoff gives precise control over the total runtime.  The ``fig09``
+experiment sweeps the cutoff and records AUC and runtime per value.  See
+:mod:`repro.experiments.paper`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
-
 import pytest
-
-from repro.evaluation.reporting import format_series_table
-from repro.evaluation.sweep import parameter_sweep
-from repro.outliers import LOFScorer
-from repro.pipeline import SubspaceOutlierPipeline
-from repro.subspaces import HiCS
-
-CUTOFF_VALUES = (5, 20, 60, 150)
 
 
 @pytest.mark.paper_figure("figure-9")
-def test_fig09_quality_and_runtime_vs_candidate_cutoff(benchmark, synthetic_20d):
-    def run() -> Tuple[Dict[int, float], Dict[int, float]]:
-        def factory(cutoff):
-            return SubspaceOutlierPipeline(
-                searcher=HiCS(
-                    n_iterations=25,
-                    candidate_cutoff=cutoff,
-                    max_output_subspaces=50,
-                    random_state=0,
-                ),
-                scorer=LOFScorer(min_pts=10),
-                max_subspaces=50,
-            )
-
-        points = parameter_sweep(CUTOFF_VALUES, factory, [synthetic_20d])
-        auc = {p.value: p.auc_mean for p in points}
-        runtime = {p.value: p.runtime_mean for p in points}
-        return auc, runtime
-
-    auc, runtime = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    print("\n=== Figure 9: AUC [%] and runtime [s] vs candidate cutoff ===")
-    print(format_series_table({"AUC": auc}, x_label="cutoff", scale=100.0))
-    print(format_series_table({"runtime": runtime}, x_label="cutoff", scale=1.0, precision=3))
-
-    # The runtime is controlled by the cutoff: larger cutoff => more work.
-    assert runtime[max(CUTOFF_VALUES)] >= runtime[min(CUTOFF_VALUES)]
-    # Quality saturates: the largest cutoff is not substantially better than
-    # the mid-range cutoff (not all candidates are required), while a very
-    # small cutoff may lose quality.
-    assert auc[max(CUTOFF_VALUES)] <= auc[60] + 0.05
-    assert max(auc.values()) > 0.85
+def test_fig09_quality_and_runtime_vs_candidate_cutoff(benchmark, run_figure):
+    run_figure(benchmark, "fig09")

@@ -1,76 +1,17 @@
 """Figure 10 — ROC curves on two real-world datasets (Ionosphere, Pendigits).
 
 Paper finding: on both datasets the HiCS-based ranking reaches the maximal
-true-positive rate earlier than the competitors (high recall with good
-precision), with a minor weakness at very low false-positive rates on
-Ionosphere because trivial full-space outliers are not treated separately.
-
-The real UCI files are unavailable offline; the benchmark uses the documented
-surrogate datasets (see DESIGN.md §4) whose informative-subspace structure
-reproduces the discriminative behaviour the figure measures.  Pendigits is
-subsampled to keep the quadratic LOF step fast.
+true-positive rate earlier than the competitors.  The real UCI files are
+unavailable offline; the ``fig10`` experiment runs the documented surrogate
+datasets (see DESIGN.md §4) and records each method's ROC curve sampled on a
+fixed FPR grid.  See :mod:`repro.experiments.paper`.
 """
 
 from __future__ import annotations
 
-from typing import Dict
-
-import numpy as np
 import pytest
-
-from repro.dataset import load_uci_surrogate
-from repro.evaluation import evaluate_method_on_dataset, roc_curve
-from repro.pipeline import PipelineConfig, make_method_pipeline
-
-METHODS = ("LOF", "HiCS", "Enclus", "RANDSUB")
-DATASETS = {
-    "ionosphere": {"subsample": 1.0},
-    "pendigits": {"subsample": 0.15},
-}
-
-
-def _roc_points(labels: np.ndarray, scores: np.ndarray, grid: np.ndarray) -> np.ndarray:
-    """Interpolate the TPR of a ROC curve on a fixed FPR grid for printing."""
-    fpr, tpr, _ = roc_curve(labels, scores)
-    return np.interp(grid, fpr, tpr)
 
 
 @pytest.mark.paper_figure("figure-10")
-@pytest.mark.parametrize("dataset_name", sorted(DATASETS))
-def test_fig10_roc_curves(benchmark, dataset_name, bench_config: PipelineConfig):
-    dataset = load_uci_surrogate(
-        dataset_name, random_state=0, subsample=DATASETS[dataset_name]["subsample"]
-    )
-
-    def run() -> Dict[str, np.ndarray]:
-        scores: Dict[str, np.ndarray] = {}
-        for method in METHODS:
-            pipeline = make_method_pipeline(method, bench_config)
-            result = (
-                pipeline.fit_rank(dataset)
-                if hasattr(pipeline, "fit_rank")
-                else pipeline.rank(dataset.data)
-            )
-            scores[method] = result.scores
-        return scores
-
-    scores = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    grid = np.linspace(0.0, 1.0, 11)
-    print(f"\n=== Figure 10: ROC curves on {dataset_name} (TPR at FPR grid) ===")
-    header = "FPR     " + "  ".join(f"{x:>5.2f}" for x in grid)
-    print(header)
-    aucs = {}
-    for method in METHODS:
-        tpr = _roc_points(dataset.labels, scores[method], grid)
-        from repro.evaluation import roc_auc_score
-
-        aucs[method] = roc_auc_score(dataset.labels, scores[method])
-        print(f"{method:<8}" + "  ".join(f"{v:>5.2f}" for v in tpr) + f"   AUC={aucs[method]:.3f}")
-
-    # Shape assertions: HiCS is competitive with the best method and reaches a
-    # high true-positive rate by mid-range false-positive rates.
-    best = max(aucs.values())
-    assert aucs["HiCS"] >= best - 0.05
-    hics_tpr_at_half = _roc_points(dataset.labels, scores["HiCS"], np.array([0.5]))[0]
-    assert hics_tpr_at_half > 0.8
+def test_fig10_roc_curves(benchmark, run_figure):
+    run_figure(benchmark, "fig10")

@@ -1,100 +1,25 @@
 """Figure 11 — AUC and runtime table over the eight real-world benchmark datasets.
 
-Paper protocol: every method ranked every UCI dataset (minority class =
-outliers); the table reports AUC [%] and total runtime per (method, dataset)
-pair.  Expected shape: HiCS is the best method on several datasets and within
-roughly one percentage point of the best on most others; no competitor is
-consistently good across all datasets; RIS is by far the slowest method and
-fails (reported "-") on one dataset; HiCS runtime is in the same league as
-Enclus.
-
-Offline substitution: UCI surrogates with matching shapes and calibrated
-difficulty (DESIGN.md §4).  The large datasets (Ann-Thyroid, Pendigits) and
-the very high-dimensional Arrhythmia are subsampled / use fewer Monte Carlo
-iterations so the whole table finishes in a few minutes; RIS is skipped on
-datasets with more than 40 attributes (mirroring the paper's missing entry and
-its cubic runtime).
+Paper protocol: every method ranks every UCI dataset (minority class =
+outliers).  Expected shape: HiCS is the best method on several datasets and
+close to the best on most others; RIS is skipped above 40 attributes
+(mirroring the paper's "-" entry).  The ``fig11`` experiment encodes the
+dataset/method grid including the RIS dimensionality ceiling.  See
+:mod:`repro.experiments.paper`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
-
 import pytest
 
-from repro.dataset import load_uci_surrogate
-from repro.evaluation import ExperimentResult, evaluate_method_on_dataset
-from repro.evaluation.reporting import format_comparison_table
-from repro.pipeline import PipelineConfig
-
-METHODS = ("LOF", "HiCS", "Enclus", "RIS", "RANDSUB")
-
-#: dataset name -> subsampling fraction used for the scaled-down run.
-DATASET_SUBSAMPLE: Dict[str, float] = {
-    "ann-thyroid": 0.25,
-    "arrhythmia": 1.0,
-    "breast": 1.0,
-    "breast-diagnostic": 1.0,
-    "diabetes": 1.0,
-    "glass": 1.0,
-    "ionosphere": 1.0,
-    "pendigits": 0.12,
-}
-
-#: RIS is skipped above this dimensionality (its per-candidate pairwise
-#: distance computation dominates the whole table otherwise).
-RIS_MAX_DIMS = 40
+from repro.evaluation import format_comparison_table
+from repro.evaluation.experiments import ExperimentResult
+from repro.experiments import artifact_rows
 
 
 @pytest.mark.paper_figure("figure-11")
-def test_fig11_real_world_comparison_table(benchmark):
-    config = PipelineConfig(
-        min_pts=10,
-        max_subspaces=50,
-        hics_iterations=20,
-        hics_alpha=0.1,
-        hics_cutoff=100,
-        random_state=0,
-    )
-    datasets = {
-        name: load_uci_surrogate(name, random_state=0, subsample=fraction)
-        for name, fraction in DATASET_SUBSAMPLE.items()
-    }
-
-    def run() -> List[ExperimentResult]:
-        results: List[ExperimentResult] = []
-        for name, dataset in datasets.items():
-            for method in METHODS:
-                if method == "RIS" and dataset.n_dims > RIS_MAX_DIMS:
-                    continue  # mirrors the "-" entry of the paper's table
-                results.append(evaluate_method_on_dataset(method, dataset, config))
-        return results
-
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    print("\n=== Figure 11: AUC [%] on real-world (surrogate) datasets ===")
+def test_fig11_real_world_comparison_table(benchmark, run_figure):
+    artifact = run_figure(benchmark, "fig11")
+    results = [ExperimentResult.from_dict(row) for row in artifact_rows(artifact)]
     print(format_comparison_table(results, value="auc"))
-    print("\n=== Figure 11: total runtime [s] ===")
     print(format_comparison_table(results, value="runtime_sec", percent=False, precision=2))
-
-    by_dataset: Dict[str, Dict[str, float]] = {}
-    for result in results:
-        by_dataset.setdefault(result.dataset, {})[result.method] = result.auc
-
-    # Shape assertions mirroring the paper's summary of the table.
-    hics_best_or_close = 0
-    hics_wins = 0
-    for dataset_name, method_aucs in by_dataset.items():
-        best = max(method_aucs.values())
-        if method_aucs["HiCS"] >= best - 0.015:
-            hics_best_or_close += 1
-        if method_aucs["HiCS"] == best:
-            hics_wins += 1
-        # HiCS never collapses far below the full-space baseline.
-        assert method_aucs["HiCS"] >= method_aucs["LOF"] - 0.10, dataset_name
-
-    n_datasets = len(by_dataset)
-    # HiCS is the best method on some datasets and within ~1.5 % of the best on
-    # the majority of them.
-    assert hics_wins >= 1
-    assert hics_best_or_close >= n_datasets // 2

@@ -1,0 +1,132 @@
+"""CI verifier for the figure-suite job: cold run vs warm re-run.
+
+Usage (from the repository root, after two ``repro-hics bench`` runs whose
+artifact directories were snapshotted)::
+
+    PYTHONPATH=src python benchmarks/check_figure_suite.py COLD_DIR WARM_DIR [--profile ci]
+
+Asserts the experiment subsystem's reproducibility contract:
+
+1. every registered experiment produced an artifact in both runs,
+2. the warm run served at least 90% of its cells from the artifact cache,
+3. the warm run was faster than the cold run,
+4. the result rows of both runs are byte-identical (manifest timing and
+   cache-counter fields are the only allowed difference).  When the warm run
+   had cache misses (allowed up to 10%), the recomputed cells necessarily
+   carry fresh wall-clock ``runtime_sec`` values, so the comparison then
+   excludes per-row timing fields as well — everything else must still match
+   exactly.
+
+Exit code 0 on success, 1 with a diagnostic on the first violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict
+
+from repro.experiments import available_experiments, canonical_json, strip_volatile
+
+MIN_WARM_HIT_RATE = 0.9
+
+
+#: Per-row wall-clock fields; ignored in the byte comparison only when the
+#: warm run legitimately recomputed some cells.
+ROW_TIMING_FIELDS = ("runtime_sec",)
+
+
+def _load(path: str) -> Dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _comparable(artifact: Dict, *, drop_row_timing: bool) -> Dict:
+    artifact = strip_volatile(artifact)
+    if drop_row_timing:
+        artifact = {
+            **artifact,
+            "rows": [
+                {k: v for k, v in row.items() if k not in ROW_TIMING_FIELDS}
+                for row in artifact.get("rows", [])
+            ],
+        }
+    return artifact
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("cold_dir", help="artifacts directory of the cold run")
+    parser.add_argument("warm_dir", help="artifacts directory of the warm re-run")
+    parser.add_argument("--profile", default="ci")
+    args = parser.parse_args(argv)
+
+    cold_root = os.path.join(args.cold_dir, args.profile)
+    warm_root = os.path.join(args.warm_dir, args.profile)
+
+    names = available_experiments()
+    for name in names:
+        for root, label in ((cold_root, "cold"), (warm_root, "warm")):
+            path = os.path.join(root, f"{name}.json")
+            if not os.path.exists(path):
+                print(f"FAIL: {label} run produced no artifact for {name!r} ({path})",
+                      file=sys.stderr)
+                return 1
+    print(f"ok: all {len(names)} experiments produced artifacts in both runs")
+
+    warm_summary = _load(os.path.join(warm_root, "summary.json"))
+    cold_summary = _load(os.path.join(cold_root, "summary.json"))
+    total = warm_summary["cache_hits"] + warm_summary["cache_misses"]
+    hit_rate = warm_summary["cache_hits"] / total if total else 0.0
+    if hit_rate < MIN_WARM_HIT_RATE:
+        print(
+            f"FAIL: warm hit rate {hit_rate:.0%} < {MIN_WARM_HIT_RATE:.0%} "
+            f"({warm_summary['cache_hits']}/{total} cells)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"ok: warm run served {hit_rate:.0%} of {total} cells from the cache")
+
+    if warm_summary["elapsed_sec"] >= cold_summary["elapsed_sec"]:
+        print(
+            f"FAIL: warm run ({warm_summary['elapsed_sec']:.1f}s) was not faster "
+            f"than the cold run ({cold_summary['elapsed_sec']:.1f}s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"ok: warm run {warm_summary['elapsed_sec']:.1f}s vs "
+        f"cold {cold_summary['elapsed_sec']:.1f}s"
+    )
+
+    drop_row_timing = hit_rate < 1.0
+    for name in names:
+        cold = _comparable(
+            _load(os.path.join(cold_root, f"{name}.json")), drop_row_timing=drop_row_timing
+        )
+        warm = _comparable(
+            _load(os.path.join(warm_root, f"{name}.json")), drop_row_timing=drop_row_timing
+        )
+        if canonical_json(cold) != canonical_json(warm):
+            print(
+                f"FAIL: {name!r} artifacts differ between cold and warm runs "
+                f"(beyond the volatile manifest fields)",
+                file=sys.stderr,
+            )
+            return 1
+    note = (
+        " (per-row timing fields excluded: the warm run recomputed some cells)"
+        if drop_row_timing
+        else ""
+    )
+    print(
+        f"ok: all {len(names)} artifacts byte-identical "
+        f"(volatile manifest fields excluded){note}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,61 +1,75 @@
 """Shared configuration of the benchmark harness.
 
-Every benchmark module regenerates one table or figure of the paper
-(see DESIGN.md §3 for the experiment index).  Two principles:
+Every ``bench_fig*.py`` / ``bench_ablation_*.py`` module is a thin shim over
+the experiment subsystem (:mod:`repro.experiments`): it executes its
+registered :class:`~repro.experiments.spec.ExperimentSpec` through the
+sharded, cached runner — exactly the code path ``repro-hics bench`` uses —
+prints the figure's table and applies the spec's registered shape check.
 
-* **Scaled-down workloads.**  The paper's experiments ran a C++ implementation
-  for hours; the benchmarks here use reduced dataset sizes, fewer Monte Carlo
-  iterations and fewer repetitions so that the whole suite finishes in minutes
-  on a laptop.  The scaling factors are module-level constants at the top of
-  each benchmark file and can be raised for a full-fidelity run.
-* **Shape over absolute numbers.**  Each benchmark prints the series/table the
-  corresponding figure reports and asserts only the qualitative shape
-  (who wins, roughly by how much, where the crossovers are).
+Two environment knobs:
 
-Run with::
+``REPRO_BENCH_PROFILE``
+    Grid scale: ``quick`` (default, laptop minutes), ``ci`` (seconds) or
+    ``full`` (paper scale).  The paper's qualitative assertions are enforced
+    at quick/full scale; ``ci`` artifacts get structural checks only.
+``REPRO_BENCH_CACHE``
+    Artifact-cache directory.  Defaults to a per-session temporary directory
+    so test runs never write into the repository; point it at
+    ``artifacts/cache`` to share results with CLI runs.
 
-    pytest benchmarks/ --benchmark-only
+Run explicitly (the files deliberately do not match pytest's default
+``test_*.py`` discovery, so the plain test suite stays fast)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_fig05_runtime_vs_dimensionality.py -s
+    PYTHONPATH=src python -m pytest benchmarks/bench_*.py -s          # whole suite
 """
 
 from __future__ import annotations
 
-import numpy as np
+import os
+
 import pytest
 
-from repro.dataset import generate_synthetic_dataset
-from repro.pipeline import PipelineConfig
+from repro.experiments import (
+    ArtifactCache,
+    check_artifact,
+    format_artifact,
+    run_experiment,
+)
 
 
 def pytest_configure(config):
-    config.addinivalue_line("markers", "paper_figure(name): benchmark reproducing a paper figure")
-
-
-@pytest.fixture(scope="session")
-def bench_config() -> PipelineConfig:
-    """Shared experiment parameters, scaled down from the paper's defaults."""
-    return PipelineConfig(
-        min_pts=10,
-        max_subspaces=50,
-        hics_iterations=25,
-        hics_alpha=0.1,
-        hics_cutoff=100,
-        random_state=0,
+    config.addinivalue_line(
+        "markers", "paper_figure(name): benchmark reproducing a paper figure"
     )
 
 
 @pytest.fixture(scope="session")
-def synthetic_20d():
-    """Mid-size synthetic dataset shared by the parameter-sweep benchmarks."""
-    return generate_synthetic_dataset(
-        n_objects=500,
-        n_dims=20,
-        n_relevant_subspaces=4,
-        subspace_dims=(2, 3),
-        outliers_per_subspace=5,
-        random_state=1,
-    )
+def bench_profile() -> str:
+    return os.environ.get("REPRO_BENCH_PROFILE", "quick")
 
 
 @pytest.fixture(scope="session")
-def rng() -> np.random.Generator:
-    return np.random.default_rng(0)
+def bench_cache(tmp_path_factory) -> ArtifactCache:
+    root = os.environ.get("REPRO_BENCH_CACHE")
+    if not root:
+        root = str(tmp_path_factory.mktemp("artifact-cache"))
+    return ArtifactCache(root)
+
+
+@pytest.fixture(scope="session")
+def run_figure(bench_profile, bench_cache):
+    """Run one registered experiment, print its table, check its shape."""
+
+    def run(benchmark, name: str) -> dict:
+        artifact = benchmark.pedantic(
+            lambda: run_experiment(name, profile=bench_profile, cache=bench_cache),
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(format_artifact(artifact))
+        check_artifact(name, artifact)
+        return artifact
+
+    return run

@@ -117,8 +117,10 @@ def scoring_smoke() -> int:
         engine: pipe.score_samples(batch, independent=True)
         for engine, pipe in pipes.items()
     }
+    # Best-of-three, like every other gate here: a single timed run can flake
+    # on a loaded CI runner and fail the speedup threshold spuriously.
     timings = {
-        engine: best_of(2, lambda p=pipe: p.score_samples(batch, independent=True))
+        engine: best_of(3, lambda p=pipe: p.score_samples(batch, independent=True))
         for engine, pipe in pipes.items()
     }
     independent_speedup = timings["per-subspace"] / timings["shared"]

@@ -24,33 +24,55 @@ shared scoring engine misses its 3x gate on the independent streaming
 workload (joint modes have a no-regression floor instead: an exact shared
 top-k pass can win at most ~2-3x there because the partition cost is common
 to both engines).
+
+Workload datasets are declared as :class:`~repro.experiments.spec.DatasetSpec`
+grids and built through the experiment subsystem's dataset layer, and every
+payload is stamped with :func:`~repro.experiments.runner.environment_manifest`
+— the same provenance block the figure artifacts carry.  (The paper's figure
+suite itself runs through ``repro-hics bench``; this harness only guards the
+engine fast paths.)
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import platform
 import sys
 import time
 from typing import Dict, List
 
 import numpy as np
 
-from repro.dataset import generate_synthetic_dataset
 from repro.evaluation.experiments import evaluate_method_on_dataset
+from repro.experiments import DatasetSpec, build_dataset, environment_manifest
 from repro.outliers import LOFScorer, SubspaceOutlierRanker
 from repro.pipeline import PipelineConfig, SubspaceOutlierPipeline
 from repro.subspaces.hics import HiCS
 
+
+def _suite_dataset(name: str, n_objects: int, n_dims: int, n_relevant: int) -> DatasetSpec:
+    return DatasetSpec(
+        label=name,
+        kind="synthetic",
+        params={
+            "n_objects": n_objects,
+            "n_dims": n_dims,
+            "n_relevant_subspaces": n_relevant,
+            "subspace_dims": [2, 3],
+            "outliers_per_subspace": 5,
+            "random_state": n_dims,
+        },
+    )
+
+
 # ----------------------------------------------------------------- contrast
 
-#: (name, n_objects, n_dims, n_relevant_subspaces) — fig-4/fig-5 style scaled
-#: workloads; the 50-d suite is the acceptance-criterion workload.
+#: Fig-4/fig-5 style scaled workloads; the 50-d suite is the
+#: acceptance-criterion workload.
 SUITES = (
-    ("fig4_20d", 400, 20, 4),
-    ("fig5_30d", 300, 30, 3),
-    ("fig5_50d", 300, 50, 5),
+    _suite_dataset("fig4_20d", 400, 20, 4),
+    _suite_dataset("fig5_30d", 300, 30, 3),
+    _suite_dataset("fig5_50d", 300, 50, 5),
 )
 
 SEARCH_PARAMS = dict(
@@ -74,15 +96,8 @@ def run_search(data: np.ndarray, engine: str) -> Dict[str, object]:
     }
 
 
-def run_suite(name: str, n_objects: int, n_dims: int, n_relevant: int) -> Dict[str, object]:
-    dataset = generate_synthetic_dataset(
-        n_objects=n_objects,
-        n_dims=n_dims,
-        n_relevant_subspaces=n_relevant,
-        subspace_dims=(2, 3),
-        outliers_per_subspace=5,
-        random_state=n_dims,
-    )
+def run_suite(spec: DatasetSpec) -> Dict[str, object]:
+    dataset = build_dataset(spec)
     batch = run_search(dataset.data, "batch")
     scalar = run_search(dataset.data, "scalar")
     identical = batch["result"] == scalar["result"]
@@ -91,9 +106,9 @@ def run_suite(name: str, n_objects: int, n_dims: int, n_relevant: int) -> Dict[s
     )
     auc = evaluate_method_on_dataset("HiCS", dataset, config).auc
     suite = {
-        "suite": name,
-        "n_objects": n_objects,
-        "n_dims": n_dims,
+        "suite": spec.label,
+        "n_objects": dataset.n_objects,
+        "n_dims": dataset.n_dims,
         "n_evaluated_subspaces": batch["n_evaluated_subspaces"],
         "wall_time_batch_sec": round(batch["wall_time_sec"], 4),
         "wall_time_scalar_sec": round(scalar["wall_time_sec"], 4),
@@ -106,9 +121,13 @@ def run_suite(name: str, n_objects: int, n_dims: int, n_relevant: int) -> Dict[s
 
 def run_contrast_benchmark(out: str, min_speedup: float) -> int:
     suites = []
-    for name, n_objects, n_dims, n_relevant in SUITES:
-        print(f"running {name} (N={n_objects}, D={n_dims}) ...", flush=True)
-        suite = run_suite(name, n_objects, n_dims, n_relevant)
+    for spec in SUITES:
+        print(
+            f"running {spec.label} (N={spec.params['n_objects']}, "
+            f"D={spec.params['n_dims']}) ...",
+            flush=True,
+        )
+        suite = run_suite(spec)
         print(
             f"  batch {suite['wall_time_batch_sec']}s  "
             f"scalar {suite['wall_time_scalar_sec']}s  "
@@ -121,8 +140,7 @@ def run_contrast_benchmark(out: str, min_speedup: float) -> int:
     payload = {
         "benchmark": "contrast-engine",
         "search_params": SEARCH_PARAMS,
-        "python": platform.python_version(),
-        "numpy": np.__version__,
+        **environment_manifest(),
         "suites": suites,
         "acceptance": {
             "required_speedup_50d": min_speedup,
@@ -160,6 +178,19 @@ SCORING_WORKLOAD = dict(
     independent_stream_batch=10,
 )
 
+SCORING_DATASET = DatasetSpec(
+    label="scoring_800x20",
+    kind="synthetic",
+    params={
+        "n_objects": SCORING_WORKLOAD["n_objects"],
+        "n_dims": SCORING_WORKLOAD["n_dims"],
+        "n_relevant_subspaces": 4,
+        "subspace_dims": [2, 4],
+        "outliers_per_subspace": 8,
+        "random_state": 0,
+    },
+)
+
 
 def _best_of(repeats: int, fn):
     best, value = float("inf"), None
@@ -172,14 +203,7 @@ def _best_of(repeats: int, fn):
 
 def run_scoring_benchmark(out: str, min_speedup: float) -> int:
     w = SCORING_WORKLOAD
-    dataset = generate_synthetic_dataset(
-        n_objects=w["n_objects"],
-        n_dims=w["n_dims"],
-        n_relevant_subspaces=4,
-        subspace_dims=(2, 4),
-        outliers_per_subspace=8,
-        random_state=0,
-    )
+    dataset = build_dataset(SCORING_DATASET)
     searcher = HiCS(
         n_iterations=20,
         candidate_cutoff=100,
@@ -303,8 +327,7 @@ def run_scoring_benchmark(out: str, min_speedup: float) -> int:
     payload = {
         "benchmark": "scoring-engine",
         "workload": {**SCORING_WORKLOAD, "n_subspaces_found": len(subspaces)},
-        "python": platform.python_version(),
-        "numpy": np.__version__,
+        **environment_manifest(),
         "suites": suites,
         "acceptance": {
             "required_speedup_independent": min_speedup,

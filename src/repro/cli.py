@@ -8,6 +8,8 @@ Sub-commands
 ``score``     Score new objects against a previously fitted (saved) model.
 ``contrast``  Print the highest-contrast subspaces HiCS finds in a dataset.
 ``compare``   Run several methods on a labelled dataset and print an AUC table.
+``bench``     Run the paper's figure/ablation experiment suite (sharded,
+              cached, manifest-stamped artifacts under ``artifacts/``).
 ``datasets``  List the built-in datasets.
 ``registry``  List the registered searchers, scorers and aggregators.
 """
@@ -20,6 +22,19 @@ from typing import List, Optional
 
 from .dataset import available_datasets, load_csv, load_dataset
 from .exceptions import ReproError
+from .experiments import (
+    ArtifactCache,
+    DEFAULT_ARTIFACTS_DIR,
+    PROFILES,
+    available_experiments,
+    check_artifact,
+    expand_cells,
+    format_artifact,
+    get_experiment,
+    resolve_profile,
+    run_suite,
+)
+from .experiments.runner import artifact_path
 from .evaluation.experiments import evaluate_method_on_dataset
 from .evaluation.reporting import format_comparison_table
 from .pipeline.config import METHOD_NAMES, PipelineConfig, make_method_pipeline
@@ -157,6 +172,65 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_engine_arguments(compare)
 
+    bench = subparsers.add_parser(
+        "bench",
+        help="run the paper experiment suite (figures 2-11 + ablations)",
+        description=(
+            "Run the registered paper experiments through the sharded, cached "
+            "experiment runner and write manifest-stamped JSON artifacts.  A "
+            "re-run with identical parameters serves finished cells from the "
+            "content-addressed cache and reproduces the result rows byte for "
+            "byte."
+        ),
+    )
+    bench.add_argument(
+        "--profile",
+        default="ci",
+        choices=list(PROFILES),
+        help="grid scale: 'ci' (seconds, default), 'quick' (laptop), 'full' (paper)",
+    )
+    bench.add_argument(
+        "--only",
+        nargs="+",
+        metavar="SPEC",
+        help="run only the named experiments (e.g. --only fig05 fig07)",
+    )
+    bench.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        help="worker processes for uncached cells (-1 = all cores); result "
+        "metrics are identical for any value (timing-sensitive runtime "
+        "figures always execute serially so measured seconds stay clean)",
+    )
+    bench.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the artifact cache (every cell recomputes)",
+    )
+    bench.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_specs",
+        help="list the registered experiments and exit",
+    )
+    bench.add_argument(
+        "--artifacts",
+        default=DEFAULT_ARTIFACTS_DIR,
+        help="artifact/cache directory (default: artifacts/)",
+    )
+    bench.add_argument("--seed", type=int, default=0, help="base seed (default 0)")
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="also run each experiment's registered shape check",
+    )
+    bench.add_argument(
+        "--tables",
+        action="store_true",
+        help="print the figure tables of every artifact",
+    )
+
     subparsers.add_parser("datasets", help="list the built-in datasets")
     subparsers.add_parser(
         "registry", help="list registered searchers, scorers and aggregators"
@@ -271,6 +345,89 @@ def _command_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench(args: argparse.Namespace) -> int:
+    if args.list_specs:
+        print(f"{'name':<22} {'figure':<22} {'ci':>4} {'quick':>6} {'full':>5}  title")
+        for name in available_experiments():
+            spec = get_experiment(name)
+            counts = {
+                profile: len(expand_cells(resolve_profile(spec, profile)))
+                for profile in PROFILES
+            }
+            print(
+                f"{spec.name:<22} {spec.figure:<22} "
+                f"{counts['ci']:>4} {counts['quick']:>6} {counts['full']:>5}  "
+                f"{spec.title}"
+            )
+        return 0
+
+    import os
+
+    names = args.only if args.only else None
+    cache = (
+        None
+        if args.no_cache
+        else ArtifactCache(os.path.join(args.artifacts, "cache"))
+    )
+    failures: List[str] = []
+
+    def progress(name: str, artifact: dict) -> None:
+        manifest = artifact["manifest"]
+        line = (
+            f"{name:<22} cells={manifest['n_cells']:<4} "
+            f"hits={manifest['cache_hits']:<4} misses={manifest['cache_misses']:<4} "
+            f"{manifest['elapsed_sec']:6.2f}s  -> {artifact_path(artifact, args.artifacts)}"
+        )
+        print(line, flush=True)
+        if args.tables:
+            print(format_artifact(artifact))
+        if args.check:
+            try:
+                check_artifact(name, artifact)
+            except AssertionError as exc:
+                failures.append(name)
+                print(f"  CHECK FAILED: {exc}", file=sys.stderr)
+
+    artifacts = run_suite(
+        names,
+        profile=args.profile,
+        cache=cache,
+        n_jobs=args.n_jobs,
+        base_seed=args.seed,
+        artifacts_dir=args.artifacts,
+        progress=progress,
+    )
+    summary = {
+        "profile": args.profile,
+        "base_seed": args.seed,
+        "n_experiments": len(artifacts),
+        "n_cells": sum(a["manifest"]["n_cells"] for a in artifacts.values()),
+        "cache_hits": sum(a["manifest"]["cache_hits"] for a in artifacts.values()),
+        "cache_misses": sum(a["manifest"]["cache_misses"] for a in artifacts.values()),
+        "elapsed_sec": sum(a["manifest"]["elapsed_sec"] for a in artifacts.values()),
+        "experiments": {
+            name: artifact_path(artifact, args.artifacts)
+            for name, artifact in artifacts.items()
+        },
+    }
+    summary_path = os.path.join(args.artifacts, args.profile, "summary.json")
+    os.makedirs(os.path.dirname(summary_path), exist_ok=True)
+    import json
+
+    with open(summary_path, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    hit_rate = summary["cache_hits"] / summary["n_cells"] if summary["n_cells"] else 0.0
+    print(
+        f"suite: {summary['n_experiments']} experiments, {summary['n_cells']} cells "
+        f"({hit_rate:.0%} cached), {summary['elapsed_sec']:.1f}s -> {summary_path}"
+    )
+    if failures:
+        print(f"error: {len(failures)} check(s) failed: {failures}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _command_datasets(_args: argparse.Namespace) -> int:
     for name in available_datasets():
         print(name)
@@ -304,6 +461,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "score": _command_score,
         "contrast": _command_contrast,
         "compare": _command_compare,
+        "bench": _command_bench,
         "datasets": _command_datasets,
         "registry": _command_registry,
     }
@@ -312,6 +470,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        # Detach stdout so the interpreter's shutdown flush cannot re-raise.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -8,10 +8,12 @@ surrogate generators with matching shape and difficulty (see DESIGN.md §4).
 """
 
 from .dataset import Dataset
+from .fingerprint import array_fingerprint
 from .io import load_csv, save_csv
 from .registry import available_datasets, load_dataset, register_dataset
 from .synthetic import SyntheticConfig, generate_synthetic_dataset
 from .toy import (
+    make_combined_pairs,
     make_correlated_pair,
     make_three_dim_counterexample,
     make_uncorrelated_pair,
@@ -24,6 +26,7 @@ from .uci import (
 
 __all__ = [
     "Dataset",
+    "array_fingerprint",
     "load_csv",
     "save_csv",
     "available_datasets",
@@ -31,6 +34,7 @@ __all__ = [
     "register_dataset",
     "SyntheticConfig",
     "generate_synthetic_dataset",
+    "make_combined_pairs",
     "make_correlated_pair",
     "make_uncorrelated_pair",
     "make_three_dim_counterexample",

@@ -17,6 +17,7 @@ import numpy as np
 from ..exceptions import DataError
 from ..types import Subspace
 from ..utils.validation import check_data_matrix, check_labels
+from .fingerprint import array_fingerprint
 
 __all__ = ["Dataset"]
 
@@ -96,6 +97,17 @@ class Dataset:
         if self.labels is None:
             return np.asarray([], dtype=int)
         return np.flatnonzero(self.labels == 1)
+
+    def fingerprint(self) -> str:
+        """Content fingerprint of the dataset: SHA1 over data and labels.
+
+        Two datasets share a fingerprint exactly when their data matrices and
+        label vectors are bit-identical; the name, attribute names and
+        metadata do not participate.  The experiment artifact cache keys
+        per-cell results by this value, so any change to how a dataset is
+        generated (parameters, seed, generator code) invalidates the cache.
+        """
+        return array_fingerprint(self.data, self.labels)
 
     # ------------------------------------------------------------------ views
 

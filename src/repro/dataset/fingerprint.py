@@ -1,0 +1,37 @@
+"""Content fingerprints for data matrices.
+
+A fingerprint identifies the *content* of an array — dtype, shape and bytes —
+independently of how it was produced.  The contrast cache
+(:class:`~repro.subspaces.contrast.ContrastCache`) and the experiment artifact
+cache (:mod:`repro.experiments.cache`) both key results by these fingerprints,
+so a cached entry can only ever be served for bit-identical input data: a
+changed generator, subsample fraction or seed changes the bytes and therefore
+misses the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["array_fingerprint"]
+
+
+def array_fingerprint(*arrays) -> str:
+    """SHA1 hex digest over the dtype, shape and bytes of the given arrays.
+
+    ``None`` entries are hashed as an explicit marker so that
+    ``(data, None)`` and ``(data,)`` produce different digests (a labelled and
+    an unlabelled dataset never alias).
+    """
+    digest = hashlib.sha1()
+    for array in arrays:
+        if array is None:
+            digest.update(b"<none>")
+            continue
+        array = np.ascontiguousarray(array)
+        digest.update(str(array.dtype).encode("utf-8"))
+        digest.update(np.asarray(array.shape, dtype=np.int64).tobytes())
+        digest.update(array.tobytes())
+    return digest.hexdigest()

@@ -13,7 +13,12 @@ from typing import Callable, Dict, Tuple
 from ..exceptions import DatasetNotFoundError, ParameterError
 from .dataset import Dataset
 from .synthetic import SyntheticConfig, generate_synthetic_dataset
-from .toy import make_correlated_pair, make_three_dim_counterexample, make_uncorrelated_pair
+from .toy import (
+    make_combined_pairs,
+    make_correlated_pair,
+    make_three_dim_counterexample,
+    make_uncorrelated_pair,
+)
 from .uci import available_uci_surrogates, load_uci_surrogate
 
 __all__ = ["register_dataset", "load_dataset", "available_datasets"]
@@ -54,6 +59,7 @@ def _register_builtins() -> None:
     register_dataset("toy-uncorrelated", make_uncorrelated_pair)
     register_dataset("toy-correlated", make_correlated_pair)
     register_dataset("toy-3d-counterexample", make_three_dim_counterexample)
+    register_dataset("toy-combined-pairs", make_combined_pairs)
     for uci_name in available_uci_surrogates():
         register_dataset(uci_name, lambda _n=uci_name, **kw: load_uci_surrogate(_n, **kw))
 

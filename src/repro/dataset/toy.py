@@ -139,3 +139,34 @@ def make_figure2_pair(
 
 
 __all__.append("make_figure2_pair")
+
+
+def make_combined_pairs(n_objects: int = 500, *, random_state=None) -> Dataset:
+    """Both Figure 2 datasets side by side: 4 attributes, A's pair then B's.
+
+    The subspace-search sanity claim of Figure 2: a contrast-based search on
+    this concatenation must rank B's correlated pair ``(2, 3)`` above A's
+    uncorrelated pair ``(0, 1)``.  The two halves use seeds derived
+    independently from ``random_state`` so their mode assignments are
+    statistically independent of each other.
+    """
+    rng = check_random_state(random_state)
+    seed_a = int(rng.integers(0, 2**31 - 1))
+    seed_b = int(rng.integers(0, 2**31 - 1))
+    dataset_a = make_uncorrelated_pair(n_objects, random_state=seed_a)
+    dataset_b = make_correlated_pair(n_objects, random_state=seed_b)
+    return Dataset(
+        data=np.hstack([dataset_a.data, dataset_b.data]),
+        labels=dataset_b.labels,
+        name="toy_combined_pairs",
+        attribute_names=("a_s1", "a_s2", "b_s1", "b_s2"),
+        relevant_subspaces=(Subspace((2, 3)),),
+        metadata={
+            "figure": "2",
+            "uncorrelated_pair": (0, 1),
+            "correlated_pair": (2, 3),
+        },
+    )
+
+
+__all__.append("make_combined_pairs")

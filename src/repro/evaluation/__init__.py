@@ -12,8 +12,13 @@ from .experiments import (
     evaluate_pipeline_on_dataset,
     run_method_comparison,
 )
-from .reporting import format_comparison_table, format_results_table
-from .sweep import parameter_sweep
+from .reporting import (
+    format_comparison_table,
+    format_results_table,
+    format_series_table,
+    series_from_rows,
+)
+from .sweep import parameter_sweep, sweep_points_from_rows
 
 __all__ = [
     "roc_curve",
@@ -26,5 +31,8 @@ __all__ = [
     "run_method_comparison",
     "format_results_table",
     "format_comparison_table",
+    "format_series_table",
+    "series_from_rows",
     "parameter_sweep",
+    "sweep_points_from_rows",
 ]

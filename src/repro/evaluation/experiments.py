@@ -10,7 +10,7 @@ datasets and collects the results for the reporting and benchmark layers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields as _dataclass_fields
 from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
@@ -58,6 +58,35 @@ class ExperimentResult:
             "n_dims": self.n_dims,
             "n_subspaces": self.n_subspaces,
         }
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation: :meth:`as_row` plus sanitised metadata.
+
+        Metadata values that do not survive a JSON round trip (numpy scalars,
+        arrays, callables) are converted via ``float``/``repr`` so the result
+        can be stored in an experiment artifact verbatim.
+        """
+        payload = self.as_row()
+        metadata: Dict[str, object] = {}
+        for key, value in self.metadata.items():
+            if isinstance(value, (np.floating, np.integer)):
+                value = value.item()
+            elif isinstance(value, np.ndarray):
+                value = value.tolist()
+            elif not isinstance(value, (str, int, float, bool, list, dict, type(None))):
+                value = repr(value)
+            metadata[key] = value
+        payload["metadata"] = metadata
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output (extra keys ignored)."""
+        known = {f.name for f in _EXPERIMENT_RESULT_FIELDS}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+
+_EXPERIMENT_RESULT_FIELDS = _dataclass_fields(ExperimentResult)
 
 
 def _run_ranker(pipeline_like, dataset: Dataset, *, independent: bool = False) -> RankingResult:

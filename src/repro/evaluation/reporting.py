@@ -11,9 +11,47 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional, Sequence
 
+import numpy as np
+
 from .experiments import ExperimentResult
 
-__all__ = ["format_results_table", "format_comparison_table", "format_series_table"]
+__all__ = [
+    "format_results_table",
+    "format_comparison_table",
+    "format_series_table",
+    "series_from_rows",
+]
+
+
+def series_from_rows(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    x: str,
+    y: str,
+    by: str = "method",
+) -> Dict[str, Dict[object, float]]:
+    """Aggregate flat result rows into ``{series: {x_value: mean(y)}}``.
+
+    The inverse of the grid expansion the experiment runner performs: rows
+    from a (dataset x method x repetition) grid collapse back into one series
+    per ``by`` label, averaging ``y`` over repetitions that share an ``x``
+    value.  Rows missing any of the three keys are skipped, so heterogeneous
+    artifacts (e.g. with skipped cells) aggregate cleanly.
+
+    The result plugs directly into :func:`format_series_table`.
+    """
+    buckets: Dict[str, Dict[object, List[float]]] = {}
+    for row in rows:
+        if x not in row or y not in row or by not in row:
+            continue
+        value = row[y]
+        if value is None:
+            continue
+        buckets.setdefault(str(row[by]), {}).setdefault(row[x], []).append(float(value))
+    return {
+        label: {x_value: float(np.mean(values)) for x_value, values in mapping.items()}
+        for label, mapping in buckets.items()
+    }
 
 
 def _format_cell(value, precision: int = 2) -> str:

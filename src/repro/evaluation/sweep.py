@@ -16,7 +16,7 @@ from ..exceptions import DataError
 from ..utils.timing import timed
 from .metrics import roc_auc_score
 
-__all__ = ["parameter_sweep", "SweepPoint"]
+__all__ = ["parameter_sweep", "sweep_points_from_rows", "SweepPoint"]
 
 
 class SweepPoint(dict):
@@ -95,6 +95,44 @@ def parameter_sweep(
                 auc_mean=float(np.mean(aucs)),
                 auc_std=float(np.std(aucs)),
                 runtime_mean=float(np.mean(runtimes)),
+            )
+        )
+    return points
+
+
+def sweep_points_from_rows(
+    rows: Iterable[Dict],
+    *,
+    value_key: str = "sweep_value",
+    auc_key: str = "auc",
+    runtime_key: str = "runtime_sec",
+) -> List[SweepPoint]:
+    """Collapse flat experiment rows into :class:`SweepPoint` entries.
+
+    The experiment runner stores one row per (dataset, method, repetition,
+    sweep value) cell; this helper groups them by sweep value and rebuilds the
+    aggregate view :func:`parameter_sweep` produces, so sweep-based figure
+    checks work identically on live sweeps and cached artifacts.  Rows without
+    a sweep value are ignored; points are ordered by sweep value.
+    """
+    grouped: Dict[object, Dict[str, List[float]]] = {}
+    for row in rows:
+        value = row.get(value_key)
+        if value is None or auc_key not in row:
+            continue
+        bucket = grouped.setdefault(value, {"aucs": [], "runtimes": []})
+        bucket["aucs"].append(float(row[auc_key]))
+        if row.get(runtime_key) is not None:
+            bucket["runtimes"].append(float(row[runtime_key]))
+    points = []
+    for value in sorted(grouped):
+        bucket = grouped[value]
+        points.append(
+            SweepPoint(
+                value=value,
+                auc_mean=float(np.mean(bucket["aucs"])),
+                auc_std=float(np.std(bucket["aucs"])),
+                runtime_mean=float(np.mean(bucket["runtimes"])) if bucket["runtimes"] else 0.0,
             )
         )
     return points

@@ -1,0 +1,79 @@
+"""Experiment orchestration: the paper's figure suite as a declarative DAG.
+
+Every figure of the paper (and each design ablation) is registered as an
+:class:`~repro.experiments.spec.ExperimentSpec` — a dataset grid x method
+grid x repetitions x optional sweep axis.  The runner expands a spec into
+independent cells, shards them across a process pool, serves repeated cells
+from a content-addressed artifact cache and writes manifest-stamped JSON
+artifacts.  The ``repro-hics bench`` CLI and the ``benchmarks/bench_fig*.py``
+shims are thin layers over :func:`run_experiment` / :func:`run_suite`.
+
+>>> from repro.experiments import get_experiment, run_experiment
+>>> artifact = run_experiment(get_experiment("fig02"), profile="ci")
+>>> [row["contrast"] for row in artifact["rows"]]  # doctest: +SKIP
+"""
+
+from .cache import ArtifactCache, canonical_json, cell_key
+from .profiles import DEFAULT_PROFILE, PROFILES, check_profile
+from .registry import (
+    artifact_rows,
+    available_experiments,
+    check_artifact,
+    get_experiment,
+    register_check,
+    register_experiment,
+)
+from .runner import (
+    DEFAULT_ARTIFACTS_DIR,
+    environment_manifest,
+    format_artifact,
+    run_experiment,
+    run_suite,
+    strip_volatile,
+    write_artifact,
+)
+from .spec import (
+    Cell,
+    DatasetSpec,
+    ExperimentSpec,
+    MethodSpec,
+    SweepAxis,
+    expand_cells,
+    resolve_profile,
+)
+from .tasks import available_tasks, build_dataset, register_task, run_cell
+
+from . import paper  # noqa: F401  (registers the paper suite on import)
+
+__all__ = [
+    "ArtifactCache",
+    "canonical_json",
+    "cell_key",
+    "PROFILES",
+    "DEFAULT_PROFILE",
+    "check_profile",
+    "register_experiment",
+    "get_experiment",
+    "available_experiments",
+    "register_check",
+    "check_artifact",
+    "artifact_rows",
+    "run_experiment",
+    "run_suite",
+    "format_artifact",
+    "environment_manifest",
+    "strip_volatile",
+    "write_artifact",
+    "DEFAULT_ARTIFACTS_DIR",
+    "ExperimentSpec",
+    "DatasetSpec",
+    "MethodSpec",
+    "SweepAxis",
+    "Cell",
+    "expand_cells",
+    "resolve_profile",
+    "build_dataset",
+    "run_cell",
+    "register_task",
+    "available_tasks",
+]

@@ -1,0 +1,876 @@
+"""The paper's experiment suite as registered :class:`ExperimentSpec` grids.
+
+One spec per figure (2-11) plus the four design ablations.  The base grids
+are the laptop-scale (``quick``) workloads the historical
+``benchmarks/bench_fig*.py`` scripts ran — the paper's qualitative shape
+assertions are attached as registered checks and hold at that scale.  Every
+spec also defines a seconds-scale ``ci`` grid (smaller datasets, fewer Monte
+Carlo iterations, truncated sweeps) so the whole suite executes on every CI
+push, and a ``full`` grid approaching the paper's original scale.
+
+Checks are profile-aware: at ``ci`` scale they assert structure and sanity
+(every grid point produced a row, metrics in range, the headline separation
+still visible); the paper's quantitative claims are asserted at ``quick`` and
+``full`` scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..evaluation.reporting import series_from_rows
+from ..evaluation.sweep import sweep_points_from_rows
+from .registry import artifact_rows, register_check, register_experiment
+from .spec import DatasetSpec, ExperimentSpec, MethodSpec, SweepAxis
+
+__all__: List[str] = []
+
+
+def _strict(artifact: dict) -> bool:
+    """Paper-shape assertions apply at quick/full scale only."""
+    return artifact.get("profile") != "ci"
+
+
+def _synthetic(label, *, n_objects, n_dims, n_relevant, subspace_dims, random_state,
+               outliers_per_subspace=5) -> DatasetSpec:
+    return DatasetSpec(
+        label=str(label),
+        kind="synthetic",
+        params={
+            "n_objects": n_objects,
+            "n_dims": n_dims,
+            "n_relevant_subspaces": n_relevant,
+            "subspace_dims": list(subspace_dims),
+            "outliers_per_subspace": outliers_per_subspace,
+            "random_state": random_state,
+        },
+    )
+
+
+def _registry(label, name, **params) -> DatasetSpec:
+    return DatasetSpec(label=str(label), kind="registry", params={"name": name, **params})
+
+
+#: The shared mid-size sweep dataset (the old ``synthetic_20d`` fixture).
+_SWEEP_DATASET = _synthetic(
+    "synthetic-20d", n_objects=500, n_dims=20, n_relevant=4, subspace_dims=(2, 3),
+    random_state=1,
+)
+_SWEEP_DATASET_CI = _synthetic(
+    "synthetic-12d", n_objects=250, n_dims=12, n_relevant=3, subspace_dims=(2, 3),
+    random_state=1,
+)
+
+#: Shared Section-V configuration (the old ``bench_config`` fixture).
+_BENCH_CONFIG = {
+    "min_pts": 10,
+    "max_subspaces": 50,
+    "hics_iterations": 25,
+    "hics_alpha": 0.1,
+    "hics_cutoff": 100,
+}
+_BENCH_CONFIG_CI = {
+    "min_pts": 10,
+    "max_subspaces": 20,
+    "hics_iterations": 10,
+    "hics_alpha": 0.1,
+    "hics_cutoff": 40,
+}
+
+
+def _by_dataset_method(rows, value="auc") -> Dict[str, Dict[str, float]]:
+    table: Dict[str, Dict[str, float]] = {}
+    for row in rows:
+        if value in row:
+            table.setdefault(row["dataset"], {})[row["method"]] = row[value]
+    return table
+
+
+# ------------------------------------------------------------------ figure 2
+
+register_experiment(ExperimentSpec(
+    name="fig02",
+    figure="figure-2",
+    title="contrast separates the correlated toy dataset from the uncorrelated one",
+    task="contrast",
+    datasets=(
+        _registry("A-uncorrelated", "toy-uncorrelated", n_objects=500, random_state=0),
+        _registry("B-correlated", "toy-correlated", n_objects=500, random_state=0),
+    ),
+    methods=(MethodSpec(label="welch", method="welch"),),
+    task_params={"subspaces": [[0, 1]], "n_iterations": 100},
+    profiles={
+        "ci": {
+            "datasets": (
+                _registry("A-uncorrelated", "toy-uncorrelated", n_objects=250, random_state=0),
+                _registry("B-correlated", "toy-correlated", n_objects=250, random_state=0),
+            ),
+            "task_params": {"n_iterations": 50},
+        },
+        "full": {
+            "datasets": (
+                _registry("A-uncorrelated", "toy-uncorrelated", n_objects=2000, random_state=0),
+                _registry("B-correlated", "toy-correlated", n_objects=2000, random_state=0),
+            ),
+        },
+    },
+))
+
+
+@register_check("fig02")
+def _check_fig02(artifact: dict) -> None:
+    rows = artifact_rows(artifact)
+    contrast = {row["dataset"]: row["contrast"] for row in rows}
+    assert set(contrast) == {"A-uncorrelated", "B-correlated"}
+    assert contrast["B-correlated"] > contrast["A-uncorrelated"] + 0.1
+    if _strict(artifact):
+        assert contrast["B-correlated"] > contrast["A-uncorrelated"] + 0.2
+        assert contrast["B-correlated"] > 0.75
+
+
+register_experiment(ExperimentSpec(
+    name="fig02_lof",
+    figure="figure-2",
+    title="LOF in the high-contrast subspace ranks both toy outliers at the top",
+    task="rank_outliers",
+    datasets=(_registry("B-correlated", "toy-correlated", n_objects=500, random_state=1),),
+    methods=(MethodSpec(label="LOF", method="lof(min_pts=10)"),),
+    task_params={"subspace": [0, 1]},
+    profiles={
+        "ci": {
+            "datasets": (
+                _registry("B-correlated", "toy-correlated", n_objects=250, random_state=1),
+            ),
+        },
+    },
+))
+
+
+@register_check("fig02_lof")
+def _check_fig02_lof(artifact: dict) -> None:
+    rows = artifact_rows(artifact)
+    kinds = {row["kind"] for row in rows}
+    assert {"trivial", "non_trivial"} <= kinds
+    fraction = 0.02 if _strict(artifact) else 0.04
+    for row in rows:
+        assert row["rank"] < fraction * row["n_objects"], row
+
+
+register_experiment(ExperimentSpec(
+    name="fig02_hics",
+    figure="figure-2",
+    title="HiCS ranks the correlated toy pair first on the A ++ B concatenation",
+    task="search",
+    datasets=(_registry("A++B", "toy-combined-pairs", n_objects=500, random_state=0),),
+    methods=(
+        MethodSpec(
+            label="HiCS",
+            method="hics(n_iterations=60, candidate_cutoff=20, max_output_subspaces=10)",
+        ),
+    ),
+    task_params={"top": 5},
+    profiles={
+        "ci": {
+            "datasets": (
+                _registry("A++B", "toy-combined-pairs", n_objects=250, random_state=0),
+            ),
+            "methods": (
+                MethodSpec(
+                    label="HiCS",
+                    method="hics(n_iterations=30, candidate_cutoff=20, max_output_subspaces=10)",
+                ),
+            ),
+        },
+    },
+))
+
+
+@register_check("fig02_hics")
+def _check_fig02_hics(artifact: dict) -> None:
+    rows = sorted(artifact_rows(artifact), key=lambda row: row["rank"])
+    assert rows, "the search returned no subspaces"
+    top_subspaces = [tuple(row["subspace"]) for row in rows]
+    if _strict(artifact):
+        assert top_subspaces[0] == (2, 3), "the correlated pair must rank first"
+    else:
+        assert (2, 3) in top_subspaces[:2], "the correlated pair must rank near the top"
+
+
+# ------------------------------------------------------------------ figure 3
+
+register_experiment(ExperimentSpec(
+    name="fig03",
+    figure="figure-3",
+    title="3-D contrast without 2-D contrast (no anti-monotonicity)",
+    task="contrast",
+    datasets=(_registry("parity-3d", "toy-3d-counterexample", n_objects=2000, random_state=0),),
+    methods=(
+        MethodSpec(label="welch", method="welch"),
+        MethodSpec(label="ks", method="ks"),
+    ),
+    task_params={
+        "subspaces": [[0, 1], [0, 2], [1, 2], [0, 1, 2]],
+        "n_iterations": 100,
+    },
+    profiles={
+        "ci": {
+            "datasets": (
+                _registry("parity-3d", "toy-3d-counterexample", n_objects=800, random_state=0),
+            ),
+            "task_params": {"n_iterations": 50},
+        },
+    },
+))
+
+
+@register_check("fig03")
+def _check_fig03(artifact: dict) -> None:
+    rows = artifact_rows(artifact)
+    for method in ("welch", "ks"):
+        contrasts = {
+            tuple(row["subspace"]): row["contrast"]
+            for row in rows
+            if row["method"] == method
+        }
+        full = contrasts[(0, 1, 2)]
+        worst_pair = max(v for k, v in contrasts.items() if len(k) == 2)
+        assert full > worst_pair + 0.05, method
+        if _strict(artifact):
+            if method == "welch":
+                assert full > worst_pair + 0.15
+                assert full > 0.8
+            else:
+                assert full > 2.0 * worst_pair
+                assert full > worst_pair + 0.08
+
+
+# ------------------------------------------------------------------ figure 4
+
+_FIG04_METHODS = tuple(
+    MethodSpec(label=m, method=m)
+    for m in ("LOF", "HiCS", "Enclus", "RIS", "RANDSUB", "PCALOF1", "PCALOF2")
+)
+
+
+def _fig04_dataset(d, *, n_objects) -> DatasetSpec:
+    return _synthetic(
+        d, n_objects=n_objects, n_dims=d, n_relevant=max(2, d // 10),
+        subspace_dims=(2, 3, 4), random_state=d,
+    )
+
+
+register_experiment(ExperimentSpec(
+    name="fig04",
+    figure="figure-4",
+    title="ranking quality (AUC) vs dimensionality",
+    datasets=tuple(_fig04_dataset(d, n_objects=300) for d in (10, 20, 30, 40)),
+    methods=_FIG04_METHODS,
+    config=_BENCH_CONFIG,
+    profiles={
+        "ci": {
+            "datasets": tuple(_fig04_dataset(d, n_objects=150) for d in (8, 14)),
+            "config": _BENCH_CONFIG_CI,
+        },
+        "full": {
+            "datasets": tuple(_fig04_dataset(d, n_objects=1000) for d in (10, 25, 50, 75, 100)),
+            "repetitions": 3,
+        },
+    },
+))
+
+
+@register_check("fig04")
+def _check_fig04(artifact: dict) -> None:
+    rows = artifact_rows(artifact)
+    series = series_from_rows(rows, x="dataset", y="auc", by="method")
+    assert set(series) == {m.label for m in _FIG04_METHODS}
+    for values in series.values():
+        assert all(0.0 <= v <= 1.0 for v in values.values())
+    dims = sorted(series["HiCS"], key=int)
+    assert series["HiCS"][dims[-1]] > 0.6
+    if not _strict(artifact):
+        return
+    mean_auc = {m: sum(v.values()) / len(v) for m, v in series.items()}
+    highest = dims[-1]
+    best_mean = max(mean_auc.values())
+    assert mean_auc["HiCS"] >= best_mean - 0.03
+    assert series["HiCS"][highest] > 0.85
+    assert series["LOF"][highest] < series["LOF"][dims[0]] + 0.02
+    assert series["HiCS"][highest] > series["LOF"][highest] + 0.05
+    assert mean_auc["PCALOF1"] <= mean_auc["HiCS"]
+    assert mean_auc["PCALOF2"] <= mean_auc["HiCS"]
+    assert mean_auc["RANDSUB"] <= mean_auc["HiCS"] + 0.02
+
+
+# ------------------------------------------------------------------ figure 5
+
+_RUNTIME_METHODS = tuple(
+    MethodSpec(label=m, method=m) for m in ("HiCS", "Enclus", "RIS", "RANDSUB")
+)
+
+
+def _fig05_dataset(d, *, n_objects) -> DatasetSpec:
+    return _synthetic(
+        d, n_objects=n_objects, n_dims=d, n_relevant=max(2, d // 10),
+        subspace_dims=(2, 3), random_state=d,
+    )
+
+
+register_experiment(ExperimentSpec(
+    name="fig05",
+    figure="figure-5",
+    title="total runtime vs dimensionality",
+    datasets=tuple(_fig05_dataset(d, n_objects=300) for d in (10, 20, 30)),
+    methods=_RUNTIME_METHODS,
+    config=_BENCH_CONFIG,
+    profiles={
+        "ci": {
+            "datasets": tuple(_fig05_dataset(d, n_objects=120) for d in (8, 12)),
+            "config": _BENCH_CONFIG_CI,
+        },
+        "full": {
+            "datasets": tuple(_fig05_dataset(d, n_objects=1000) for d in (10, 25, 50, 75, 100)),
+        },
+    },
+    timing_sensitive=True,
+))
+
+
+@register_check("fig05")
+def _check_fig05(artifact: dict) -> None:
+    rows = artifact_rows(artifact)
+    series = series_from_rows(rows, x="dataset", y="runtime_sec", by="method")
+    assert set(series) == {m.label for m in _RUNTIME_METHODS}
+    for values in series.values():
+        assert all(v > 0.0 for v in values.values())
+    if not _strict(artifact):
+        return
+    dims = sorted(series["HiCS"], key=int)
+    low, high = dims[0], dims[-1]
+    for method in series:
+        assert series[method][high] >= series[method][low] * 0.8
+    quadratic_growth = (int(high) / int(low)) ** 2
+    assert series["HiCS"][high] / max(series["HiCS"][low], 1e-9) < 4.0 * quadratic_growth
+
+
+# ------------------------------------------------------------------ figure 6
+
+def _fig06_dataset(n, *, n_dims) -> DatasetSpec:
+    return _synthetic(
+        n, n_objects=n, n_dims=n_dims, n_relevant=3, subspace_dims=(2, 3), random_state=n,
+    )
+
+
+register_experiment(ExperimentSpec(
+    name="fig06",
+    figure="figure-6",
+    title="total runtime vs database size",
+    datasets=tuple(_fig06_dataset(n, n_dims=15) for n in (200, 400, 800)),
+    methods=_RUNTIME_METHODS,
+    config=_BENCH_CONFIG,
+    profiles={
+        "ci": {
+            "datasets": tuple(_fig06_dataset(n, n_dims=10) for n in (100, 200)),
+            "config": _BENCH_CONFIG_CI,
+        },
+        "full": {
+            "datasets": tuple(_fig06_dataset(n, n_dims=25) for n in (1000, 2000, 4000)),
+        },
+    },
+    timing_sensitive=True,
+))
+
+
+@register_check("fig06")
+def _check_fig06(artifact: dict) -> None:
+    rows = artifact_rows(artifact)
+    series = series_from_rows(rows, x="dataset", y="runtime_sec", by="method")
+    assert set(series) == {m.label for m in _RUNTIME_METHODS}
+    if not _strict(artifact):
+        return
+    sizes = sorted(series["HiCS"], key=int)
+    small, large = sizes[0], sizes[-1]
+    for method in series:
+        assert series[method][large] > series[method][small]
+    ris_growth = series["RIS"][large] / max(series["RIS"][small], 1e-9)
+    hics_growth = series["HiCS"][large] / max(series["HiCS"][small], 1e-9)
+    enclus_growth = series["Enclus"][large] / max(series["Enclus"][small], 1e-9)
+    assert ris_growth >= 0.8 * max(hics_growth, enclus_growth)
+
+
+# ------------------------------------------------------- figures 7, 8 and 9
+
+
+def _hics_template(label: str, deviation: str, *, swept: str, cutoff=100,
+                   iterations=25, max_out=50) -> MethodSpec:
+    """A sweep template: one HiCS parameter is replaced by the sweep value."""
+    params = {
+        "n_iterations": str(iterations),
+        "alpha": "0.1",
+        "candidate_cutoff": str(cutoff),
+    }
+    params[swept] = "{value}"
+    rendered = ", ".join(f"{k}={v}" for k, v in params.items())
+    return MethodSpec(
+        label=label,
+        method=(
+            f"hics({rendered}, deviation='{deviation}', "
+            f"max_output_subspaces={max_out})+lof(min_pts=10)"
+        ),
+    )
+
+
+register_experiment(ExperimentSpec(
+    name="fig07",
+    figure="figure-7",
+    title="robustness vs number of Monte Carlo tests M",
+    datasets=(_SWEEP_DATASET,),
+    methods=(
+        _hics_template("HiCS_WT", "welch", swept="n_iterations"),
+        _hics_template("HiCS_KS", "ks", swept="n_iterations"),
+    ),
+    sweep=SweepAxis(name="M", values=(5, 10, 25, 50)),
+    config={"max_subspaces": 50},
+    profiles={
+        "ci": {
+            "datasets": (_SWEEP_DATASET_CI,),
+            "methods": (
+                _hics_template("HiCS_WT", "welch", swept="n_iterations", cutoff=40, max_out=30),
+                _hics_template("HiCS_KS", "ks", swept="n_iterations", cutoff=40, max_out=30),
+            ),
+            "sweep": SweepAxis(name="M", values=(5, 15)),
+            "config": {"max_subspaces": 30},
+        },
+        "full": {
+            "sweep": SweepAxis(name="M", values=(5, 10, 25, 50, 100, 200)),
+            "repetitions": 3,
+        },
+    },
+))
+
+
+@register_check("fig07")
+def _check_fig07(artifact: dict) -> None:
+    rows = artifact_rows(artifact)
+    for variant in ("HiCS_WT", "HiCS_KS"):
+        points = sweep_points_from_rows([r for r in rows if r["method"] == variant])
+        assert points, variant
+        aucs = [p.auc_mean for p in points]
+        assert min(aucs) > (0.8 if _strict(artifact) else 0.6), variant
+        if _strict(artifact):
+            assert max(aucs) - min(aucs) < 0.12, variant
+
+
+register_experiment(ExperimentSpec(
+    name="fig08",
+    figure="figure-8",
+    title="robustness vs test statistic size alpha",
+    datasets=(_SWEEP_DATASET,),
+    methods=(
+        _hics_template("HiCS_WT", "welch", swept="alpha"),
+        _hics_template("HiCS_KS", "ks", swept="alpha"),
+    ),
+    sweep=SweepAxis(name="alpha", values=(0.05, 0.1, 0.2, 0.4)),
+    config={"max_subspaces": 50},
+    profiles={
+        "ci": {
+            "datasets": (_SWEEP_DATASET_CI,),
+            "methods": (
+                _hics_template("HiCS_WT", "welch", swept="alpha", cutoff=40,
+                               iterations=10, max_out=30),
+                _hics_template("HiCS_KS", "ks", swept="alpha", cutoff=40,
+                               iterations=10, max_out=30),
+            ),
+            "sweep": SweepAxis(name="alpha", values=(0.1, 0.3)),
+            "config": {"max_subspaces": 30},
+        },
+        "full": {
+            "sweep": SweepAxis(name="alpha", values=(0.01, 0.05, 0.1, 0.2, 0.4, 0.6)),
+            "repetitions": 3,
+        },
+    },
+))
+
+
+@register_check("fig08")
+def _check_fig08(artifact: dict) -> None:
+    rows = artifact_rows(artifact)
+    for variant in ("HiCS_WT", "HiCS_KS"):
+        points = sweep_points_from_rows([r for r in rows if r["method"] == variant])
+        assert points, variant
+        values = {p.value: p.auc_mean for p in points}
+        aucs = list(values.values())
+        assert min(aucs) > (0.8 if _strict(artifact) else 0.6), variant
+        if _strict(artifact):
+            assert max(aucs) - min(aucs) < 0.12, variant
+            assert values[0.1] >= max(aucs) - 0.08, variant
+
+
+register_experiment(ExperimentSpec(
+    name="fig09",
+    figure="figure-9",
+    title="quality and runtime vs candidate cutoff",
+    datasets=(_SWEEP_DATASET,),
+    methods=(_hics_template("HiCS", "welch", swept="candidate_cutoff"),),
+    sweep=SweepAxis(name="cutoff", values=(5, 20, 60, 150)),
+    config={"max_subspaces": 50},
+    profiles={
+        "ci": {
+            "datasets": (_SWEEP_DATASET_CI,),
+            "methods": (
+                _hics_template("HiCS", "welch", swept="candidate_cutoff",
+                               iterations=10, max_out=30),
+            ),
+            "sweep": SweepAxis(name="cutoff", values=(5, 30)),
+            "config": {"max_subspaces": 30},
+        },
+        "full": {
+            "sweep": SweepAxis(name="cutoff", values=(5, 20, 60, 150, 400, 1000)),
+        },
+    },
+    # The check asserts the cutoff's runtime control, not just quality.
+    timing_sensitive=True,
+))
+
+
+@register_check("fig09")
+def _check_fig09(artifact: dict) -> None:
+    rows = artifact_rows(artifact)
+    points = sweep_points_from_rows(rows)
+    assert len(points) >= 2
+    auc = {p.value: p.auc_mean for p in points}
+    runtime = {p.value: p.runtime_mean for p in points}
+    cutoffs = sorted(auc)
+    assert runtime[cutoffs[-1]] >= runtime[cutoffs[0]]
+    if _strict(artifact):
+        assert auc[150] <= auc[60] + 0.05
+        assert max(auc.values()) > 0.85
+
+
+# ----------------------------------------------------------------- figure 10
+
+_FIG10_METHODS = tuple(
+    MethodSpec(label=m, method=m) for m in ("LOF", "HiCS", "Enclus", "RANDSUB")
+)
+
+register_experiment(ExperimentSpec(
+    name="fig10",
+    figure="figure-10",
+    title="ROC curves on the real-world surrogates (Ionosphere, Pendigits)",
+    task="roc",
+    datasets=(
+        _registry("ionosphere", "ionosphere", random_state=0, subsample=1.0),
+        _registry("pendigits", "pendigits", random_state=0, subsample=0.15),
+    ),
+    methods=_FIG10_METHODS,
+    config=_BENCH_CONFIG,
+    task_params={"roc_grid_points": 11},
+    profiles={
+        "ci": {
+            "datasets": (
+                _registry("ionosphere", "ionosphere", random_state=0, subsample=0.5),
+                _registry("pendigits", "pendigits", random_state=0, subsample=0.05),
+            ),
+            "config": _BENCH_CONFIG_CI,
+        },
+        "full": {
+            "datasets": (
+                _registry("ionosphere", "ionosphere", random_state=0, subsample=1.0),
+                _registry("pendigits", "pendigits", random_state=0, subsample=1.0),
+            ),
+        },
+    },
+))
+
+
+@register_check("fig10")
+def _check_fig10(artifact: dict) -> None:
+    rows = artifact_rows(artifact)
+    table = _by_dataset_method(rows)
+    for dataset, aucs in table.items():
+        assert set(aucs) == {m.label for m in _FIG10_METHODS}, dataset
+        assert all(0.0 <= v <= 1.0 for v in aucs.values())
+    for row in rows:
+        tpr = row["tpr"]
+        assert len(tpr) == len(row["fpr_grid"])
+        assert all(0.0 <= v <= 1.0 for v in tpr)
+        assert tpr == sorted(tpr)  # a ROC curve is non-decreasing
+    if not _strict(artifact):
+        return
+    for dataset, aucs in table.items():
+        assert aucs["HiCS"] >= max(aucs.values()) - 0.05, dataset
+        hics_row = next(r for r in rows if r["dataset"] == dataset and r["method"] == "HiCS")
+        tpr_at_half = hics_row["tpr"][hics_row["fpr_grid"].index(0.5)]
+        assert tpr_at_half > 0.8, dataset
+
+
+# ----------------------------------------------------------------- figure 11
+
+_FIG11_SUBSAMPLE = {
+    "ann-thyroid": 0.25,
+    "arrhythmia": 1.0,
+    "breast": 1.0,
+    "breast-diagnostic": 1.0,
+    "diabetes": 1.0,
+    "glass": 1.0,
+    "ionosphere": 1.0,
+    "pendigits": 0.12,
+}
+
+#: RIS is skipped above this dimensionality (the paper's "-" table entry).
+_RIS_MAX_DIMS = 40
+
+_FIG11_METHODS = (
+    MethodSpec(label="LOF", method="LOF"),
+    MethodSpec(label="HiCS", method="HiCS"),
+    MethodSpec(label="Enclus", method="Enclus"),
+    MethodSpec(label="RIS", method="RIS", max_dims=_RIS_MAX_DIMS),
+    MethodSpec(label="RANDSUB", method="RANDSUB"),
+)
+
+register_experiment(ExperimentSpec(
+    name="fig11",
+    figure="figure-11",
+    title="AUC and runtime over the eight real-world surrogate datasets",
+    datasets=tuple(
+        _registry(name, name, random_state=0, subsample=fraction)
+        for name, fraction in sorted(_FIG11_SUBSAMPLE.items())
+    ),
+    methods=_FIG11_METHODS,
+    config={"min_pts": 10, "max_subspaces": 50, "hics_iterations": 20,
+            "hics_alpha": 0.1, "hics_cutoff": 100},
+    profiles={
+        "ci": {
+            "datasets": (
+                _registry("glass", "glass", random_state=0, subsample=1.0),
+                _registry("diabetes", "diabetes", random_state=0, subsample=0.4),
+                _registry("ionosphere", "ionosphere", random_state=0, subsample=0.6),
+            ),
+            # A 10-dim RIS ceiling keeps RIS off the wider datasets *and*
+            # exercises the skipped-cell path on every CI run.
+            "methods": tuple(
+                MethodSpec(label=m.label, method=m.method,
+                           max_dims=10 if m.label == "RIS" else None)
+                for m in _FIG11_METHODS
+            ),
+            "config": {"min_pts": 10, "max_subspaces": 20, "hics_iterations": 8,
+                       "hics_alpha": 0.1, "hics_cutoff": 30},
+        },
+        "full": {
+            "datasets": tuple(
+                _registry(name, name, random_state=0, subsample=1.0)
+                for name in sorted(_FIG11_SUBSAMPLE)
+            ),
+            "config": {"min_pts": 10, "max_subspaces": 100, "hics_iterations": 50,
+                       "hics_alpha": 0.1, "hics_cutoff": 400},
+        },
+    },
+))
+
+
+@register_check("fig11")
+def _check_fig11(artifact: dict) -> None:
+    rows = artifact_rows(artifact)
+    table = _by_dataset_method(rows)
+    skipped = [row for row in artifact_rows(artifact, include_skipped=True) if row.get("skipped")]
+    assert all(row["method"] == "RIS" for row in skipped)
+    if artifact.get("profile") == "ci":
+        assert skipped, "the ci grid must exercise the skipped-cell path"
+    for dataset, aucs in table.items():
+        assert aucs["HiCS"] >= aucs["LOF"] - (0.10 if _strict(artifact) else 0.2), dataset
+    if not _strict(artifact):
+        return
+    wins = sum(1 for aucs in table.values() if aucs["HiCS"] == max(aucs.values()))
+    close = sum(1 for aucs in table.values() if aucs["HiCS"] >= max(aucs.values()) - 0.015)
+    assert wins >= 1
+    assert close >= len(table) // 2
+
+
+# ----------------------------------------------------------------- ablations
+
+
+def _hics_prefix(*, iterations=25, cutoff=100, max_out=50, extra="") -> str:
+    return (
+        f"hics(n_iterations={iterations}, candidate_cutoff={cutoff}, "
+        f"max_output_subspaces={max_out}{extra})"
+    )
+
+
+register_experiment(ExperimentSpec(
+    name="ablation_deviation",
+    figure="ablation-deviation",
+    title="deviation function: Welch-t vs KS vs CvM vs mean-shift",
+    datasets=(_SWEEP_DATASET,),
+    methods=tuple(
+        MethodSpec(
+            label=deviation,
+            method=_hics_prefix(extra=f", deviation='{deviation}'") + "+lof(min_pts=10)",
+        )
+        for deviation in ("welch", "ks", "cvm", "mean-shift")
+    ),
+    config={"max_subspaces": 50},
+    profiles={
+        "ci": {
+            "datasets": (_SWEEP_DATASET_CI,),
+            "methods": tuple(
+                MethodSpec(
+                    label=deviation,
+                    method=_hics_prefix(iterations=10, cutoff=40, max_out=30,
+                                        extra=f", deviation='{deviation}'")
+                    + "+lof(min_pts=10)",
+                )
+                for deviation in ("welch", "ks", "cvm", "mean-shift")
+            ),
+            "config": {"max_subspaces": 30},
+        },
+    },
+))
+
+
+@register_check("ablation_deviation")
+def _check_ablation_deviation(artifact: dict) -> None:
+    rows = artifact_rows(artifact)
+    aucs = {row["method"]: row["auc"] for row in rows}
+    assert set(aucs) == {"welch", "ks", "cvm", "mean-shift"}
+    assert 0.0 <= aucs["mean-shift"] <= 1.0
+    assert 0.5 <= aucs["cvm"] <= 1.0
+    if not _strict(artifact):
+        return
+    assert aucs["welch"] > 0.85
+    assert aucs["ks"] > 0.85
+    assert abs(aucs["welch"] - aucs["ks"]) < 0.1
+    assert aucs["mean-shift"] <= max(aucs["welch"], aucs["ks"]) + 0.02
+
+
+register_experiment(ExperimentSpec(
+    name="ablation_aggregation",
+    figure="ablation-aggregation",
+    title="score aggregation: average vs maximum",
+    datasets=(_SWEEP_DATASET,),
+    methods=tuple(
+        MethodSpec(
+            label=aggregation,
+            method=_hics_prefix() + f"+lof(min_pts=10)+{aggregation}",
+        )
+        for aggregation in ("average", "max")
+    ),
+    config={"max_subspaces": 50},
+    profiles={
+        "ci": {
+            "datasets": (_SWEEP_DATASET_CI,),
+            "methods": tuple(
+                MethodSpec(
+                    label=aggregation,
+                    method=_hics_prefix(iterations=10, cutoff=40, max_out=30)
+                    + f"+lof(min_pts=10)+{aggregation}",
+                )
+                for aggregation in ("average", "max")
+            ),
+            "config": {"max_subspaces": 30},
+        },
+    },
+))
+
+
+@register_check("ablation_aggregation")
+def _check_ablation_aggregation(artifact: dict) -> None:
+    rows = artifact_rows(artifact)
+    aucs = {row["method"]: row["auc"] for row in rows}
+    assert set(aucs) == {"average", "max"}
+    assert aucs["average"] >= aucs["max"] - (0.02 if _strict(artifact) else 0.1)
+    if _strict(artifact):
+        assert aucs["average"] > 0.85
+
+
+register_experiment(ExperimentSpec(
+    name="ablation_pruning",
+    figure="ablation-pruning",
+    title="redundancy pruning of the final subspace list",
+    datasets=(_SWEEP_DATASET,),
+    methods=tuple(
+        MethodSpec(
+            label=label,
+            method=_hics_prefix(extra=f", prune_redundant={prune}") + "+lof(min_pts=10)",
+        )
+        for label, prune in (("pruned", True), ("unpruned", False))
+    ),
+    config={"max_subspaces": 50},
+    profiles={
+        "ci": {
+            "datasets": (_SWEEP_DATASET_CI,),
+            "methods": tuple(
+                MethodSpec(
+                    label=label,
+                    method=_hics_prefix(iterations=10, cutoff=40, max_out=30,
+                                        extra=f", prune_redundant={prune}")
+                    + "+lof(min_pts=10)",
+                )
+                for label, prune in (("pruned", True), ("unpruned", False))
+            ),
+            "config": {"max_subspaces": 30},
+        },
+    },
+))
+
+
+@register_check("ablation_pruning")
+def _check_ablation_pruning(artifact: dict) -> None:
+    rows = artifact_rows(artifact)
+    by_label = {row["method"]: row for row in rows}
+    assert set(by_label) == {"pruned", "unpruned"}
+    assert by_label["pruned"]["n_subspaces"] <= by_label["unpruned"]["n_subspaces"]
+    if _strict(artifact):
+        assert by_label["pruned"]["auc"] >= by_label["unpruned"]["auc"] - 0.03
+        assert by_label["pruned"]["auc"] > 0.85
+
+
+_ABLATION_SCORERS = (
+    ("LOF", "lof(min_pts=10)"),
+    ("kNN-dist", "knn(k=10)"),
+    ("ORCA", "orca(k=10, top_n=30)"),
+    ("OUTRES-density", "adaptive_density(n_neighbors=20)"),
+)
+
+
+def _scorer_methods(*, iterations=25, cutoff=100, max_out=50):
+    """Each scorer twice: driven by HiCS subspaces, and in the full space."""
+    methods = []
+    for label, scorer in _ABLATION_SCORERS:
+        methods.append(MethodSpec(
+            label=label,
+            method=_hics_prefix(iterations=iterations, cutoff=cutoff, max_out=max_out)
+            + f"+{scorer}",
+        ))
+        methods.append(MethodSpec(label=f"{label}/full-space", method=scorer))
+    return tuple(methods)
+
+
+register_experiment(ExperimentSpec(
+    name="ablation_scorers",
+    figure="ablation-scorers",
+    title="alternative outlier scorers on an identical HiCS subspace selection",
+    datasets=(_SWEEP_DATASET,),
+    methods=_scorer_methods(),
+    config={"max_subspaces": 50},
+    profiles={
+        "ci": {
+            "datasets": (_SWEEP_DATASET_CI,),
+            "methods": _scorer_methods(iterations=10, cutoff=40, max_out=30),
+            "config": {"max_subspaces": 30},
+        },
+    },
+))
+
+
+@register_check("ablation_scorers")
+def _check_ablation_scorers(artifact: dict) -> None:
+    rows = artifact_rows(artifact)
+    aucs = {row["method"]: row["auc"] for row in rows}
+    for label, _ in _ABLATION_SCORERS:
+        with_hics, full_space = aucs[label], aucs[f"{label}/full-space"]
+        margin = 0.02 if _strict(artifact) else 0.1
+        assert with_hics >= full_space - margin, label
+        if _strict(artifact):
+            assert with_hics > 0.75, label
+    if _strict(artifact):
+        assert aucs["LOF"] > 0.9

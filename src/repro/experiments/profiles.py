@@ -1,0 +1,36 @@
+"""Execution profiles of the experiment suite.
+
+Three profiles trade fidelity against wall time:
+
+``ci``
+    Seconds-scale grids: every spec must finish in a few seconds so the whole
+    figure suite runs on every CI push.  Checks only assert structural sanity
+    at this scale.
+``quick``
+    Laptop scale — the workloads the historical ``benchmarks/bench_fig*.py``
+    scripts used; the paper's qualitative shape assertions hold here.  This is
+    the base grid every spec declares.
+``full``
+    Paper-approaching scale for a full-fidelity reproduction run; expect the
+    suite to take an hour or more.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..exceptions import ParameterError
+
+__all__ = ["PROFILES", "DEFAULT_PROFILE", "check_profile"]
+
+PROFILES: Tuple[str, ...] = ("ci", "quick", "full")
+DEFAULT_PROFILE = "ci"
+
+
+def check_profile(profile: str) -> str:
+    """Validate a profile name, returning it unchanged."""
+    if profile not in PROFILES:
+        raise ParameterError(
+            f"unknown profile {profile!r}; expected one of {PROFILES}"
+        )
+    return profile

@@ -1,0 +1,88 @@
+"""Registry of experiment specs and their artifact checks.
+
+Paper figures register at import time (:mod:`repro.experiments.paper`); user
+code can register additional experiments the same way — the ``repro-hics
+bench`` CLI and the benchmark shims resolve names through this registry only.
+A *check* is an optional callable attached to a spec name that asserts the
+qualitative shape of a finished artifact (the assertions the historical
+``bench_fig*.py`` scripts carried); checks receive the artifact dict and are
+expected to raise ``AssertionError`` on violation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..exceptions import ParameterError
+from .spec import ExperimentSpec
+
+__all__ = [
+    "register_experiment",
+    "get_experiment",
+    "available_experiments",
+    "register_check",
+    "check_artifact",
+]
+
+_EXPERIMENTS: Dict[str, ExperimentSpec] = {}
+_CHECKS: Dict[str, Callable[[dict], None]] = {}
+
+
+def register_experiment(spec: ExperimentSpec, *, overwrite: bool = False) -> ExperimentSpec:
+    """Register a spec under its own name."""
+    key = spec.name.strip().lower()
+    if key in _EXPERIMENTS and not overwrite:
+        raise ParameterError(f"experiment {spec.name!r} is already registered")
+    _EXPERIMENTS[key] = spec
+    return spec
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    """Resolve an experiment name (case-insensitive)."""
+    key = str(name).strip().lower()
+    if key not in _EXPERIMENTS:
+        raise ParameterError(
+            f"unknown experiment {name!r}; available: {', '.join(available_experiments())}"
+        )
+    return _EXPERIMENTS[key]
+
+
+def available_experiments() -> Tuple[str, ...]:
+    """All registered experiment names, sorted."""
+    return tuple(sorted(_EXPERIMENTS))
+
+
+def register_check(name: str, check: Optional[Callable[[dict], None]] = None):
+    """Attach a shape check to an experiment name (decorator or plain call)."""
+    key = name.strip().lower()
+
+    def decorator(target: Callable[[dict], None]):
+        _CHECKS[key] = target
+        return target
+
+    return decorator if check is None else decorator(check)
+
+
+def check_artifact(name: str, artifact: dict) -> None:
+    """Run the registered check of an experiment against an artifact.
+
+    A spec without a check passes trivially.  Checks are profile-aware via
+    ``artifact["profile"]``: the paper's qualitative assertions only hold at
+    ``quick``/``full`` scale, so most checks reduce to structural sanity for
+    ``ci`` artifacts.
+    """
+    get_experiment(name)  # fail fast on unknown names
+    check = _CHECKS.get(name.strip().lower())
+    if check is not None:
+        check(artifact)
+
+
+def artifact_rows(artifact: dict, *, include_skipped: bool = False) -> List[dict]:
+    """The result rows of an artifact, skipped cells filtered by default."""
+    rows = artifact.get("rows", [])
+    if include_skipped:
+        return list(rows)
+    return [row for row in rows if not row.get("skipped")]
+
+
+__all__.append("artifact_rows")

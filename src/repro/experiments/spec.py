@@ -1,0 +1,388 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` describes one paper figure (or ablation) as a grid:
+
+    dataset grid x method grid x repetitions x optional sweep axis
+
+The spec is pure data — datasets are named by construction parameters, methods
+by paper method names or registry spec strings — so a spec can be expanded
+into independent :class:`Cell` objects deterministically, executed in any
+order on any number of workers, and every cell result can be cached by
+content (see :mod:`repro.experiments.cache`).
+
+Profiles
+--------
+Each spec carries per-profile overrides (``ci`` / ``quick`` / ``full``): the
+``ci`` profile shrinks the grids to seconds-scale so the whole figure suite
+runs on every CI push, ``quick`` is the laptop-scale default matching the
+historical ``benchmarks/bench_fig*.py`` workloads, and ``full`` approaches the
+paper's original scale.  :func:`resolve_profile` applies the overrides and
+returns a plain resolved spec; profiles not listed in
+:data:`~repro.experiments.profiles.PROFILES` are rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import ParameterError
+from ..pipeline.config import PipelineConfig
+from .profiles import check_profile
+
+__all__ = [
+    "DatasetSpec",
+    "MethodSpec",
+    "SweepAxis",
+    "ExperimentSpec",
+    "Cell",
+    "resolve_profile",
+    "expand_cells",
+]
+
+#: MethodSpec templates substitute the current sweep value at this marker.
+SWEEP_PLACEHOLDER = "{value}"
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One dataset of the grid, named by its construction parameters.
+
+    ``kind`` selects the builder: ``"synthetic"`` calls
+    :func:`repro.dataset.generate_synthetic_dataset` with ``params``;
+    ``"registry"`` loads ``params["name"]`` through the dataset registry,
+    forwarding the remaining params to its loader.  ``label`` is the axis
+    value the dataset contributes to the figure (a dimensionality, a database
+    size, or the dataset name).
+    """
+
+    label: str
+    kind: str
+    params: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.kind not in ("synthetic", "registry"):
+            raise ParameterError(
+                f"unknown dataset kind {self.kind!r}; expected 'synthetic' or 'registry'"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"label": self.label, "kind": self.kind, "params": dict(self.params)}
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """One method column of the grid.
+
+    ``method`` is anything :func:`~repro.pipeline.config.make_method_pipeline`
+    accepts — a paper method name (``"HiCS"``) or a registry spec string — and
+    may contain the ``{value}`` placeholder, substituted with the current
+    sweep value during expansion.  ``config`` overlays the experiment's shared
+    :class:`~repro.pipeline.config.PipelineConfig` fields for this method
+    only.  ``max_dims`` skips the method on datasets with more attributes
+    (the paper's "-" entry for RIS on Arrhythmia).
+    """
+
+    label: str
+    method: str
+    config: Mapping[str, object] = field(default_factory=dict)
+    max_dims: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "method": self.method,
+            "config": dict(self.config),
+            "max_dims": self.max_dims,
+        }
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """A swept parameter: an axis name, its values and an optional config field.
+
+    When ``config_field`` names a :class:`PipelineConfig` field, the sweep
+    value is written into the cell's config; independently, any ``{value}``
+    placeholder in the method string is substituted.  At least one of the two
+    mechanisms must apply, which :func:`expand_cells` verifies.
+    """
+
+    name: str
+    values: Tuple[object, ...]
+    config_field: Optional[str] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "values", tuple(self.values))
+        if not self.values:
+            raise ParameterError(f"sweep axis {self.name!r} needs at least one value")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "values": list(self.values),
+            "config_field": self.config_field,
+        }
+
+
+#: Spec fields a profile override may replace.
+_PROFILE_OVERRIDABLE = (
+    "datasets",
+    "methods",
+    "sweep",
+    "repetitions",
+    "config",
+    "task_params",
+)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A paper figure or ablation as a declarative cell grid.
+
+    Parameters
+    ----------
+    name:
+        Registry key (``"fig05"``, ``"ablation_pruning"`` ...).
+    figure:
+        The paper artefact this reproduces (``"figure-5"``).
+    title:
+        One-line human description, shown by ``repro-hics bench --list``.
+    task:
+        Executor kind (see :mod:`repro.experiments.tasks`): ``"evaluate"``,
+        ``"roc"``, ``"contrast"`` or ``"rank_outliers"``.
+    datasets / methods / sweep / repetitions:
+        The grid axes.  Every combination becomes one independent cell.
+    config:
+        Shared :class:`PipelineConfig` fields for all cells (overlaid by
+        per-method config, then by the sweep value).
+    task_params:
+        Extra executor parameters (e.g. the subspaces of a contrast task).
+    profiles:
+        ``{profile: {field: replacement}}`` overrides; fields not listed keep
+        the base value.  A spec without a profile entry runs its base grid at
+        every profile.
+    timing_sensitive:
+        ``True`` for experiments whose *measured runtimes are the result*
+        (the runtime figures): their cells always execute serially, because a
+        cell timed while sibling cells compete for cores would freeze the
+        contention into the artifact (and, via the cache, into every later
+        run).  Quality experiments report ``runtime_sec`` too, but only as
+        context — they stay shardable.
+    """
+
+    name: str
+    figure: str
+    title: str
+    datasets: Tuple[DatasetSpec, ...]
+    methods: Tuple[MethodSpec, ...]
+    task: str = "evaluate"
+    sweep: Optional[SweepAxis] = None
+    repetitions: int = 1
+    config: Mapping[str, object] = field(default_factory=dict)
+    task_params: Mapping[str, object] = field(default_factory=dict)
+    profiles: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
+    timing_sensitive: bool = False
+
+    def __post_init__(self):
+        object.__setattr__(self, "datasets", tuple(self.datasets))
+        object.__setattr__(self, "methods", tuple(self.methods))
+        if not self.name.strip():
+            raise ParameterError("experiment name must be non-empty")
+        if not self.datasets:
+            raise ParameterError(f"experiment {self.name!r} needs at least one dataset")
+        if not self.methods:
+            raise ParameterError(f"experiment {self.name!r} needs at least one method")
+        if self.repetitions < 1:
+            raise ParameterError(f"experiment {self.name!r}: repetitions must be >= 1")
+        for profile, overrides in self.profiles.items():
+            check_profile(profile)
+            unknown = sorted(set(overrides) - set(_PROFILE_OVERRIDABLE))
+            if unknown:
+                raise ParameterError(
+                    f"experiment {self.name!r}: profile {profile!r} overrides "
+                    f"unknown fields {unknown}; allowed: {_PROFILE_OVERRIDABLE}"
+                )
+
+
+def resolve_profile(spec: ExperimentSpec, profile: str) -> ExperimentSpec:
+    """Apply a profile's overrides and return the resolved spec.
+
+    The profile name must be one of the known profiles; a spec that does not
+    mention the profile runs with its base grid (the declared grids are the
+    ``quick`` scale by convention, so ``quick`` overrides are usually empty).
+    """
+    check_profile(profile)
+    overrides = dict(spec.profiles.get(profile, {}))
+    if not overrides:
+        return spec
+    if "datasets" in overrides:
+        overrides["datasets"] = tuple(overrides["datasets"])
+    if "methods" in overrides:
+        overrides["methods"] = tuple(overrides["methods"])
+    if "config" in overrides:
+        overrides["config"] = {**spec.config, **overrides["config"]}
+    if "task_params" in overrides:
+        overrides["task_params"] = {**spec.task_params, **overrides["task_params"]}
+    return replace(spec, **overrides)
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent unit of work: a fully resolved grid point.
+
+    A cell knows everything required to produce its rows — the experiment
+    name is carried for bookkeeping only and deliberately does **not**
+    participate in the cache key, so identical cells of two experiments are
+    computed once (e.g. Figure 7's M=25 sweep point and Figure 8's alpha=0.1
+    point resolve to the same dataset, method string, config and seed).
+    """
+
+    experiment: str
+    task: str
+    dataset: DatasetSpec
+    method_label: str
+    method: str
+    sweep_name: Optional[str]
+    sweep_value: Optional[object]
+    repetition: int
+    seed: int
+    config: Mapping[str, object]
+    task_params: Mapping[str, object]
+    max_dims: Optional[int] = None
+
+    def identity(self) -> Dict[str, object]:
+        """The row-identity fields every result row of this cell carries."""
+        identity: Dict[str, object] = {
+            "dataset": self.dataset.label,
+            "method": self.method_label,
+            "repetition": self.repetition,
+            "seed": self.seed,
+        }
+        if self.sweep_name is not None:
+            identity["sweep_name"] = self.sweep_name
+            identity["sweep_value"] = self.sweep_value
+        return identity
+
+    def to_dict(self) -> Dict[str, object]:
+        """Picklable/JSON form shipped to worker processes."""
+        return {
+            "experiment": self.experiment,
+            "task": self.task,
+            "dataset": self.dataset.to_dict(),
+            "method_label": self.method_label,
+            "method": self.method,
+            "sweep_name": self.sweep_name,
+            "sweep_value": self.sweep_value,
+            "repetition": self.repetition,
+            "seed": self.seed,
+            "config": dict(self.config),
+            "task_params": dict(self.task_params),
+            "max_dims": self.max_dims,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Cell":
+        dataset = payload["dataset"]
+        return cls(
+            experiment=payload["experiment"],
+            task=payload["task"],
+            dataset=DatasetSpec(
+                label=dataset["label"], kind=dataset["kind"], params=dataset["params"]
+            ),
+            method_label=payload["method_label"],
+            method=payload["method"],
+            sweep_name=payload["sweep_name"],
+            sweep_value=payload["sweep_value"],
+            repetition=payload["repetition"],
+            seed=payload["seed"],
+            config=payload["config"],
+            task_params=payload["task_params"],
+            max_dims=payload.get("max_dims"),
+        )
+
+    def pipeline_config(self) -> PipelineConfig:
+        """The merged cell configuration as a :class:`PipelineConfig`."""
+        return PipelineConfig.from_dict(dict(self.config))
+
+
+_CONFIG_FIELDS = {f.name for f in PipelineConfig.__dataclass_fields__.values()}  # type: ignore[attr-defined]
+
+
+def _merged_config(
+    spec: ExperimentSpec,
+    method: MethodSpec,
+    sweep: Optional[SweepAxis],
+    sweep_value: Optional[object],
+    seed: int,
+) -> Dict[str, object]:
+    config: Dict[str, object] = dict(spec.config)
+    config.update(method.config)
+    if sweep is not None and sweep.config_field is not None:
+        if sweep.config_field not in _CONFIG_FIELDS:
+            raise ParameterError(
+                f"experiment {spec.name!r}: sweep config_field "
+                f"{sweep.config_field!r} is not a PipelineConfig field"
+            )
+        config[sweep.config_field] = sweep_value
+    unknown = sorted(set(config) - _CONFIG_FIELDS)
+    if unknown:
+        raise ParameterError(
+            f"experiment {spec.name!r}: unknown PipelineConfig fields {unknown}"
+        )
+    config["random_state"] = seed
+    return config
+
+
+def expand_cells(spec: ExperimentSpec, *, base_seed: int = 0) -> List[Cell]:
+    """Expand a resolved spec into its cells, in deterministic grid order.
+
+    Order: datasets (outer), methods, sweep values, repetitions (inner).
+    Each repetition derives its own seed (``base_seed + repetition``) so
+    repeated cells genuinely resample the Monte Carlo noise the repetition
+    axis exists to smooth; the derived seed is written into the cell config's
+    ``random_state`` and stamped into the result rows.
+    """
+    cells: List[Cell] = []
+    sweep_values: Sequence[Optional[object]] = (
+        spec.sweep.values if spec.sweep is not None else (None,)
+    )
+    for dataset in spec.datasets:
+        for method in spec.methods:
+            for sweep_value in sweep_values:
+                method_string = method.method
+                if SWEEP_PLACEHOLDER in method_string:
+                    if spec.sweep is None:
+                        raise ParameterError(
+                            f"experiment {spec.name!r}: method {method.label!r} has a "
+                            f"{{value}} placeholder but the spec declares no sweep axis"
+                        )
+                    method_string = method_string.replace(
+                        SWEEP_PLACEHOLDER, repr(sweep_value)
+                    )
+                elif spec.sweep is not None and spec.sweep.config_field is None:
+                    raise ParameterError(
+                        f"experiment {spec.name!r}: sweep axis {spec.sweep.name!r} has "
+                        f"no config_field and method {method.label!r} no {{value}} "
+                        f"placeholder; the sweep value would be ignored"
+                    )
+                for repetition in range(spec.repetitions):
+                    seed = base_seed + repetition
+                    cells.append(
+                        Cell(
+                            experiment=spec.name,
+                            task=spec.task,
+                            dataset=dataset,
+                            method_label=method.label,
+                            method=method_string,
+                            sweep_name=spec.sweep.name if spec.sweep else None,
+                            sweep_value=sweep_value,
+                            repetition=repetition,
+                            seed=seed,
+                            config=_merged_config(
+                                spec, method, spec.sweep, sweep_value, seed
+                            ),
+                            task_params=dict(spec.task_params),
+                            max_dims=method.max_dims,
+                        )
+                    )
+    return cells

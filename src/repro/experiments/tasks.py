@@ -1,0 +1,232 @@
+"""Cell executors: how one grid point of an experiment produces result rows.
+
+Each :class:`~repro.experiments.spec.ExperimentSpec` names a *task kind*; the
+executor registered for that kind receives the cell and its built dataset and
+returns a list of JSON-ready rows.  Four kinds cover all paper figures:
+
+``evaluate``
+    Run a method end-to-end (:func:`evaluate_method_on_dataset`) and report
+    the ranking metrics — Figures 4-9, 11 and the ablations.
+``roc``
+    Like ``evaluate`` but additionally reports the ROC curve sampled on a
+    fixed false-positive-rate grid — Figure 10.
+``contrast``
+    Estimate the contrast of explicitly listed subspaces — Figures 2 and 3.
+``rank_outliers``
+    Score one subspace with one scorer and report the rank of every labelled
+    outlier — the LOF half of Figure 2.
+``search``
+    Run a subspace searcher end-to-end and report its top-ranked subspaces —
+    the Figure 2 claim that HiCS ranks the correlated pair first.
+
+New kinds register via :func:`register_task`, keeping the subsystem open for
+non-paper workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from ..dataset import Dataset, generate_synthetic_dataset, load_dataset
+from ..evaluation.experiments import evaluate_method_on_dataset
+from ..evaluation.metrics import roc_auc_score, roc_curve
+from ..exceptions import ParameterError
+from ..pipeline.config import make_method_pipeline
+from ..registry import get_searcher, make_scorer, make_searcher, parse_component_spec
+from ..types import Subspace
+from ..utils.timing import timed
+from .spec import Cell, DatasetSpec
+
+__all__ = ["build_dataset", "run_cell", "register_task", "available_tasks"]
+
+
+def build_dataset(spec: DatasetSpec) -> Dataset:
+    """Construct the dataset a :class:`DatasetSpec` describes.
+
+    Construction is deterministic: all randomness flows through the
+    ``random_state`` entries of the spec's params, so the same spec always
+    yields the same bytes (and therefore the same fingerprint).
+    """
+    params = dict(spec.params)
+    if spec.kind == "synthetic":
+        return generate_synthetic_dataset(**params)
+    name = params.pop("name", None)
+    if not name:
+        raise ParameterError(
+            f"registry dataset spec {spec.label!r} needs a 'name' entry in params"
+        )
+    return load_dataset(name, **params)
+
+
+# ------------------------------------------------------------------ executors
+
+TaskExecutor = Callable[[Cell, Dataset], List[Dict[str, object]]]
+
+_TASKS: Dict[str, TaskExecutor] = {}
+
+
+def register_task(kind: str, executor: TaskExecutor = None, *, overwrite: bool = False):
+    """Register a cell executor (decorator or plain call)."""
+
+    def decorator(target: TaskExecutor) -> TaskExecutor:
+        if kind in _TASKS and not overwrite:
+            raise ParameterError(f"task kind {kind!r} is already registered")
+        _TASKS[kind] = target
+        return target
+
+    return decorator if executor is None else decorator(executor)
+
+
+def available_tasks() -> tuple:
+    """Registered task kinds, sorted."""
+    return tuple(sorted(_TASKS))
+
+
+def run_cell(cell: Cell, dataset: Dataset = None) -> Dict[str, object]:
+    """Execute one cell and return its cacheable payload.
+
+    The payload holds the task's result rows plus the cell's wall time.  The
+    rows deliberately carry **no** cell-identity fields (dataset/method
+    labels, sweep value): two cells of *different* experiments can share one
+    content key — e.g. a sweep grid point of one figure that coincides with
+    another figure's — and the runner merges each consumer cell's own
+    identity into the rows at serve time.  Cells whose method declares
+    ``max_dims`` smaller than the dataset's dimensionality produce a single
+    ``skipped`` row — the paper's "-" table entries — instead of running.
+
+    ``dataset`` lets the runner pass an already-built dataset (it builds each
+    unique dataset spec once per run); worker processes leave it ``None`` and
+    build their own.
+    """
+    if cell.task not in _TASKS:
+        raise ParameterError(
+            f"unknown task kind {cell.task!r}; available: {available_tasks()}"
+        )
+    if dataset is None:
+        dataset = build_dataset(cell.dataset)
+    with timed() as clock:
+        if cell.max_dims is not None and dataset.n_dims > cell.max_dims:
+            rows: List[Dict[str, object]] = [
+                {
+                    "skipped": True,
+                    "reason": f"n_dims {dataset.n_dims} > max_dims {cell.max_dims}",
+                }
+            ]
+        else:
+            rows = _TASKS[cell.task](cell, dataset)
+    return {"rows": rows, "elapsed_sec": clock["elapsed"]}
+
+
+@register_task("evaluate")
+def _task_evaluate(cell: Cell, dataset: Dataset) -> List[Dict[str, object]]:
+    result = evaluate_method_on_dataset(cell.method, dataset, cell.pipeline_config())
+    row = result.to_dict()
+    # The runner's identity merge supplies the grid labels; the raw method
+    # string and internal dataset name must not shadow them in the cache.
+    del row["method"], row["dataset"]
+    del row["metadata"]  # engine internals; not part of the figure artifact
+    return [row]
+
+
+@register_task("roc")
+def _task_roc(cell: Cell, dataset: Dataset) -> List[Dict[str, object]]:
+    grid_points = int(cell.task_params.get("roc_grid_points", 11))
+    pipeline = make_method_pipeline(cell.method, cell.pipeline_config())
+    with timed() as clock:
+        result = (
+            pipeline.fit_rank(dataset)
+            if hasattr(pipeline, "fit_rank")
+            else pipeline.rank(dataset.data)
+        )
+    grid = np.linspace(0.0, 1.0, grid_points)
+    fpr, tpr, _ = roc_curve(dataset.labels, result.scores)
+    return [
+        {
+            "auc": roc_auc_score(dataset.labels, result.scores),
+            "runtime_sec": float(result.metadata.get("total_time_sec", clock["elapsed"])),
+            "fpr_grid": [float(x) for x in grid],
+            "tpr": [float(x) for x in np.interp(grid, fpr, tpr)],
+        }
+    ]
+
+
+@register_task("contrast")
+def _task_contrast(cell: Cell, dataset: Dataset) -> List[Dict[str, object]]:
+    from ..subspaces.contrast import ContrastEstimator
+
+    params = cell.task_params
+    subspaces = params.get("subspaces")
+    if not subspaces:
+        raise ParameterError(
+            f"contrast task of {cell.experiment!r} needs task_params['subspaces']"
+        )
+    estimator = ContrastEstimator(
+        dataset.data,
+        n_iterations=int(params.get("n_iterations", 50)),
+        alpha=float(params.get("alpha", 0.1)),
+        deviation=cell.method,
+        random_state=cell.seed,
+        cache=False,
+    )
+    return [
+        {
+            "subspace": [int(a) for a in attributes],
+            "contrast": float(estimator.contrast(Subspace(tuple(attributes)))),
+        }
+        for attributes in subspaces
+    ]
+
+
+@register_task("search")
+def _task_search(cell: Cell, dataset: Dataset) -> List[Dict[str, object]]:
+    import inspect
+
+    component = parse_component_spec(cell.method)
+    params = dict(component.params)
+    accepted = inspect.signature(get_searcher(component.name).__init__).parameters
+    if "random_state" in accepted and "random_state" not in params:
+        params["random_state"] = cell.seed
+    searcher = make_searcher(component.name, **params)
+    scored = searcher.search(dataset.data)
+    top = int(cell.task_params.get("top", 5))
+    return [
+        {
+            "rank": rank,
+            "subspace": [int(a) for a in item.subspace.attributes],
+            "score": float(item.score),
+        }
+        for rank, item in enumerate(scored[:top])
+    ]
+
+
+@register_task("rank_outliers")
+def _task_rank_outliers(cell: Cell, dataset: Dataset) -> List[Dict[str, object]]:
+    params = cell.task_params
+    subspace = params.get("subspace")
+    if subspace is None:
+        raise ParameterError(
+            f"rank_outliers task of {cell.experiment!r} needs task_params['subspace']"
+        )
+    if not dataset.has_labels or dataset.n_outliers == 0:
+        raise ParameterError(
+            f"rank_outliers task of {cell.experiment!r} needs a labelled dataset"
+        )
+    component = parse_component_spec(cell.method)
+    scorer = make_scorer(component.name, **component.params)
+    scores = scorer.score(dataset.data, Subspace(tuple(subspace)))
+    order = np.argsort(-scores)
+    positions = np.empty_like(order)
+    positions[order] = np.arange(len(order))
+    kinds = dataset.metadata.get("outlier_kinds", {})
+    kind_of = {int(obj): kind for kind, objs in kinds.items() for obj in objs}
+    return [
+        {
+            "object": int(obj),
+            "rank": int(positions[obj]),
+            "n_objects": dataset.n_objects,
+            "kind": kind_of.get(int(obj), "outlier"),
+        }
+        for obj in dataset.outlier_indices
+    ]

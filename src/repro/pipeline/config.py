@@ -15,7 +15,9 @@ components.  Arbitrary registry spec strings such as
 
 from __future__ import annotations
 
+import hashlib
 import inspect
+import json
 from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, Optional, Tuple, Union
 
@@ -96,6 +98,24 @@ class PipelineConfig:
     def to_dict(self) -> Dict[str, object]:
         """Plain-dictionary (JSON-ready) representation."""
         return asdict(self)
+
+    def fingerprint(self) -> str:
+        """Stable SHA256 content hash of the configuration.
+
+        Computed over the canonical JSON form of :meth:`to_dict` (sorted keys,
+        no whitespace), so two configs fingerprint identically exactly when
+        every field — including ``extra`` — compares equal under JSON
+        semantics.  Non-JSON values in ``extra`` are hashed by their ``repr``.
+        Use it to tag results with the exact configuration that produced
+        them.  (The experiment artifact cache keys cells by a *reduced* form
+        of the config instead — it deliberately ignores the throughput knobs
+        ``n_jobs``/``scoring_engine``/``memory_budget_mb``, which cannot
+        change results; see :mod:`repro.experiments.cache`.)
+        """
+        payload = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":"), default=repr
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "PipelineConfig":

@@ -42,12 +42,12 @@ single bit of the output.
 
 from __future__ import annotations
 
-import hashlib
 import os
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..dataset.fingerprint import array_fingerprint
 from ..exceptions import ParameterError, SubspaceError
 from ..index import SliceBatch, SliceSampler, SortedDatabaseIndex
 from ..stats.descriptive import sample_moments, sample_moments_batch
@@ -270,11 +270,9 @@ class ContrastEstimator:
         )
 
     def _fingerprint(self) -> str:
-        """SHA1 of the data, computed lazily on first cache access."""
+        """Content fingerprint of the data, computed lazily on first cache access."""
         if self._data_fingerprint is None:
-            self._data_fingerprint = hashlib.sha1(
-                np.ascontiguousarray(self.index.data).tobytes()
-            ).hexdigest()
+            self._data_fingerprint = array_fingerprint(self.index.data)
         return self._data_fingerprint
 
     def _cache_key(self, subspace: Subspace) -> tuple:
