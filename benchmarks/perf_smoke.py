@@ -9,14 +9,21 @@ disagree on a single bit).  Two checks, runnable separately or together:
 * ``scoring`` — the shared-neighborhood scoring engine vs the per-subspace
   path: joint multi-subspace ranking must not regress, and independent
   (streaming) scoring must beat the per-object reference by at least 3x.
+* ``parallel`` — the BENCH_parallel gate: a persistent-pool process backend
+  must beat serial execution on the fig05-style 50-d search workload (and
+  match it bit for bit): >= 1.5x on hosts with 4+ cores, a softer >= 1.2x
+  on 2-3 cores (2 workers can at best approach 2x before IPC overhead).
+  Skipped (exit 0, with a message) on single-core hosts, where no process
+  fan-out can win.
 
 Run from the repository root::
 
-    PYTHONPATH=src python benchmarks/perf_smoke.py [contrast|scoring]
+    PYTHONPATH=src python benchmarks/perf_smoke.py [contrast|scoring|parallel]
 """
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 from itertools import combinations
@@ -140,17 +147,77 @@ def scoring_smoke() -> int:
     return 0
 
 
+def parallel_smoke(min_speedup: float = None) -> int:
+    """BENCH_parallel gate: persistent process pool vs serial on 50-d fig05."""
+    cores = os.cpu_count() or 1
+    if cores < 2:
+        print(
+            f"parallel: SKIP (host has {cores} core; a process fan-out cannot "
+            f"beat serial without parallel hardware)"
+        )
+        return 0
+    if min_speedup is None:
+        # With only 2-3 cores the theoretical ceiling for 2 workers is ~2x
+        # before IPC/chunking overhead, so the full 1.5x bar would flake.
+        min_speedup = 1.5 if cores >= 4 else 1.2
+    dataset = generate_synthetic_dataset(
+        n_objects=300,
+        n_dims=50,
+        n_relevant_subspaces=5,
+        subspace_dims=(2, 3),
+        outliers_per_subspace=5,
+        random_state=50,
+    )
+    params = dict(
+        n_iterations=25,
+        candidate_cutoff=100,
+        max_output_subspaces=50,
+        max_dimensionality=3,
+        random_state=0,
+        cache=False,
+    )
+    n_jobs = min(4, cores)
+
+    def search(backend):
+        searcher = HiCS(backend=backend, **params)
+        scored = searcher.search(dataset.data)
+        return [(s.subspace.attributes, s.score) for s in scored]
+
+    results = {}
+    timings = {}
+    for label, backend in [("serial", "serial"), ("parallel", f"process(n_jobs={n_jobs})")]:
+        results[label] = search(backend)  # warm-up + correctness run
+        timings[label] = best_of(2, lambda b=backend: search(b))
+    speedup = timings["serial"] / timings["parallel"]
+    print(
+        f"parallel: serial {timings['serial']:.3f}s  persistent pool "
+        f"(n_jobs={n_jobs}) {timings['parallel']:.3f}s  speedup {speedup:.2f}x"
+    )
+    if results["serial"] != results["parallel"]:
+        print("FAIL: parallel search results differ from serial", file=sys.stderr)
+        return 1
+    if speedup < min_speedup:
+        print(
+            f"FAIL: persistent-pool speedup {speedup:.2f}x < {min_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     which = argv[0] if argv else "all"
-    if which not in ("contrast", "scoring", "all"):
-        print(f"usage: perf_smoke.py [contrast|scoring]", file=sys.stderr)
+    if which not in ("contrast", "scoring", "parallel", "all"):
+        print("usage: perf_smoke.py [contrast|scoring|parallel]", file=sys.stderr)
         return 2
     status = 0
     if which in ("contrast", "all"):
         status |= contrast_smoke()
     if which in ("scoring", "all"):
         status |= scoring_smoke()
+    if which in ("parallel", "all"):
+        status |= parallel_smoke()
     return status
 
 

@@ -65,6 +65,15 @@ from .baselines import (
     RandomSubspaceSearcher,
 )
 from .neighbors import SharedNeighborEngine
+from .parallel import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    available_backends,
+    make_backend,
+    register_backend,
+)
 from .outliers import (
     AdaptiveDensityScorer,
     KNNDistanceScorer,
@@ -145,6 +154,14 @@ __all__ = [
     "FullSpaceSearcher",
     # neighbors
     "SharedNeighborEngine",
+    # parallel execution backends
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "make_backend",
+    "register_backend",
+    "available_backends",
     # outliers
     "LOFScorer",
     "local_outlier_factor",

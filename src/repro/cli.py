@@ -17,6 +17,7 @@ Sub-commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -75,14 +76,26 @@ def build_parser() -> argparse.ArgumentParser:
             help="registry spec string, e.g. 'hics(alpha=0.1)+lof(min_pts=10)'; overrides --method",
         )
         sub.add_argument("--min-pts", type=int, default=10, help="LOF MinPts parameter")
+        add_parallel_arguments(sub)
+        add_engine_arguments(sub)
+
+    def add_parallel_arguments(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
             "--n-jobs",
             type=int,
             default=1,
             help="worker processes for the contrast search (-1 = all cores); "
-            "results are identical for any value",
+            "sugar for --backend 'process(n_jobs=N)'; results are identical "
+            "for any value",
         )
-        add_engine_arguments(sub)
+        sub.add_argument(
+            "--backend",
+            default=os.environ.get("REPRO_BACKEND"),
+            help="execution backend: serial, thread, process, or a spec like "
+            "'process(n_jobs=4,start_method=spawn)'; overrides --n-jobs; "
+            "results are identical for any backend (default: $REPRO_BACKEND "
+            "or resolved from --n-jobs)",
+        )
 
     def add_engine_arguments(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
@@ -142,12 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="contrast engine: vectorised batch (default) or the scalar "
         "reference path; both produce identical contrasts",
     )
-    contrast.add_argument(
-        "--n-jobs",
-        type=int,
-        default=1,
-        help="worker processes for the contrast search (-1 = all cores)",
-    )
+    add_parallel_arguments(contrast)
 
     compare = subparsers.add_parser("compare", help="compare methods on a labelled dataset")
     add_dataset_arguments(compare)
@@ -164,12 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="additional registry spec strings to compare alongside --methods",
     )
     compare.add_argument("--min-pts", type=int, default=10)
-    compare.add_argument(
-        "--n-jobs",
-        type=int,
-        default=1,
-        help="worker processes for the contrast search (-1 = all cores)",
-    )
+    add_parallel_arguments(compare)
     add_engine_arguments(compare)
 
     bench = subparsers.add_parser(
@@ -202,6 +205,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for uncached cells (-1 = all cores); result "
         "metrics are identical for any value (timing-sensitive runtime "
         "figures always execute serially so measured seconds stay clean)",
+    )
+    bench.add_argument(
+        "--backend",
+        default=os.environ.get("REPRO_BACKEND"),
+        help="execution backend for uncached cells (overrides --n-jobs), "
+        "e.g. 'process(n_jobs=4,start_method=spawn)'; one persistent worker "
+        "pool serves the whole suite (default: $REPRO_BACKEND or resolved "
+        "from --n-jobs)",
     )
     bench.add_argument(
         "--no-cache",
@@ -257,6 +268,7 @@ def _resolve_method_pipeline(args: argparse.Namespace):
         min_pts=args.min_pts,
         random_state=args.seed,
         n_jobs=args.n_jobs,
+        backend=args.backend,
         scoring_engine=args.scoring_engine,
         memory_budget_mb=args.memory_budget_mb,
     )
@@ -318,6 +330,7 @@ def _command_contrast(args: argparse.Namespace) -> int:
         random_state=args.seed,
         engine=args.engine,
         n_jobs=args.n_jobs,
+        backend=args.backend,
     )
     scored = searcher.search(dataset.data)[: args.top]
     print(f"dataset: {dataset.name}   dims: {dataset.n_dims}   objects: {dataset.n_objects}")
@@ -334,6 +347,7 @@ def _command_compare(args: argparse.Namespace) -> int:
         min_pts=args.min_pts,
         random_state=args.seed,
         n_jobs=args.n_jobs,
+        backend=args.backend,
         scoring_engine=args.scoring_engine,
         memory_budget_mb=args.memory_budget_mb,
     )
@@ -360,8 +374,6 @@ def _command_bench(args: argparse.Namespace) -> int:
                 f"{spec.title}"
             )
         return 0
-
-    import os
 
     names = args.only if args.only else None
     cache = (
@@ -393,6 +405,7 @@ def _command_bench(args: argparse.Namespace) -> int:
         profile=args.profile,
         cache=cache,
         n_jobs=args.n_jobs,
+        backend=args.backend,
         base_seed=args.seed,
         artifacts_dir=args.artifacts,
         progress=progress,
@@ -473,8 +486,6 @@ def main(argv: Optional[List[str]] = None) -> int:
     except BrokenPipeError:
         # Output piped into a pager/head that closed early — not an error.
         # Detach stdout so the interpreter's shutdown flush cannot re-raise.
-        import os
-
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
 

@@ -5,6 +5,14 @@ labels, attribute names and provenance metadata.  It also records, when known,
 the ground-truth subspaces in which outliers were planted — synthetic
 generators fill this in so that the evaluation harness can check whether a
 subspace search method recovered the relevant projections.
+
+Ingestion is *normalising*: at construction the data matrix becomes a
+C-contiguous ``float64`` array and the labels a ``int64`` vector regardless
+of the layout, dtype or container they arrived in.  Everything downstream
+relies on that canonical form — :meth:`Dataset.fingerprint` hashes raw bytes
+(two datasets with equal values must never fingerprint apart because one was
+Fortran-ordered or ``float32``), and the shared-memory plane of
+:mod:`repro.parallel` publishes the buffer as-is to worker processes.
 """
 
 from __future__ import annotations
@@ -50,6 +58,9 @@ class Dataset:
     metadata: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self):
+        # check_data_matrix canonicalises to a C-contiguous float64 matrix;
+        # check_labels to an int64 vector.  This is a contract, not a detail:
+        # fingerprints and the shared-memory plane hash/publish raw bytes.
         self.data = check_data_matrix(self.data, name="data")
         if self.labels is not None:
             self.labels = check_labels(self.labels, self.n_objects)

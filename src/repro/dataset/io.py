@@ -69,8 +69,10 @@ def load_csv(path: Union[str, Path], *, name: Optional[str] = None) -> Dataset:
     if n_attributes < 1:
         raise DataError(f"dataset file has no attribute columns: {path}")
 
-    data = np.empty((len(rows), n_attributes), dtype=float)
-    labels = np.zeros(len(rows), dtype=int) if has_labels else None
+    # Assembled directly in the canonical ingestion layout (C-contiguous
+    # float64 / int64) so the Dataset constructor never has to copy.
+    data = np.empty((len(rows), n_attributes), dtype=np.float64)
+    labels = np.zeros(len(rows), dtype=np.int64) if has_labels else None
     for i, row in enumerate(rows):
         if len(row) != len(header):
             raise DataError(

@@ -33,7 +33,7 @@ CACHE_SCHEMA_VERSION = 1
 
 #: PipelineConfig fields that cannot affect results (throughput knobs with
 #: bit-for-bit equivalence guarantees) and therefore stay out of the key.
-_THROUGHPUT_FIELDS = ("n_jobs", "scoring_engine", "memory_budget_mb")
+_THROUGHPUT_FIELDS = ("n_jobs", "backend", "scoring_engine", "memory_budget_mb")
 
 
 def canonical_json(payload: object) -> str:

@@ -11,10 +11,12 @@ how it was produced.  The execution pipeline:
    (task, dataset fingerprint, method, result-relevant config, seed,
    repetition, task params).
 4. **Serve or shard**: cells with a cached payload are served from the
-   artifact cache; the remainder is executed inline (``n_jobs=1``) or sharded
-   across a process pool, reusing the fork-based fan-out pattern of the
-   contrast engine.  Cell results are written back to the cache as they
-   arrive, so an interrupted run resumes instead of recomputing.
+   artifact cache; the remainder is executed inline (serial backend) or
+   sharded through an execution backend (:mod:`repro.parallel`) whose
+   persistent worker pool is shared across all cells — and, via
+   :func:`run_suite`, across all experiments of a suite.  Cell results are
+   written back to the cache after execution, so an interrupted run resumes
+   instead of recomputing.
 5. **Aggregate** rows in grid order and stamp the manifest (library version,
    platform, seed, cache hit/miss counts, wall time).
 
@@ -36,6 +38,13 @@ import numpy as np
 from .. import __version__
 from ..evaluation.reporting import format_series_table, series_from_rows
 from ..exceptions import ParameterError
+from ..parallel import (
+    ExecutionBackend,
+    WorkerContext,
+    check_backend_spec,
+    resolve_backend,
+    resolve_n_jobs,
+)
 from ..utils.timing import timed
 from .cache import ArtifactCache, cell_key
 from .profiles import DEFAULT_PROFILE
@@ -55,7 +64,13 @@ DEFAULT_ARTIFACTS_DIR = "artifacts"
 
 #: Manifest fields that legitimately differ between two otherwise identical
 #: runs; everything else in an artifact is reproducible byte for byte.
-MANIFEST_VOLATILE_FIELDS = ("elapsed_sec", "cache_hits", "cache_misses", "n_jobs")
+MANIFEST_VOLATILE_FIELDS = (
+    "elapsed_sec",
+    "cache_hits",
+    "cache_misses",
+    "n_jobs",
+    "backend",
+)
 
 __all__.append("MANIFEST_VOLATILE_FIELDS")
 
@@ -68,12 +83,6 @@ def environment_manifest() -> Dict[str, object]:
         "numpy": np.__version__,
         "platform": platform.platform(),
     }
-
-
-def _resolve_runner_jobs(n_jobs: int) -> int:
-    from ..subspaces.contrast import _resolve_n_jobs
-
-    return _resolve_n_jobs(n_jobs)
 
 
 class _DatasetPool:
@@ -98,37 +107,44 @@ class _DatasetPool:
         return self.dataset(cell).fingerprint()
 
 
-def _execute_cell_worker(payload: Dict[str, object]) -> Dict[str, object]:
-    """Process-pool entry point: rebuild the cell and run it."""
-    return run_cell(Cell.from_dict(payload))
+def _setup_cell_worker(payload, arrays) -> _DatasetPool:
+    """Worker-side state: a dataset pool local to the worker process.
+
+    A worker executing several cells of one run over the same dataset spec
+    builds the dataset once instead of once per cell.
+    """
+    return _DatasetPool()
+
+
+def _cell_worker(datasets: _DatasetPool, payload: Dict[str, object]) -> Dict[str, object]:
+    """Backend entry point: rebuild the cell and run it against pooled data."""
+    cell = Cell.from_dict(payload)
+    return run_cell(cell, datasets.dataset(cell))
 
 
 def _execute_pending(
-    pending: List[Tuple[int, Cell]], n_jobs: int, datasets: _DatasetPool
+    pending: List[Tuple[int, Cell]],
+    backend: Optional[ExecutionBackend],
+    datasets: _DatasetPool,
 ) -> Dict[int, Dict[str, object]]:
-    """Run the uncached cells, sharded across a process pool when asked."""
+    """Run the uncached cells, sharded through the execution backend."""
     results: Dict[int, Dict[str, object]] = {}
     if not pending:
         return results
-    if n_jobs > 1 and len(pending) > 1:
-        import concurrent.futures
-        import multiprocessing
-
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            context = multiprocessing.get_context()
-        payloads = [cell.to_dict() for _, cell in pending]
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(n_jobs, len(pending)), mp_context=context
-        ) as pool:
-            for (index, _), payload in zip(
-                pending, pool.map(_execute_cell_worker, payloads)
-            ):
-                results[index] = payload
-    else:
+    if backend is None or backend.kind == "serial" or len(pending) == 1:
         for index, cell in pending:
             results[index] = run_cell(cell, datasets.dataset(cell))
+        return results
+    # In-process backends (thread) share the parent's dataset pool; process
+    # workers build their own pool once and keep it across cells.
+    context = WorkerContext(
+        setup=_setup_cell_worker, payload=None, local_state=datasets
+    )
+    payloads = backend.map(
+        _cell_worker, [cell.to_dict() for _, cell in pending], context=context
+    )
+    for (index, _), payload in zip(pending, payloads):
+        results[index] = payload
     return results
 
 
@@ -138,6 +154,7 @@ def run_experiment(
     profile: str = DEFAULT_PROFILE,
     cache: Optional[ArtifactCache] = None,
     n_jobs: int = 1,
+    backend=None,
     base_seed: int = 0,
     artifacts_dir: Optional[str] = None,
 ) -> Dict[str, object]:
@@ -152,8 +169,17 @@ def run_experiment(
     cache:
         An :class:`ArtifactCache`; ``None`` disables caching entirely.
     n_jobs:
-        Worker processes for uncached cells (``-1`` = all cores).  Purely a
-        throughput knob — rows are independent of it.
+        Worker processes for uncached cells (``-1`` = all cores); sugar for
+        ``backend="process(n_jobs=N)"``.  Purely a throughput knob — rows
+        are independent of it.
+    backend:
+        Execution backend for uncached cells: ``None`` (resolve from
+        ``n_jobs``), a spec string such as ``"process(n_jobs=4,
+        start_method=spawn)"``, or an
+        :class:`~repro.parallel.ExecutionBackend` instance — pass one
+        instance to several runs (as :func:`run_suite` does) and they share
+        a single persistent worker pool.  Rows are bit-for-bit independent
+        of the backend.
     base_seed:
         Root seed; repetition ``r`` of every cell runs with ``base_seed + r``.
     artifacts_dir:
@@ -166,11 +192,16 @@ def run_experiment(
         else get_experiment(spec_or_name)
     )
     resolved = resolve_profile(spec, profile)
-    n_jobs = _resolve_runner_jobs(n_jobs)
+    n_jobs = resolve_n_jobs(n_jobs)
+    exec_backend, owns_backend = resolve_backend(
+        check_backend_spec(backend), n_jobs=n_jobs
+    )
     if resolved.timing_sensitive:
         # The measured runtimes ARE the result here; parallel siblings would
         # contend for cores and the distorted timings would be cached.
-        n_jobs = 1
+        if owns_backend:
+            exec_backend.close()
+        exec_backend, owns_backend, n_jobs = None, False, 1
     hits_before = cache.hits if cache is not None else 0
     misses_before = cache.misses if cache is not None else 0
 
@@ -193,7 +224,12 @@ def run_experiment(
                 payloads[index] = cached
             else:
                 pending.append((index, cell))
-        for index, payload in _execute_pending(pending, n_jobs, datasets).items():
+        try:
+            executed = _execute_pending(pending, exec_backend, datasets)
+        finally:
+            if owns_backend:
+                exec_backend.close()
+        for index, payload in executed.items():
             payloads[index] = payload
             if cache is not None:
                 cache.put(keys[index], payload)
@@ -215,6 +251,7 @@ def run_experiment(
         "cache_hits": (cache.hits - hits_before) if cache is not None else 0,
         "cache_misses": (cache.misses - misses_before) if cache is not None else 0,
         "n_jobs": n_jobs,
+        "backend": exec_backend.spec() if exec_backend is not None else "serial",
         "elapsed_sec": clock["elapsed"],
     }
     artifact: Dict[str, object] = {
@@ -257,12 +294,16 @@ def run_suite(
     profile: str = DEFAULT_PROFILE,
     cache: Optional[ArtifactCache] = None,
     n_jobs: int = 1,
+    backend=None,
     base_seed: int = 0,
     artifacts_dir: Optional[str] = None,
     progress=None,
 ) -> Dict[str, Dict[str, object]]:
     """Run several experiments (all registered ones by default) in name order.
 
+    The backend is resolved **once** for the whole suite, so a process
+    backend's worker pool persists across every experiment instead of being
+    rebuilt per figure (timing-sensitive experiments still execute serially).
     ``progress`` is an optional ``callable(name, artifact)`` invoked after
     each experiment (the CLI uses it for per-spec reporting).  Returns
     ``{name: artifact}``.
@@ -272,19 +313,27 @@ def run_suite(
     selected = list(names) if names is not None else list(available_experiments())
     # Fail fast on unknown names before any work happens.
     specs = [get_experiment(name) for name in selected]
+    exec_backend, owns_backend = resolve_backend(
+        check_backend_spec(backend), n_jobs=resolve_n_jobs(n_jobs)
+    )
     artifacts: Dict[str, Dict[str, object]] = {}
-    for spec in specs:
-        artifact = run_experiment(
-            spec,
-            profile=profile,
-            cache=cache,
-            n_jobs=n_jobs,
-            base_seed=base_seed,
-            artifacts_dir=artifacts_dir,
-        )
-        artifacts[spec.name] = artifact
-        if progress is not None:
-            progress(spec.name, artifact)
+    try:
+        for spec in specs:
+            artifact = run_experiment(
+                spec,
+                profile=profile,
+                cache=cache,
+                n_jobs=n_jobs,
+                backend=exec_backend,
+                base_seed=base_seed,
+                artifacts_dir=artifacts_dir,
+            )
+            artifacts[spec.name] = artifact
+            if progress is not None:
+                progress(spec.name, artifact)
+    finally:
+        if owns_backend:
+            exec_backend.close()
     return artifacts
 
 

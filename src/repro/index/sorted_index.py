@@ -28,16 +28,27 @@ class AttributeIndex:
         One-dimensional array of the attribute values of all objects.
     attribute:
         Attribute (column) number, kept for error messages and provenance.
+    order:
+        Optional precomputed sorting permutation (object indices in ascending
+        value order).  Worker processes rebuilding an index from a published
+        rank matrix pass it to skip the argsort; it must equal the stable
+        mergesort order this class would compute itself.
     """
 
-    def __init__(self, values: np.ndarray, attribute: int = 0):
+    def __init__(self, values: np.ndarray, attribute: int = 0, *, order: np.ndarray = None):
         values = np.asarray(values, dtype=float).ravel()
         if values.size == 0:
             raise ParameterError("cannot index an empty attribute")
         self.attribute = int(attribute)
         self._values = values
-        # mergesort => deterministic, stable ordering for tied values.
-        self._order = np.argsort(values, kind="mergesort")
+        if order is None:
+            # mergesort => deterministic, stable ordering for tied values.
+            order = np.argsort(values, kind="mergesort")
+        elif order.shape != values.shape:
+            raise ParameterError(
+                f"order has shape {order.shape}, expected {values.shape}"
+            )
+        self._order = order
         self._sorted_values = values[self._order]
 
     @property
@@ -135,6 +146,52 @@ class SortedDatabaseIndex:
         for attribute in range(self.n_dims):
             self.attribute_index(attribute)
         return self
+
+    @classmethod
+    def from_rank_matrix(
+        cls, data: np.ndarray, rank_matrix: np.ndarray
+    ) -> "SortedDatabaseIndex":
+        """Rebuild a fully-built index from its data and rank matrix.
+
+        The sorting permutations are recovered by inverting each rank column
+        in O(n) instead of re-running the O(n log n) argsorts, so a worker
+        process attaching to a shared-memory publication of ``data`` and
+        ``rank_matrix`` reconstructs the parent's index bit for bit without
+        sorting anything.  ``rank_matrix`` must be the matrix the parent's
+        :attr:`rank_matrix` produced for the same ``data``.
+        """
+        index = cls(data)
+        n, d = index._data.shape
+        rank_matrix = np.asarray(rank_matrix, dtype=np.intp)
+        if rank_matrix.shape != (n, d):
+            raise ParameterError(
+                f"rank_matrix has shape {rank_matrix.shape}, expected {(n, d)}"
+            )
+        if rank_matrix.size and (rank_matrix.min() < 0 or rank_matrix.max() >= n):
+            raise ParameterError(
+                f"rank_matrix entries must lie in [0, {n}); got range "
+                f"[{rank_matrix.min()}, {rank_matrix.max()}]"
+            )
+        positions = np.arange(n, dtype=np.intp)
+        for attribute in range(d):
+            # Scatter into a -1-filled array: a column that is not a
+            # permutation (duplicate ranks) leaves unwritten slots behind,
+            # which must fail loudly instead of indexing uninitialised memory.
+            order = np.full(n, -1, dtype=np.intp)
+            order[rank_matrix[:, attribute]] = positions
+            if order.min() < 0:
+                raise ParameterError(
+                    f"rank_matrix column {attribute} is not a permutation of "
+                    f"0..{n - 1}"
+                )
+            index._indices[attribute] = AttributeIndex(
+                index._data[:, attribute], attribute, order=order
+            )
+        matrix = rank_matrix if not rank_matrix.flags.writeable else rank_matrix.copy()
+        if matrix.flags.writeable:
+            matrix.setflags(write=False)
+        index._rank_matrix = matrix
+        return index
 
     @property
     def rank_matrix(self) -> np.ndarray:

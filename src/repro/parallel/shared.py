@@ -1,0 +1,156 @@
+"""Shared-memory array plane: publish big arrays to worker processes once.
+
+A :class:`SharedArrayPlane` copies a set of named ``float64``/integer arrays
+into POSIX shared memory (:mod:`multiprocessing.shared_memory`) exactly once.
+Worker processes then *attach* to the segments by name and map the bytes
+directly into their address space — no pickling, no per-task retransmission,
+and identical behaviour under every start method (``fork``, ``spawn``,
+``forkserver``), which is what makes ``n_jobs > 1`` work off Linux.
+
+Lifecycle
+---------
+The parent that creates a plane owns the segments and must eventually
+:meth:`unlink` them (a ``weakref.finalize`` guard unlinks on garbage
+collection so an abandoned plane cannot leak ``/dev/shm`` segments for the
+lifetime of the machine).  Workers attach read-only views via
+:func:`attach_arrays` and release them with :meth:`PlaneAttachment.close`
+once the owning worker state is evicted.  On POSIX, unlinking while workers
+are still attached is safe — the memory is freed on the last close.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["ArrayHandle", "PlaneAttachment", "SharedArrayPlane", "attach_arrays"]
+
+
+@dataclass(frozen=True)
+class ArrayHandle:
+    """Picklable descriptor of one published array: segment name + layout."""
+
+    name: str
+    segment: str
+    dtype: str
+    shape: Tuple[int, ...]
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape, dtype=np.int64)))
+
+
+def _unlink_segments(segments: List[shared_memory.SharedMemory]) -> None:
+    for segment in segments:
+        try:
+            segment.close()
+            segment.unlink()
+        except (FileNotFoundError, OSError):  # already unlinked / platform no-op
+            pass
+
+
+class SharedArrayPlane:
+    """Publishes named arrays into shared memory for zero-copy worker attach.
+
+    Parameters
+    ----------
+    arrays:
+        ``{name: ndarray}``.  Each array is copied into its own segment in
+        C-contiguous layout (one copy, paid once per plane — not per worker,
+        per level or per task).
+    """
+
+    def __init__(self, arrays: Dict[str, np.ndarray]):
+        self._segments: List[shared_memory.SharedMemory] = []
+        self.handles: Dict[str, ArrayHandle] = {}
+        try:
+            for name, array in arrays.items():
+                array = np.ascontiguousarray(array)
+                segment = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
+                view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+                view[...] = array
+                self._segments.append(segment)
+                self.handles[name] = ArrayHandle(
+                    name=name,
+                    segment=segment.name,
+                    dtype=str(array.dtype),
+                    shape=tuple(array.shape),
+                )
+        except BaseException:
+            _unlink_segments(self._segments)
+            raise
+        self._finalizer = weakref.finalize(self, _unlink_segments, self._segments)
+
+    @property
+    def nbytes(self) -> int:
+        """Total published payload size in bytes."""
+        return sum(handle.nbytes for handle in self.handles.values())
+
+    def unlink(self) -> None:
+        """Release the segments (idempotent); attached workers keep their maps."""
+        self._finalizer()
+
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
+
+    def __enter__(self) -> "SharedArrayPlane":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.unlink()
+
+
+class PlaneAttachment:
+    """A worker's view of a plane: read-only arrays plus the open segments."""
+
+    def __init__(self, arrays: Dict[str, np.ndarray], segments: List[shared_memory.SharedMemory]):
+        self.arrays = arrays
+        self._segments = segments
+
+    def close(self) -> None:
+        """Drop the array views and close the segment mappings (idempotent)."""
+        self.arrays = {}
+        segments, self._segments = self._segments, []
+        for segment in segments:
+            try:
+                segment.close()
+            except OSError:  # pragma: no cover - platform-specific teardown
+                pass
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    try:
+        # Python >= 3.13: opt out of resource tracking explicitly — the
+        # parent owns the segment and unlinks it.
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        # Pre-3.13 the attach itself registers the name with the resource
+        # tracker.  That duplicate registration is harmless: the tracker's
+        # cache is a set (the parent's create already added the name) and
+        # the parent's unlink removes it exactly once.  Workers must NOT
+        # unregister here — that would strip the parent's entry and make the
+        # parent's later unlink fail inside the tracker process.
+        return shared_memory.SharedMemory(name=name)
+
+
+def attach_arrays(handles: Dict[str, ArrayHandle]) -> PlaneAttachment:
+    """Map the published arrays of a plane into this process (read-only)."""
+    arrays: Dict[str, np.ndarray] = {}
+    segments: List[shared_memory.SharedMemory] = []
+    try:
+        for name, handle in handles.items():
+            segment = _attach_segment(handle.segment)
+            segments.append(segment)
+            view = np.ndarray(handle.shape, dtype=np.dtype(handle.dtype), buffer=segment.buf)
+            view.setflags(write=False)
+            arrays[name] = view
+    except BaseException:
+        for segment in segments:
+            segment.close()
+        raise
+    return PlaneAttachment(arrays, segments)

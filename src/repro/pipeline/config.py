@@ -70,9 +70,15 @@ class PipelineConfig:
     random_state:
         Seed forwarded to the stochastic methods.
     n_jobs:
-        Process fan-out for the contrast search (forwarded to every component
-        whose constructor accepts ``n_jobs``); ``-1`` uses all cores.  Purely
-        a throughput knob — results are independent of it.
+        Worker fan-out for the contrast search (forwarded to every component
+        whose constructor accepts ``n_jobs``); ``-1`` uses all cores.  Sugar
+        for ``backend="process(n_jobs=N)"``.  Purely a throughput knob —
+        results are independent of it.
+    backend:
+        Execution-backend spec string (``"serial"``, ``"thread"``,
+        ``"process(n_jobs=4, start_method=spawn)"``), forwarded to every
+        component whose constructor accepts ``backend``; ``None`` resolves
+        from ``n_jobs``.  Like ``n_jobs``, purely a throughput knob.
     scoring_engine:
         Scoring engine of the ranking step: ``"shared"`` (default) shares one
         distance pass across all fitted subspaces, ``"per-subspace"`` is the
@@ -91,6 +97,7 @@ class PipelineConfig:
     hics_cutoff: int = 400
     random_state: Optional[int] = 0
     n_jobs: int = 1
+    backend: Optional[str] = None
     scoring_engine: str = "shared"
     memory_budget_mb: float = 256.0
     extra: Dict[str, object] = field(default_factory=dict)
@@ -146,6 +153,7 @@ def _method_spec(key: str, config: PipelineConfig) -> PipelineSpec:
         "max_output_subspaces": config.max_subspaces,
         "random_state": config.random_state,
         "n_jobs": config.n_jobs,
+        "backend": config.backend,
     }
     searchers = {
         "lof": ComponentSpec("fullspace"),
@@ -178,16 +186,17 @@ def _method_spec(key: str, config: PipelineConfig) -> PipelineSpec:
 def _inject_config_defaults(spec: PipelineSpec, config: PipelineConfig) -> PipelineSpec:
     """Apply the shared config parameters to spec components that accept them.
 
-    ``min_pts``, ``random_state`` and ``n_jobs`` are the config knobs the CLI
-    exposes (``--min-pts`` / ``--seed`` / ``--n-jobs``); they are injected into
-    every component whose constructor accepts them, unless the spec already
-    pins the parameter.  A spec without a scorer gets LOF with the config's
-    ``min_pts``.
+    ``min_pts``, ``random_state``, ``n_jobs`` and ``backend`` are the config
+    knobs the CLI exposes (``--min-pts`` / ``--seed`` / ``--n-jobs`` /
+    ``--backend``); they are injected into every component whose constructor
+    accepts them, unless the spec already pins the parameter.  A spec without
+    a scorer gets LOF with the config's ``min_pts``.
     """
     shared = {
         "min_pts": config.min_pts,
         "random_state": config.random_state,
         "n_jobs": config.n_jobs,
+        "backend": config.backend,
     }
 
     def merged(component: ComponentSpec, cls: type) -> ComponentSpec:
@@ -257,4 +266,5 @@ def make_method_pipeline(
         max_subspaces=config.max_subspaces,
         engine=config.scoring_engine,
         memory_budget_mb=config.memory_budget_mb,
+        backend=config.backend,
     )

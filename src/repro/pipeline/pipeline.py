@@ -29,6 +29,7 @@ import numpy as np
 from ..dataset.dataset import Dataset
 from ..exceptions import DataError, NotFittedError, ParameterError, SubspaceError
 from ..neighbors.engine import normalise_engine_mode
+from ..parallel import ExecutionBackend, check_backend_spec
 from ..outliers.aggregation import aggregate_scores
 from ..outliers.base import DEFAULT_MEMORY_BUDGET_MB, OutlierScorer
 from ..outliers.lof import LOFScorer
@@ -73,6 +74,15 @@ class SubspaceOutlierPipeline:
         Cache budget of the shared engine in MiB (per-dimension blocks,
         prefix partial sums and neighbour lists); ignored by
         ``"per-subspace"``.
+    backend:
+        Execution-backend spec (see :mod:`repro.parallel`), e.g.
+        ``"process(n_jobs=4)"``.  ``None`` (default) leaves each component's
+        own ``backend``/``n_jobs`` settings untouched; a value overrides the
+        searcher's backend at :meth:`fit` time and configures the ranker's
+        per-subspace reference engine.  Purely a throughput knob — scores
+        are bit-for-bit independent of it — and persisted with
+        :meth:`to_dict`/:meth:`save` so a saved pipeline reloads with the
+        same execution configuration.
 
     Examples
     --------
@@ -101,6 +111,7 @@ class SubspaceOutlierPipeline:
         max_subspaces: int = 100,
         engine: str = "shared",
         memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB,
+        backend: Optional[str] = None,
     ):
         self.searcher = searcher if searcher is not None else HiCS()
         if not isinstance(self.searcher, SubspaceSearcher):
@@ -112,12 +123,14 @@ class SubspaceOutlierPipeline:
             raise ParameterError(
                 f"memory_budget_mb must be positive, got {memory_budget_mb}"
             )
+        self.backend = check_backend_spec(backend)
         self.ranker = SubspaceOutlierRanker(
             self.scorer,
             aggregation=aggregation,
             max_subspaces=max_subspaces,
             engine=self.engine,
             memory_budget_mb=self.memory_budget_mb,
+            backend=self.backend,
         )
         # Populated by fit() / fit_rank().
         self.scored_subspaces_: List[ScoredSubspace] = []
@@ -168,6 +181,19 @@ class SubspaceOutlierPipeline:
         :attr:`fallback_full_space_` is set.  Returns ``self``.
         """
         matrix = self._as_matrix(data, min_objects=2)
+        if self.backend is not None and hasattr(self.searcher, "backend"):
+            # The pipeline-level backend wins over the searcher's own setting
+            # — same precedence the CLI applies to the scoring engine knobs.
+            backend = self.backend
+            if isinstance(backend, ExecutionBackend):
+                # Hand the searcher the canonical spec, not the live object:
+                # a pool instance stored as a component parameter would make
+                # the fitted searcher unserialisable (to_dict/save JSON-encode
+                # component params).  The searcher builds and owns an
+                # equivalent backend; callers who want to share one pool
+                # across fits pass the instance to the searcher directly.
+                backend = backend.spec()
+            self.searcher.backend = backend
         stopwatch = Stopwatch()
         with stopwatch.measure("subspace_search"):
             found = self.searcher.fit(matrix).scored_subspaces_
@@ -304,6 +330,11 @@ class SubspaceOutlierPipeline:
                 "pipelines with a callable aggregation cannot be serialised; "
                 "register the aggregation under a name first"
             )
+        backend = self.backend
+        if isinstance(backend, ExecutionBackend):
+            # A live backend instance is persisted as its canonical spec
+            # string; the reloading host builds (and owns) a fresh pool.
+            backend = backend.spec()
         return {
             "format": "repro-pipeline",
             "searcher": component_to_dict(self.searcher, "searcher"),
@@ -312,6 +343,7 @@ class SubspaceOutlierPipeline:
             "max_subspaces": self.ranker.max_subspaces,
             "engine": self.engine,
             "memory_budget_mb": self.memory_budget_mb,
+            "backend": backend,
         }
 
     @classmethod
@@ -351,9 +383,12 @@ class SubspaceOutlierPipeline:
             max_subspaces=max_subspaces,
             # Pre-engine payloads (format_version 1 files written before the
             # shared-neighborhood refactor) default to the shared engine —
-            # scores are identical either way.
+            # scores are identical either way.  Likewise, payloads written
+            # before the execution-backend subsystem default to backend=None
+            # (serial), the historical behaviour.
             engine=payload.get("engine", "shared"),
             memory_budget_mb=memory_budget_mb,
+            backend=payload.get("backend"),
         )
 
     def save(self, path: str) -> None:

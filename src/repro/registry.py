@@ -311,6 +311,19 @@ def _literal(node: ast.expr, text: str) -> object:
             if lowered in _BARE_CONSTANTS:
                 return _BARE_CONSTANTS[lowered]
             return node.id
+        # Allow one level of call syntax as a string value, so execution
+        # backends read naturally: hics(backend=process(n_jobs=4)).  The
+        # value is re-parsed by the backend registry, which reports precise
+        # errors for unknown names or parameters.
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and not node.args
+        ):
+            try:
+                return ast.unparse(node)
+            except Exception:  # pragma: no cover - unparse cannot fail here
+                pass
         raise ParameterError(f"unsupported parameter value in spec {text!r}")
 
 
@@ -445,6 +458,7 @@ def make_pipeline_from_spec(
     max_subspaces: int = 100,
     engine: Optional[str] = None,
     memory_budget_mb: Optional[float] = None,
+    backend: Optional[str] = None,
 ):
     """Build a ready pipeline from a spec string (or parsed spec).
 
@@ -495,6 +509,7 @@ def make_pipeline_from_spec(
         memory_budget_mb=(
             memory_budget_mb if memory_budget_mb is not None else DEFAULT_MEMORY_BUDGET_MB
         ),
+        backend=backend,
     )
 
 

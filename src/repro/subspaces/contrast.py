@@ -36,20 +36,31 @@ The randomness of each subspace evaluation is derived from the estimator seed
 *and* the subspace's attributes, so a subspace's contrast does not depend on
 evaluation order.  That property makes results cacheable
 (:class:`ContrastCache`) and lets :meth:`ContrastEstimator.contrast_many` fan
-candidate levels out across worker processes (``n_jobs``) without changing a
-single bit of the output.
+candidate levels out across an execution backend (:mod:`repro.parallel`)
+without changing a single bit of the output.  Process backends keep one
+persistent worker pool across all apriori levels of a fit and publish the
+data matrix plus the rank matrix through a shared-memory plane, so workers
+attach zero-copy under any start method instead of receiving a pickled copy
+per level.
 """
 
 from __future__ import annotations
 
-import os
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..dataset.fingerprint import array_fingerprint
 from ..exceptions import ParameterError, SubspaceError
 from ..index import SliceBatch, SliceSampler, SortedDatabaseIndex
+from ..parallel import (
+    ExecutionBackend,
+    WorkerContext,
+    check_backend_spec,
+    resolve_backend,
+    resolve_n_jobs,
+)
 from ..stats.descriptive import sample_moments, sample_moments_batch
 from ..stats.deviation import (
     DeviationFunction,
@@ -79,6 +90,10 @@ class ContrastCache:
     estimators — :class:`~repro.subspaces.hics.HiCS` keeps one across repeated
     ``fit`` calls so parameter sweeps never recompute an already-scored level.
 
+    The cache is thread-safe: the thread execution backend evaluates
+    subspaces concurrently against one shared estimator, so ``get``/``put``
+    (including the eviction loop) serialise on an internal lock.
+
     Parameters
     ----------
     max_entries:
@@ -91,6 +106,7 @@ class ContrastCache:
             max_entries = check_positive_int(max_entries, name="max_entries")
         self.max_entries = max_entries
         self._entries: Dict[tuple, ContrastResult] = {}
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
@@ -98,39 +114,30 @@ class ContrastCache:
         return len(self._entries)
 
     def get(self, key: tuple) -> Optional[ContrastResult]:
-        result = self._entries.get(key)
-        if result is None:
-            self.misses += 1
-        else:
-            self.hits += 1
-        return result
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return result
 
     def put(self, key: tuple, result: ContrastResult) -> None:
-        if self.max_entries is not None and key not in self._entries:
-            while len(self._entries) >= self.max_entries:
-                self._entries.pop(next(iter(self._entries)))
-        self._entries[key] = result
+        with self._lock:
+            if self.max_entries is not None and key not in self._entries:
+                while len(self._entries) >= self.max_entries:
+                    self._entries.pop(next(iter(self._entries)))
+            self._entries[key] = result
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     def stats(self) -> Dict[str, int]:
         """Hit/miss counters and current size, for diagnostics and tests."""
         return {"hits": self.hits, "misses": self.misses, "size": len(self._entries)}
-
-
-def _resolve_n_jobs(n_jobs: int) -> int:
-    """Normalise an ``n_jobs`` parameter (-1 meaning "all cores")."""
-    if not isinstance(n_jobs, (int, np.integer)) or isinstance(n_jobs, bool):
-        raise ParameterError(f"n_jobs must be an integer, got {type(n_jobs).__name__}")
-    n_jobs = int(n_jobs)
-    if n_jobs == -1:
-        return max(1, os.cpu_count() or 1)
-    if n_jobs < 1:
-        raise ParameterError(f"n_jobs must be >= 1 or -1 (all cores), got {n_jobs}")
-    return n_jobs
 
 
 class ContrastEstimator:
@@ -166,8 +173,19 @@ class ContrastEstimator:
         ``"batch"`` (vectorised, default) or ``"scalar"`` (per-iteration
         reference).  Both produce bit-for-bit identical contrasts.
     n_jobs:
-        Default process fan-out for :meth:`contrast_many`; ``-1`` uses all
-        cores, 1 (default) stays sequential.
+        Default worker fan-out for :meth:`contrast_many`; ``-1`` uses all
+        cores, 1 (default) stays sequential.  Sugar for
+        ``backend="process(n_jobs=N)"``.
+    backend:
+        Execution backend for :meth:`contrast_many`: ``None`` (resolve from
+        ``n_jobs``), a spec string (``"serial"``, ``"thread"``,
+        ``"process(n_jobs=4, start_method=spawn)"``) or an
+        :class:`~repro.parallel.ExecutionBackend` instance (whose pool the
+        caller owns).  Purely a throughput knob — contrasts are bit-for-bit
+        identical under every backend.  Backends constructed by the
+        estimator keep one persistent pool across all :meth:`contrast_many`
+        calls; release it with :meth:`close` (or use the estimator as a
+        context manager).
     cache:
         ``True`` (default) attaches a fresh :class:`ContrastCache`; pass an
         existing cache to share results between estimators, or ``False`` /
@@ -186,6 +204,7 @@ class ContrastEstimator:
         random_state=None,
         engine: str = "batch",
         n_jobs: int = 1,
+        backend: Union[None, str, ExecutionBackend] = None,
         cache: Union[bool, ContrastCache, None] = True,
     ):
         self.n_iterations = check_positive_int(n_iterations, name="n_iterations")
@@ -210,9 +229,21 @@ class ContrastEstimator:
         if engine not in _ENGINES:
             raise ParameterError(f"engine must be one of {_ENGINES}, got {engine!r}")
         self.engine = engine
-        self.n_jobs = _resolve_n_jobs(n_jobs)
+        self.n_jobs = resolve_n_jobs(n_jobs)
+        self.backend = check_backend_spec(backend)
+        # Lazily resolved execution state, persistent across contrast_many
+        # calls: (spec key, backend, owned) plus the worker context that
+        # publishes the shared-memory plane.
+        self._exec_backend: Optional[Tuple[tuple, ExecutionBackend, bool]] = None
+        self._worker_context: Optional[WorkerContext] = None
         self._entropy = self._derive_entropy(random_state)
-        self.index = SortedDatabaseIndex(data).build_all()
+        # An internal fast path lets worker processes hand over a prebuilt
+        # index (rebuilt zero-copy from the shared-memory plane) instead of
+        # re-validating and re-sorting the data.
+        if isinstance(data, SortedDatabaseIndex):
+            self.index = data
+        else:
+            self.index = SortedDatabaseIndex(data).build_all()
         self._sampler = SliceSampler(self.index, alpha=self.alpha)
         if cache is True:
             self.cache: Optional[ContrastCache] = ContrastCache()
@@ -475,19 +506,24 @@ class ContrastEstimator:
         subspaces: Iterable[Subspace],
         *,
         n_jobs: Optional[int] = None,
+        backend: Union[None, str, ExecutionBackend] = None,
     ) -> Dict[Subspace, float]:
         """Contrast of several subspaces; returns ``{subspace: contrast}``.
 
-        With ``n_jobs > 1`` the evaluations are fanned out over worker
-        processes (cache hits are served locally first).  Because every
-        subspace's randomness derives from the estimator seed and the
-        subspace itself, the parallel results are bit-for-bit identical to
-        the sequential ones — the fan-out is purely a throughput knob.
+        Under a parallel backend the evaluations are fanned out over a
+        persistent worker pool (cache hits are served locally first); the
+        pool and the shared-memory publication of the data survive across
+        calls, so scoring one apriori level after another never rebuilds
+        either.  Because every subspace's randomness derives from the
+        estimator seed and the subspace itself, the parallel results are
+        bit-for-bit identical to the sequential ones — the fan-out is purely
+        a throughput knob.  ``backend`` / ``n_jobs`` override the
+        estimator-level defaults for this call.
         """
         subspace_list = list(subspaces)
-        n_jobs = self.n_jobs if n_jobs is None else _resolve_n_jobs(n_jobs)
-        if n_jobs > 1 and len(subspace_list) >= 2:
-            return self._contrast_many_parallel(subspace_list, n_jobs)
+        exec_backend = self._resolve_exec_backend(backend, n_jobs)
+        if exec_backend is not None and len(subspace_list) >= 2:
+            return self._contrast_many_backend(subspace_list, exec_backend)
         if (
             self.engine == "batch"
             and self.deviation is welch_deviation
@@ -573,8 +609,68 @@ class ContrastEstimator:
                 results[subspace] = result.contrast
         return {s: results[s] for s in subspace_list}
 
-    def _contrast_many_parallel(
-        self, subspace_list: List[Subspace], n_jobs: int
+    # --------------------------------------------------------- backend fan-out
+
+    def _resolve_exec_backend(
+        self,
+        backend: Union[None, str, ExecutionBackend],
+        n_jobs: Optional[int],
+    ) -> Optional[ExecutionBackend]:
+        """Resolve the effective backend for one call; ``None`` means serial.
+
+        Resolved backends are cached on the estimator so every level of a
+        fit reuses one pool; a changed spec closes the previously owned
+        backend first.
+        """
+        n_jobs = self.n_jobs if n_jobs is None else resolve_n_jobs(n_jobs)
+        spec = self.backend if backend is None else check_backend_spec(backend)
+        key = (spec if spec is None or isinstance(spec, str) else id(spec), n_jobs)
+        if self._exec_backend is not None and self._exec_backend[0] == key:
+            resolved = self._exec_backend[1]
+        else:
+            if self._exec_backend is not None and self._exec_backend[2]:
+                self._exec_backend[1].close()
+            resolved, owned = resolve_backend(spec, n_jobs=n_jobs)
+            self._exec_backend = (key, resolved, owned)
+        return None if resolved.kind == "serial" else resolved
+
+    def _ensure_worker_context(self) -> WorkerContext:
+        """The persistent worker context: parameters + shared-memory plane.
+
+        Created once per estimator; process workers attach the data matrix
+        and the rank matrix zero-copy and rebuild the sorted index without
+        sorting (:meth:`SortedDatabaseIndex.from_rank_matrix`), in-process
+        backends reuse this estimator directly.
+        """
+        if self._worker_context is None:
+            # Touch the lazy rank matrix before any fan-out: the plane
+            # publishes it, and thread workers must not race its build.
+            rank_matrix = self.index.rank_matrix
+            params = {
+                "n_iterations": self.n_iterations,
+                "alpha": self.alpha,
+                # A registered name is rebuilt by the worker's registry; a
+                # bare callable is shipped as-is (it must then be picklable,
+                # i.e. a module-level function — lambdas fail with a clear
+                # pickle error).
+                "deviation": self._deviation_spec
+                if self._deviation_spec is not None
+                else self.deviation,
+                "min_conditional_size": self.min_conditional_size,
+                "max_retries": self.max_retries,
+                "engine": self.engine,
+                "entropy": self._entropy,
+            }
+            self._worker_context = WorkerContext(
+                setup=_setup_contrast_worker,
+                payload=params,
+                arrays={"data": self.index.data, "rank_matrix": rank_matrix},
+                local_state=self,
+            )
+        return self._worker_context
+
+    def _contrast_many_backend(
+        self, subspace_list: List[Subspace], backend: ExecutionBackend
     ) -> Dict[Subspace, float]:
         results: Dict[Subspace, float] = {}
         pending: List[Subspace] = []
@@ -596,81 +692,88 @@ class ContrastEstimator:
         if not pending:
             return {s: results[s] for s in subspace_list}
 
-        import concurrent.futures
-        import multiprocessing
-
-        params = {
-            "n_iterations": self.n_iterations,
-            "alpha": self.alpha,
-            # A registered name is rebuilt by the worker's registry; a bare
-            # callable is shipped as-is (it must then be picklable, i.e. a
-            # module-level function — lambdas fail with a clear pickle error).
-            "deviation": self._deviation_spec
-            if self._deviation_spec is not None
-            else self.deviation,
-            "min_conditional_size": self.min_conditional_size,
-            "max_retries": self.max_retries,
-            "engine": self.engine,
-            "entropy": self._entropy,
-        }
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            context = multiprocessing.get_context()
-        attr_lists = [s.attributes for s in pending]
-        chunksize = max(1, len(attr_lists) // (4 * n_jobs))
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(n_jobs, len(attr_lists)),
-            mp_context=context,
-            initializer=_init_contrast_worker,
-            initargs=(self.index.data, params),
-        ) as pool:
-            for attrs, payload in zip(
-                attr_lists,
-                pool.map(_evaluate_contrast_worker, attr_lists, chunksize=chunksize),
-            ):
-                subspace = Subspace(attrs)
-                result = ContrastResult(
-                    subspace=subspace,
-                    contrast=payload[0],
-                    deviations=payload[1],
-                    n_iterations=self.n_iterations,
-                    n_degenerate=payload[2],
-                )
-                if self.cache is not None:
-                    self.cache.put(self._cache_key(subspace), result)
-                results[subspace] = result.contrast
+        # Per-subspace slice sampling costs one rank-block comparison per
+        # attribute, so the chunk heuristic scales with the (mean) level
+        # dimensionality: higher levels get smaller chunks.
+        cost_hint = max(
+            1.0, float(np.mean([s.dimensionality for s in pending])) - 1.0
+        )
+        payloads = backend.map(
+            _contrast_worker,
+            [s.attributes for s in pending],
+            context=self._ensure_worker_context(),
+            cost_hint=cost_hint,
+        )
+        for subspace, payload in zip(pending, payloads):
+            result = ContrastResult(
+                subspace=subspace,
+                contrast=payload[0],
+                deviations=tuple(payload[1]),
+                n_iterations=self.n_iterations,
+                n_degenerate=payload[2],
+            )
+            if self.cache is not None:
+                self.cache.put(self._cache_key(subspace), result)
+            results[subspace] = result.contrast
         return {s: results[s] for s in subspace_list}
+
+    def close(self) -> None:
+        """Release the persistent worker pool and the shared-memory plane.
+
+        Idempotent; only backends the estimator constructed itself are shut
+        down — an :class:`~repro.parallel.ExecutionBackend` instance passed
+        in by the caller keeps its pool (ownership stays outside).  A
+        ``weakref`` guard on the plane prevents shared-memory leaks even when
+        ``close`` is never called, but calling it (or using the estimator as
+        a context manager) releases workers deterministically.
+        """
+        if self._worker_context is not None:
+            self._worker_context.close()
+            self._worker_context = None
+        if self._exec_backend is not None:
+            _, resolved, owned = self._exec_backend
+            if owned:
+                resolved.close()
+            self._exec_backend = None
+
+    def __enter__(self) -> "ContrastEstimator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 # ----------------------------------------------------------------- worker API
 
-_WORKER_ESTIMATOR: Optional[ContrastEstimator] = None
 
+def _setup_contrast_worker(payload: Dict[str, object], arrays: Dict[str, np.ndarray]):
+    """Build one estimator per worker process from the shared-memory plane.
 
-def _init_contrast_worker(data: np.ndarray, params: Dict[str, object]) -> None:
-    """Build one estimator per worker process (data is shipped exactly once)."""
-    global _WORKER_ESTIMATOR
-    entropy = params["entropy"]
+    The data matrix and the rank matrix arrive as zero-copy shared-memory
+    views; the sorted index is reconstructed by inverting the rank columns,
+    so a worker never pickles, copies or re-sorts the database regardless of
+    the pool's start method.
+    """
+    index = SortedDatabaseIndex.from_rank_matrix(arrays["data"], arrays["rank_matrix"])
     estimator = ContrastEstimator(
-        data,
-        n_iterations=params["n_iterations"],
-        alpha=params["alpha"],
-        deviation=params["deviation"],
-        min_conditional_size=params["min_conditional_size"],
-        max_retries=params["max_retries"],
-        engine=params["engine"],
+        index,
+        n_iterations=payload["n_iterations"],
+        alpha=payload["alpha"],
+        deviation=payload["deviation"],
+        min_conditional_size=payload["min_conditional_size"],
+        max_retries=payload["max_retries"],
+        engine=payload["engine"],
         n_jobs=1,
         cache=False,
         random_state=0,
     )
-    estimator._entropy = int(entropy)
-    _WORKER_ESTIMATOR = estimator
+    estimator._entropy = int(payload["entropy"])
+    return estimator
 
 
-def _evaluate_contrast_worker(
-    attributes: Sequence[int],
+def _contrast_worker(
+    estimator: ContrastEstimator, attributes: Tuple[int, ...]
 ) -> Tuple[float, Tuple[float, ...], int]:
-    """Evaluate one subspace in a worker; returns a picklable payload."""
-    result = _WORKER_ESTIMATOR.contrast_detailed(Subspace(attributes))
+    """Evaluate one subspace against the worker state; picklable payload."""
+    result = estimator.contrast_detailed(Subspace(attributes))
     return result.contrast, result.deviations, result.n_degenerate

@@ -21,12 +21,13 @@ from typing import Dict, List, Optional, Union
 import numpy as np
 
 from ..exceptions import ParameterError
+from ..parallel import check_backend_spec, resolve_n_jobs
 from ..stats.deviation import DeviationFunction
 from ..types import ScoredSubspace, Subspace
 from ..utils.validation import check_data_matrix, check_positive_int
 from .apriori import all_two_dimensional_subspaces, apply_cutoff, generate_candidates
 from .base import SubspaceSearcher
-from .contrast import ContrastCache, ContrastEstimator, _resolve_n_jobs
+from .contrast import ContrastCache, ContrastEstimator
 from .pruning import prune_redundant_subspaces
 
 __all__ = ["HiCS"]
@@ -70,9 +71,19 @@ class HiCS(SubspaceSearcher):
         identical under a shared seed; the scalar path exists as the
         reference implementation and for the perf-regression harness.
     n_jobs:
-        Process fan-out for scoring each candidate level
+        Worker fan-out for scoring each candidate level
         (:meth:`ContrastEstimator.contrast_many`); ``-1`` uses all cores.
-        Results are independent of ``n_jobs``.
+        Sugar for ``backend="process(n_jobs=N)"``.  Results are independent
+        of ``n_jobs``.
+    backend:
+        Execution backend for the candidate-level fan-out: ``None`` (resolve
+        from ``n_jobs``), a spec string such as ``"thread"`` or
+        ``"process(n_jobs=4, start_method=spawn)"``, or an
+        :class:`~repro.parallel.ExecutionBackend` instance.  One persistent
+        worker pool serves **all** apriori levels of a :meth:`search`; the
+        data and rank matrix are published to process workers once through a
+        shared-memory plane.  Results are bit-for-bit independent of the
+        backend.
     cache:
         Keep a :class:`~repro.subspaces.contrast.ContrastCache` across
         :meth:`search` calls (default True) so repeated fits on the same data
@@ -107,6 +118,7 @@ class HiCS(SubspaceSearcher):
         random_state=None,
         engine: str = "batch",
         n_jobs: int = 1,
+        backend=None,
         cache: bool = True,
     ):
         self.n_iterations = check_positive_int(n_iterations, name="n_iterations")
@@ -130,8 +142,9 @@ class HiCS(SubspaceSearcher):
                 f"engine must be 'batch' or 'scalar', got {engine!r}"
             )
         self.engine = engine
-        _resolve_n_jobs(n_jobs)  # fail fast; stored unresolved for persistence
+        resolve_n_jobs(n_jobs)  # fail fast; stored unresolved for persistence
         self.n_jobs = n_jobs
+        self.backend = check_backend_spec(backend)  # stored unresolved, too
         self.cache = bool(cache)
         self._shared_cache: Optional[ContrastCache] = (
             ContrastCache(max_entries=_CACHE_MAX_ENTRIES) if self.cache else None
@@ -160,6 +173,7 @@ class HiCS(SubspaceSearcher):
             random_state=self.random_state,
             engine=self.engine,
             n_jobs=self.n_jobs,
+            backend=self.backend,
             cache=self._shared_cache if self.cache else False,
         )
         self.evaluated_subspaces_ = {}
@@ -167,23 +181,29 @@ class HiCS(SubspaceSearcher):
 
         candidates = all_two_dimensional_subspaces(data.shape[1])
         all_scored: List[ScoredSubspace] = []
-        while candidates:
-            # One batched call scores the entire candidate level (and fans it
-            # out across processes when n_jobs > 1).
-            level_scores = estimator.contrast_many(candidates)
-            scored_level = [
-                ScoredSubspace(subspace=s, score=level_scores[s]) for s in candidates
-            ]
-            for item in scored_level:
-                self.evaluated_subspaces_[item.subspace] = item.score
-            survivors = apply_cutoff(scored_level, self.candidate_cutoff)
-            self.levels_.append(survivors)
-            all_scored.extend(survivors)
+        try:
+            while candidates:
+                # One batched call scores the entire candidate level; under a
+                # parallel backend every level reuses the same persistent
+                # worker pool and shared-memory data plane.
+                level_scores = estimator.contrast_many(candidates)
+                scored_level = [
+                    ScoredSubspace(subspace=s, score=level_scores[s]) for s in candidates
+                ]
+                for item in scored_level:
+                    self.evaluated_subspaces_[item.subspace] = item.score
+                survivors = apply_cutoff(scored_level, self.candidate_cutoff)
+                self.levels_.append(survivors)
+                all_scored.extend(survivors)
 
-            level_dim = survivors[0].dimensionality if survivors else 0
-            if self.max_dimensionality is not None and level_dim >= self.max_dimensionality:
-                break
-            candidates = generate_candidates([s.subspace for s in survivors])
+                level_dim = survivors[0].dimensionality if survivors else 0
+                if self.max_dimensionality is not None and level_dim >= self.max_dimensionality:
+                    break
+                candidates = generate_candidates([s.subspace for s in survivors])
+        finally:
+            # Release the fit-scoped pool and shared-memory plane; a backend
+            # *instance* supplied by the caller keeps its pool alive.
+            estimator.close()
 
         if self.prune_redundant:
             final = prune_redundant_subspaces(all_scored)

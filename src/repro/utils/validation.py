@@ -47,9 +47,13 @@ def check_data_matrix(
     Returns
     -------
     numpy.ndarray
-        A C-contiguous ``float64`` copy-or-view of the input.
+        A C-contiguous ``float64`` copy-or-view of the input.  The layout is
+        part of the library's data contract: content fingerprints hash the
+        raw bytes and the shared-memory plane publishes the buffer directly,
+        so Fortran-ordered or non-float64 inputs are normalised here, once,
+        instead of producing layout-dependent copies downstream.
     """
-    arr = np.asarray(data, dtype=float)
+    arr = np.asarray(data, dtype=np.float64)
     if arr.ndim == 1:
         arr = arr.reshape(-1, 1)
     if arr.ndim != 2:
@@ -80,7 +84,10 @@ def check_labels(labels: np.ndarray, n_objects: Optional[int] = None, *, name: s
     unique = np.unique(arr)
     if not np.all(np.isin(unique, (0, 1, False, True))):
         raise DataError(f"{name} must be binary (0/1), got values {unique[:10]}")
-    return arr.astype(int)
+    # Fixed-width dtype (not platform `int`, which is 32-bit on Windows):
+    # Dataset.fingerprint hashes dtype and bytes, so labels must canonicalise
+    # identically on every platform.
+    return np.ascontiguousarray(arr, dtype=np.int64)
 
 
 def check_component_name(name: object, *, kind: str = "component") -> str:

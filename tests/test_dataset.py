@@ -86,6 +86,50 @@ class TestDataset:
             Dataset(data=np.array([[1.0, np.nan]]))
 
 
+class TestCanonicalIngestion:
+    """Construction normalises to C-contiguous float64 data and int64 labels.
+
+    The content fingerprint hashes dtype + raw bytes and the shared-memory
+    plane of :mod:`repro.parallel` publishes the buffer directly, so two
+    datasets with equal values must canonicalise to identical bytes no matter
+    the memory layout or dtype they were constructed from.
+    """
+
+    def test_data_is_c_contiguous_float64(self):
+        fortran = np.asfortranarray(np.arange(12, dtype=np.float32).reshape(4, 3))
+        dataset = Dataset(data=fortran)
+        assert dataset.data.dtype == np.float64
+        assert dataset.data.flags["C_CONTIGUOUS"]
+
+    def test_fingerprint_is_layout_independent(self):
+        values = np.arange(24, dtype=np.float64).reshape(6, 4)
+        labels = [0, 1, 0, 0, 1, 0]
+        c_order = Dataset(data=values.copy(order="C"), labels=np.array(labels))
+        f_order = Dataset(
+            data=np.asfortranarray(values), labels=np.array(labels, dtype=np.int32)
+        )
+        as_float32 = Dataset(data=values.astype(np.float32), labels=labels)
+        assert c_order.fingerprint() == f_order.fingerprint()
+        assert c_order.fingerprint() == as_float32.fingerprint()
+
+    def test_labels_are_int64(self):
+        dataset = Dataset(
+            data=np.ones((4, 2)), labels=np.array([0, 1, 0, 1], dtype=np.int8)
+        )
+        assert dataset.labels.dtype == np.int64
+
+    def test_csv_loads_in_canonical_layout(self, tmp_path):
+        dataset = Dataset(
+            data=np.arange(6, dtype=np.float64).reshape(3, 2),
+            labels=np.array([0, 1, 0]),
+        )
+        loaded = load_csv(save_csv(dataset, tmp_path / "canon.csv"))
+        assert loaded.data.dtype == np.float64
+        assert loaded.data.flags["C_CONTIGUOUS"]
+        assert loaded.labels.dtype == np.int64
+        assert loaded.fingerprint() == dataset.fingerprint()
+
+
 class TestCSVRoundTrip:
     def test_roundtrip_with_labels(self, tmp_path, small_synthetic):
         path = save_csv(small_synthetic, tmp_path / "data.csv")

@@ -88,6 +88,34 @@ class TestSortedDatabaseIndex:
         index = SortedDatabaseIndex(correlated_2d)
         assert np.array_equal(index.values(1), correlated_2d[:, 1])
 
+    def test_from_rank_matrix_rebuilds_identically(self, correlated_2d):
+        built = SortedDatabaseIndex(correlated_2d).build_all()
+        rebuilt = SortedDatabaseIndex.from_rank_matrix(correlated_2d, built.rank_matrix)
+        assert np.array_equal(rebuilt.rank_matrix, built.rank_matrix)
+        for attribute in range(built.n_dims):
+            assert np.array_equal(
+                rebuilt.attribute_index(attribute).order,
+                built.attribute_index(attribute).order,
+            )
+            assert np.array_equal(
+                rebuilt.attribute_index(attribute).sorted_values,
+                built.attribute_index(attribute).sorted_values,
+            )
+
+    def test_from_rank_matrix_rejects_invalid(self, correlated_2d):
+        built = SortedDatabaseIndex(correlated_2d).build_all()
+        wrong_shape = built.rank_matrix[:, :2]
+        with pytest.raises(ParameterError):
+            SortedDatabaseIndex.from_rank_matrix(correlated_2d, wrong_shape)
+        out_of_range = built.rank_matrix.copy()
+        out_of_range[0, 0] = -1
+        with pytest.raises(ParameterError):
+            SortedDatabaseIndex.from_rank_matrix(correlated_2d, out_of_range)
+        duplicated = built.rank_matrix.copy()
+        duplicated[0, 0] = duplicated[1, 0]  # column no longer a permutation
+        with pytest.raises(ParameterError):
+            SortedDatabaseIndex.from_rank_matrix(correlated_2d, duplicated)
+
 
 class TestSliceSampler:
     @pytest.fixture
