@@ -39,7 +39,7 @@ ROW_TIMING_FIELDS = ("runtime_sec",)
 
 
 def _load(path: str) -> Dict:
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         return json.load(handle)
 
 

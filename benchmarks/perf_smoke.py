@@ -58,8 +58,8 @@ def contrast_smoke() -> int:
             data, n_iterations=20, random_state=1, engine=engine, cache=False
         )
         results[engine] = estimator.contrast_many(subspaces)
-        fresh = lambda: ContrastEstimator(  # noqa: E731 - tiny timing closure
-            data, n_iterations=20, random_state=1, engine=engine, cache=False
+        fresh = lambda e=engine: ContrastEstimator(  # noqa: E731 - tiny timing closure
+            data, n_iterations=20, random_state=1, engine=e, cache=False
         ).contrast_many(subspaces)
         timings[engine] = best_of(3, fresh)
 
@@ -94,8 +94,8 @@ def scoring_smoke() -> int:
     # Joint multi-subspace ranking: identical scores, no regression.
     timings, scores = {}, {}
     for engine in ("shared", "per-subspace"):
-        rank = lambda: SubspaceOutlierRanker(  # noqa: E731 - tiny timing closure
-            LOFScorer(min_pts=10), engine=engine
+        rank = lambda e=engine: SubspaceOutlierRanker(  # noqa: E731 - tiny timing closure
+            LOFScorer(min_pts=10), engine=e
         ).rank(dataset.data, subspaces)
         scores[engine] = rank().scores
         timings[engine] = best_of(3, rank)

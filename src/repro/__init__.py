@@ -35,15 +35,19 @@ Fit once, score new objects cheaply (the serving path):
 >>> restored = SubspaceOutlierPipeline.load("model.npz")  # doctest: +SKIP
 """
 
-from .types import ContrastResult, RankingResult, ScoredSubspace, Subspace
-from .exceptions import (
-    DataError,
-    DatasetNotFoundError,
-    NotFittedError,
-    ParameterError,
-    ReproError,
-    SubspaceError,
-    ValidationError,
+from .analysis import (
+    attribute_relevance,
+    explain_object,
+    pairwise_contrast_matrix,
+    ranking_correlation,
+    top_k_overlap,
+)
+from .baselines import (
+    EnclusSearcher,
+    FullSpaceSearcher,
+    PCAReducer,
+    RandomSubspaceSearcher,
+    RISSearcher,
 )
 from .dataset import (
     Dataset,
@@ -56,24 +60,22 @@ from .dataset import (
     load_uci_surrogate,
     save_csv,
 )
-from .subspaces import ContrastCache, ContrastEstimator, HiCS
-from .baselines import (
-    EnclusSearcher,
-    FullSpaceSearcher,
-    PCAReducer,
-    RISSearcher,
-    RandomSubspaceSearcher,
+from .evaluation import (
+    average_precision,
+    precision_at_n,
+    roc_auc_score,
+    roc_curve,
+)
+from .exceptions import (
+    DataError,
+    DatasetNotFoundError,
+    NotFittedError,
+    ParameterError,
+    ReproError,
+    SubspaceError,
+    ValidationError,
 )
 from .neighbors import SharedNeighborEngine
-from .parallel import (
-    ExecutionBackend,
-    ProcessBackend,
-    SerialBackend,
-    ThreadBackend,
-    available_backends,
-    make_backend,
-    register_backend,
-)
 from .outliers import (
     AdaptiveDensityScorer,
     KNNDistanceScorer,
@@ -83,12 +85,14 @@ from .outliers import (
     knn_distance_score,
     local_outlier_factor,
 )
-from .analysis import (
-    attribute_relevance,
-    explain_object,
-    pairwise_contrast_matrix,
-    ranking_correlation,
-    top_k_overlap,
+from .parallel import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    available_backends,
+    make_backend,
+    register_backend,
 )
 from .pipeline import (
     PipelineConfig,
@@ -108,12 +112,8 @@ from .registry import (
     register_scorer,
     register_searcher,
 )
-from .evaluation import (
-    average_precision,
-    precision_at_n,
-    roc_auc_score,
-    roc_curve,
-)
+from .subspaces import ContrastCache, ContrastEstimator, HiCS
+from .types import ContrastResult, RankingResult, ScoredSubspace, Subspace
 
 __version__ = "1.0.0"
 

@@ -35,20 +35,20 @@ def pairwise_contrast_matrix(
         Forwarded to :class:`~repro.subspaces.contrast.ContrastEstimator`.
     """
     data = check_data_matrix(data, name="data", min_dims=2)
-    estimator = ContrastEstimator(
+    n_dims = data.shape[1]
+    matrix = np.zeros((n_dims, n_dims), dtype=float)
+    with ContrastEstimator(
         data,
         n_iterations=n_iterations,
         alpha=alpha,
         deviation=deviation,
         random_state=random_state,
-    )
-    n_dims = data.shape[1]
-    matrix = np.zeros((n_dims, n_dims), dtype=float)
-    for i in range(n_dims):
-        for j in range(i + 1, n_dims):
-            value = estimator.contrast(Subspace((i, j)))
-            matrix[i, j] = value
-            matrix[j, i] = value
+    ) as estimator:
+        for i in range(n_dims):
+            for j in range(i + 1, n_dims):
+                value = estimator.contrast(Subspace((i, j)))
+                matrix[i, j] = value
+                matrix[j, i] = value
     return matrix
 
 

@@ -14,11 +14,11 @@
   i.e. plain LOF.
 """
 
-from .random_subspaces import RandomSubspaceSearcher
 from .enclus import EnclusSearcher
-from .ris import RISSearcher, dbscan_core_object_count
-from .pca import PCAReducer, principal_component_analysis
 from .fullspace import FullSpaceSearcher
+from .pca import PCAReducer, principal_component_analysis
+from .random_subspaces import RandomSubspaceSearcher
+from .ris import RISSearcher, dbscan_core_object_count
 
 __all__ = [
     "RandomSubspaceSearcher",

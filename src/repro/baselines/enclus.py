@@ -25,10 +25,10 @@ import numpy as np
 
 from ..exceptions import ParameterError
 from ..stats.entropy import subspace_grid_entropy
-from ..types import ScoredSubspace, Subspace
-from ..utils.validation import check_data_matrix, check_positive_int
 from ..subspaces.apriori import all_two_dimensional_subspaces, apply_cutoff, generate_candidates
 from ..subspaces.base import SubspaceSearcher
+from ..types import ScoredSubspace, Subspace
+from ..utils.validation import check_data_matrix, check_positive_int
 
 __all__ = ["EnclusSearcher"]
 

@@ -11,9 +11,9 @@ from typing import List
 
 import numpy as np
 
+from ..subspaces.base import SubspaceSearcher
 from ..types import ScoredSubspace, Subspace
 from ..utils.validation import check_data_matrix
-from ..subspaces.base import SubspaceSearcher
 
 __all__ = ["FullSpaceSearcher"]
 

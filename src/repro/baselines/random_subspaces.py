@@ -17,10 +17,10 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..exceptions import ParameterError
+from ..subspaces.base import SubspaceSearcher
 from ..types import ScoredSubspace, Subspace
 from ..utils.random_state import check_random_state
 from ..utils.validation import check_data_matrix, check_positive_int
-from ..subspaces.base import SubspaceSearcher
 
 __all__ = ["RandomSubspaceSearcher"]
 

@@ -22,10 +22,10 @@ import numpy as np
 
 from ..exceptions import ParameterError
 from ..neighbors.distance import subspace_pairwise_distances
-from ..types import ScoredSubspace, Subspace
-from ..utils.validation import check_data_matrix, check_fraction, check_positive_int
 from ..subspaces.apriori import all_two_dimensional_subspaces, apply_cutoff, generate_candidates
 from ..subspaces.base import SubspaceSearcher
+from ..types import ScoredSubspace, Subspace
+from ..utils.validation import check_data_matrix, check_fraction, check_positive_int
 
 __all__ = ["dbscan_core_object_count", "RISSearcher"]
 

@@ -22,11 +22,13 @@ import sys
 from typing import List, Optional
 
 from .dataset import available_datasets, load_csv, load_dataset
+from .evaluation.experiments import evaluate_method_on_dataset
+from .evaluation.reporting import format_comparison_table
 from .exceptions import ReproError
 from .experiments import (
-    ArtifactCache,
     DEFAULT_ARTIFACTS_DIR,
     PROFILES,
+    ArtifactCache,
     available_experiments,
     check_artifact,
     expand_cells,
@@ -36,14 +38,12 @@ from .experiments import (
     run_suite,
 )
 from .experiments.runner import artifact_path
-from .evaluation.experiments import evaluate_method_on_dataset
-from .evaluation.reporting import format_comparison_table
 from .pipeline.config import METHOD_NAMES, PipelineConfig, make_method_pipeline
 from .pipeline.pipeline import SubspaceOutlierPipeline
 from .registry import (
     available_aggregators,
-    available_searchers,
     available_scorers,
+    available_searchers,
     describe_component,
     get_scorer,
     get_searcher,
@@ -90,7 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument(
             "--backend",
-            default=os.environ.get("REPRO_BACKEND"),
+            default=os.environ.get("REPRO_BACKEND"),  # repro-lint: disable=RPR104 -- backend choice is a pure throughput knob: results are bit-for-bit identical under every backend (engine golden tests)
             help="execution backend: serial, thread, process, or a spec like "
             "'process(n_jobs=4,start_method=spawn)'; overrides --n-jobs; "
             "results are identical for any backend (default: $REPRO_BACKEND "
@@ -208,7 +208,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--backend",
-        default=os.environ.get("REPRO_BACKEND"),
+        default=os.environ.get("REPRO_BACKEND"),  # repro-lint: disable=RPR104 -- backend choice is a pure throughput knob: results are bit-for-bit identical under every backend (engine golden tests)
         help="execution backend for uncached cells (overrides --n-jobs), "
         "e.g. 'process(n_jobs=4,start_method=spawn)'; one persistent worker "
         "pool serves the whole suite (default: $REPRO_BACKEND or resolved "
@@ -240,6 +240,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--tables",
         action="store_true",
         help="print the figure tables of every artifact",
+    )
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the determinism & parallel-safety static analysis",
+        description=(
+            "AST-based lint of the repository's determinism and "
+            "parallel-safety contracts (seeded RNGs, complete cache keys, "
+            "picklable worker payloads, read-only shared memory, closed "
+            "pools).  Exits non-zero when any non-suppressed finding "
+            "remains; suppress individual sites with "
+            "'# repro-lint: disable=RPR101 -- <justification>'."
+        ),
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package sources)",
+    )
+    lint.add_argument(
+        "--select",
+        action="append",
+        metavar="CODES",
+        help="only report these rule codes/prefixes (e.g. RPR1,RPR501); repeatable",
+    )
+    lint.add_argument(
+        "--ignore",
+        action="append",
+        metavar="CODES",
+        help="drop these rule codes/prefixes; repeatable",
+    )
+    lint.add_argument(
+        "--format",
+        dest="output_format",
+        default="text",
+        choices=["text", "json"],
+        help="output format (json includes suppressed findings and a summary)",
+    )
+    lint.add_argument(
+        "--output",
+        help="also write the report to this file (useful for CI artifacts)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
     )
 
     subparsers.add_parser("datasets", help="list the built-in datasets")
@@ -410,9 +456,17 @@ def _command_bench(args: argparse.Namespace) -> int:
         artifacts_dir=args.artifacts,
         progress=progress,
     )
+    # Static-analysis trajectory: lint the library sources that produced this
+    # run and record the counts, so a determinism-contract regression shows
+    # up in the bench summary next to the numbers it could invalidate.
+    from .lint import lint_paths
+
+    lint_report = lint_paths(_default_lint_paths())
     summary = {
         "profile": args.profile,
         "base_seed": args.seed,
+        "lint_findings": len(lint_report.active),
+        "lint_suppressed": len(lint_report.suppressed),
         "n_experiments": len(artifacts),
         "n_cells": sum(a["manifest"]["n_cells"] for a in artifacts.values()),
         "cache_hits": sum(a["manifest"]["cache_hits"] for a in artifacts.values()),
@@ -433,12 +487,45 @@ def _command_bench(args: argparse.Namespace) -> int:
     hit_rate = summary["cache_hits"] / summary["n_cells"] if summary["n_cells"] else 0.0
     print(
         f"suite: {summary['n_experiments']} experiments, {summary['n_cells']} cells "
-        f"({hit_rate:.0%} cached), {summary['elapsed_sec']:.1f}s -> {summary_path}"
+        f"({hit_rate:.0%} cached), {summary['elapsed_sec']:.1f}s, "
+        f"lint findings: {summary['lint_findings']} -> {summary_path}"
     )
     if failures:
         print(f"error: {len(failures)} check(s) failed: {failures}", file=sys.stderr)
         return 1
     return 0
+
+
+def _default_lint_paths() -> List[str]:
+    """Prefer the source tree when run from a checkout, else the installed package."""
+    if os.path.isdir(os.path.join("src", "repro")):
+        return [os.path.join("src", "repro")]
+    return [os.path.dirname(os.path.abspath(__file__))]
+
+
+def _command_lint(args: argparse.Namespace) -> int:
+    from .lint import available_rules, lint_paths
+
+    if args.list_rules:
+        print(f"{'code':<8} {'scope':<8} {'name':<26} summary")
+        for code, rule in available_rules().items():
+            print(f"{code:<8} {rule.scope:<8} {rule.name:<26} {rule.summary}")
+        return 0
+    paths = args.paths or _default_lint_paths()
+    try:
+        report = lint_paths(paths, select=args.select, ignore=args.ignore)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rendered = (
+        report.format_json() if args.output_format == "json" else report.format_text()
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+            handle.write("\n")
+    print(rendered)
+    return report.exit_code
 
 
 def _command_datasets(_args: argparse.Namespace) -> int:
@@ -475,6 +562,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "contrast": _command_contrast,
         "compare": _command_compare,
         "bench": _command_bench,
+        "lint": _command_lint,
         "datasets": _command_datasets,
         "registry": _command_registry,
     }

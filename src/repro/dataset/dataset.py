@@ -133,7 +133,7 @@ class Dataset:
             raise DataError(f"attribute {index} out of range for {self.n_dims} dimensions")
         return self.data[:, index]
 
-    def subset(self, object_indices: Sequence[int], name: Optional[str] = None) -> "Dataset":
+    def subset(self, object_indices: Sequence[int], name: Optional[str] = None) -> Dataset:
         """Return a new dataset restricted to the given objects."""
         idx = np.asarray(object_indices, dtype=int)
         return Dataset(
@@ -145,7 +145,7 @@ class Dataset:
             metadata=dict(self.metadata),
         )
 
-    def normalized(self) -> "Dataset":
+    def normalized(self) -> Dataset:
         """Return a min-max normalised copy (each attribute scaled to [0, 1]).
 
         Attributes with zero spread are mapped to the constant 0.5 so that the
@@ -167,7 +167,7 @@ class Dataset:
             metadata={**self.metadata, "normalized": True},
         )
 
-    def standardized(self) -> "Dataset":
+    def standardized(self) -> Dataset:
         """Return a z-score standardised copy (zero mean, unit variance per attribute)."""
         means = self.data.mean(axis=0)
         stds = self.data.std(axis=0)

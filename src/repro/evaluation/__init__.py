@@ -1,16 +1,16 @@
 """Evaluation harness: ranking metrics, experiment runner, sweeps and reports."""
 
-from .metrics import (
-    average_precision,
-    precision_at_n,
-    roc_auc_score,
-    roc_curve,
-)
 from .experiments import (
     ExperimentResult,
     evaluate_method_on_dataset,
     evaluate_pipeline_on_dataset,
     run_method_comparison,
+)
+from .metrics import (
+    average_precision,
+    precision_at_n,
+    roc_auc_score,
+    roc_curve,
 )
 from .reporting import (
     format_comparison_table,

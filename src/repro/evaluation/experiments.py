@@ -80,7 +80,7 @@ class ExperimentResult:
         return payload
 
     @classmethod
-    def from_dict(cls, payload: Dict[str, object]) -> "ExperimentResult":
+    def from_dict(cls, payload: Dict[str, object]) -> ExperimentResult:
         """Rebuild a result from :meth:`to_dict` output (extra keys ignored)."""
         known = {f.name for f in _EXPERIMENT_RESULT_FIELDS}
         return cls(**{k: v for k, v in payload.items() if k in known})

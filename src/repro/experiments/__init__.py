@@ -43,6 +43,8 @@ from .spec import (
 )
 from .tasks import available_tasks, build_dataset, register_task, run_cell
 
+# isort: split  -- the paper suite must register itself only after every
+# public name above exists, so this import stays last.
 from . import paper  # noqa: F401  (registers the paper suite on import)
 
 __all__ = [

@@ -35,6 +35,29 @@ CACHE_SCHEMA_VERSION = 1
 #: bit-for-bit equivalence guarantees) and therefore stay out of the key.
 _THROUGHPUT_FIELDS = ("n_jobs", "backend", "scoring_engine", "memory_budget_mb")
 
+#: PipelineConfig fields that DO affect results and therefore feed the key
+#: (as the config payload of :func:`cell_key`).  Together with
+#: ``_THROUGHPUT_FIELDS`` this must classify every field of
+#: :class:`~repro.pipeline.config.PipelineConfig`: the ``RPR301`` lint rule
+#: cross-checks both tuples against the dataclass, so adding a config field
+#: without deciding its cache-key status fails the lint gate.
+_RESULT_FIELDS = (
+    "min_pts",
+    "max_subspaces",
+    "hics_iterations",
+    "hics_alpha",
+    "hics_cutoff",
+    "random_state",
+    "extra",
+)
+
+#: Cell fields that are bookkeeping-only and deliberately excluded from the
+#: key: the experiment name and sweep labels describe where a cell appears in
+#: the figure suite, not what it computes, so identical cells of two
+#: experiments are computed once.  The ``RPR302`` lint rule cross-checks this
+#: tuple plus the :func:`cell_key` payload against the ``Cell`` dataclass.
+_IDENTITY_FIELDS = ("experiment", "method_label", "sweep_name", "sweep_value")
+
 
 def canonical_json(payload: object) -> str:
     """Canonical JSON text: sorted keys, minimal separators, repr fallback."""
@@ -84,7 +107,7 @@ class ArtifactCache:
         """Return the stored payload for ``key``, or ``None`` on a miss."""
         path = self._path(key)
         try:
-            with open(path, "r", encoding="utf-8") as handle:
+            with open(path, encoding="utf-8") as handle:
                 payload = json.load(handle)
         except (OSError, ValueError):
             self.misses += 1

@@ -140,9 +140,14 @@ def _execute_pending(
     context = WorkerContext(
         setup=_setup_cell_worker, payload=None, local_state=datasets
     )
-    payloads = backend.map(
-        _cell_worker, [cell.to_dict() for _, cell in pending], context=context
-    )
+    try:
+        payloads = backend.map(
+            _cell_worker, [cell.to_dict() for _, cell in pending], context=context
+        )
+    finally:
+        # The context owns the shared-memory plane published for the worker
+        # pool; release its segments as soon as the shard is done.
+        context.close()
     for (index, _), payload in zip(pending, payloads):
         results[index] = payload
     return results

@@ -281,7 +281,7 @@ class Cell:
         }
 
     @classmethod
-    def from_dict(cls, payload: Dict[str, object]) -> "Cell":
+    def from_dict(cls, payload: Dict[str, object]) -> Cell:
         dataset = payload["dataset"]
         return cls(
             experiment=payload["experiment"],

@@ -162,21 +162,21 @@ def _task_contrast(cell: Cell, dataset: Dataset) -> List[Dict[str, object]]:
         raise ParameterError(
             f"contrast task of {cell.experiment!r} needs task_params['subspaces']"
         )
-    estimator = ContrastEstimator(
+    with ContrastEstimator(
         dataset.data,
         n_iterations=int(params.get("n_iterations", 50)),
         alpha=float(params.get("alpha", 0.1)),
         deviation=cell.method,
         random_state=cell.seed,
         cache=False,
-    )
-    return [
-        {
-            "subspace": [int(a) for a in attributes],
-            "contrast": float(estimator.contrast(Subspace(tuple(attributes)))),
-        }
-        for attributes in subspaces
-    ]
+    ) as estimator:
+        return [
+            {
+                "subspace": [int(a) for a in attributes],
+                "contrast": float(estimator.contrast(Subspace(tuple(attributes)))),
+            }
+            for attributes in subspaces
+        ]
 
 
 @register_task("search")

@@ -7,7 +7,7 @@ conditional sample fixed at ``N * alpha`` independent of the subspace
 dimensionality.
 """
 
-from .sorted_index import AttributeIndex, SortedDatabaseIndex
 from .slicing import SliceBatch, SliceSampler
+from .sorted_index import AttributeIndex, SortedDatabaseIndex
 
 __all__ = ["AttributeIndex", "SortedDatabaseIndex", "SliceBatch", "SliceSampler"]

@@ -141,7 +141,7 @@ class SortedDatabaseIndex:
             self._indices[attribute] = AttributeIndex(self._data[:, attribute], attribute)
         return self._indices[attribute]
 
-    def build_all(self) -> "SortedDatabaseIndex":
+    def build_all(self) -> SortedDatabaseIndex:
         """Eagerly build the index of every attribute; returns ``self``."""
         for attribute in range(self.n_dims):
             self.attribute_index(attribute)
@@ -150,7 +150,7 @@ class SortedDatabaseIndex:
     @classmethod
     def from_rank_matrix(
         cls, data: np.ndarray, rank_matrix: np.ndarray
-    ) -> "SortedDatabaseIndex":
+    ) -> SortedDatabaseIndex:
         """Rebuild a fully-built index from its data and rank matrix.
 
         The sorting permutations are recovered by inverting each rank column

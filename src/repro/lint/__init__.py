@@ -1,0 +1,49 @@
+"""``repro-hics lint`` — determinism & parallel-safety static analysis.
+
+The library's reproducibility guarantee (results bit-for-bit invariant under
+backend, engine, worker count and cache warmth) rests on code conventions:
+seeded RNGs everywhere, complete cache keys, picklable worker payloads,
+read-only shared memory, closed pools.  This package enforces those
+conventions with AST-based rules, the same way :mod:`repro.registry` turned
+component wiring into data.
+
+Use it from the CLI (``repro-hics lint src/ --format json``) or
+programmatically::
+
+    from repro.lint import lint_paths
+    report = lint_paths(["src"])
+    assert report.exit_code == 0, report.format_text()
+
+See :mod:`repro.lint.rules` for the rule families and :mod:`repro.lint.core`
+for the pragma syntax.
+"""
+
+from .core import (
+    Finding,
+    LintReport,
+    ModuleInfo,
+    Pragma,
+    ProjectInfo,
+    Rule,
+    available_rules,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    lint_sources,
+    register_rule,
+)
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "ModuleInfo",
+    "Pragma",
+    "ProjectInfo",
+    "Rule",
+    "available_rules",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "lint_sources",
+    "register_rule",
+]

@@ -1,0 +1,564 @@
+"""Core of the ``repro-hics lint`` static-analysis framework.
+
+The linter turns the repository's hand-maintained determinism and
+parallel-safety conventions into machine-checked invariants.  It mirrors the
+component registry's architecture (:mod:`repro.registry`): rules are classes
+registered under stable codes (``RPR101`` ...), discovered through
+:func:`available_rules`, and selectable by code prefix from the CLI.
+
+Two rule scopes exist:
+
+``module``
+    The rule sees one parsed file at a time (:class:`ModuleInfo`: source,
+    AST, resolved import aliases, parent links).  Most rules live here.
+``project``
+    The rule sees every linted file at once (:class:`ProjectInfo`) and can
+    check cross-file consistency — e.g. that every ``PipelineConfig`` field
+    is classified by the cache-key builder in ``experiments/cache.py``.
+
+Findings can be suppressed inline with a justified pragma::
+
+    do_risky_thing()  # repro-lint: disable=RPR101 -- why this site is safe
+
+The justification text after ``--`` is mandatory; a pragma without one is
+itself a finding (``RPR001``).  ``disable-file=CODE`` anywhere in a file
+suppresses the code for the whole file.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "ModuleInfo",
+    "Pragma",
+    "ProjectInfo",
+    "Rule",
+    "available_rules",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+]
+
+JSON_SCHEMA_VERSION = 1
+
+_CODE_RE = re.compile(r"RPR\d{3}")
+_PRAGMA_RE = re.compile(r"#\s*repro-lint:\s*(?P<kind>disable-file|disable)\s*=\s*(?P<rest>.+)$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    code: str
+    rule: str
+    message: str
+    path: str
+    line: int
+    column: int = 0
+    suppressed: bool = False
+    justification: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (stable key set; see ``--format json``)."""
+        return {
+            "code": self.code,
+            "rule": self.rule,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "suppressed": self.suppressed,
+            "justification": self.justification,
+        }
+
+    def render(self) -> str:
+        """One-line ``path:line:col: CODE message`` form for text output."""
+        return f"{self.path}:{self.line}:{self.column}: {self.code} {self.message}"
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """A parsed ``# repro-lint: disable=...`` comment."""
+
+    line: int
+    kind: str  # "disable" | "disable-file"
+    codes: Tuple[str, ...]
+    justification: Optional[str]
+
+
+def _parse_pragmas(source: str) -> List[Pragma]:
+    """Extract pragmas from comment tokens (never from string literals)."""
+    pragmas: List[Pragma] = []
+    lines = source.splitlines(keepends=True)
+    reader = iter(lines)
+    try:
+        tokens = list(tokenize.generate_tokens(lambda: next(reader, "")))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return pragmas
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA_RE.search(token.string)
+        if match is None:
+            continue
+        rest = match.group("rest")
+        codes_part, _, justification = rest.partition("--")
+        codes = tuple(
+            part.strip().upper() for part in codes_part.split(",") if part.strip()
+        )
+        text = justification.strip() or None
+        pragmas.append(
+            Pragma(
+                line=token.start[0],
+                kind=match.group("kind"),
+                codes=codes,
+                justification=text,
+            )
+        )
+    return pragmas
+
+
+class ModuleInfo:
+    """A parsed source file plus the derived lookups rules need.
+
+    Attributes
+    ----------
+    path / display_path:
+        Filesystem path and the (usually relative) path used in findings.
+    tree:
+        The parsed :mod:`ast` module, or ``None`` when the file has a syntax
+        error (reported as ``RPR000``).
+    imports:
+        Local alias -> dotted module path (``np`` -> ``numpy``,
+        ``environ`` -> ``os.environ``) for qualified-name resolution.
+    parents:
+        ``id(child)`` -> parent AST node, for enclosing-scope queries.
+    """
+
+    def __init__(self, path: str, source: str, display_path: Optional[str] = None) -> None:
+        self.path = path
+        self.display_path = display_path if display_path is not None else path
+        self.source = source
+        self.lines = source.splitlines()
+        self.pragmas = _parse_pragmas(source)
+        self.syntax_error: Optional[SyntaxError] = None
+        self.tree: Optional[ast.Module] = None
+        self.imports: Dict[str, str] = {}
+        self.parents: Dict[int, ast.AST] = {}
+        try:
+            self.tree = ast.parse(source)
+        except SyntaxError as exc:
+            self.syntax_error = exc
+            return
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                self.parents[id(child)] = node
+        self._collect_imports(self.tree)
+
+    @property
+    def is_test(self) -> bool:
+        """Test modules are exempt from most rules (they may seed ad hoc)."""
+        normalized = self.display_path.replace(os.sep, "/")
+        base = os.path.basename(normalized)
+        return (
+            "/tests/" in normalized
+            or normalized.startswith("tests/")
+            or base.startswith("test_")
+            or base == "conftest.py"
+        )
+
+    def _collect_imports(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.imports[alias.asname] = alias.name
+                    else:
+                        head = alias.name.split(".")[0]
+                        self.imports[head] = head
+            elif isinstance(node, ast.ImportFrom):
+                prefix = "." * node.level + (node.module or "")
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    dotted = f"{prefix}.{alias.name}" if prefix else alias.name
+                    self.imports[local] = dotted
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted name of an attribute/name chain with import aliases applied.
+
+        ``np.random.shuffle`` resolves to ``numpy.random.shuffle`` under
+        ``import numpy as np``.  An unimported base name resolves to itself
+        (so builtins like ``set`` come back as ``"set"``).  Returns ``None``
+        for anything that is not a pure ``Name``/``Attribute`` chain.
+        """
+        parts: List[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        base = self.imports.get(current.id, current.id)
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self.parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Walk from the node's parent up to the module root."""
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    def enclosing_functions(self, node: ast.AST) -> List[ast.AST]:
+        """Enclosing function defs, innermost first."""
+        return [
+            ancestor
+            for ancestor in self.ancestors(node)
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+
+    def enclosing_scope(self, node: ast.AST) -> ast.AST:
+        """Nearest enclosing function def, or the module itself."""
+        functions = self.enclosing_functions(node)
+        if functions:
+            return functions[0]
+        assert self.tree is not None
+        return self.tree
+
+    def module_level_names(self) -> frozenset:
+        """Names bound at module level (defs, classes, imports, assignments)."""
+        if self.tree is None:
+            return frozenset()
+        names: List[str] = []
+        for node in self.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.append(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.append(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                names.append(node.target.id)
+        names.extend(self.imports)
+        return frozenset(names)
+
+
+class ProjectInfo:
+    """All linted modules at once, for cross-file rules."""
+
+    def __init__(self, modules: Sequence[ModuleInfo]) -> None:
+        self.modules = list(modules)
+
+    def by_suffix(self, suffix: str) -> Optional[ModuleInfo]:
+        """The module whose path ends with ``suffix`` (``/``-separated)."""
+        for module in self.modules:
+            normalized = module.display_path.replace(os.sep, "/")
+            if normalized.endswith(suffix):
+                return module
+        return None
+
+
+class Rule:
+    """Base class for lint rules; register subclasses with ``@register_rule``.
+
+    Class attributes
+    ----------------
+    code:
+        Stable ``RPR<3 digits>`` identifier; the hundreds digit groups the
+        family (1xx nondeterminism, 2xx seeds, 3xx cache keys, 4xx parallel
+        safety, 5xx lifecycle, 6xx registry names, 0xx framework).
+    scope:
+        ``"module"`` or ``"project"`` (see module docstring).
+    applies_to_tests:
+        Module-scope rules skip test files unless this is True.
+    """
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+    scope: str = "module"
+    applies_to_tests: bool = False
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: ProjectInfo) -> Iterator[Finding]:
+        return iter(())
+
+    def finding(self, module: ModuleInfo, node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at an AST node of ``module``."""
+        return self.finding_at(
+            module,
+            int(getattr(node, "lineno", 1)),
+            message,
+            column=int(getattr(node, "col_offset", 0)),
+        )
+
+    def finding_at(
+        self, module: ModuleInfo, line: int, message: str, *, column: int = 0
+    ) -> Finding:
+        """Build a finding anchored at a raw line/column of ``module``."""
+        return Finding(
+            code=self.code,
+            rule=self.name,
+            message=message,
+            path=module.display_path,
+            line=line,
+            column=column,
+        )
+
+
+_RULES: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the registry (unique ``RPRxxx`` code)."""
+    code = cls.code
+    if not _CODE_RE.fullmatch(code or ""):
+        raise ValueError(f"rule code must match RPR<3 digits>, got {code!r}")
+    if not cls.name or not cls.summary:
+        raise ValueError(f"rule {code} must define 'name' and 'summary'")
+    if cls.scope not in ("module", "project"):
+        raise ValueError(f"rule {code} scope must be 'module' or 'project'")
+    if code in _RULES and _RULES[code] is not cls:
+        raise ValueError(f"duplicate rule code {code!r}")
+    _RULES[code] = cls
+    return cls
+
+
+def available_rules() -> Dict[str, Type[Rule]]:
+    """Registered rules by code, sorted (importing ``repro.lint.rules`` first)."""
+    from . import rules as _rules  # noqa: F401  (import registers the built-ins)
+
+    return {code: _RULES[code] for code in sorted(_RULES)}
+
+
+def _code_matches(code: str, patterns: Sequence[str]) -> bool:
+    return any(code.startswith(pattern) for pattern in patterns)
+
+
+def _normalise_codes(raw: Optional[Iterable[str]]) -> List[str]:
+    if raw is None:
+        return []
+    parts: List[str] = []
+    for chunk in raw:
+        parts.extend(piece.strip().upper() for piece in chunk.split(",") if piece.strip())
+    return parts
+
+
+def _apply_pragmas(findings: List[Finding], module: ModuleInfo) -> List[Finding]:
+    """Mark findings suppressed by a matching justified pragma."""
+    by_line: Dict[int, List[Pragma]] = {}
+    file_wide: List[Pragma] = []
+    for pragma in module.pragmas:
+        if pragma.justification is None:
+            continue  # unjustified pragmas never suppress (and are RPR001 findings)
+        if pragma.kind == "disable-file":
+            file_wide.append(pragma)
+        else:
+            by_line.setdefault(pragma.line, []).append(pragma)
+    result: List[Finding] = []
+    for item in findings:
+        pragmas = list(by_line.get(item.line, ())) + file_wide
+        match = next((p for p in pragmas if item.code in p.codes), None)
+        if match is not None:
+            item = replace(item, suppressed=True, justification=match.justification)
+        result.append(item)
+    return result
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run (all findings, including suppressed ones)."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files: int = 0
+
+    @property
+    def active(self) -> List[Finding]:
+        return [item for item in self.findings if not item.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [item for item in self.findings if item.suppressed]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.active else 0
+
+    def to_dict(self) -> Dict[str, object]:
+        by_code: Dict[str, int] = {}
+        for item in self.findings:
+            by_code[item.code] = by_code.get(item.code, 0) + 1
+        return {
+            "version": JSON_SCHEMA_VERSION,
+            "tool": "repro-hics lint",
+            "files": self.files,
+            "summary": {
+                "total": len(self.findings),
+                "active": len(self.active),
+                "suppressed": len(self.suppressed),
+                "by_code": {code: by_code[code] for code in sorted(by_code)},
+            },
+            "findings": [item.to_dict() for item in self.findings],
+        }
+
+    def format_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=False)
+
+    def format_text(self) -> str:
+        lines = [item.render() for item in self.active]
+        lines.append(
+            f"{len(self.active)} finding(s) "
+            f"({len(self.suppressed)} suppressed) in {self.files} file(s)"
+        )
+        return "\n".join(lines)
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if not d.startswith(".") and d != "__pycache__"
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        found.append(os.path.join(root, name))
+        elif os.path.isfile(path):
+            found.append(path)
+        else:
+            raise FileNotFoundError(f"lint path does not exist: {path!r}")
+    return sorted(dict.fromkeys(found))
+
+
+def _display_path(path: str) -> str:
+    try:
+        relative = os.path.relpath(path)
+    except ValueError:  # different drive on Windows
+        return path
+    return path if relative.startswith("..") else relative
+
+
+def _run_rules(
+    modules: Sequence[ModuleInfo],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> LintReport:
+    selected = _normalise_codes(select)
+    ignored = _normalise_codes(ignore)
+    known = list(available_rules()) + ["RPR000"]
+    unknown = [
+        pattern
+        for pattern in selected + ignored
+        if not any(code.startswith(pattern) for code in known)
+    ]
+    if unknown:
+        raise ValueError(
+            f"unknown rule selector(s) {', '.join(sorted(set(unknown)))}; "
+            "selectors are code prefixes such as RPR1 or RPR301 "
+            "(see `repro-hics lint --list-rules`)"
+        )
+    rules = [cls() for cls in available_rules().values()]
+    findings: List[Finding] = []
+    for module in modules:
+        module_findings: List[Finding] = []
+        if module.syntax_error is not None:
+            error = module.syntax_error
+            module_findings.append(
+                Finding(
+                    code="RPR000",
+                    rule="syntax-error",
+                    message=f"cannot parse file: {error.msg}",
+                    path=module.display_path,
+                    line=int(error.lineno or 1),
+                    column=int(error.offset or 0),
+                )
+            )
+        else:
+            for rule in rules:
+                if rule.scope != "module":
+                    continue
+                if module.is_test and not rule.applies_to_tests:
+                    continue
+                module_findings.extend(rule.check_module(module))
+        findings.extend(_apply_pragmas(module_findings, module))
+    project = ProjectInfo([m for m in modules if m.tree is not None])
+    module_by_path = {module.display_path: module for module in modules}
+    for rule in rules:
+        if rule.scope != "project":
+            continue
+        project_findings = list(rule.check_project(project))
+        for item in project_findings:
+            owner = module_by_path.get(item.path)
+            if owner is not None:
+                item = _apply_pragmas([item], owner)[0]
+            findings.append(item)
+    if selected:
+        findings = [item for item in findings if _code_matches(item.code, selected)]
+    if ignored:
+        findings = [item for item in findings if not _code_matches(item.code, ignored)]
+    findings.sort(key=lambda item: (item.path, item.line, item.column, item.code))
+    return LintReport(findings=findings, files=len(modules))
+
+
+def lint_paths(
+    paths: Sequence[str],
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> LintReport:
+    """Lint files and directories; the main entry point behind the CLI."""
+    modules = []
+    for path in iter_python_files(paths):
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+        modules.append(ModuleInfo(path, source, display_path=_display_path(path)))
+    return _run_rules(modules, select=select, ignore=ignore)
+
+
+def lint_source(
+    source: str,
+    *,
+    path: str = "snippet.py",
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> LintReport:
+    """Lint an in-memory source string (used by the fixture tests)."""
+    module = ModuleInfo(path, source, display_path=path)
+    return _run_rules([module], select=select, ignore=ignore)
+
+
+def lint_sources(
+    sources: Dict[str, str],
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> LintReport:
+    """Lint several in-memory sources (path -> source) as one project.
+
+    Project-scope rules key on path suffixes, so fixtures can exercise the
+    cross-file checks by naming their virtual files accordingly.
+    """
+    modules = [
+        ModuleInfo(path, source, display_path=path)
+        for path, source in sorted(sources.items())
+    ]
+    return _run_rules(modules, select=select, ignore=ignore)

@@ -1,0 +1,24 @@
+"""Built-in lint rules; importing this package registers all of them.
+
+Rule families (the hundreds digit of the code):
+
+========  ====================================================================
+``RPR0xx``  framework self-checks (pragma hygiene)
+``RPR1xx``  nondeterminism sources (global RNG, wall clock, environment, sets)
+``RPR2xx``  seed threading (RNG construction must be seedable)
+``RPR3xx``  cache-key completeness (config/cell fields vs the cache key)
+``RPR4xx``  parallel safety (picklable submissions, read-only shared arrays)
+``RPR5xx``  resource lifecycle (pools/planes must be closed)
+``RPR6xx``  registry/spec consistency (registered names must round-trip)
+==========  ==================================================================
+"""
+
+from . import (  # noqa: F401  (imports register the rules)
+    cache_keys,
+    lifecycle,
+    nondeterminism,
+    parallel_safety,
+    pragmas,
+    registry_names,
+    seeds,
+)

@@ -1,0 +1,212 @@
+"""RPR3xx — cache-key completeness (cross-file).
+
+The artifact cache (:mod:`repro.experiments.cache`) keys cells by everything
+that can change a result and deliberately excludes throughput knobs.  That
+contract only holds if every new :class:`PipelineConfig` field and every new
+:class:`Cell` field is *classified*: either it feeds the key, or it is
+declared harmless.  These project-scope rules parse the declarations on both
+sides and fail when they drift apart — the check that turns "remember to
+update the cache key" into a lint error.
+
+``RPR301``
+    Every ``PipelineConfig`` field must appear in exactly one of
+    ``_RESULT_FIELDS`` (result-affecting, part of the key) or
+    ``_THROUGHPUT_FIELDS`` (excluded) in ``experiments/cache.py``; stale
+    names in either tuple are flagged too.
+``RPR302``
+    Every ``Cell`` field must appear as a key of the ``payload`` dict built
+    by ``cell_key`` or in the ``_IDENTITY_FIELDS`` exclusion tuple
+    (bookkeeping-only fields such as the experiment name).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..core import Finding, ModuleInfo, ProjectInfo, Rule, register_rule
+
+_CONFIG_SUFFIX = "repro/pipeline/config.py"
+_CACHE_SUFFIX = "repro/experiments/cache.py"
+_SPEC_SUFFIX = "repro/experiments/spec.py"
+
+
+def _class_fields(module: ModuleInfo, class_name: str) -> Dict[str, int]:
+    """Dataclass field names (name -> line) of a class, skipping ClassVars."""
+    fields: Dict[str, int] = {}
+    if module.tree is None:
+        return fields
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef) or node.name != class_name:
+            continue
+        for statement in node.body:
+            if not isinstance(statement, ast.AnnAssign):
+                continue
+            if not isinstance(statement.target, ast.Name):
+                continue
+            annotation = ast.dump(statement.annotation)
+            if "ClassVar" in annotation:
+                continue
+            fields[statement.target.id] = statement.lineno
+    return fields
+
+
+def _tuple_assignment(
+    module: ModuleInfo, name: str
+) -> Optional[Tuple[List[str], int]]:
+    """Module-level ``NAME = ("a", "b", ...)`` -> (names, line)."""
+    if module.tree is None:
+        return None
+    for node in module.tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not any(isinstance(t, ast.Name) and t.id == name for t in targets):
+            continue
+        if isinstance(value, (ast.Tuple, ast.List)):
+            names = [
+                element.value
+                for element in value.elts
+                if isinstance(element, ast.Constant) and isinstance(element.value, str)
+            ]
+            return names, node.lineno
+    return None
+
+
+def _payload_keys(module: ModuleInfo) -> Optional[Tuple[Set[str], int]]:
+    """String keys of the ``payload = {...}`` dict inside ``cell_key``."""
+    if module.tree is None:
+        return None
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.FunctionDef) or node.name != "cell_key":
+            continue
+        for statement in ast.walk(node):
+            if not isinstance(statement, ast.Assign):
+                continue
+            if not any(
+                isinstance(t, ast.Name) and t.id == "payload" for t in statement.targets
+            ):
+                continue
+            if isinstance(statement.value, ast.Dict):
+                keys = {
+                    key.value
+                    for key in statement.value.keys
+                    if isinstance(key, ast.Constant) and isinstance(key.value, str)
+                }
+                return keys, statement.lineno
+    return None
+
+
+@register_rule
+class ConfigCacheKeyRule(Rule):
+    code = "RPR301"
+    name = "config-cache-key"
+    summary = (
+        "every PipelineConfig field must be declared result-affecting "
+        "(_RESULT_FIELDS) or a throughput knob (_THROUGHPUT_FIELDS) in "
+        "experiments/cache.py"
+    )
+    scope = "project"
+
+    def check_project(self, project: ProjectInfo) -> Iterator[Finding]:
+        config_module = project.by_suffix(_CONFIG_SUFFIX)
+        cache_module = project.by_suffix(_CACHE_SUFFIX)
+        if config_module is None or cache_module is None:
+            return  # not linting the relevant subtree
+        config_fields = _class_fields(config_module, "PipelineConfig")
+        if not config_fields:
+            return
+        throughput = _tuple_assignment(cache_module, "_THROUGHPUT_FIELDS")
+        result = _tuple_assignment(cache_module, "_RESULT_FIELDS")
+        if throughput is None or result is None:
+            missing = "_THROUGHPUT_FIELDS" if throughput is None else "_RESULT_FIELDS"
+            yield self.finding_at(
+                cache_module,
+                1,
+                f"experiments/cache.py must declare {missing} as a module-level "
+                "tuple of PipelineConfig field names",
+            )
+            return
+        throughput_names, throughput_line = throughput
+        result_names, result_line = result
+        for name, line in sorted(config_fields.items()):
+            if name not in throughput_names and name not in result_names:
+                yield self.finding_at(
+                    config_module,
+                    line,
+                    f"PipelineConfig field {name!r} is unclassified: add it to "
+                    "_RESULT_FIELDS (feeds the cache key) or _THROUGHPUT_FIELDS "
+                    "(provably result-neutral) in experiments/cache.py",
+                )
+        for name in sorted(set(throughput_names) & set(result_names)):
+            yield self.finding_at(
+                cache_module,
+                result_line,
+                f"{name!r} is declared both result-affecting and a throughput "
+                "knob; pick one",
+            )
+        for name in sorted(set(throughput_names) - set(config_fields)):
+            yield self.finding_at(
+                cache_module,
+                throughput_line,
+                f"_THROUGHPUT_FIELDS names {name!r}, which is not a "
+                "PipelineConfig field",
+            )
+        for name in sorted(set(result_names) - set(config_fields)):
+            yield self.finding_at(
+                cache_module,
+                result_line,
+                f"_RESULT_FIELDS names {name!r}, which is not a "
+                "PipelineConfig field",
+            )
+
+
+@register_rule
+class CellCacheKeyRule(Rule):
+    code = "RPR302"
+    name = "cell-cache-key"
+    summary = (
+        "every Cell field must feed the cell_key payload or be declared "
+        "identity-only in _IDENTITY_FIELDS"
+    )
+    scope = "project"
+
+    def check_project(self, project: ProjectInfo) -> Iterator[Finding]:
+        spec_module = project.by_suffix(_SPEC_SUFFIX)
+        cache_module = project.by_suffix(_CACHE_SUFFIX)
+        if spec_module is None or cache_module is None:
+            return
+        cell_fields = _class_fields(spec_module, "Cell")
+        if not cell_fields:
+            return
+        payload = _payload_keys(cache_module)
+        identity = _tuple_assignment(cache_module, "_IDENTITY_FIELDS")
+        if payload is None or identity is None:
+            missing = (
+                "a literal payload dict in cell_key" if payload is None
+                else "_IDENTITY_FIELDS"
+            )
+            yield self.finding_at(
+                cache_module, 1, f"experiments/cache.py must declare {missing}"
+            )
+            return
+        payload_keys, _ = payload
+        identity_names, identity_line = identity
+        for name, line in sorted(cell_fields.items()):
+            if name not in payload_keys and name not in identity_names:
+                yield self.finding_at(
+                    spec_module,
+                    line,
+                    f"Cell field {name!r} is unclassified: include it in the "
+                    "cell_key payload or declare it bookkeeping-only in "
+                    "_IDENTITY_FIELDS in experiments/cache.py",
+                )
+        for name in sorted(set(identity_names) - set(cell_fields)):
+            yield self.finding_at(
+                cache_module,
+                identity_line,
+                f"_IDENTITY_FIELDS names {name!r}, which is not a Cell field",
+            )

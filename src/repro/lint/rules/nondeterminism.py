@@ -1,0 +1,245 @@
+"""RPR1xx — nondeterminism sources.
+
+HiCS results must be bit-for-bit reproducible from ``(dataset, config,
+seed)``.  These rules flag the constructs that break that contract: global
+RNG state, fresh OS entropy, wall-clock reads, environment reads and
+materialised set iteration order.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..core import Finding, ModuleInfo, Rule, register_rule
+
+#: numpy.random attributes that are deterministic machinery, not global draws.
+_NUMPY_RANDOM_SAFE = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "RandomState",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "MT19937",
+        "SFC64",
+    }
+)
+
+#: Safe constructors that nevertheless draw fresh OS entropy when called
+#: without a seed argument.
+_SEEDABLE = frozenset({"default_rng", "SeedSequence", "RandomState", "PCG64", "Philox"})
+
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Builtins/numpy constructors whose output order follows the input iteration
+#: order — feeding them a set materialises the hash order into results.
+_BARE_MATERIALISERS = frozenset({"list", "tuple"})
+_QUALIFIED_MATERIALISERS = frozenset(
+    {"numpy.array", "numpy.asarray", "numpy.asanyarray", "numpy.fromiter"}
+)
+
+_SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference"}
+)
+
+
+def _is_set_valued(node: ast.AST, module: ModuleInfo) -> bool:
+    """Conservatively: does this expression evaluate to a set?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        return _is_set_valued(node.left, module) or _is_set_valued(node.right, module)
+    if isinstance(node, ast.Call):
+        name = module.resolve(node.func)
+        if name in ("set", "frozenset"):
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in _SET_METHODS:
+            return _is_set_valued(node.func.value, module)
+    return False
+
+
+@register_rule
+class GlobalNumpyRandomRule(Rule):
+    code = "RPR101"
+    name = "global-numpy-random"
+    summary = (
+        "no global-state numpy.random calls; use a seeded Generator "
+        "(fresh entropy only via repro.utils.random_state.fresh_entropy)"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = module.resolve(node.func)
+            if name is None or not name.startswith("numpy.random."):
+                continue
+            tail = name[len("numpy.random.") :]
+            if "." in tail:
+                continue
+            if tail not in _NUMPY_RANDOM_SAFE:
+                yield self.finding(
+                    module,
+                    node,
+                    f"call to global-state numpy.random.{tail}(); draw from a "
+                    "seeded numpy.random.Generator instead",
+                )
+            elif tail in _SEEDABLE and not node.args and not node.keywords:
+                yield self.finding(
+                    module,
+                    node,
+                    f"seedless numpy.random.{tail}() draws fresh OS entropy; "
+                    "thread a seed through, or route the one sanctioned fresh "
+                    "draw via repro.utils.random_state.fresh_entropy()",
+                )
+
+
+@register_rule
+class StdlibRandomRule(Rule):
+    code = "RPR102"
+    name = "stdlib-random"
+    summary = "the stdlib random module is global-state; use numpy Generators"
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.finding(
+                            module,
+                            node,
+                            "import of stdlib 'random' (global, unseeded state); "
+                            "use numpy.random.Generator seeded from random_state",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module == "random":
+                    yield self.finding(
+                        module,
+                        node,
+                        "import from stdlib 'random' (global, unseeded state); "
+                        "use numpy.random.Generator seeded from random_state",
+                    )
+            elif isinstance(node, ast.Call):
+                name = module.resolve(node.func)
+                if name is not None and name.startswith("random."):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"call to stdlib {name}() uses the global random state",
+                    )
+
+
+@register_rule
+class WallClockRule(Rule):
+    code = "RPR103"
+    name = "wall-clock"
+    summary = (
+        "no wall-clock reads in result-affecting code "
+        "(time.perf_counter/monotonic are fine for timing)"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = module.resolve(node.func)
+            if name in _WALL_CLOCK:
+                yield self.finding(
+                    module,
+                    node,
+                    f"wall-clock read {name}() makes results depend on when "
+                    "they ran; use time.perf_counter() for durations or pass "
+                    "timestamps in explicitly",
+                )
+
+
+@register_rule
+class EnvironReadRule(Rule):
+    code = "RPR104"
+    name = "environ-read"
+    summary = "no os.environ reads in result-affecting modules"
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = module.resolve(node.func)
+                if name == "os.getenv":
+                    yield self.finding(
+                        module,
+                        node,
+                        "os.getenv() read; environment-dependent behaviour "
+                        "breaks run-to-run reproducibility",
+                    )
+            elif isinstance(node, ast.Attribute):
+                if module.resolve(node) == "os.environ":
+                    yield self.finding(
+                        module,
+                        node,
+                        "os.environ read; environment-dependent behaviour "
+                        "breaks run-to-run reproducibility",
+                    )
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                if module.imports.get(node.id) == "os.environ":
+                    yield self.finding(
+                        module,
+                        node,
+                        "os.environ read; environment-dependent behaviour "
+                        "breaks run-to-run reproducibility",
+                    )
+
+
+@register_rule
+class UnorderedMaterialisationRule(Rule):
+    code = "RPR105"
+    name = "unordered-materialisation"
+    summary = "sets must pass through sorted(...) before becoming sequences/arrays"
+
+    def _flag(self, module: ModuleInfo, node: ast.AST, what: str) -> Finding:
+        return self.finding(
+            module,
+            node,
+            f"{what} materialises set iteration order (hash-seed dependent for "
+            "str keys); wrap the set in sorted(...)",
+        )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call) and node.args:
+                name = module.resolve(node.func)
+                if name in _BARE_MATERIALISERS or name in _QUALIFIED_MATERIALISERS:
+                    argument: Optional[ast.AST] = node.args[0]
+                    if isinstance(argument, (ast.GeneratorExp, ast.ListComp)):
+                        argument = argument.generators[0].iter
+                    if argument is not None and _is_set_valued(argument, module):
+                        yield self._flag(module, node, f"{name}(<set>)")
+            elif isinstance(node, ast.ListComp):
+                if _is_set_valued(node.generators[0].iter, module):
+                    yield self._flag(module, node, "list comprehension over a set")

@@ -1,0 +1,194 @@
+"""RPR4xx — parallel safety.
+
+Process backends pickle the submitted callable and attach dataset arrays
+through read-only shared memory.  ``RPR401`` keeps submissions picklable
+(module-level functions, not lambdas/closures); ``RPR402`` keeps worker code
+from writing into the shared plane every process maps.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from ..core import Finding, ModuleInfo, Rule, register_rule
+
+_SUBMIT_METHODS = frozenset({"map", "submit"})
+_POOLISH = ("backend", "pool", "executor")
+
+
+def _receiver_name(func: ast.Attribute) -> Optional[str]:
+    """Last name segment of a ``receiver.map(...)`` receiver, if it is a plain
+    name/attribute chain (calls like ``self._pool().map`` return None — those
+    are internal thread pools, not pickling backends)."""
+    receiver = func.value
+    if isinstance(receiver, ast.Attribute):
+        return receiver.attr
+    if isinstance(receiver, ast.Name):
+        return receiver.id
+    return None
+
+
+def _nested_function_names(module: ModuleInfo) -> Set[str]:
+    """Names of defs nested inside another function (unpicklable by pickle)."""
+    names: Set[str] = set()
+    if module.tree is None:
+        return names
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if module.enclosing_functions(node):
+                names.add(node.name)
+    return names
+
+
+@register_rule
+class PicklableSubmitRule(Rule):
+    code = "RPR401"
+    name = "picklable-submit"
+    summary = (
+        "callables submitted to ExecutionBackend.map/pool.submit must be "
+        "module-level functions (picklable under spawn)"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        nested = _nested_function_names(module)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            if node.func.attr not in _SUBMIT_METHODS:
+                continue
+            receiver = _receiver_name(node.func)
+            if receiver is None:
+                continue
+            lowered = receiver.lower()
+            if not any(hint in lowered for hint in _POOLISH):
+                continue
+            if not node.args:
+                continue
+            callable_argument = node.args[0]
+            if isinstance(callable_argument, ast.Lambda):
+                yield self.finding(
+                    module,
+                    node,
+                    f"lambda submitted to {receiver}.{node.func.attr}(); lambdas "
+                    "cannot be pickled under the spawn start method — hoist it "
+                    "to a module-level function",
+                )
+            elif (
+                isinstance(callable_argument, ast.Name)
+                and callable_argument.id in nested
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"nested function {callable_argument.id!r} submitted to "
+                    f"{receiver}.{node.func.attr}(); closures cannot be pickled "
+                    "under the spawn start method — hoist it to module level",
+                )
+
+
+@register_rule
+class SharedArrayWriteRule(Rule):
+    code = "RPR402"
+    name = "shared-array-write"
+    summary = (
+        "arrays attached from the shared-memory plane (worker 'arrays' "
+        "payloads, attach_arrays results) are read-only"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, node)
+
+    def _check_function(self, module: ModuleInfo, function: ast.AST) -> Iterator[Finding]:
+        assert isinstance(function, (ast.FunctionDef, ast.AsyncFunctionDef))
+        arguments = function.args
+        tainted: Set[str] = {
+            arg.arg
+            for arg in arguments.posonlyargs + arguments.args + arguments.kwonlyargs
+            if arg.arg == "arrays"
+        }
+        if not tainted and not self._mentions_attach(function, module):
+            return
+        # Two propagation passes: views of tainted arrays are tainted too.
+        for _ in range(2):
+            for node in ast.walk(function):
+                if not isinstance(node, ast.Assign):
+                    continue
+                if not self._rooted(node.value, tainted, module):
+                    continue
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        tainted.add(target.id)
+        if not tainted:
+            return
+        for node in ast.walk(function):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets: List[ast.expr] = (
+                    list(node.targets) if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Subscript) and self._rooted(
+                        target.value, tainted, module
+                    ):
+                        yield self.finding(
+                            module,
+                            node,
+                            "write into a shared-memory array; attached plane "
+                            "arrays are read-only views every worker process "
+                            "maps — copy before mutating",
+                        )
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "setflags"
+                    and self._rooted(node.func.value, tainted, module)
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        "setflags() on a shared-memory array; the read-only "
+                        "flag is the plane's write barrier — do not lift it",
+                    )
+                for keyword in node.keywords:
+                    if keyword.arg == "out" and self._rooted(
+                        keyword.value, tainted, module
+                    ):
+                        yield self.finding(
+                            module,
+                            node,
+                            "in-place ufunc output into a shared-memory array; "
+                            "attached plane arrays are read-only — allocate a "
+                            "local output",
+                        )
+
+    def _mentions_attach(self, function: ast.AST, module: ModuleInfo) -> bool:
+        for node in ast.walk(function):
+            if isinstance(node, ast.Call):
+                name = module.resolve(node.func)
+                if name is not None and name.rsplit(".", 1)[-1] == "attach_arrays":
+                    return True
+        return False
+
+    def _rooted(self, node: ast.AST, tainted: Set[str], module: ModuleInfo) -> bool:
+        """Is this expression derived from a tainted name or attach_arrays()?"""
+        current = node
+        while True:
+            if isinstance(current, (ast.Subscript, ast.Attribute)):
+                current = current.value
+            elif isinstance(current, ast.Call):
+                # A call produces a fresh object (e.g. ``.copy()``), which
+                # breaks the taint — except attach_arrays itself.
+                name = module.resolve(current.func)
+                return name is not None and name.rsplit(".", 1)[-1] == "attach_arrays"
+            elif isinstance(current, ast.Name):
+                return current.id in tainted
+            else:
+                return False

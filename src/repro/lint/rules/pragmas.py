@@ -1,0 +1,45 @@
+"""RPR0xx — pragma hygiene.
+
+A suppression without a justification is worse than none: it silences a
+finding while leaving no trace of *why* the site is safe.  ``RPR001`` makes
+the justification text after ``--`` mandatory and rejects malformed codes, so
+every allowlisted site documents its contract.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core import Finding, ModuleInfo, Rule, register_rule
+
+
+@register_rule
+class PragmaJustificationRule(Rule):
+    code = "RPR001"
+    name = "pragma-justification"
+    summary = "every repro-lint pragma must carry a justification after '--'"
+    applies_to_tests = True
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for pragma in module.pragmas:
+            if pragma.justification is None:
+                yield self.finding_at(
+                    module,
+                    pragma.line,
+                    "pragma suppresses "
+                    f"{', '.join(pragma.codes) or 'nothing'} without a justification; "
+                    "append ' -- <why this site is safe>'",
+                )
+                continue
+            if not pragma.codes:
+                yield self.finding_at(
+                    module, pragma.line, "pragma lists no rule codes to disable"
+                )
+            for raw in pragma.codes:
+                if not (raw.startswith("RPR") and len(raw) == 6 and raw[3:].isdigit()):
+                    yield self.finding_at(
+                        module,
+                        pragma.line,
+                        f"pragma names invalid rule code {raw!r} "
+                        "(expected RPR<3 digits>)",
+                    )

@@ -1,0 +1,115 @@
+"""RPR2xx — seed threading.
+
+Constructing an RNG is only reproducible when the seed arrives from the
+caller: through a ``random_state``/``rng``/``seed`` parameter, or from an
+attribute that was seeded at ``__init__`` time.  ``RPR201`` flags RNG
+construction sites that can neither be seeded from outside nor prove they
+derive from stored entropy.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Optional, Sequence
+
+from ..core import Finding, ModuleInfo, Rule, register_rule
+
+#: Calls that create (or normalise into) an RNG / seed sequence.
+_CONSTRUCTORS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.SeedSequence",
+        "numpy.random.RandomState",
+        "numpy.random.Generator",
+    }
+)
+_CONSTRUCTOR_TAILS = frozenset({"check_random_state", "spawn_child_rng", "fresh_entropy"})
+
+_SEEDISH = re.compile(r"(seed|entropy|rng|random_state)", re.IGNORECASE)
+
+
+def _is_constructor(name: Optional[str]) -> bool:
+    if name is None:
+        return False
+    return name in _CONSTRUCTORS or name.rsplit(".", 1)[-1] in _CONSTRUCTOR_TAILS
+
+
+def _function_params(function: ast.AST) -> List[str]:
+    assert isinstance(function, (ast.FunctionDef, ast.AsyncFunctionDef))
+    arguments = function.args
+    names = [arg.arg for arg in arguments.posonlyargs + arguments.args + arguments.kwonlyargs]
+    if arguments.vararg is not None:
+        names.append(arguments.vararg.arg)
+    if arguments.kwarg is not None:
+        names.append(arguments.kwarg.arg)
+    return names
+
+
+def _call_derives_seed(call: ast.Call) -> bool:
+    """Do the call arguments reference a seed-ish name or attribute?"""
+    children: List[ast.expr] = list(call.args) + [kw.value for kw in call.keywords]
+    for child in children:
+        for node in ast.walk(child):
+            if isinstance(node, ast.Attribute) and _SEEDISH.search(node.attr):
+                return True
+            if isinstance(node, ast.Name) and _SEEDISH.search(node.id):
+                return True
+    return False
+
+
+def _is_literal(value: ast.expr) -> bool:
+    if isinstance(value, ast.Constant):
+        return value.value is not None
+    if isinstance(value, (ast.Tuple, ast.List)):
+        return all(_is_literal(item) for item in value.elts)
+    return False
+
+
+def _call_has_fixed_seed(call: ast.Call) -> bool:
+    """Literal non-None arguments (e.g. ``default_rng(12345)`` or
+    ``SeedSequence(7, spawn_key=(1, 2))``) are deterministic."""
+    if not call.args and not call.keywords:
+        return False
+    values: Sequence[ast.expr] = list(call.args) + [kw.value for kw in call.keywords]
+    return all(_is_literal(value) for value in values)
+
+
+@register_rule
+class SeedThreadingRule(Rule):
+    code = "RPR201"
+    name = "seed-threading"
+    summary = (
+        "functions constructing an RNG must accept a random_state/rng/seed "
+        "parameter or derive from a seeded attribute"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not _is_constructor(module.resolve(node.func)):
+                continue
+            if _call_derives_seed(node) or _call_has_fixed_seed(node):
+                continue
+            functions = module.enclosing_functions(node)
+            if any(
+                any(_SEEDISH.search(param) for param in _function_params(function))
+                for function in functions
+            ):
+                continue
+            where = (
+                f"function {getattr(functions[0], 'name', '?')!r}"
+                if functions
+                else "module level"
+            )
+            target = module.resolve(node.func) or "RNG constructor"
+            yield self.finding(
+                module,
+                node,
+                f"{target}() at {where} has no seed source: add a "
+                "random_state/rng/seed parameter or derive the seed from an "
+                "attribute stored at __init__",
+            )

@@ -6,6 +6,8 @@ metrics as required by the subspace extension of LOF), a brute-force searcher
 and a KD-tree searcher, all implemented from scratch on top of NumPy.
 """
 
+from .base import KNNResult, NearestNeighborSearcher, create_knn_searcher
+from .brute import BruteForceKNN
 from .distance import (
     euclidean_distance,
     manhattan_distance,
@@ -14,10 +16,8 @@ from .distance import (
     squared_difference_block,
     subspace_pairwise_distances,
 )
-from .brute import BruteForceKNN
-from .kdtree import KDTree, KDTreeKNN
-from .base import KNNResult, NearestNeighborSearcher, create_knn_searcher
 from .engine import SharedEngineKNN, SharedNeighborEngine, normalise_engine_mode
+from .kdtree import KDTree, KDTreeKNN
 from .topk import top_k_smallest
 
 __all__ = [

@@ -90,21 +90,21 @@ class SharedNeighborEngine:
         # Sorted-attribute-prefix -> accumulated squared-distance matrix.  A
         # single-attribute prefix is the dimension's raw block.  LRU-evicted
         # under the byte budget.
-        self._prefixes: "OrderedDict[Tuple[int, ...], np.ndarray]" = OrderedDict()
+        self._prefixes: OrderedDict[Tuple[int, ...], np.ndarray] = OrderedDict()
         self._cache_bytes = 0
         # Assembled subspace matrices only enter the cache on their *second*
         # request: a one-shot scoring pass touches every subspace exactly
         # once, and parking its matrices in the cache would both evict the
         # (constantly reused) dimension blocks and starve the allocator of
         # reusable pages.  Streaming workloads re-request and get cached.
-        self._assembly_requests: "dict" = {}
+        self._assembly_requests: dict = {}
         # Reusable scratch rows for assemble-and-partition passes, so the hot
         # top-k loop runs on warm pages instead of fresh allocations.
         self._scratch: Optional[np.ndarray] = None
         # Memoised kneighbors() results keyed by (attrs, k, exclude_self).
         # Small (n x k each) but hot: streaming independent scoring re-reads
         # the same reference neighbour lists for every incoming batch.
-        self._knn_cache: "OrderedDict[Tuple, KNNResult]" = OrderedDict()
+        self._knn_cache: OrderedDict[Tuple, KNNResult] = OrderedDict()
 
     # ------------------------------------------------------------- basics
 
@@ -168,7 +168,7 @@ class SharedNeighborEngine:
         self._cache_put(key, block)
         return block
 
-    def _longest_cached_base(self, attrs: Tuple[int, ...]) -> "Tuple[int, np.ndarray]":
+    def _longest_cached_base(self, attrs: Tuple[int, ...]) -> Tuple[int, np.ndarray]:
         """Longest cached prefix of ``attrs`` to start an assembly from."""
         depth = len(attrs) - 1
         while depth >= 2:

@@ -29,8 +29,8 @@ class _Node:
     indices: Optional[np.ndarray] = None
     split_dim: int = -1
     split_value: float = 0.0
-    left: Optional["_Node"] = None
-    right: Optional["_Node"] = None
+    left: Optional[_Node] = None
+    right: Optional[_Node] = None
     lower_bounds: np.ndarray = field(default_factory=lambda: np.empty(0))
     upper_bounds: np.ndarray = field(default_factory=lambda: np.empty(0))
 

@@ -18,7 +18,7 @@ from ..exceptions import ParameterError
 __all__ = ["top_k_smallest"]
 
 
-def top_k_smallest(distances: np.ndarray, k: int) -> "tuple[np.ndarray, np.ndarray]":
+def top_k_smallest(distances: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
     """Per-row indices and values of the ``k`` smallest entries, index tie-break.
 
     Equivalent to ``order = np.argsort(distances, axis=1, kind="stable")[:, :k]``

@@ -19,17 +19,17 @@ per-subspace scores into the final ranking (Definition 1 of the paper).
   aggregates the results.
 """
 
-from .base import OutlierScorer
-from .lof import LOFScorer, local_outlier_factor
-from .knn_score import KNNDistanceScorer, knn_distance_score
-from .orca import ORCAScorer, orca_top_n
 from .adaptive_density import AdaptiveDensityScorer, adaptive_kernel_density
 from .aggregation import (
     aggregate_scores,
-    average_aggregation,
     available_aggregations,
+    average_aggregation,
     maximum_aggregation,
 )
+from .base import OutlierScorer
+from .knn_score import KNNDistanceScorer, knn_distance_score
+from .lof import LOFScorer, local_outlier_factor
+from .orca import ORCAScorer, orca_top_n
 from .ranking import SubspaceOutlierRanker
 
 __all__ = [

@@ -147,10 +147,10 @@ class AdaptiveDensityScorer(OutlierScorer):
     def score_batch(
         self,
         data: np.ndarray,
-        subspaces: "List[Optional[Subspace]]",
+        subspaces: List[Optional[Subspace]],
         *,
         engine: Optional[SharedNeighborEngine] = None,
-    ) -> "List[np.ndarray]":
+    ) -> List[np.ndarray]:
         """Engine-backed batch scoring: one assembled distance matrix per subspace.
 
         The reference :meth:`score` computes the pairwise matrix twice per
@@ -183,11 +183,11 @@ class AdaptiveDensityScorer(OutlierScorer):
     def score_samples_independent(
         self,
         data: np.ndarray,
-        subspaces: "List[Optional[Subspace]]",
+        subspaces: List[Optional[Subspace]],
         *,
         engine: Optional[str] = None,
         memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB,
-    ) -> "List[np.ndarray]":
+    ) -> List[np.ndarray]:
         """Independent scoring on per-query combined matrices assembled once.
 
         The reference-to-reference distance matrix of each subspace is

@@ -75,10 +75,10 @@ class OutlierScorer:
     def score_batch(
         self,
         data: np.ndarray,
-        subspaces: "List[Optional[Subspace]]",
+        subspaces: List[Optional[Subspace]],
         *,
         engine: Optional[SharedNeighborEngine] = None,
-    ) -> "List[np.ndarray]":
+    ) -> List[np.ndarray]:
         """Score one data matrix in several subspaces with shared work.
 
         ``engine``, when given, is a :class:`SharedNeighborEngine` built over
@@ -117,7 +117,7 @@ class OutlierScorer:
     @staticmethod
     def _subspace_attributes(
         data: np.ndarray, subspace: Optional[Subspace]
-    ) -> "Optional[tuple]":
+    ) -> Optional[tuple]:
         if subspace is None:
             return None
         subspace.validate_against_dimensionality(data.shape[1])
@@ -125,7 +125,7 @@ class OutlierScorer:
 
     # ----------------------------------------------------------- protocol
 
-    def fit(self, data: np.ndarray) -> "OutlierScorer":
+    def fit(self, data: np.ndarray) -> OutlierScorer:
         """Remember ``data`` as the reference population for :meth:`score_samples`."""
         self.reference_data_ = check_data_matrix(data, name="data", min_objects=2)
         self._reference_engine_: Optional[SharedNeighborEngine] = None
@@ -183,11 +183,11 @@ class OutlierScorer:
     def score_samples_many(
         self,
         data: np.ndarray,
-        subspaces: "List[Optional[Subspace]]",
+        subspaces: List[Optional[Subspace]],
         *,
         engine: Optional[str] = None,
         memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB,
-    ) -> "List[np.ndarray]":
+    ) -> List[np.ndarray]:
         """Score *new* objects in several subspaces with one reference pass.
 
         Builds the concatenation of reference and new objects **once** and
@@ -225,11 +225,11 @@ class OutlierScorer:
     def score_samples_independent(
         self,
         data: np.ndarray,
-        subspaces: "List[Optional[Subspace]]",
+        subspaces: List[Optional[Subspace]],
         *,
         engine: Optional[str] = None,
         memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB,
-    ) -> "List[np.ndarray]":
+    ) -> List[np.ndarray]:
         """Score every new object *on its own* against the reference.
 
         Each object is scored as if it were the only addition to the

@@ -14,10 +14,10 @@ from typing import List, Optional
 import numpy as np
 
 from ..exceptions import ParameterError
-from ..types import Subspace
-from ..utils.validation import check_data_matrix, check_positive_int
 from ..neighbors.base import create_knn_searcher
 from ..neighbors.engine import SharedNeighborEngine
+from ..types import Subspace
+from ..utils.validation import check_data_matrix, check_positive_int
 from .base import DEFAULT_MEMORY_BUDGET_MB, OutlierScorer
 
 __all__ = ["knn_distance_score", "KNNDistanceScorer"]
@@ -96,10 +96,10 @@ class KNNDistanceScorer(OutlierScorer):
     def score_batch(
         self,
         data: np.ndarray,
-        subspaces: "List[Optional[Subspace]]",
+        subspaces: List[Optional[Subspace]],
         *,
         engine: Optional[SharedNeighborEngine] = None,
-    ) -> "List[np.ndarray]":
+    ) -> List[np.ndarray]:
         """All subspaces answered from the engine's shared distance blocks."""
         data = check_data_matrix(data, name="data", min_objects=2)
         if engine is None or not self._engine_matches_backend(
@@ -118,11 +118,11 @@ class KNNDistanceScorer(OutlierScorer):
     def score_samples_independent(
         self,
         data: np.ndarray,
-        subspaces: "List[Optional[Subspace]]",
+        subspaces: List[Optional[Subspace]],
         *,
         engine: Optional[str] = None,
         memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB,
-    ) -> "List[np.ndarray]":
+    ) -> List[np.ndarray]:
         """Independent scoring via the engine's asymmetric query mode.
 
         The kNN-distance score of a lone new object depends only on its own

@@ -20,11 +20,11 @@ from typing import List, Optional
 import numpy as np
 
 from ..exceptions import ParameterError
-from ..types import Subspace
-from ..utils.validation import check_data_matrix, check_positive_int
 from ..neighbors.base import create_knn_searcher
 from ..neighbors.engine import SharedNeighborEngine
 from ..neighbors.topk import top_k_smallest
+from ..types import Subspace
+from ..utils.validation import check_data_matrix, check_positive_int
 from .base import DEFAULT_MEMORY_BUDGET_MB, OutlierScorer
 
 __all__ = ["LOFScorer", "local_outlier_factor"]
@@ -136,10 +136,10 @@ class LOFScorer(OutlierScorer):
     def score_batch(
         self,
         data: np.ndarray,
-        subspaces: "List[Optional[Subspace]]",
+        subspaces: List[Optional[Subspace]],
         *,
         engine: Optional[SharedNeighborEngine] = None,
-    ) -> "List[np.ndarray]":
+    ) -> List[np.ndarray]:
         """One shared kNN pass per subspace instead of a fresh distance matrix.
 
         Configurations whose reference path resolves to the KD-tree (pinned,
@@ -164,11 +164,11 @@ class LOFScorer(OutlierScorer):
     def score_samples_independent(
         self,
         data: np.ndarray,
-        subspaces: "List[Optional[Subspace]]",
+        subspaces: List[Optional[Subspace]],
         *,
         engine: Optional[str] = None,
         memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB,
-    ) -> "List[np.ndarray]":
+    ) -> List[np.ndarray]:
         """Independent scoring through the engine's asymmetric query mode.
 
         Scoring object ``q`` independently means running LOF on

@@ -41,7 +41,11 @@ from __future__ import annotations
 import itertools
 import os
 import uuid
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+    from multiprocessing.context import BaseContext
 
 import numpy as np
 
@@ -174,7 +178,7 @@ class WorkerContext:
             self._local_state = None
             self._local_built = False
 
-    def __enter__(self) -> "WorkerContext":
+    def __enter__(self) -> WorkerContext:
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -243,7 +247,7 @@ class ExecutionBackend:
         """Canonical spec-string form (round-trips through ``make_backend``)."""
         return self.kind
 
-    def __enter__(self) -> "ExecutionBackend":
+    def __enter__(self) -> ExecutionBackend:
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -276,9 +280,9 @@ class ThreadBackend(ExecutionBackend):
 
     def __init__(self, n_jobs: int = -1):
         self.n_jobs = resolve_n_jobs(n_jobs)
-        self._executor = None
+        self._executor: Optional[ThreadPoolExecutor] = None
 
-    def _pool(self):
+    def _pool(self) -> ThreadPoolExecutor:
         if self._executor is None:
             from concurrent.futures import ThreadPoolExecutor
 
@@ -345,9 +349,9 @@ class ProcessBackend(ExecutionBackend):
                 raise ParameterError(f"chunksize must be >= 1, got {chunksize}")
             chunksize = int(chunksize)
         self.chunksize = chunksize
-        self._executor = None
+        self._executor: Optional[ProcessPoolExecutor] = None
 
-    def _context(self):
+    def _context(self) -> BaseContext:
         import multiprocessing
 
         if self.start_method is not None:
@@ -357,7 +361,7 @@ class ProcessBackend(ExecutionBackend):
         except ValueError:  # pragma: no cover - non-POSIX platforms
             return multiprocessing.get_context()
 
-    def _pool(self):
+    def _pool(self) -> ProcessPoolExecutor:
         if self._executor is None:
             from concurrent.futures import ProcessPoolExecutor
 

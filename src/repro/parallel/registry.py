@@ -175,5 +175,5 @@ def check_backend_spec(spec: BackendSpec) -> BackendSpec:
             "backend must be None, a spec string like 'process(n_jobs=4)' or an "
             f"ExecutionBackend instance, got {type(spec).__name__}"
         )
-    make_backend(spec)
+    make_backend(spec)  # repro-lint: disable=RPR501 -- validation-only construction: pools are lazy, a never-mapped backend owns nothing to close
     return spec

@@ -98,7 +98,7 @@ class SharedArrayPlane:
     def closed(self) -> bool:
         return not self._finalizer.alive
 
-    def __enter__(self) -> "SharedArrayPlane":
+    def __enter__(self) -> SharedArrayPlane:
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -127,7 +127,7 @@ def _attach_segment(name: str) -> shared_memory.SharedMemory:
     try:
         # Python >= 3.13: opt out of resource tracking explicitly — the
         # parent owns the segment and unlinks it.
-        return shared_memory.SharedMemory(name=name, track=False)
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
     except TypeError:
         # Pre-3.13 the attach itself registers the name with the resource
         # tracker.  That duplicate registration is harmless: the tracker's

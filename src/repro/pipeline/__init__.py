@@ -7,8 +7,8 @@ protocol (``fit`` / ``score_samples`` / ``rank`` plus the one-shot
 spec strings through :mod:`repro.registry`.
 """
 
-from .pipeline import SubspaceOutlierPipeline
 from .config import PipelineConfig, make_default_pipeline, make_method_pipeline
+from .pipeline import SubspaceOutlierPipeline
 
 __all__ = [
     "SubspaceOutlierPipeline",

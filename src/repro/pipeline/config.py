@@ -125,7 +125,7 @@ class PipelineConfig:
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     @classmethod
-    def from_dict(cls, payload: Dict[str, object]) -> "PipelineConfig":
+    def from_dict(cls, payload: Dict[str, object]) -> PipelineConfig:
         """Rebuild a config from :meth:`to_dict` output; rejects unknown keys."""
         if not isinstance(payload, dict):
             raise ParameterError(
@@ -259,7 +259,8 @@ def make_method_pipeline(
                 try:
                     get_scorer(key)
                 except ParameterError:
-                    raise method_error  # the unknown-method error lists both options
+                    # the unknown-method error lists both options
+                    raise method_error from None
             spec = _inject_config_defaults(parse_spec(method), config)
     return make_pipeline_from_spec(
         spec,

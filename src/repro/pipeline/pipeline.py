@@ -29,11 +29,11 @@ import numpy as np
 from ..dataset.dataset import Dataset
 from ..exceptions import DataError, NotFittedError, ParameterError, SubspaceError
 from ..neighbors.engine import normalise_engine_mode
-from ..parallel import ExecutionBackend, check_backend_spec
 from ..outliers.aggregation import aggregate_scores
 from ..outliers.base import DEFAULT_MEMORY_BUDGET_MB, OutlierScorer
 from ..outliers.lof import LOFScorer
 from ..outliers.ranking import SubspaceOutlierRanker
+from ..parallel import ExecutionBackend, check_backend_spec
 from ..subspaces.base import SubspaceSearcher
 from ..subspaces.hics import HiCS
 from ..types import RankingResult, ScoredSubspace, Subspace
@@ -171,7 +171,7 @@ class SubspaceOutlierPipeline:
             return data.data
         return check_data_matrix(data, name="data", min_objects=min_objects)
 
-    def fit(self, data: Union[np.ndarray, Dataset]) -> "SubspaceOutlierPipeline":
+    def fit(self, data: Union[np.ndarray, Dataset]) -> SubspaceOutlierPipeline:
         """Run the subspace search once against a reference dataset.
 
         Stores the found subspaces and the reference data, and prepares the
@@ -347,7 +347,7 @@ class SubspaceOutlierPipeline:
         }
 
     @classmethod
-    def from_dict(cls, payload: Dict[str, object]) -> "SubspaceOutlierPipeline":
+    def from_dict(cls, payload: Dict[str, object]) -> SubspaceOutlierPipeline:
         """Rebuild an (unfitted) pipeline from its :meth:`to_dict` payload."""
         from ..registry import component_from_dict
 
@@ -419,7 +419,7 @@ class SubspaceOutlierPipeline:
             )
 
     @classmethod
-    def load(cls, path: str) -> "SubspaceOutlierPipeline":
+    def load(cls, path: str) -> SubspaceOutlierPipeline:
         """Load a fitted pipeline previously written by :meth:`save`."""
         try:
             with np.load(path, allow_pickle=False) as archive:

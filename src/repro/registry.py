@@ -324,7 +324,7 @@ def _literal(node: ast.expr, text: str) -> object:
                 return ast.unparse(node)
             except Exception:  # pragma: no cover - unparse cannot fail here
                 pass
-        raise ParameterError(f"unsupported parameter value in spec {text!r}")
+        raise ParameterError(f"unsupported parameter value in spec {text!r}") from None
 
 
 def parse_component_spec(text: str) -> ComponentSpec:
@@ -367,7 +367,7 @@ def parse_component_spec(text: str) -> ComponentSpec:
 _ENGINE_NAMES = ("shared", "per-subspace", "per_subspace")
 
 
-def _extract_engine_spec(parts: "list") -> Tuple["list", Optional[ComponentSpec]]:
+def _extract_engine_spec(parts: list) -> Tuple[list, Optional[ComponentSpec]]:
     """Pull the (at most one) engine segment out of a split spec string."""
     remaining = [parts[0]]
     engine: Optional[ComponentSpec] = None
@@ -484,7 +484,9 @@ def make_pipeline_from_spec(
     if parsed.engine is not None:
         engine = parsed.engine.name
         if "memory_budget_mb" in parsed.engine.params:
-            memory_budget_mb = parsed.engine.params["memory_budget_mb"]
+            # spec params are parsed literals (object); the engine grammar only
+            # admits numbers here, so the float() both narrows and validates.
+            memory_budget_mb = float(parsed.engine.params["memory_budget_mb"])  # type: ignore[arg-type]
     if not issubclass(searcher_cls, SubspaceSearcher):
         if parsed.aggregation is not None:
             raise ParameterError(

@@ -12,11 +12,11 @@
   instantiations.
 """
 
+from .apriori import generate_candidates, merge_subspaces
 from .base import SubspaceSearcher
 from .contrast import ContrastCache, ContrastEstimator
-from .apriori import generate_candidates, merge_subspaces
-from .pruning import prune_redundant_subspaces
 from .hics import HiCS
+from .pruning import prune_redundant_subspaces
 
 __all__ = [
     "SubspaceSearcher",

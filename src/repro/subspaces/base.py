@@ -48,7 +48,7 @@ class SubspaceSearcher:
         """
         raise NotImplementedError
 
-    def fit(self, data: np.ndarray) -> "SubspaceSearcher":
+    def fit(self, data: np.ndarray) -> SubspaceSearcher:
         """Run the search once and remember the result.
 
         The ranked subspaces become available as :attr:`scored_subspaces_` /

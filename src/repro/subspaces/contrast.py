@@ -46,6 +46,7 @@ per level.
 
 from __future__ import annotations
 
+import logging
 import threading
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
@@ -73,9 +74,12 @@ from ..stats.ks import ks_statistic_against_superset_batch
 from ..stats.tdist import student_t_two_tailed_pvalue_batch
 from ..stats.welch import welch_satterthwaite_df_batch, welch_t_statistic_batch
 from ..types import ContrastResult, Subspace
+from ..utils.random_state import fresh_entropy
 from ..utils.validation import check_positive_int
 
 __all__ = ["ContrastCache", "ContrastEstimator"]
+
+logger = logging.getLogger(__name__)
 
 _ENGINES = ("batch", "scalar")
 
@@ -262,9 +266,21 @@ class ContrastEstimator:
 
     @staticmethod
     def _derive_entropy(random_state) -> int:
-        """Root entropy for the per-subspace seed derivation."""
+        """Root entropy for the per-subspace seed derivation.
+
+        An unseeded estimator draws its root seed from the library's single
+        sanctioned entropy source
+        (:func:`~repro.utils.random_state.fresh_entropy`); the drawn value is
+        recorded on the estimator (:attr:`root_entropy`) so the run can be
+        replayed exactly by passing it back as ``random_state``.
+        """
         if random_state is None:
-            return int(np.random.SeedSequence().entropy)
+            entropy = fresh_entropy()
+            logger.debug(
+                "ContrastEstimator drew fresh root entropy %d; pass "
+                "random_state=%d to replay this run", entropy, entropy,
+            )
+            return entropy
         if isinstance(random_state, (int, np.integer)) and not isinstance(
             random_state, bool
         ):
@@ -291,6 +307,18 @@ class ContrastEstimator:
     @property
     def n_dims(self) -> int:
         return self.index.n_dims
+
+    @property
+    def root_entropy(self) -> int:
+        """The root seed all per-subspace generators derive from.
+
+        For a seeded estimator this is the (normalised) ``random_state``; for
+        an unseeded one it is the value drawn from
+        :func:`~repro.utils.random_state.fresh_entropy`.  Constructing a new
+        estimator with ``random_state=estimator.root_entropy`` reproduces
+        every contrast bit for bit.
+        """
+        return int(self._entropy)
 
     # ------------------------------------------------------------------ seeding
 
@@ -736,7 +764,7 @@ class ContrastEstimator:
                 resolved.close()
             self._exec_backend = None
 
-    def __enter__(self) -> "ContrastEstimator":
+    def __enter__(self) -> ContrastEstimator:
         return self
 
     def __exit__(self, *exc_info) -> None:

@@ -178,6 +178,9 @@ class HiCS(SubspaceSearcher):
         )
         self.evaluated_subspaces_ = {}
         self.levels_ = []
+        # Record the root seed of this search (the drawn entropy when
+        # random_state=None) so any fitted result can be replayed exactly.
+        self.root_entropy_ = estimator.root_entropy
 
         candidates = all_two_dimensional_subspaces(data.shape[1])
         all_scored: List[ScoredSubspace] = []

@@ -42,7 +42,7 @@ class Subspace:
 
     attributes: Tuple[int, ...]
 
-    def __init__(self, attributes: Iterable[int]):
+    def __init__(self, attributes: Iterable[int]) -> None:
         attrs = tuple(sorted({int(a) for a in attributes}))
         if len(attrs) == 0:
             raise SubspaceError("a subspace must contain at least one attribute")
@@ -64,11 +64,11 @@ class Subspace:
     def __contains__(self, attribute: object) -> bool:
         return attribute in self.attributes
 
-    def union(self, other: "Subspace") -> "Subspace":
+    def union(self, other: Subspace) -> Subspace:
         """Return the subspace spanned by the attributes of both subspaces."""
         return Subspace(self.attributes + other.attributes)
 
-    def without(self, attribute: int) -> "Subspace":
+    def without(self, attribute: int) -> Subspace:
         """Return a copy of this subspace with ``attribute`` removed."""
         if attribute not in self.attributes:
             raise SubspaceError(f"attribute {attribute} not in subspace {self.attributes}")
@@ -77,11 +77,11 @@ class Subspace:
             raise SubspaceError("removing the attribute would leave an empty subspace")
         return Subspace(remaining)
 
-    def is_subset_of(self, other: "Subspace") -> bool:
+    def is_subset_of(self, other: Subspace) -> bool:
         """True if every attribute of this subspace is contained in ``other``."""
         return set(self.attributes).issubset(other.attributes)
 
-    def is_superset_of(self, other: "Subspace") -> bool:
+    def is_superset_of(self, other: Subspace) -> bool:
         """True if this subspace contains every attribute of ``other``."""
         return set(self.attributes).issuperset(other.attributes)
 
@@ -211,7 +211,7 @@ class RankingResult:
         subspaces: Sequence[Subspace] = (),
         method: str = "",
         metadata: Optional[Dict[str, object]] = None,
-    ):
+    ) -> None:
         scores = np.asarray(scores, dtype=float)
         if scores.ndim != 1:
             raise ValueError("scores must be a one-dimensional array")

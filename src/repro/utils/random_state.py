@@ -13,20 +13,38 @@ import numpy as np
 
 from ..exceptions import ParameterError
 
-__all__ = ["check_random_state", "spawn_child_rng"]
+__all__ = ["check_random_state", "fresh_entropy", "spawn_child_rng"]
 
 RandomStateLike = Union[None, int, np.random.Generator, np.random.RandomState]
+
+
+def fresh_entropy() -> int:
+    """Draw a root seed from OS entropy — the library's **only** sanctioned
+    nondeterminism source.
+
+    Every component that is asked to run unseeded (``random_state=None``)
+    must obtain its root seed here instead of calling
+    ``numpy.random.SeedSequence()`` / ``default_rng()`` directly (the
+    ``RPR101`` lint rule enforces this).  Funnelling all fresh draws through
+    one function keeps them auditable and, crucially, *recordable*: callers
+    such as :class:`~repro.subspaces.contrast.ContrastEstimator` store the
+    returned integer so an unseeded run can be replayed exactly by passing
+    it back as ``random_state``.
+    """
+    entropy = np.random.SeedSequence().entropy  # repro-lint: disable=RPR101,RPR201 -- the single sanctioned fresh-entropy draw; callers record the returned seed so unseeded runs stay replayable
+    return int(entropy if entropy is not None else 0)
 
 
 def check_random_state(random_state: RandomStateLike = None) -> np.random.Generator:
     """Normalise a seed-like argument into a :class:`numpy.random.Generator`.
 
-    Accepted inputs are ``None`` (fresh entropy), an integer seed, an existing
-    :class:`numpy.random.Generator` (returned as is) or a legacy
-    :class:`numpy.random.RandomState` (wrapped into a Generator).
+    Accepted inputs are ``None`` (fresh entropy via :func:`fresh_entropy`),
+    an integer seed, an existing :class:`numpy.random.Generator` (returned as
+    is) or a legacy :class:`numpy.random.RandomState` (wrapped into a
+    Generator).
     """
     if random_state is None:
-        return np.random.default_rng()
+        return np.random.default_rng(fresh_entropy())
     if isinstance(random_state, np.random.Generator):
         return random_state
     if isinstance(random_state, np.random.RandomState):

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.baselines import RandomSubspaceSearcher
 from repro.dataset import Dataset, generate_synthetic_dataset
 from repro.evaluation import (
     ExperimentResult,
@@ -22,9 +23,8 @@ from repro.evaluation import (
 from repro.evaluation.experiments import mean_auc_by_method
 from repro.evaluation.reporting import format_series_table
 from repro.exceptions import DataError
-from repro.pipeline import PipelineConfig, SubspaceOutlierPipeline
-from repro.baselines import RandomSubspaceSearcher
 from repro.outliers import LOFScorer
+from repro.pipeline import PipelineConfig, SubspaceOutlierPipeline
 
 sklearn_metrics = pytest.importorskip("scipy", reason="scipy unavailable")
 

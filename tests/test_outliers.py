@@ -12,8 +12,8 @@ from repro.outliers import (
     LOFScorer,
     SubspaceOutlierRanker,
     aggregate_scores,
-    average_aggregation,
     available_aggregations,
+    average_aggregation,
     knn_distance_score,
     local_outlier_factor,
     maximum_aggregation,
