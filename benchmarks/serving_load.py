@@ -1,0 +1,286 @@
+"""Serving latency/throughput benchmark: the ``repro-hics serve`` gate.
+
+Self-contained loopback load test of the online scoring service.  A small
+model is fitted and saved, a :class:`ScoringServer` is started in-process on
+an ephemeral port, and a pool of keep-alive HTTP clients hammers ``POST
+/score`` with single-point requests — exactly the traffic pattern the
+micro-batcher exists for.
+
+Two server configurations are measured on the warm path at fixed
+concurrency:
+
+* **batched** — micro-batching on (``max_batch_size=64``): concurrent
+  requests coalesce into one ``score_samples_independent`` pass.
+* **naive** — micro-batching off (``max_batch_size=1``): every request pays
+  its own scoring pass through the same single-writer executor.
+
+Acceptance gates (exit 1 on failure):
+
+* every served score is bit-identical to the offline
+  ``score_samples(..., independent=True)`` reference,
+* batched p50/p99 latency stay under the configured bounds,
+* batched throughput is at least ``--min-speedup`` (default 2x) the naive
+  configuration's.
+
+Writes ``BENCH_serving.json`` stamped with the environment manifest.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/serving_load.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro import HiCS, LOFScorer, SubspaceOutlierPipeline, generate_synthetic_dataset
+from repro.experiments import environment_manifest
+from repro.serving import ModelRegistry, serve_in_thread
+
+#: The serving workload: small enough that a warm single-point independent
+#: score costs a few milliseconds, so request handling and batching — not
+#: raw scoring — dominate what the benchmark measures.
+MODEL_PARAMS = dict(n_objects=300, n_dims=10, n_relevant_subspaces=3, random_state=0)
+SEARCH_PARAMS = dict(
+    n_iterations=20, candidate_cutoff=40, max_output_subspaces=10, random_state=0
+)
+
+
+def _percentile(values: List[float], q: float) -> float:
+    return float(np.percentile(np.asarray(values), q))
+
+
+def _run_load(
+    port: int,
+    queries: np.ndarray,
+    *,
+    concurrency: int,
+    requests_per_client: int,
+    warmup_per_client: int,
+) -> Dict[str, object]:
+    """Hammer ``POST /score`` from ``concurrency`` keep-alive clients.
+
+    Every client cycles deterministically through the query pool (offset by
+    its client index), records per-request wall latency, and checks the
+    served score against the offline reference downstream.  Returns latency
+    percentiles, throughput and every (query index, score) pair observed.
+    """
+    payloads = [json.dumps({"point": list(row)}).encode() for row in queries]
+    start_barrier = threading.Barrier(concurrency + 1)
+    latencies_ms: List[List[float]] = [[] for _ in range(concurrency)]
+    scored: List[List[object]] = [[] for _ in range(concurrency)]
+    batch_sizes: List[List[int]] = [[] for _ in range(concurrency)]
+    errors: List[str] = []
+
+    def client(client_index: int) -> None:
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+        try:
+            for warmup_index in range(warmup_per_client):
+                connection.request(
+                    "POST", "/score", body=payloads[(client_index + warmup_index) % len(payloads)]
+                )
+                connection.getresponse().read()
+            start_barrier.wait(timeout=60)
+            for request_index in range(requests_per_client):
+                query_index = (client_index + request_index) % len(payloads)
+                started = time.perf_counter()
+                connection.request("POST", "/score", body=payloads[query_index])
+                response = connection.getresponse()
+                body = json.loads(response.read().decode())
+                elapsed_ms = (time.perf_counter() - started) * 1000.0
+                if response.status != 200:
+                    errors.append(f"status {response.status}: {body}")
+                    return
+                latencies_ms[client_index].append(elapsed_ms)
+                scored[client_index].append((query_index, body["score"]))
+                batch_sizes[client_index].append(body["batch_size"])
+        except Exception as exc:  # propagated through `errors`, not lost
+            errors.append(f"client {client_index}: {exc!r}")
+            try:
+                start_barrier.abort()
+            except threading.BrokenBarrierError:
+                pass
+        finally:
+            connection.close()
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(concurrency)]
+    for thread in threads:
+        thread.start()
+    start_barrier.wait(timeout=120)
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall_sec = time.perf_counter() - started
+    if errors:
+        raise RuntimeError(f"load generation failed: {errors[:3]}")
+
+    flat_latencies = [value for per_client in latencies_ms for value in per_client]
+    flat_batches = [value for per_client in batch_sizes for value in per_client]
+    total = len(flat_latencies)
+    return {
+        "requests": total,
+        "concurrency": concurrency,
+        "wall_sec": round(wall_sec, 4),
+        "throughput_rps": round(total / wall_sec, 2),
+        "latency_ms": {
+            "p50": round(_percentile(flat_latencies, 50), 3),
+            "p90": round(_percentile(flat_latencies, 90), 3),
+            "p99": round(_percentile(flat_latencies, 99), 3),
+            "max": round(max(flat_latencies), 3),
+        },
+        "mean_batch_size": round(sum(flat_batches) / len(flat_batches), 2),
+        "max_batch_size_observed": max(flat_batches),
+        "scored": [pair for per_client in scored for pair in per_client],
+    }
+
+
+def run_serving_benchmark(
+    out: str,
+    *,
+    concurrency: int,
+    requests_per_client: int,
+    min_speedup: float,
+    max_p50_ms: float,
+    max_p99_ms: float,
+) -> int:
+    print("fitting and saving the serving model ...", flush=True)
+    dataset = generate_synthetic_dataset(**MODEL_PARAMS)
+    with tempfile.TemporaryDirectory() as tmp:
+        model_path = os.path.join(tmp, "serving_model.npz")
+        with SubspaceOutlierPipeline(
+            searcher=HiCS(**SEARCH_PARAMS), scorer=LOFScorer(min_pts=10)
+        ) as pipeline:
+            pipeline.fit(dataset)
+            pipeline.save(model_path)
+
+        rng = np.random.default_rng(7)
+        queries = rng.uniform(0.05, 0.95, size=(32, dataset.n_dims))
+        with SubspaceOutlierPipeline.load(model_path) as offline:
+            offline.score_samples(queries[:1], independent=True)  # warm
+            reference_scores = offline.score_samples(queries, independent=True)
+
+        suites = {}
+        for mode, max_batch_size in (("batched", 64), ("naive", 1)):
+            print(
+                f"running {mode} load (max_batch_size={max_batch_size}, "
+                f"concurrency={concurrency}) ...",
+                flush=True,
+            )
+            registry = ModelRegistry(model_path)
+            with serve_in_thread(registry, max_batch_size=max_batch_size) as server:
+                suite = _run_load(
+                    server.port,
+                    queries,
+                    concurrency=concurrency,
+                    requests_per_client=requests_per_client,
+                    warmup_per_client=4,
+                )
+            served = suite.pop("scored")
+            suite["scores_bit_identical"] = all(
+                score == reference_scores[query_index] for query_index, score in served
+            )
+            suite["mode"] = mode
+            suite["server_max_batch_size"] = max_batch_size
+            suites[mode] = suite
+            print(
+                f"  {mode}: {suite['throughput_rps']} req/s  "
+                f"p50 {suite['latency_ms']['p50']} ms  "
+                f"p99 {suite['latency_ms']['p99']} ms  "
+                f"mean batch {suite['mean_batch_size']}  "
+                f"identical={suite['scores_bit_identical']}"
+            )
+
+    batched, naive = suites["batched"], suites["naive"]
+    speedup = round(batched["throughput_rps"] / naive["throughput_rps"], 2)
+    payload = {
+        "benchmark": "serving-load",
+        "model_params": MODEL_PARAMS,
+        "search_params": SEARCH_PARAMS,
+        **environment_manifest(),
+        "suites": [batched, naive],
+        "acceptance": {
+            "required_speedup": min_speedup,
+            "measured_speedup": speedup,
+            "meets_speedup": speedup >= min_speedup,
+            "max_p50_ms": max_p50_ms,
+            "measured_p50_ms": batched["latency_ms"]["p50"],
+            "meets_p50": batched["latency_ms"]["p50"] <= max_p50_ms,
+            "max_p99_ms": max_p99_ms,
+            "measured_p99_ms": batched["latency_ms"]["p99"],
+            "meets_p99": batched["latency_ms"]["p99"] <= max_p99_ms,
+            "all_scores_bit_identical": (
+                batched["scores_bit_identical"] and naive["scores_bit_identical"]
+            ),
+            "micro_batching_observed": batched["max_batch_size_observed"] > 1,
+        },
+    }
+    with open(out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"wrote {out}")
+
+    acceptance = payload["acceptance"]
+    if not acceptance["all_scores_bit_identical"]:
+        print("FAIL: served scores differ from the offline reference", file=sys.stderr)
+        return 1
+    if not acceptance["micro_batching_observed"]:
+        print("FAIL: no request was ever micro-batched", file=sys.stderr)
+        return 1
+    if not acceptance["meets_speedup"]:
+        print(
+            f"FAIL: batched throughput only {speedup}x naive (< {min_speedup}x)",
+            file=sys.stderr,
+        )
+        return 1
+    if not acceptance["meets_p50"] or not acceptance["meets_p99"]:
+        print(
+            f"FAIL: batched latency p50 {batched['latency_ms']['p50']} ms / "
+            f"p99 {batched['latency_ms']['p99']} ms exceeds "
+            f"{max_p50_ms}/{max_p99_ms} ms",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_serving.json", help="output path")
+    parser.add_argument("--concurrency", type=int, default=16, help="client threads")
+    parser.add_argument(
+        "--requests-per-client", type=int, default=48, help="measured requests per client"
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.0,
+        help="required batched-over-naive throughput ratio",
+    )
+    parser.add_argument(
+        "--max-p50-ms", type=float, default=150.0, help="batched p50 latency bound"
+    )
+    parser.add_argument(
+        "--max-p99-ms", type=float, default=750.0, help="batched p99 latency bound"
+    )
+    args = parser.parse_args(argv)
+    return run_serving_benchmark(
+        args.out,
+        concurrency=args.concurrency,
+        requests_per_client=args.requests_per_client,
+        min_speedup=args.min_speedup,
+        max_p50_ms=args.max_p50_ms,
+        max_p99_ms=args.max_p99_ms,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -101,10 +101,10 @@ def main() -> None:
         print(f"  contrast={item.score:.3f}  {names}")
 
     # Step 2: rank the nodes using LOF inside the selected combinations.
-    pipeline = SubspaceOutlierPipeline(
+    with SubspaceOutlierPipeline(
         searcher=HiCS(n_iterations=60, random_state=0), scorer=LOFScorer(min_pts=15)
-    )
-    result = pipeline.fit_rank(dataset)
+    ) as pipeline:
+        result = pipeline.fit_rank(dataset)
     ranking = result.ranking()
     position = {int(obj): int(np.where(ranking == obj)[0][0]) + 1 for obj in (outlier1, outlier2)}
 

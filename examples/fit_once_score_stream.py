@@ -92,6 +92,11 @@ def main() -> None:
           f"independent max score {independent.max():.3f} "
           f"({independent_ms:.1f} ms warm for {len(attack)} objects)")
 
+    # A real serving host closes the pipeline when it retires the model —
+    # that drops the warm engine caches deterministically (``repro-hics
+    # serve`` does exactly this on every hot reload).
+    serving.close()
+
     # The same pipeline is also reachable via a registry spec string; the
     # engine segment is part of the grammar.
     same = make_pipeline_from_spec(
@@ -101,6 +106,8 @@ def main() -> None:
     check = rng.uniform(size=(5, reference.n_dims))
     assert np.array_equal(same.score_samples(check), pipeline.score_samples(check))
     print("spec-built pipeline reproduces the scores of the hand-built one")
+    same.close()
+    pipeline.close()
 
 
 if __name__ == "__main__":

@@ -52,11 +52,11 @@ def main() -> None:
     # --------------------------------------------------------- full pipeline
     # Step 1 + step 2 in one call: HiCS subspace search, LOF scoring in each
     # selected subspace, average aggregation.
-    pipeline = SubspaceOutlierPipeline(
+    with SubspaceOutlierPipeline(
         searcher=HiCS(n_iterations=50, random_state=0),
         scorer=LOFScorer(min_pts=10),
-    )
-    result = pipeline.fit_rank(dataset)
+    ) as pipeline:
+        result = pipeline.fit_rank(dataset)
     print(f"\nHiCS+LOF used {len(result.subspaces)} subspaces "
           f"in {result.metadata['total_time_sec']:.2f}s")
 

@@ -6,20 +6,28 @@ Sub-commands
               with a chosen method or registry spec and print the top outliers.
 ``fit``       Fit a pipeline on a reference dataset and save the fitted model.
 ``score``     Score new objects against a previously fitted (saved) model.
+``serve``     Serve a fitted model over HTTP: micro-batched ``/score``,
+              versioned hot reload, ``/healthz`` and ``/metrics``.
 ``contrast``  Print the highest-contrast subspaces HiCS finds in a dataset.
 ``compare``   Run several methods on a labelled dataset and print an AUC table.
 ``bench``     Run the paper's figure/ablation experiment suite (sharded,
               cached, manifest-stamped artifacts under ``artifacts/``).
 ``datasets``  List the built-in datasets.
 ``registry``  List the registered searchers, scorers and aggregators.
+
+Every one-shot command owns its pipeline through a context manager, so
+worker pools, shared-memory planes, contrast caches and warm scoring engines
+are released deterministically instead of at interpreter teardown (the
+RPR501 lifecycle lint rule pins this).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import sys
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 from .dataset import available_datasets, load_csv, load_dataset
 from .evaluation.experiments import evaluate_method_on_dataset
@@ -124,6 +132,52 @@ def build_parser() -> argparse.ArgumentParser:
     add_dataset_arguments(fit)
     add_method_arguments(fit)
     fit.add_argument("--out", required=True, help="path of the fitted model file (.npz)")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve a fitted model over HTTP (fit once, score millions)",
+        description=(
+            "Start the online scoring service on a fitted model written by "
+            "'fit'.  Concurrent single-point POST /score requests are "
+            "micro-batched into one warm engine pass; POST /admin/reload (or "
+            "--watch-interval) hot-swaps the model atomically without "
+            "dropping in-flight requests; GET /healthz and GET /metrics "
+            "report queue depth, batch sizes and latency histograms."
+        ),
+    )
+    serve.add_argument(
+        "--model",
+        required=True,
+        help="fitted model file written by 'fit', or a registry directory "
+        "holding versioned *.npz models (the lexicographically last one "
+        "is served)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=8765, help="TCP port (default 8765; 0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=64,
+        help="largest micro-batch one engine pass may coalesce (default 64)",
+    )
+    serve.add_argument(
+        "--max-batch-wait-ms",
+        type=float,
+        default=0.0,
+        help="extra milliseconds to hold the first request of a batch for "
+        "followers; 0 (default) is adaptive-only batching — requests "
+        "arriving while a batch is being scored form the next batch",
+    )
+    serve.add_argument(
+        "--watch-interval",
+        type=float,
+        default=0.0,
+        help="poll the model path every N seconds and hot-reload when it "
+        "changes (default 0 = reload only via POST /admin/reload)",
+    )
+    add_engine_arguments(serve)
 
     score = subparsers.add_parser(
         "score", help="score new objects against a fitted (saved) model"
@@ -307,6 +361,21 @@ def _print_top(result, top: int) -> None:
         print(f"{rank:>4}  {obj:>8}  {result.scores[obj]:>10.4f}")
 
 
+@contextlib.contextmanager
+def _owned_pipeline(pipeline) -> Iterator[object]:
+    """Deterministic lifecycle for any pipeline flavour the factories build.
+
+    ``SubspaceOutlierPipeline`` is a context manager of its own; front ends
+    without a ``close`` (the PCA reducers) simply have nothing to release.
+    """
+    try:
+        yield pipeline
+    finally:
+        closer = getattr(pipeline, "close", None)
+        if callable(closer):
+            closer()
+
+
 def _resolve_method_pipeline(args: argparse.Namespace):
     """Build the pipeline for the shared --method/--spec/--min-pts arguments."""
     method = args.spec if args.spec else args.method
@@ -324,7 +393,12 @@ def _resolve_method_pipeline(args: argparse.Namespace):
 def _command_rank(args: argparse.Namespace) -> int:
     dataset = _load(args)
     method, pipeline = _resolve_method_pipeline(args)
-    result = pipeline.fit_rank(dataset) if hasattr(pipeline, "fit_rank") else pipeline.rank(dataset.data)
+    with _owned_pipeline(pipeline):
+        result = (
+            pipeline.fit_rank(dataset)
+            if hasattr(pipeline, "fit_rank")
+            else pipeline.rank(dataset.data)
+        )
     print(f"method: {method}   dataset: {dataset.name}   objects: {dataset.n_objects}")
     _print_top(result, args.top)
     return 0
@@ -339,31 +413,73 @@ def _command_fit(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    pipeline.fit(dataset)
-    pipeline.save(args.out)
-    note = " (full-space fallback)" if pipeline.fallback_full_space_ else ""
-    print(
-        f"fitted {method} on {dataset.name!r} "
-        f"({dataset.n_objects} objects, {dataset.n_dims} dims); "
-        f"{len(pipeline.subspaces_)} subspaces{note} -> {args.out}"
-    )
+    with pipeline:
+        pipeline.fit(dataset)
+        pipeline.save(args.out)
+        note = " (full-space fallback)" if pipeline.fallback_full_space_ else ""
+        print(
+            f"fitted {method} on {dataset.name!r} "
+            f"({dataset.n_objects} objects, {dataset.n_dims} dims); "
+            f"{len(pipeline.subspaces_)} subspaces{note} -> {args.out}"
+        )
     return 0
 
 
 def _command_score(args: argparse.Namespace) -> int:
     dataset = _load(args)
-    pipeline = SubspaceOutlierPipeline.load(args.model)
-    # Serve-time override: the engine is a throughput knob, not part of the
-    # fitted model, so the scoring host may pick a different one than the
-    # machine that ran fit.
-    pipeline.engine = pipeline.ranker.engine = args.scoring_engine
-    pipeline.memory_budget_mb = pipeline.ranker.memory_budget_mb = args.memory_budget_mb
-    result = pipeline.rank(dataset, independent=args.independent)
+    with SubspaceOutlierPipeline.load(args.model) as pipeline:
+        # Serve-time override: the engine is a throughput knob, not part of the
+        # fitted model, so the scoring host may pick a different one than the
+        # machine that ran fit.
+        pipeline.engine = pipeline.ranker.engine = args.scoring_engine
+        pipeline.memory_budget_mb = pipeline.ranker.memory_budget_mb = args.memory_budget_mb
+        result = pipeline.rank(dataset, independent=args.independent)
     print(
         f"model: {args.model}   method: {result.method}   "
         f"new objects: {dataset.n_objects}"
     )
     _print_top(result, args.top)
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serving import ModelRegistry, ScoringServer
+
+    registry = ModelRegistry(
+        args.model,
+        scoring_engine=args.scoring_engine,
+        memory_budget_mb=args.memory_budget_mb,
+    )
+    server = ScoringServer(
+        registry,
+        host=args.host,
+        port=args.port,
+        max_batch_size=args.max_batch_size,
+        max_batch_wait_ms=args.max_batch_wait_ms,
+        watch_interval=args.watch_interval,
+    )
+
+    async def _run() -> None:
+        await server.start()
+        model = registry.current
+        print(
+            f"serving {model.path} (version {model.version}, "
+            f"{model.n_dims} dims) on http://{server.host}:{server.port} — "
+            f"POST /score, POST /score/batch, GET /healthz, GET /metrics, "
+            f"POST /admin/reload",
+            flush=True,
+        )
+        try:
+            await server.wait_closed()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -378,7 +494,8 @@ def _command_contrast(args: argparse.Namespace) -> int:
         n_jobs=args.n_jobs,
         backend=args.backend,
     )
-    scored = searcher.search(dataset.data)[: args.top]
+    with contextlib.closing(searcher):
+        scored = searcher.search(dataset.data)[: args.top]
     print(f"dataset: {dataset.name}   dims: {dataset.n_dims}   objects: {dataset.n_objects}")
     print(f"{'contrast':>10}  subspace")
     for item in scored:
@@ -559,6 +676,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "rank": _command_rank,
         "fit": _command_fit,
         "score": _command_score,
+        "serve": _command_serve,
         "contrast": _command_contrast,
         "compare": _command_compare,
         "bench": _command_bench,

@@ -174,7 +174,12 @@ def evaluate_method_on_dataset(
         If the dataset has no outlier labels (AUC is undefined then).
     """
     pipeline_like = make_method_pipeline(method, config)
-    return evaluate_pipeline_on_dataset(pipeline_like, dataset, method=method)
+    try:
+        return evaluate_pipeline_on_dataset(pipeline_like, dataset, method=method)
+    finally:
+        closer = getattr(pipeline_like, "close", None)
+        if callable(closer):
+            closer()
 
 
 def run_method_comparison(

@@ -134,12 +134,17 @@ def _task_evaluate(cell: Cell, dataset: Dataset) -> List[Dict[str, object]]:
 def _task_roc(cell: Cell, dataset: Dataset) -> List[Dict[str, object]]:
     grid_points = int(cell.task_params.get("roc_grid_points", 11))
     pipeline = make_method_pipeline(cell.method, cell.pipeline_config())
-    with timed() as clock:
-        result = (
-            pipeline.fit_rank(dataset)
-            if hasattr(pipeline, "fit_rank")
-            else pipeline.rank(dataset.data)
-        )
+    try:
+        with timed() as clock:
+            result = (
+                pipeline.fit_rank(dataset)
+                if hasattr(pipeline, "fit_rank")
+                else pipeline.rank(dataset.data)
+            )
+    finally:
+        closer = getattr(pipeline, "close", None)
+        if callable(closer):
+            closer()
     grid = np.linspace(0.0, 1.0, grid_points)
     fpr, tpr, _ = roc_curve(dataset.labels, result.scores)
     return [

@@ -1,12 +1,15 @@
 """RPR5xx — resource lifecycle.
 
 ``ContrastEstimator``, the execution backends and the shared-memory plane
-own persistent worker pools and ``/dev/shm`` segments.  A construction site
-that never closes them leaks processes and shared memory for the rest of the
-run.  ``RPR501`` accepts any of the idioms the codebase uses — ``with``,
-storing on ``self``, returning to the caller, passing ownership into another
-call, or an explicit ``close()``/``unlink()``/``shutdown()`` on the name —
-and flags everything else.
+own persistent worker pools and ``/dev/shm`` segments; pipelines and their
+factories own components that accumulate pool handles, contrast caches and
+warm reference engines (up to their memory budget of distance blocks).  A
+construction site that never closes them leaks processes, shared memory or
+cache pages for the rest of the run.  ``RPR501`` accepts any of the idioms
+the codebase uses — ``with``, storing on ``self``, returning to the caller,
+passing ownership into another call, or an explicit
+``close()``/``unlink()``/``shutdown()`` on the name — and flags everything
+else.
 """
 
 from __future__ import annotations
@@ -17,6 +20,10 @@ from typing import Iterator, List, Optional, Set
 from ..core import Finding, ModuleInfo, Rule, register_rule
 
 #: Constructors/factories whose results own pools or shared-memory segments.
+#: Pipeline constructors/factories belong here too: a pipeline owns a
+#: searcher (contrast cache, execution backend) and a scorer (warm reference
+#: engine), so a one-shot host that drops one unclosed strands all of those
+#: until interpreter teardown.
 _RESOURCE_CONSTRUCTORS = frozenset(
     {
         "ContrastEstimator",
@@ -27,8 +34,19 @@ _RESOURCE_CONSTRUCTORS = frozenset(
         "make_backend",
         "resolve_backend",
         "attach_arrays",
+        "SubspaceOutlierPipeline",
+        "make_method_pipeline",
+        "make_pipeline_from_spec",
+        "make_default_pipeline",
     }
 )
+
+#: Qualified classmethod factories.  These must match on their *last two*
+#: name components: a bare ``load`` tail would flag every unrelated
+#: ``anything.load(...)`` call (``numpy.load`` included), which is exactly
+#: the blind spot that let ``SubspaceOutlierPipeline.load(...)`` sites slip
+#: through unclosed.
+_QUALIFIED_RESOURCE_CONSTRUCTORS = frozenset({"SubspaceOutlierPipeline.load"})
 
 _CLOSERS = frozenset({"close", "unlink", "shutdown"})
 
@@ -36,7 +54,10 @@ _CLOSERS = frozenset({"close", "unlink", "shutdown"})
 def _constructor_tail(name: Optional[str]) -> Optional[str]:
     if name is None:
         return None
-    tail = name.rsplit(".", 1)[-1]
+    parts = name.split(".")
+    if len(parts) >= 2 and ".".join(parts[-2:]) in _QUALIFIED_RESOURCE_CONSTRUCTORS:
+        return ".".join(parts[-2:])
+    tail = parts[-1]
     return tail if tail in _RESOURCE_CONSTRUCTORS else None
 
 
@@ -64,8 +85,9 @@ class ResourceLifecycleRule(Rule):
     code = "RPR501"
     name = "resource-lifecycle"
     summary = (
-        "pool/shared-memory owners (ContrastEstimator, backends, planes, "
-        "worker contexts) must be closed at every construction site"
+        "pool/shared-memory/cache owners (ContrastEstimator, backends, "
+        "planes, worker contexts, pipelines and pipeline factories) must be "
+        "closed at every construction site"
     )
 
     def check_module(self, module: ModuleInfo) -> Iterator[Finding]:

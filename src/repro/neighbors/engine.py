@@ -17,6 +17,21 @@ heavily share dimensions, yet the per-subspace path rebuilds its own
 * an asymmetric query-vs-reference mode scores new points against the fitted
   reference without Python-level per-object loops.
 
+Thread safety
+-------------
+The engine is mutated by reads: assemblies update the LRU block cache, top-k
+queries recycle a persistent scratch buffer and memoise neighbour lists.  All
+cache-touching entry points (:meth:`SharedNeighborEngine.squared_distances`,
+:meth:`~SharedNeighborEngine.distance_matrix`,
+:meth:`~SharedNeighborEngine.kneighbors`) therefore serialise on an internal
+lock, so a warm engine shared by concurrent scoring threads (the serving
+path) returns exactly the scores a serial caller would see — pinned bit for
+bit by ``tests/test_shared_engine.py``.  The asymmetric ``query_*`` methods
+touch no shared state and run without the lock.  Coarse per-call locking is
+deliberate: the serving layer funnels scoring through a single-writer
+executor anyway, so the lock is a correctness backstop for direct library
+use, not a throughput path.
+
 Because the per-subspace reference path (:func:`~repro.neighbors.distance.pairwise_distances`)
 accumulates the very same :func:`~repro.neighbors.distance.squared_difference_block`
 floats in the very same order, every distance, neighbour index and downstream
@@ -27,6 +42,7 @@ per-subspace path — the equivalence the golden suite in
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Iterable, Optional, Sequence, Tuple
 
@@ -105,6 +121,11 @@ class SharedNeighborEngine:
         # Small (n x k each) but hot: streaming independent scoring re-reads
         # the same reference neighbour lists for every incoming batch.
         self._knn_cache: OrderedDict[Tuple, KNNResult] = OrderedDict()
+        # Serialises every cache-mutating query (see module docstring): the
+        # LRU structures, the request counters and the scratch rows are all
+        # mutated mid-read, so unlocked concurrent queries would corrupt
+        # results, not merely waste work.
+        self._query_lock = threading.RLock()
 
     # ------------------------------------------------------------- basics
 
@@ -253,7 +274,8 @@ class SharedNeighborEngine:
     def squared_distances(self, attributes: Optional[Iterable[int]] = None) -> np.ndarray:
         """Assembled squared subspace distances, shape ``(n, n)`` (fresh array)."""
         attrs = self._attributes(attributes)
-        return self._squared_prefix(attrs).copy()
+        with self._query_lock:
+            return self._squared_prefix(attrs).copy()
 
     def distance_matrix(self, attributes: Optional[Iterable[int]] = None) -> np.ndarray:
         """Subspace distance matrix, bit-for-bit equal to ``pairwise_distances``.
@@ -261,7 +283,8 @@ class SharedNeighborEngine:
         Returns a fresh array the caller may mutate.
         """
         attrs = self._attributes(attributes)
-        distances = np.sqrt(self._squared_prefix(attrs))
+        with self._query_lock:
+            distances = np.sqrt(self._squared_prefix(attrs))
         np.fill_diagonal(distances, 0.0)
         return distances
 
@@ -292,35 +315,36 @@ class SharedNeighborEngine:
                 f"k={k} is too large for {n} objects (max {max_k} with exclude_self={exclude_self})"
             )
         cache_key = (attrs, k, exclude_self)
-        cached = self._knn_cache.get(cache_key)
-        if cached is not None:
-            self._knn_cache.move_to_end(cache_key)
-            return cached
-        chunk = self._chunk_rows()
-        diagonal = np.inf if exclude_self else 0.0
-        if chunk >= n:
-            # Fused fast path: assemble and square-root in one persistent
-            # scratch buffer so the top-k partition runs on warm pages.
-            rows = self._scratch_rows(n)
-            self._assemble_squared_into(attrs, rows)
-            np.sqrt(rows, out=rows)
-            rows[np.arange(n), np.arange(n)] = diagonal
-            indices, distances = top_k_smallest(rows, k)
-        else:
-            indices = np.empty((n, k), dtype=np.intp)
-            distances = np.empty((n, k), dtype=float)
-            for start in range(0, n, chunk):
-                stop = min(start + chunk, n)
-                rows = np.sqrt(self._squared_rows(attrs, start, stop))
-                rows[np.arange(stop - start), np.arange(start, stop)] = diagonal
-                idx, vals = top_k_smallest(rows, k)
-                indices[start:stop] = idx
-                distances[start:stop] = vals
-        result = KNNResult(indices=indices, distances=distances)
-        while len(self._knn_cache) >= 128:
-            self._knn_cache.popitem(last=False)
-        self._knn_cache[cache_key] = result
-        return result
+        with self._query_lock:
+            cached = self._knn_cache.get(cache_key)
+            if cached is not None:
+                self._knn_cache.move_to_end(cache_key)
+                return cached
+            chunk = self._chunk_rows()
+            diagonal = np.inf if exclude_self else 0.0
+            if chunk >= n:
+                # Fused fast path: assemble and square-root in one persistent
+                # scratch buffer so the top-k partition runs on warm pages.
+                rows = self._scratch_rows(n)
+                self._assemble_squared_into(attrs, rows)
+                np.sqrt(rows, out=rows)
+                rows[np.arange(n), np.arange(n)] = diagonal
+                indices, distances = top_k_smallest(rows, k)
+            else:
+                indices = np.empty((n, k), dtype=np.intp)
+                distances = np.empty((n, k), dtype=float)
+                for start in range(0, n, chunk):
+                    stop = min(start + chunk, n)
+                    rows = np.sqrt(self._squared_rows(attrs, start, stop))
+                    rows[np.arange(stop - start), np.arange(start, stop)] = diagonal
+                    idx, vals = top_k_smallest(rows, k)
+                    indices[start:stop] = idx
+                    distances[start:stop] = vals
+            result = KNNResult(indices=indices, distances=distances)
+            while len(self._knn_cache) >= 128:
+                self._knn_cache.popitem(last=False)
+            self._knn_cache[cache_key] = result
+            return result
 
     def query_squared_distances(
         self, queries: np.ndarray, attributes: Optional[Iterable[int]] = None

@@ -43,8 +43,21 @@ def _stack(per_subspace_scores: Sequence[np.ndarray]) -> np.ndarray:
 
 
 def average_aggregation(score_matrix: np.ndarray) -> np.ndarray:
-    """Average per-subspace scores (the paper's default, Definition 1)."""
-    return np.asarray(score_matrix, dtype=float).mean(axis=0)
+    """Average per-subspace scores (the paper's default, Definition 1).
+
+    Rows are accumulated left-to-right instead of via ``mean(axis=0)``:
+    numpy switches between sequential and pairwise summation depending on
+    the reduction's memory layout, so ``mean(axis=0)`` of an ``(s, 1)``
+    matrix can differ in the last bit from the same column inside an
+    ``(s, n)`` matrix.  Explicit row accumulation fixes the summation order
+    for every batch shape, which is what lets a micro-batching server
+    guarantee batched scores are bit-identical to single-point scores.
+    """
+    matrix = np.asarray(score_matrix, dtype=float)
+    total = matrix[0].astype(float, copy=True)
+    for row in matrix[1:]:
+        total += row
+    return total / matrix.shape[0]
 
 
 def maximum_aggregation(score_matrix: np.ndarray) -> np.ndarray:

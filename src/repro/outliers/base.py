@@ -17,6 +17,7 @@ to it (see ``tests/test_shared_engine.py``).
 
 from __future__ import annotations
 
+import threading
 from typing import List, Optional
 
 import numpy as np
@@ -30,6 +31,13 @@ __all__ = ["OutlierScorer"]
 
 #: Default cache budget (MiB) for engines built implicitly by scorers.
 DEFAULT_MEMORY_BUDGET_MB = 256.0
+
+#: Guards the lazy construction of per-scorer reference engines, so that
+#: concurrent first scoring calls (a burst of requests hitting a freshly
+#: loaded model) agree on one engine instead of racing to install two.  A
+#: module-level lock keeps scorer instances free of unpicklable state;
+#: engine construction is rare (once per fit/budget), so contention is nil.
+_REFERENCE_ENGINE_LOCK = threading.Lock()
 
 
 class OutlierScorer:
@@ -150,15 +158,33 @@ class OutlierScorer:
 
         The per-dimension blocks and precomputed neighbour lists it holds are
         what makes streaming ``independent=True`` scoring cheap: they are paid
-        once per fit, not once per batch.
+        once per fit, not once per batch.  Construction is double-checked
+        under a module lock so concurrent scoring threads share one engine;
+        the engine itself serialises its cache-mutating queries (see
+        :class:`~repro.neighbors.engine.SharedNeighborEngine`).
         """
         engine = getattr(self, "_reference_engine_", None)
         if engine is None or engine.memory_budget_mb != memory_budget_mb:
-            engine = SharedNeighborEngine(
-                self.reference_data_, memory_budget_mb=memory_budget_mb
-            )
-            self._reference_engine_ = engine
+            with _REFERENCE_ENGINE_LOCK:
+                engine = getattr(self, "_reference_engine_", None)
+                if engine is None or engine.memory_budget_mb != memory_budget_mb:
+                    engine = SharedNeighborEngine(
+                        self.reference_data_, memory_budget_mb=memory_budget_mb
+                    )
+                    self._reference_engine_ = engine
         return engine
+
+    def close(self) -> None:
+        """Release the warm reference engine; the scorer stays fitted.
+
+        The engine caches up to its memory budget of distance blocks and
+        neighbour lists — state a long-lived host must be able to drop
+        deterministically when it retires a model (serving hot reload) rather
+        than waiting for garbage collection.  Idempotent; the next
+        ``independent=True`` scoring call rebuilds the engine and produces
+        bit-identical scores.
+        """
+        self._reference_engine_ = None
 
     @staticmethod
     def _resolve_engine_mode(engine: Optional[str]) -> Optional[str]:

@@ -21,6 +21,7 @@ from .backends import (
     ExecutionBackend,
     ProcessBackend,
     SerialBackend,
+    SingleWriterExecutor,
     ThreadBackend,
     WorkerContext,
     default_chunksize,
@@ -39,6 +40,7 @@ from .shared import SharedArrayPlane, attach_arrays
 __all__ = [
     "ExecutionBackend",
     "SerialBackend",
+    "SingleWriterExecutor",
     "ThreadBackend",
     "ProcessBackend",
     "WorkerContext",

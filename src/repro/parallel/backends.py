@@ -56,6 +56,7 @@ __all__ = [
     "ExecutionBackend",
     "ProcessBackend",
     "SerialBackend",
+    "SingleWriterExecutor",
     "ThreadBackend",
     "WorkerContext",
     "default_chunksize",
@@ -401,3 +402,46 @@ class ProcessBackend(ExecutionBackend):
         if self.chunksize is not None:
             parts.append(f"chunksize={self.chunksize}")
         return f"process({', '.join(parts)})"
+
+
+class SingleWriterExecutor:
+    """One dedicated worker thread executing submitted calls in FIFO order.
+
+    A long-lived host (``repro-hics serve``) funnels every warm scoring pass
+    through one of these, so all cache mutation of a model's
+    :class:`~repro.neighbors.engine.SharedNeighborEngine` — the LRU block
+    cache, memoised neighbour lists and scratch rows — happens on a single
+    thread while the asyncio front end stays free to accept requests.  The
+    engine's own internal lock remains the correctness backstop; the single
+    writer removes even lock contention from the hot path and makes request
+    ordering deterministic.
+
+    Unlike the :class:`ExecutionBackend` family this is not a fan-out
+    primitive: it exists to *serialise* work, one call at a time, and hand
+    back :class:`concurrent.futures.Future` objects an event loop can await.
+    """
+
+    def __init__(self, name: str = "repro-single-writer"):
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._executor: Optional[ThreadPoolExecutor] = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=name
+        )
+
+    def submit(self, func: Callable, *args, **kwargs):
+        """Schedule ``func(*args, **kwargs)`` on the writer thread."""
+        if self._executor is None:
+            raise RuntimeError("SingleWriterExecutor is closed")
+        return self._executor.submit(func, *args, **kwargs)
+
+    def close(self) -> None:
+        """Drain and stop the writer thread.  Idempotent."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> SingleWriterExecutor:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

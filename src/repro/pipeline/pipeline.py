@@ -21,6 +21,8 @@ The pipeline follows a scikit-learn-style estimator protocol:
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import zipfile
 from typing import Dict, List, Optional, Union
 
@@ -398,6 +400,13 @@ class SubspaceOutlierPipeline:
         subspaces with their contrast scores, and the reference data, so that
         ``load(path).score_samples(X)`` reproduces this pipeline's scores
         bit-for-bit.
+
+        The write is **atomic**: the archive is staged to a temporary file in
+        the target directory, flushed and fsynced, and only then moved over
+        ``path`` with :func:`os.replace`.  A crash mid-save can therefore
+        never leave a torn, unloadable model file behind — readers (including
+        a serving host hot-reloading the model path) always see either the
+        previous complete file or the new complete file.
         """
         from .. import __version__  # local import: repro/__init__ imports this module
 
@@ -411,12 +420,68 @@ class SubspaceOutlierPipeline:
             "subspaces": [list(s.subspace.attributes) for s in self.scored_subspaces_],
             "subspace_scores": [float(s.score) for s in self.scored_subspaces_],
         }
-        with open(path, "wb") as handle:
-            np.savez(
-                handle,
-                header=np.array(json.dumps(header)),
-                reference_data=self.reference_data_,
-            )
+        target = os.path.abspath(path)
+        directory = os.path.dirname(target)
+        descriptor, staging = tempfile.mkstemp(
+            prefix=os.path.basename(target) + ".", suffix=".tmp", dir=directory
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                np.savez(
+                    handle,
+                    header=np.array(json.dumps(header)),
+                    reference_data=self.reference_data_,
+                )
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(staging, target)
+        except BaseException:
+            try:
+                os.unlink(staging)
+            except OSError:
+                pass
+            raise
+        self._fsync_directory(directory)
+
+    @staticmethod
+    def _fsync_directory(directory: str) -> None:
+        """Best-effort durability for the rename itself (POSIX directories)."""
+        try:
+            descriptor = os.open(directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(descriptor)
+        except OSError:
+            pass
+        finally:
+            os.close(descriptor)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        """Release transient resources; the pipeline stays fitted and usable.
+
+        Drops the caches and pools the components accumulate across calls —
+        the searcher's shared contrast cache and any execution backend it
+        owns, and the scorer's warm reference
+        :class:`~repro.neighbors.engine.SharedNeighborEngine` (up to
+        ``memory_budget_mb`` of distance blocks and neighbour lists).  One-shot
+        hosts (the CLI sub-commands) and long-lived hosts swapping models
+        (``repro-hics serve`` hot reload) call this instead of relying on
+        interpreter teardown.  Idempotent; a later scoring call simply rebuilds
+        the caches and produces bit-identical scores.
+        """
+        for component in (self.searcher, self.scorer):
+            closer = getattr(component, "close", None)
+            if callable(closer):
+                closer()
+
+    def __enter__(self) -> SubspaceOutlierPipeline:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @classmethod
     def load(cls, path: str) -> SubspaceOutlierPipeline:

@@ -1,0 +1,34 @@
+"""Online scoring service: fit once, serve millions.
+
+The ``repro-hics serve`` subsystem — an asyncio HTTP front end over a loaded
+:class:`~repro.pipeline.pipeline.SubspaceOutlierPipeline`:
+
+* :class:`~repro.serving.batching.MicroBatcher` coalesces concurrent
+  single-point ``/score`` requests into one warm-engine
+  ``score_samples(independent=True)`` pass on a single-writer thread;
+* :class:`~repro.serving.registry.ModelRegistry` resolves versioned model
+  files and hot-swaps them atomically without dropping in-flight requests;
+* :class:`~repro.serving.metrics.ServingMetrics` backs ``/healthz`` and
+  ``/metrics`` (queue depth, batch sizes, latency histograms).
+
+Served scores are bit-identical to the offline scoring path; the loopback
+benchmark (``benchmarks/serving_load.py`` → ``BENCH_serving.json``) gates
+p50/p99 latency and the micro-batching throughput win in CI.
+"""
+
+from .batching import MicroBatcher
+from .http import HttpError
+from .metrics import Histogram, ServingMetrics
+from .registry import ModelRegistry, ModelVersion
+from .server import ScoringServer, serve_in_thread
+
+__all__ = [
+    "Histogram",
+    "HttpError",
+    "MicroBatcher",
+    "ModelRegistry",
+    "ModelVersion",
+    "ScoringServer",
+    "ServingMetrics",
+    "serve_in_thread",
+]

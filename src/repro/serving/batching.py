@@ -1,0 +1,180 @@
+"""Request micro-batching: coalesce concurrent single-point scores.
+
+The :class:`MicroBatcher` sits between the asyncio request handlers and the
+single-writer scoring thread.  Handlers :meth:`submit` one row each; a drain
+task pulls whatever is queued, hands the whole batch to ``runner(rows)`` on
+the executor, and fans the per-row results back out to the waiting handlers.
+
+Batching is **adaptive** by default (``max_batch_wait_ms=0``): the first
+request of an idle server is scored immediately with batch size 1, and every
+request that arrives *while that batch is being scored* queues up and forms
+the next batch.  Under load the batch size therefore converges to the
+arrival rate per scoring pass without adding a single timer to the idle-path
+latency.  A positive ``max_batch_wait_ms`` additionally holds the first
+request of a batch open for stragglers — a classic latency-for-throughput
+trade the operator can opt into.
+
+Correctness relies on the scoring path being *independent per row*
+(:meth:`~repro.pipeline.pipeline.SubspaceOutlierPipeline.score_samples` with
+``independent=True``): each object is scored purely against the fitted
+reference population, so the composition of a batch cannot change any row's
+score and batched results are bit-identical to one-at-a-time scoring.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..parallel import SingleWriterExecutor
+
+__all__ = ["MicroBatcher"]
+
+
+class _Pending:
+    __slots__ = ("row", "future")
+
+    def __init__(self, row: Any, future: "asyncio.Future[Tuple[Any, int]]"):
+        self.row = row
+        self.future = future
+
+
+class MicroBatcher:
+    """Coalesce concurrently submitted rows into batched ``runner`` calls.
+
+    Parameters
+    ----------
+    runner:
+        ``runner(rows) -> per-row results`` (same length/order as ``rows``).
+        Runs on the single-writer executor thread, never concurrently with
+        itself.
+    max_batch_size:
+        Largest batch one runner call may coalesce.
+    max_batch_wait_ms:
+        Extra time to hold the first request of a batch for followers;
+        ``0`` (default) is purely adaptive batching.
+    executor:
+        The :class:`~repro.parallel.SingleWriterExecutor` to score on.  The
+        batcher does not own it; the server closes it after the batcher.
+    on_batch:
+        Optional callback ``on_batch(batch_size)`` invoked after every
+        completed runner call (metrics hook).
+    """
+
+    def __init__(
+        self,
+        runner: Callable[[List[Any]], Sequence[Any]],
+        *,
+        executor: SingleWriterExecutor,
+        max_batch_size: int = 64,
+        max_batch_wait_ms: float = 0.0,
+        on_batch: Optional[Callable[[int], None]] = None,
+    ):
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_batch_wait_ms < 0:
+            raise ValueError(f"max_batch_wait_ms must be >= 0, got {max_batch_wait_ms}")
+        self._runner = runner
+        self._executor = executor
+        self.max_batch_size = int(max_batch_size)
+        self.max_batch_wait_ms = float(max_batch_wait_ms)
+        self._on_batch = on_batch
+        self._queue: "asyncio.Queue[Optional[_Pending]]" = asyncio.Queue()
+        self._task: Optional["asyncio.Task[None]"] = None
+        self._closed = False
+
+    # ------------------------------------------------------------ control
+
+    def start(self) -> None:
+        """Start the drain task on the running event loop."""
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(self._drain())
+
+    async def close(self) -> None:
+        """Stop draining; pending submissions fail with a RuntimeError."""
+        if self._closed:
+            return
+        self._closed = True
+        await self._queue.put(None)
+        if self._task is not None:
+            await self._task
+            self._task = None
+        while not self._queue.empty():
+            pending = self._queue.get_nowait()
+            if pending is not None and not pending.future.done():
+                pending.future.set_exception(RuntimeError("server is shutting down"))
+
+    @property
+    def queue_depth(self) -> int:
+        """Rows queued behind the batch currently being scored."""
+        return self._queue.qsize()
+
+    # ------------------------------------------------------------- submit
+
+    async def submit(self, row: Any) -> Tuple[Any, int]:
+        """Queue one row; returns ``(result, batch_size_it_was_scored_in)``."""
+        if self._closed:
+            raise RuntimeError("server is shutting down")
+        future: "asyncio.Future[Tuple[Any, int]]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._queue.put_nowait(_Pending(row, future))
+        return await future
+
+    # -------------------------------------------------------------- drain
+
+    async def _drain(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._queue.get()
+            if first is None:
+                return
+            batch = [first]
+            if not await self._collect(batch, loop):
+                await self._run_batch(batch)
+                return
+            await self._run_batch(batch)
+
+    async def _collect(self, batch: List[_Pending], loop) -> bool:
+        """Fill ``batch`` up to the size cap; False once shutdown is seen."""
+        if self.max_batch_wait_ms > 0:
+            deadline = loop.time() + self.max_batch_wait_ms / 1000.0
+            while len(batch) < self.max_batch_size:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    item = await asyncio.wait_for(self._queue.get(), remaining)
+                except asyncio.TimeoutError:
+                    break
+                if item is None:
+                    return False
+                batch.append(item)
+        while len(batch) < self.max_batch_size:
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if item is None:
+                return False
+            batch.append(item)
+        return True
+
+    async def _run_batch(self, batch: List[_Pending]) -> None:
+        rows = [pending.row for pending in batch]
+        try:
+            results = await asyncio.wrap_future(self._executor.submit(self._runner, rows))
+            if len(results) != len(batch):
+                raise RuntimeError(
+                    f"runner returned {len(results)} results for {len(batch)} rows"
+                )
+        except Exception as exc:
+            for pending in batch:
+                if not pending.future.done():
+                    pending.future.set_exception(exc)
+        else:
+            for pending, result in zip(batch, results):
+                if not pending.future.done():
+                    pending.future.set_result((result, len(batch)))
+        if self._on_batch is not None:
+            self._on_batch(len(batch))

@@ -1,0 +1,143 @@
+"""Minimal HTTP/1.1 plumbing for the scoring server (stdlib asyncio only).
+
+Just enough of the protocol for a JSON scoring API: request-line + header
+parsing with hard size limits, ``Content-Length`` bodies, keep-alive, and
+JSON responses whose floats round-trip bit-exactly (``json.dumps`` emits
+``repr``-precision doubles, so a client parsing ``/score`` output recovers
+the *identical* IEEE-754 value the offline ``score_samples`` path returns).
+
+Anything malformed raises :class:`HttpError` with the right 4xx status; the
+connection handler turns that into a JSON error body instead of a traceback.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional
+
+__all__ = [
+    "DEFAULT_MAX_BODY_BYTES",
+    "MAX_HEADER_BYTES",
+    "HttpError",
+    "Request",
+    "json_response",
+    "read_request",
+]
+
+#: Hard ceiling on the request line + headers block.
+MAX_HEADER_BYTES = 32 * 1024
+
+#: Default ceiling on request bodies (a 64-point batch of 1000-d float rows
+#: in JSON is well under 2 MiB; 8 MiB leaves generous headroom).
+DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A protocol-level problem that maps directly onto an HTTP status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = int(status)
+        self.message = message
+
+
+class Request:
+    """One parsed HTTP request."""
+
+    __slots__ = ("method", "path", "headers", "body")
+
+    def __init__(self, method: str, path: str, headers: Dict[str, str], body: bytes):
+        self.method = method
+        self.path = path
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> object:
+        """Decode the body as JSON, mapping failures to a 400."""
+        if not self.body:
+            raise HttpError(400, "request body must be a JSON object")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"malformed JSON body: {exc}") from exc
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+
+async def read_request(
+    reader: asyncio.StreamReader, *, max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
+) -> Optional[Request]:
+    """Read one request off a keep-alive connection.
+
+    Returns ``None`` on a clean EOF (client closed between requests); raises
+    :class:`HttpError` for anything malformed or oversized.
+    """
+    try:
+        blob = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "truncated request") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(431, "request headers too large") from exc
+    try:
+        head = blob.decode("latin-1")
+    except UnicodeDecodeError as exc:  # pragma: no cover - latin-1 never fails
+        raise HttpError(400, "undecodable request head") from exc
+    request_line, _, header_block = head.partition("\r\n")
+    parts = request_line.split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise HttpError(400, f"malformed request line: {request_line!r}")
+    method, path, _version = parts
+    headers: Dict[str, str] = {}
+    for line in header_block.split("\r\n"):
+        if not line:
+            continue
+        name, separator, value = line.partition(":")
+        if not separator:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    raw_length = headers.get("content-length", "0")
+    try:
+        length = int(raw_length)
+    except ValueError as exc:
+        raise HttpError(400, f"invalid Content-Length: {raw_length!r}") from exc
+    if length < 0:
+        raise HttpError(400, f"invalid Content-Length: {raw_length!r}")
+    if length > max_body_bytes:
+        raise HttpError(413, f"request body of {length} bytes exceeds {max_body_bytes}")
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise HttpError(400, "request body shorter than Content-Length") from exc
+    return Request(method.upper(), path, headers, body)
+
+
+def json_response(status: int, payload: object, *, keep_alive: bool = True) -> bytes:
+    """Serialise one JSON response, ready to write to the transport."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        f"\r\n"
+    )
+    return head.encode("latin-1") + body

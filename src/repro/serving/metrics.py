@@ -1,0 +1,171 @@
+"""Serving metrics: request counters, batch-size and latency histograms.
+
+Everything here is stdlib-only and O(1) per observation: latencies fall into
+fixed log-spaced buckets and percentiles are estimated by linear
+interpolation inside the winning bucket, so ``GET /metrics`` never has to
+walk a sample list.  All mutators take one internal lock — request handler
+tasks, the micro-batch drain loop and the metrics endpoint may record and
+snapshot concurrently.
+
+Wall-clock time is deliberately absent: request durations come from
+``time.perf_counter`` deltas and uptime from ``time.monotonic``, so the
+module stays inside the repository's determinism lint contract (RPR103) and
+is immune to clock steps.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Histogram", "ServingMetrics"]
+
+#: Upper bucket bounds for request latencies, in milliseconds.  Log-spaced
+#: from sub-millisecond (warm single-point scoring) to ten seconds (cold
+#: engine build right after a hot reload); the last bucket is open-ended.
+LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+#: Upper bucket bounds for micro-batch sizes (powers of two up to the
+#: default ``--max-batch-size`` ceiling and beyond).
+BATCH_SIZE_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated percentile estimates.
+
+    Not thread-safe on its own; :class:`ServingMetrics` serialises access.
+    """
+
+    def __init__(self, bounds: Sequence[float]):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"bucket bounds must be sorted and non-empty, got {bounds!r}")
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        # One count per bound plus the open-ended overflow bucket.
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Estimated ``q``-th percentile (``q`` in [0, 100])."""
+        if self.count == 0:
+            return None
+        target = (q / 100.0) * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                lower = 0.0 if i == 0 else self.bounds[i - 1]
+                upper = self.bounds[i] if i < len(self.bounds) else (self.max or lower)
+                fraction = (target - cumulative) / bucket_count
+                estimate = lower + (upper - lower) * max(0.0, min(1.0, fraction))
+                # Clamp into the actually observed range: with few samples the
+                # bucket interpolation can otherwise undershoot the true min.
+                if self.min is not None:
+                    estimate = max(estimate, self.min)
+                if self.max is not None:
+                    estimate = min(estimate, self.max)
+                return estimate
+            cumulative += bucket_count
+        return self.max
+
+    def snapshot(self) -> Dict[str, object]:
+        buckets = {}
+        for i, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            label = f"le_{self.bounds[i]:g}" if i < len(self.bounds) else "overflow"
+            buckets[label] = bucket_count
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": (self.total / self.count) if self.count else None,
+            "p50": self.percentile(50.0),
+            "p90": self.percentile(90.0),
+            "p99": self.percentile(99.0),
+            "buckets": buckets,
+        }
+
+
+class ServingMetrics:
+    """Aggregated counters and histograms for one :class:`ScoringServer`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._requests_by_route: Dict[str, int] = {}
+        self._responses_by_status: Dict[str, int] = {}
+        self._latency_by_route: Dict[str, Histogram] = {}
+        self._batch_sizes = Histogram(BATCH_SIZE_BUCKETS)
+        self._batches = 0
+        self._points_scored = 0
+        self._reloads = 0
+        self._reload_failures = 0
+
+    # ------------------------------------------------------------- record
+
+    def observe_request(self, route: str, status: int, elapsed_ms: float) -> None:
+        with self._lock:
+            self._requests_by_route[route] = self._requests_by_route.get(route, 0) + 1
+            key = str(int(status))
+            self._responses_by_status[key] = self._responses_by_status.get(key, 0) + 1
+            histogram = self._latency_by_route.get(route)
+            if histogram is None:
+                histogram = self._latency_by_route[route] = Histogram(LATENCY_BUCKETS_MS)
+            histogram.observe(elapsed_ms)
+
+    def observe_batch(self, size: int) -> None:
+        with self._lock:
+            self._batches += 1
+            self._points_scored += int(size)
+            self._batch_sizes.observe(size)
+
+    def count_reload(self, ok: bool) -> None:
+        with self._lock:
+            if ok:
+                self._reloads += 1
+            else:
+                self._reload_failures += 1
+
+    # ----------------------------------------------------------- snapshot
+
+    def snapshot(
+        self, *, queue_depth: Optional[Callable[[], int]] = None
+    ) -> Dict[str, object]:
+        with self._lock:
+            payload: Dict[str, object] = {
+                "requests_total": sum(self._requests_by_route.values()),
+                "requests_by_route": dict(sorted(self._requests_by_route.items())),
+                "responses_by_status": dict(sorted(self._responses_by_status.items())),
+                "latency_ms_by_route": {
+                    route: histogram.snapshot()
+                    for route, histogram in sorted(self._latency_by_route.items())
+                },
+                "batches_total": self._batches,
+                "points_scored_total": self._points_scored,
+                "batch_sizes": self._batch_sizes.snapshot(),
+                "reloads_total": self._reloads,
+                "reload_failures_total": self._reload_failures,
+            }
+        if queue_depth is not None:
+            payload["queue_depth"] = int(queue_depth())
+        return payload

@@ -216,6 +216,21 @@ class HiCS(SubspaceSearcher):
 
     # ------------------------------------------------------------------ helpers
 
+    def close(self) -> None:
+        """Drop the shared contrast cache; the searcher stays configured.
+
+        Each :meth:`search` already closes its fit-scoped worker pool and
+        shared-memory plane; what outlives a search is the cross-fit
+        :class:`~repro.subspaces.contrast.ContrastCache`.  One-shot hosts
+        (CLI commands, model-serving reloads) call this — typically through
+        :meth:`SubspaceOutlierPipeline.close
+        <repro.pipeline.pipeline.SubspaceOutlierPipeline.close>` — to release
+        that memory deterministically.  Idempotent; a later search refills
+        the cache.
+        """
+        if self._shared_cache is not None:
+            self._shared_cache.clear()
+
     def search_subspaces(self, data: np.ndarray) -> List[Subspace]:
         """Like :meth:`search` but returning bare subspaces (best first)."""
         return [s.subspace for s in self.search(data)]

@@ -571,6 +571,61 @@ class TestResourceLifecycleRule:
         )
         assert codes(lint_source(source)) == []
 
+    def test_rpr501_unclosed_pipeline_constructor(self):
+        source = (
+            "from repro.pipeline import SubspaceOutlierPipeline\n"
+            "def run(data):\n"
+            "    pipeline = SubspaceOutlierPipeline()\n"
+            "    result = pipeline.fit_rank(data)\n"
+            "    return result\n"
+        )
+        assert codes(lint_source(source, select=["RPR501"])) == ["RPR501"]
+
+    def test_rpr501_unclosed_pipeline_factory(self):
+        source = (
+            "from repro.pipeline.config import make_method_pipeline\n"
+            "def run(method, config, data):\n"
+            "    pipeline = make_method_pipeline(method, config)\n"
+            "    result = pipeline.fit_rank(data)\n"
+            "    return result\n"
+        )
+        assert codes(lint_source(source, select=["RPR501"])) == ["RPR501"]
+
+    def test_rpr501_unclosed_qualified_load_classmethod(self):
+        # The blind spot that let one-shot CLI hosts leak warm engines: the
+        # classmethod factory must be matched on its *qualified* tail.
+        source = (
+            "from repro.pipeline import SubspaceOutlierPipeline\n"
+            "def run(path, data):\n"
+            "    pipeline = SubspaceOutlierPipeline.load(path)\n"
+            "    scores = pipeline.score_samples(data)\n"
+            "    return scores\n"
+        )
+        report = lint_source(source, select=["RPR501"])
+        assert codes(report) == ["RPR501"]
+        assert "SubspaceOutlierPipeline.load" in report.active[0].message
+
+    def test_rpr501_negative_unrelated_load_not_flagged(self):
+        # ...but a bare ``load`` tail must not flag unrelated loaders.
+        source = (
+            "import numpy as np\n"
+            "def run(path):\n"
+            "    archive = np.load(path)\n"
+            "    scores = archive['scores']\n"
+            "    return scores\n"
+        )
+        assert codes(lint_source(source, select=["RPR501"])) == []
+
+    def test_rpr501_negative_pipeline_with_statement(self):
+        source = (
+            "from repro.pipeline import SubspaceOutlierPipeline\n"
+            "def run(path, data):\n"
+            "    with SubspaceOutlierPipeline.load(path) as pipeline:\n"
+            "        scores = pipeline.score_samples(data)\n"
+            "    return scores\n"
+        )
+        assert codes(lint_source(source, select=["RPR501"])) == []
+
 
 # ------------------------------------------------------------ RPR6xx fixtures
 

@@ -184,6 +184,27 @@ class TestAggregation:
         assert average_aggregation(matrix).tolist() == [2.0, 3.0]
         assert maximum_aggregation(matrix).tolist() == [3.0, 4.0]
 
+    def test_average_is_batch_shape_stable(self):
+        """A column aggregated alone must equal the same column in a batch.
+
+        Regression test: ``mean(axis=0)`` switches between sequential and
+        pairwise summation with the matrix layout, so an ``(s, 1)`` slice
+        could differ in the last bit from the full ``(s, n)`` aggregation —
+        which would break the serving guarantee that micro-batched scores
+        are bit-identical to single-point scores.
+        """
+        rng = np.random.default_rng(123)
+        # Scores at serving-realistic magnitudes; 8+ rows so pairwise
+        # summation would actually re-associate.
+        matrix = np.exp(rng.normal(size=(9, 33)) * 3.0)
+        batch = average_aggregation(matrix)
+        for column in range(matrix.shape[1]):
+            alone = average_aggregation(np.ascontiguousarray(matrix[:, column : column + 1]))
+            assert alone[0] == batch[column]
+        for stop in (1, 2, 5, matrix.shape[1]):
+            prefix = average_aggregation(np.ascontiguousarray(matrix[:, :stop]))
+            assert np.array_equal(prefix, batch[:stop])
+
     @given(
         st.integers(min_value=1, max_value=5),
         st.integers(min_value=2, max_value=20),

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from itertools import combinations
 
 import numpy as np
@@ -570,3 +571,42 @@ def _square_worker(state, item):
 
 def _identity_state_worker(state, item):
     return id(state)
+
+
+class TestSingleWriterExecutor:
+    def test_preserves_submission_order_on_one_thread(self):
+        from repro.parallel import SingleWriterExecutor
+
+        observed = []
+
+        def record(value):
+            observed.append((value, threading.current_thread().name))
+            return value * 2
+
+        with SingleWriterExecutor(name="writer-test") as writer:
+            futures = [writer.submit(record, i) for i in range(20)]
+            assert [f.result() for f in futures] == [i * 2 for i in range(20)]
+        assert [value for value, _ in observed] == list(range(20))
+        assert len({name for _, name in observed}) == 1  # single worker thread
+
+    def test_exceptions_propagate_through_future(self):
+        from repro.parallel import SingleWriterExecutor
+
+        def boom():
+            raise ValueError("scoring failed")
+
+        with SingleWriterExecutor() as writer:
+            future = writer.submit(boom)
+            with pytest.raises(ValueError, match="scoring failed"):
+                future.result()
+            # The worker survives a failed task.
+            assert writer.submit(lambda: 7).result() == 7
+
+    def test_submit_after_close_raises(self):
+        from repro.parallel import SingleWriterExecutor
+
+        writer = SingleWriterExecutor()
+        writer.close()
+        writer.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            writer.submit(lambda: 1)

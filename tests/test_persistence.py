@@ -322,3 +322,97 @@ class TestSaveLoad:
             isinstance(item, ScoredSubspace) for item in restored.scored_subspaces_
         )
         assert restored.subspaces_ == pipeline.subspaces_
+
+
+class TestAtomicSave:
+    """A crash mid-save must never leave a torn model file behind."""
+
+    def _fitted(self, small_synthetic) -> SubspaceOutlierPipeline:
+        pipeline = SubspaceOutlierPipeline(searcher=_fast_hics(), scorer=LOFScorer(min_pts=8))
+        return pipeline.fit(small_synthetic)
+
+    def test_interrupted_save_leaves_old_model_loadable(
+        self, small_synthetic, tmp_path, monkeypatch
+    ):
+        import repro.pipeline.pipeline as pipeline_module
+
+        pipeline = self._fitted(small_synthetic)
+        path = tmp_path / "model.npz"
+        pipeline.save(path)
+        expected = SubspaceOutlierPipeline.load(path).score_samples(
+            small_synthetic.data[:5]
+        )
+
+        def torn_savez(handle, **arrays):
+            # Fail *after* a partial write — the half-archive must land in the
+            # staging file, never in the published path.
+            handle.write(b"PK\x03\x04 torn half-written archive")
+            raise OSError("disk full")
+
+        monkeypatch.setattr(pipeline_module.np, "savez", torn_savez)
+        with pytest.raises(OSError, match="disk full"):
+            pipeline.save(path)
+        monkeypatch.undo()
+
+        restored = SubspaceOutlierPipeline.load(path)
+        assert np.array_equal(
+            restored.score_samples(small_synthetic.data[:5]), expected
+        )
+
+    def test_interrupted_save_leaves_no_staging_files(
+        self, small_synthetic, tmp_path, monkeypatch
+    ):
+        import repro.pipeline.pipeline as pipeline_module
+
+        pipeline = self._fitted(small_synthetic)
+        path = tmp_path / "model.npz"
+        pipeline.save(path)
+
+        def torn_savez(handle, **arrays):
+            handle.write(b"partial")
+            raise OSError("disk full")
+
+        monkeypatch.setattr(pipeline_module.np, "savez", torn_savez)
+        with pytest.raises(OSError):
+            pipeline.save(path)
+        monkeypatch.undo()
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["model.npz"]
+
+    def test_successful_save_leaves_no_staging_files(self, small_synthetic, tmp_path):
+        pipeline = self._fitted(small_synthetic)
+        path = tmp_path / "model.npz"
+        pipeline.save(path)
+        pipeline.save(path)  # overwrite goes through the same staging dance
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["model.npz"]
+
+    def test_overwrite_publishes_new_model(self, small_synthetic, tmp_path):
+        pipeline = self._fitted(small_synthetic)
+        path = tmp_path / "model.npz"
+        pipeline.save(path)
+        shifted = small_synthetic.data + 0.25
+        pipeline.fit(shifted)
+        pipeline.save(path)
+        restored = SubspaceOutlierPipeline.load(path)
+        assert np.array_equal(restored.reference_data_, shifted)
+
+
+class TestPipelineLifecycle:
+    def test_close_keeps_pipeline_fitted_and_scores_bit_identical(self, small_synthetic):
+        pipeline = SubspaceOutlierPipeline(
+            searcher=_fast_hics(), scorer=LOFScorer(min_pts=8)
+        ).fit(small_synthetic)
+        new = small_synthetic.data[:7]
+        before = pipeline.score_samples(new, independent=True)
+        assert pipeline.scorer._reference_engine_ is not None
+        pipeline.close()
+        assert pipeline.scorer._reference_engine_ is None
+        assert pipeline.is_fitted
+        assert np.array_equal(pipeline.score_samples(new, independent=True), before)
+
+    def test_close_is_idempotent_and_context_manager_closes(self, small_synthetic):
+        with SubspaceOutlierPipeline(
+            searcher=_fast_hics(), scorer=LOFScorer(min_pts=8)
+        ) as pipeline:
+            pipeline.fit(small_synthetic)
+            pipeline.close()
+        assert pipeline.scorer._reference_engine_ is None

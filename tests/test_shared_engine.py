@@ -323,3 +323,52 @@ class TestPersistenceAndSpecs:
             make_pipeline_from_spec("hics+lof+shared(bogus=1)")
         with pytest.raises(ParameterError):
             make_pipeline_from_spec("pca+lof+shared")
+
+
+# ------------------------------------------------------- concurrent scoring
+
+
+class TestConcurrentWarmScoring:
+    def test_threaded_independent_scoring_matches_serial_bit_for_bit(self):
+        """N threads hammering the warm engine must reproduce serial scores.
+
+        The serving host funnels every scoring pass through a single-writer
+        executor, but the engine's internal lock must make direct concurrent
+        use safe too — same scores, no torn caches.
+        """
+        import concurrent.futures
+
+        dataset, shared, _ = _fitted_pipelines(lambda: LOFScorer(min_pts=8))
+        shared.fit(dataset)
+        rng = np.random.default_rng(11)
+        batches = [
+            rng.normal(size=(rng.integers(1, 7), dataset.n_dims)) for _ in range(24)
+        ]
+        batches[0] = dataset.data[:1].copy()  # exact duplicate of a reference row
+        shared.score_samples(batches[0], independent=True)  # warm the caches
+        serial = [shared.score_samples(batch, independent=True) for batch in batches]
+
+        def score(index):
+            return index, shared.score_samples(batches[index], independent=True)
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+            threaded = dict(pool.map(score, list(range(len(batches))) * 3))
+        for index, expected in enumerate(serial):
+            assert np.array_equal(threaded[index], expected)
+
+    def test_single_writer_executor_serialises_scoring(self):
+        """Routing every pass through SingleWriterExecutor (the serving-host
+        discipline) is bit-identical to calling the pipeline directly."""
+        from repro.parallel import SingleWriterExecutor
+
+        dataset, shared, _ = _fitted_pipelines(lambda: LOFScorer(min_pts=8))
+        shared.fit(dataset)
+        queries = _queries(dataset.data)
+        direct = shared.score_samples(queries, independent=True)
+        with SingleWriterExecutor(name="test-writer") as writer:
+            futures = [
+                writer.submit(shared.score_samples, queries[i : i + 1], independent=True)
+                for i in range(len(queries))
+            ]
+            via_writer = np.concatenate([f.result() for f in futures])
+        assert np.array_equal(via_writer, direct)
