@@ -1,0 +1,175 @@
+"""BENCH_scale gate: the 100k-row streaming suite must stay sub-quadratic.
+
+One end-to-end pass over an ``n = 100,000``, ``d = 10`` synthetic dataset
+that would be impossible with dense ``n x n`` assembly (the full distance
+matrix alone is 80 GB):
+
+* **fit** — HiCS subspace search with the seeded-subsample Monte Carlo
+  contrast (``subsample_size`` rows per subspace instead of the full
+  database), so the search cost scales with the subsample.
+* **rank** — streaming LOF over the best subspace through the row-blocked
+  ``SharedNeighborEngine``: per-chunk squared-difference assembly with exact
+  top-k merging, never materialising more than one chunk pair.
+* **approx** — full-space LOF through the approximate subsample backend
+  (``algorithm="subsample"``): exact distances against a deterministic
+  2048-row reference set, linear in the dataset size.
+* **exactness** — a small-``n`` cross-check that the streaming ranking is
+  bit-for-bit identical to the dense shared engine, so the scale numbers
+  above are for the *same* algorithm, not an approximation drift.
+
+The run fails (non-zero exit) when total wall time or peak RSS exceeds the
+gates, and always writes a ``BENCH_scale.json`` payload with per-phase wall
+times and the observed peak for trend tracking.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/scale_bench.py [--objects 100000] [--out BENCH_scale.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import sys
+import time
+
+import numpy as np
+
+from repro.dataset import generate_synthetic_dataset
+from repro.outliers import LOFScorer, SubspaceOutlierRanker
+from repro.subspaces.hics import HiCS
+
+
+def peak_rss_mb() -> float:
+    """Lifetime peak resident set of this process in MiB (Linux: KiB units)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def timed(phases: dict, name: str, fn):
+    start = time.perf_counter()
+    result = fn()
+    phases[name] = round(time.perf_counter() - start, 3)
+    print(f"{name}: {phases[name]:.1f}s  (peak rss {peak_rss_mb():.0f} MB)", flush=True)
+    return result
+
+
+def exactness_check(rng: np.random.Generator) -> None:
+    """Streaming ranking must equal the dense shared engine bit for bit."""
+    from repro.types import Subspace
+
+    data = rng.normal(size=(1500, 10))
+    data[100] = data[101]  # duplicate rows exercise the tie-break across chunks
+    subspaces = [Subspace((0, 1)), Subspace((2, 3, 4))]
+    results = {}
+    for engine in ("shared", "streaming"):
+        ranker = SubspaceOutlierRanker(
+            LOFScorer(min_pts=10, algorithm="brute"), engine=engine
+        )
+        results[engine] = ranker.rank(data, subspaces).scores
+    if not np.array_equal(results["shared"], results["streaming"]):
+        raise SystemExit("FAIL: streaming ranking diverged from the dense engine")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--objects", type=int, default=100_000)
+    parser.add_argument("--dims", type=int, default=10)
+    parser.add_argument("--out", default="BENCH_scale.json")
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=1800.0,
+        help="gate on total wall time of all phases",
+    )
+    parser.add_argument(
+        "--max-rss-mb",
+        type=float,
+        default=2048.0,
+        help="gate on lifetime peak RSS (the dense n x n matrix alone needs ~80 GB)",
+    )
+    args = parser.parse_args(argv)
+
+    phases: dict = {}
+    rng = np.random.default_rng(0)
+
+    timed(phases, "exactness", lambda: exactness_check(rng))
+
+    dataset = timed(
+        phases,
+        "generate",
+        lambda: generate_synthetic_dataset(
+            n_objects=args.objects,
+            n_dims=args.dims,
+            n_relevant_subspaces=2,
+            subspace_dims=(2, 3),
+            outliers_per_subspace=20,
+            random_state=7,
+        ),
+    )
+    data = dataset.data
+
+    scored = timed(
+        phases,
+        "fit",
+        lambda: HiCS(
+            n_iterations=20,
+            candidate_cutoff=40,
+            max_output_subspaces=1,
+            subsample_size=min(1000, args.objects),
+            random_state=0,
+        ).search(data),
+    )
+    best = [s.subspace for s in scored[:1]]
+    print(f"fit: best subspace {best[0].attributes}", flush=True)
+
+    ranking = timed(
+        phases,
+        "rank",
+        lambda: SubspaceOutlierRanker(
+            LOFScorer(min_pts=10, algorithm="brute"),
+            engine="streaming",
+            memory_budget_mb=512.0,
+        ).rank(data, best),
+    )
+    if ranking.scores.shape != (args.objects,) or not np.all(np.isfinite(ranking.scores)):
+        raise SystemExit("FAIL: streaming ranking produced malformed scores")
+
+    approx = timed(
+        phases,
+        "approx",
+        lambda: LOFScorer(min_pts=10, algorithm="subsample").fit(data).score_samples(data),
+    )
+    if approx.shape != (args.objects,) or not np.all(np.isfinite(approx)):
+        raise SystemExit("FAIL: approximate backend produced malformed scores")
+
+    total = round(sum(phases.values()), 3)
+    peak = round(peak_rss_mb(), 1)
+    payload = {
+        "benchmark": "scale",
+        "n_objects": args.objects,
+        "n_dims": args.dims,
+        "phases_sec": phases,
+        "total_sec": total,
+        "peak_rss_mb": peak,
+        "gates": {"max_seconds": args.max_seconds, "max_rss_mb": args.max_rss_mb},
+        "subsample_size": min(1000, args.objects),
+        "numpy": np.__version__,
+        "python": sys.version.split()[0],
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"total {total:.1f}s  peak rss {peak:.0f} MB  -> {args.out}", flush=True)
+
+    status = 0
+    if total > args.max_seconds:
+        print(f"FAIL: total {total:.1f}s exceeds gate {args.max_seconds}s", file=sys.stderr)
+        status = 1
+    if peak > args.max_rss_mb:
+        print(f"FAIL: peak rss {peak:.0f} MB exceeds gate {args.max_rss_mb} MB", file=sys.stderr)
+        status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -84,6 +84,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="registry spec string, e.g. 'hics(alpha=0.1)+lof(min_pts=10)'; overrides --method",
         )
         sub.add_argument("--min-pts", type=int, default=10, help="LOF MinPts parameter")
+        sub.add_argument(
+            "--hics-subsample",
+            type=int,
+            default=None,
+            help="seeded-subsample contrast mode: estimate each subspace's "
+            "contrast over this many deterministically drawn reference rows "
+            "instead of the full database (default: full database)",
+        )
         add_parallel_arguments(sub)
         add_engine_arguments(sub)
 
@@ -109,10 +117,11 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--scoring-engine",
             default="shared",
-            choices=["shared", "per-subspace"],
+            choices=["shared", "streaming", "per-subspace"],
             help="scoring engine: 'shared' (default) computes one distance pass "
-            "for all fitted subspaces, 'per-subspace' is the bit-for-bit "
-            "identical reference path",
+            "for all fitted subspaces, 'streaming' is its row-blocked variant "
+            "that never materialises an n x n matrix (for large datasets), "
+            "'per-subspace' is the bit-for-bit identical reference path",
         )
         sub.add_argument(
             "--memory-budget-mb",
@@ -381,6 +390,7 @@ def _resolve_method_pipeline(args: argparse.Namespace):
     method = args.spec if args.spec else args.method
     config = PipelineConfig(
         min_pts=args.min_pts,
+        hics_subsample=getattr(args, "hics_subsample", None),
         random_state=args.seed,
         n_jobs=args.n_jobs,
         backend=args.backend,

@@ -47,6 +47,7 @@ _RESULT_FIELDS = (
     "hics_iterations",
     "hics_alpha",
     "hics_cutoff",
+    "hics_subsample",
     "random_state",
     "extra",
 )
@@ -81,6 +82,7 @@ def cell_key(cell: Cell, dataset_fingerprint: str) -> str:
         "seed": cell.seed,
         "repetition": cell.repetition,
         "max_dims": cell.max_dims,
+        "max_objects": cell.max_objects,
     }
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 

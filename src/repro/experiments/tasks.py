@@ -93,8 +93,9 @@ def run_cell(cell: Cell, dataset: Dataset = None) -> Dict[str, object]:
     content key — e.g. a sweep grid point of one figure that coincides with
     another figure's — and the runner merges each consumer cell's own
     identity into the rows at serve time.  Cells whose method declares
-    ``max_dims`` smaller than the dataset's dimensionality produce a single
-    ``skipped`` row — the paper's "-" table entries — instead of running.
+    ``max_dims`` smaller than the dataset's dimensionality (or
+    ``max_objects`` smaller than its size) produce a single ``skipped`` row —
+    the paper's "-" table entries — instead of running.
 
     ``dataset`` lets the runner pass an already-built dataset (it builds each
     unique dataset spec once per run); worker processes leave it ``None`` and
@@ -112,6 +113,16 @@ def run_cell(cell: Cell, dataset: Dataset = None) -> Dict[str, object]:
                 {
                     "skipped": True,
                     "reason": f"n_dims {dataset.n_dims} > max_dims {cell.max_dims}",
+                }
+            ]
+        elif cell.max_objects is not None and dataset.n_objects > cell.max_objects:
+            rows = [
+                {
+                    "skipped": True,
+                    "reason": (
+                        f"n_objects {dataset.n_objects} > max_objects "
+                        f"{cell.max_objects}"
+                    ),
                 }
             ]
         else:

@@ -334,19 +334,22 @@ class SliceSampler:
         ``[start, start + block)`` on an attribute selects exactly the objects
         whose rank under that attribute falls inside the interval, so the mask
         of each slice is the conjunction of ``d - 1`` rank-interval tests —
-        evaluated here column by column over all slices at once.
+        evaluated here column by column over all slices at once.  Rank columns
+        are requested per attribute (:meth:`SortedDatabaseIndex.rank_column`),
+        so only the subspace's own attributes are ever ranked and the full
+        ``(n_objects, n_dims)`` rank matrix is never forced.
         """
         n = self.index.n_objects
         n_rows = start_ranks.shape[0]
         chunk = max(1, min(n_rows, _MAX_MASK_CELLS // max(1, n)))
         out = np.empty((n_rows, n), dtype=bool)
-        ranks = self.index.rank_matrix
+        columns = {int(a): self.index.rank_column(a) for a in attrs}
         for lo in range(0, n_rows, chunk):
             hi = min(n_rows, lo + chunk)
             sel = np.ones((hi - lo, n), dtype=bool)
             for j, attribute in enumerate(attrs):
                 starts = start_ranks[lo:hi, j, None]
-                column = ranks[:, attribute][None, :]
+                column = columns[int(attribute)][None, :]
                 inside = (column >= starts) & (column < starts + block)
                 # Unconditioned (test-attribute) rows have start == -1; their
                 # interval test is replaced by all-True.

@@ -116,6 +116,7 @@ class SortedDatabaseIndex:
     def __init__(self, data: np.ndarray):
         self._data = check_data_matrix(data, name="data")
         self._indices: Dict[int, AttributeIndex] = {}
+        self._rank_columns: Dict[int, np.ndarray] = {}
         self._rank_matrix: np.ndarray = None
 
     @property
@@ -207,25 +208,52 @@ class SortedDatabaseIndex:
         boolean masks.
 
         Built lazily on first access and cached; ties inherit the stable
-        (mergesort) ordering of :class:`AttributeIndex`.
+        (mergesort) ordering of :class:`AttributeIndex`.  The full matrix is
+        assembled column by column from :meth:`rank_column`, so any columns
+        already built individually are reused instead of re-sorted.  Callers
+        that only ever touch a few attributes should prefer
+        :meth:`rank_column` / :meth:`ranks`, which never materialise the
+        ``(n_objects, n_dims)`` block.
         """
         if self._rank_matrix is None:
             n, d = self._data.shape
             ranks = np.empty((n, d), dtype=np.intp)
-            positions = np.arange(n, dtype=np.intp)
             for attribute in range(d):
-                ranks[self.attribute_index(attribute).order, attribute] = positions
+                ranks[:, attribute] = self.rank_column(attribute)
             self._rank_matrix = ranks
             self._rank_matrix.setflags(write=False)
+            # The column cache is now redundant: serve views of the matrix.
+            self._rank_columns.clear()
         return self._rank_matrix
 
-    def ranks(self, attribute: int) -> np.ndarray:
-        """Sorted-order rank of every object under one attribute (read-only)."""
+    def rank_column(self, attribute: int) -> np.ndarray:
+        """One rank-matrix column, built lazily and independently (read-only).
+
+        The chunked counterpart of :attr:`rank_matrix`: only the requested
+        attribute is argsorted and only its ``(n_objects,)`` column is
+        allocated, so sparse attribute access over a wide or very tall matrix
+        stays linear in the attributes actually touched.  Bit-for-bit equal to
+        ``rank_matrix[:, attribute]``.
+        """
+        attribute = int(attribute)
         if attribute < 0 or attribute >= self.n_dims:
             raise SubspaceError(
                 f"attribute {attribute} out of range for {self.n_dims}-dimensional data"
             )
-        return self.rank_matrix[:, attribute]
+        if self._rank_matrix is not None:
+            return self._rank_matrix[:, attribute]
+        if attribute not in self._rank_columns:
+            column = np.empty(self.n_objects, dtype=np.intp)
+            column[self.attribute_index(attribute).order] = np.arange(
+                self.n_objects, dtype=np.intp
+            )
+            column.setflags(write=False)
+            self._rank_columns[attribute] = column
+        return self._rank_columns[attribute]
+
+    def ranks(self, attribute: int) -> np.ndarray:
+        """Sorted-order rank of every object under one attribute (read-only)."""
+        return self.rank_column(attribute)
 
     def values(self, attribute: int) -> np.ndarray:
         """Raw (unsorted) values of an attribute."""

@@ -24,7 +24,9 @@ _CONSTRUCTORS = frozenset(
         "numpy.random.Generator",
     }
 )
-_CONSTRUCTOR_TAILS = frozenset({"check_random_state", "spawn_child_rng", "fresh_entropy"})
+_CONSTRUCTOR_TAILS = frozenset(
+    {"check_random_state", "spawn_child_rng", "fresh_entropy", "subsample_rng"}
+)
 
 _SEEDISH = re.compile(r"(seed|entropy|rng|random_state)", re.IGNORECASE)
 

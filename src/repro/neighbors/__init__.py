@@ -18,7 +18,8 @@ from .distance import (
 )
 from .engine import SharedEngineKNN, SharedNeighborEngine, normalise_engine_mode
 from .kdtree import KDTree, KDTreeKNN
-from .topk import top_k_smallest
+from .subsample import SubsampledKNN
+from .topk import merge_top_k, top_k_smallest
 
 __all__ = [
     "euclidean_distance",
@@ -34,7 +35,9 @@ __all__ = [
     "NearestNeighborSearcher",
     "SharedEngineKNN",
     "SharedNeighborEngine",
+    "SubsampledKNN",
     "create_knn_searcher",
+    "merge_top_k",
     "normalise_engine_mode",
     "top_k_smallest",
 ]

@@ -81,11 +81,15 @@ def create_knn_searcher(
     datasets of the paper stay in that regime.  ``"brute"`` / ``"kdtree"`` /
     ``"shared"`` force a backend; ``"shared"`` runs on a
     :class:`~repro.neighbors.engine.SharedNeighborEngine` and produces the
-    same neighbours as ``"brute"``, bit for bit.
+    same neighbours as ``"brute"``, bit for bit.  ``"subsample"`` is the
+    approximate backend: exact distances against a deterministic reference
+    subsample (:class:`~repro.neighbors.subsample.SubsampledKNN`), linear in
+    the dataset size.
     """
     from .brute import BruteForceKNN
     from .engine import SharedEngineKNN
     from .kdtree import KDTreeKNN
+    from .subsample import SubsampledKNN
 
     algorithm = algorithm.strip().lower()
     arr = np.asarray(data, dtype=float)
@@ -98,6 +102,9 @@ def create_knn_searcher(
         return KDTreeKNN(data, attributes)
     if algorithm == "shared":
         return SharedEngineKNN(data, attributes)
+    if algorithm == "subsample":
+        return SubsampledKNN(data, attributes)
     raise ParameterError(
-        f"unknown kNN algorithm {algorithm!r}; expected 'auto', 'brute', 'kdtree' or 'shared'"
+        f"unknown kNN algorithm {algorithm!r}; expected 'auto', 'brute', 'kdtree', "
+        f"'shared' or 'subsample'"
     )

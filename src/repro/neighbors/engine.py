@@ -52,13 +52,15 @@ from ..exceptions import DataError, ParameterError
 from ..utils.validation import check_data_matrix, check_positive_int
 from .base import KNNResult, NearestNeighborSearcher
 from .distance import squared_difference_block
-from .topk import top_k_smallest
+from .topk import merge_top_k, top_k_smallest
 
 __all__ = ["SharedNeighborEngine", "SharedEngineKNN", "normalise_engine_mode"]
 
 #: Canonical engine-mode names accepted everywhere an engine switch appears
-#: (pipeline, ranker, config, spec grammar, CLI).
-ENGINE_MODES = ("shared", "per-subspace")
+#: (pipeline, ranker, config, spec grammar, CLI).  ``streaming`` is the
+#: row-blocked variant of ``shared`` that never materialises an ``n x n``
+#: array — bit-for-bit identical scores, sub-quadratic peak memory.
+ENGINE_MODES = ("shared", "streaming", "per-subspace")
 
 
 def normalise_engine_mode(value: object) -> str:
@@ -82,14 +84,41 @@ class SharedNeighborEngine:
         Data matrix of shape ``(n_objects, n_dims)``.  The engine keeps a
         reference and never mutates it.
     memory_budget_mb:
-        Upper bound (in MiB) on the memory spent caching per-dimension blocks
-        and prefix partial sums.  Least-recently-used entries are evicted when
-        the budget is exceeded; a budget too small for a single ``n x n``
-        block simply disables caching, in which case every assembly is
-        recomputed chunk-by-chunk — slower, but never above budget.
+        Upper bound (in MiB) on the memory spent on cached per-dimension
+        blocks and prefix partial sums, the persistent scratch rows and the
+        memoised neighbour lists.  Least-recently-used entries are evicted
+        when the budget is exceeded; a budget too small for a single
+        ``n x n`` block simply disables block caching, in which case every
+        assembly is recomputed chunk-by-chunk — slower, but never above
+        budget.
+    streaming:
+        When ``True`` the engine runs in **streaming mode**: no ``n x n``
+        array is ever materialised.  Squared-difference blocks are computed
+        per query chunk, neighbour queries fold per-reference-chunk top-k
+        winners through :func:`~repro.neighbors.topk.merge_top_k`, and the
+        dense entry points (:meth:`distance_matrix`,
+        :meth:`squared_distances`) are disabled.  Every index and distance
+        the streaming mode produces is bit-for-bit identical to the dense
+        path — the distances are the same per-attribute
+        :func:`~repro.neighbors.distance.squared_difference_block` floats
+        accumulated in the same ascending-attribute order, and the chunk
+        merge preserves the library's (value, index) lexicographic
+        tie-break exactly, for every chunk size.
+    chunk_rows:
+        Optional fixed chunk edge for the streaming row blocks (both the
+        query and the reference axis).  ``None`` (default) sizes chunks
+        from the memory budget.  Exposed for tests and tuning; results are
+        identical for every value.
     """
 
-    def __init__(self, data: np.ndarray, *, memory_budget_mb: float = 256.0):
+    def __init__(
+        self,
+        data: np.ndarray,
+        *,
+        memory_budget_mb: float = 256.0,
+        streaming: bool = False,
+        chunk_rows: Optional[int] = None,
+    ):
         self._data = check_data_matrix(data, name="data", min_objects=2)
         try:
             budget = float(memory_budget_mb)
@@ -101,6 +130,10 @@ class SharedNeighborEngine:
             raise ParameterError(f"memory_budget_mb must be positive, got {memory_budget_mb}")
         self.memory_budget_mb = budget
         self._budget_bytes = int(budget * 1024 * 1024)
+        self.streaming = bool(streaming)
+        if chunk_rows is not None:
+            chunk_rows = check_positive_int(chunk_rows, name="chunk_rows")
+        self._chunk_override = chunk_rows
         n = self._data.shape[0]
         self._block_nbytes = n * n * 8
         # Sorted-attribute-prefix -> accumulated squared-distance matrix.  A
@@ -115,12 +148,15 @@ class SharedNeighborEngine:
         # reusable pages.  Streaming workloads re-request and get cached.
         self._assembly_requests: dict = {}
         # Reusable scratch rows for assemble-and-partition passes, so the hot
-        # top-k loop runs on warm pages instead of fresh allocations.
+        # top-k loop runs on warm pages instead of fresh allocations.  Charged
+        # against the byte budget like every other persistent buffer.
         self._scratch: Optional[np.ndarray] = None
+        self._scratch_bytes = 0
         # Memoised kneighbors() results keyed by (attrs, k, exclude_self).
         # Small (n x k each) but hot: streaming independent scoring re-reads
         # the same reference neighbour lists for every incoming batch.
         self._knn_cache: OrderedDict[Tuple, KNNResult] = OrderedDict()
+        self._knn_bytes = 0
         # Serialises every cache-mutating query (see module docstring): the
         # LRU structures, the request counters and the scratch rows are all
         # mutated mid-read, so unlocked concurrent queries would corrupt
@@ -156,15 +192,44 @@ class SharedNeighborEngine:
 
     # ------------------------------------------------------------- caching
 
+    def _charged_bytes(self) -> int:
+        """Every byte the engine holds against the budget: cached prefix/block
+        matrices, the persistent scratch rows and the memoised neighbour
+        lists.  The budget is one shared pool — a tight ``memory_budget_mb``
+        cannot be silently exceeded by an uncharged buffer."""
+        return self._cache_bytes + self._scratch_bytes + self._knn_bytes
+
+    def _evict_until(self, incoming_nbytes: int) -> None:
+        """LRU-evict prefixes, then neighbour lists, to fit ``incoming_nbytes``.
+
+        The persistent scratch buffer is never evicted (it is in use by the
+        very query that triggers eviction); callers that cannot fit even
+        after a full sweep simply skip caching.
+        """
+        while (
+            self._prefixes
+            and self._charged_bytes() + incoming_nbytes > self._budget_bytes
+        ):
+            _, evicted = self._prefixes.popitem(last=False)
+            self._cache_bytes -= evicted.nbytes
+        while (
+            self._knn_cache
+            and self._charged_bytes() + incoming_nbytes > self._budget_bytes
+        ):
+            _, evicted_result = self._knn_cache.popitem(last=False)
+            self._knn_bytes -= (
+                evicted_result.indices.nbytes + evicted_result.distances.nbytes
+            )
+
     def _cache_put(self, key: Tuple[int, ...], matrix: np.ndarray) -> None:
         if matrix.nbytes > self._budget_bytes:
             return
         previous = self._prefixes.pop(key, None)
         if previous is not None:
             self._cache_bytes -= previous.nbytes
-        while self._prefixes and self._cache_bytes + matrix.nbytes > self._budget_bytes:
-            _, evicted = self._prefixes.popitem(last=False)
-            self._cache_bytes -= evicted.nbytes
+        self._evict_until(matrix.nbytes)
+        if self._charged_bytes() + matrix.nbytes > self._budget_bytes:
+            return
         self._prefixes[key] = matrix
         self._cache_bytes += matrix.nbytes
 
@@ -176,11 +241,20 @@ class SharedNeighborEngine:
 
     @property
     def cache_bytes(self) -> int:
-        """Bytes currently held by the prefix/block cache."""
-        return self._cache_bytes
+        """Bytes currently charged against the budget (blocks, scratch, kNN)."""
+        return self._charged_bytes()
+
+    def _require_dense(self, method: str) -> None:
+        if self.streaming:
+            raise ParameterError(
+                f"{method}() materialises an n x n array, which streaming mode "
+                f"forbids; use kneighbors(), iter_distance_rows() or the "
+                f"query_* methods instead"
+            )
 
     def _block(self, attribute: int) -> np.ndarray:
         """The cached squared-difference block of one dimension."""
+        self._require_dense("_block")
         key = (attribute,)
         cached = self._cache_get(key)
         if cached is not None:
@@ -232,9 +306,19 @@ class SharedNeighborEngine:
         return accumulated
 
     def _scratch_rows(self, n_rows: int) -> np.ndarray:
-        """A persistent scratch buffer of ``(n_rows, n)`` rows (warm pages)."""
+        """A persistent scratch buffer of ``(n_rows, n)`` rows (warm pages).
+
+        The buffer is charged against the memory budget: growing it first
+        releases the old buffer's charge and LRU-evicts cached entries until
+        the new allocation fits.
+        """
         if self._scratch is None or self._scratch.shape[0] < n_rows:
+            self._scratch = None
+            self._scratch_bytes = 0
+            needed = n_rows * self.n_objects * 8
+            self._evict_until(needed)
             self._scratch = np.empty((n_rows, self.n_objects))
+            self._scratch_bytes = self._scratch.nbytes
         return self._scratch[:n_rows]
 
     def _assemble_squared_into(self, attrs: Tuple[int, ...], out: np.ndarray) -> None:
@@ -257,15 +341,28 @@ class SharedNeighborEngine:
         """Squared distances of rows ``[start, stop)`` to all objects.
 
         Served from the prefix cache when a full block fits the budget;
-        otherwise the row band is accumulated directly from the data columns,
-        which keeps peak memory at ``O(chunk * n)`` — same floats either way.
+        otherwise (and always in streaming mode) the row band is accumulated
+        directly from the data columns, which keeps peak memory at
+        ``O(chunk * n)`` — same floats either way: per-attribute squared
+        differences are elementwise, and both paths add them left-to-right
+        in ascending attribute order.
         """
-        if self._block_nbytes <= self._budget_bytes:
+        if not self.streaming and self._block_nbytes <= self._budget_bytes:
             return self._squared_prefix(attrs)[start:stop]
-        squared = np.zeros((stop - start, self.n_objects))
+        return self._squared_block(attrs, start, stop, 0, self.n_objects)
+
+    def _squared_block(
+        self, attrs: Tuple[int, ...], qstart: int, qstop: int, rstart: int, rstop: int
+    ) -> np.ndarray:
+        """Squared distances of rows ``[qstart, qstop)`` to ``[rstart, rstop)``.
+
+        The ``O(q_chunk * r_chunk)`` building block of streaming assembly;
+        bit-for-bit equal to the same slice of the dense squared matrix.
+        """
+        squared = np.zeros((qstop - qstart, rstop - rstart))
         for attribute in attrs:
             squared += squared_difference_block(
-                self._data[start:stop, attribute], self._data[:, attribute]
+                self._data[qstart:qstop, attribute], self._data[rstart:rstop, attribute]
             )
         return squared
 
@@ -273,6 +370,7 @@ class SharedNeighborEngine:
 
     def squared_distances(self, attributes: Optional[Iterable[int]] = None) -> np.ndarray:
         """Assembled squared subspace distances, shape ``(n, n)`` (fresh array)."""
+        self._require_dense("squared_distances")
         attrs = self._attributes(attributes)
         with self._query_lock:
             return self._squared_prefix(attrs).copy()
@@ -282,17 +380,101 @@ class SharedNeighborEngine:
 
         Returns a fresh array the caller may mutate.
         """
+        self._require_dense("distance_matrix")
         attrs = self._attributes(attributes)
         with self._query_lock:
             distances = np.sqrt(self._squared_prefix(attrs))
         np.fill_diagonal(distances, 0.0)
         return distances
 
+    def iter_distance_rows(
+        self,
+        attributes: Optional[Iterable[int]] = None,
+        *,
+        chunk_rows: Optional[int] = None,
+    ):
+        """Yield ``(start, stop, rows)`` full-width distance bands in order.
+
+        ``rows`` has shape ``(stop - start, n_objects)`` and holds exactly the
+        floats of ``distance_matrix(attributes)[start:stop]``, including the
+        exact ``0.0`` diagonal — but only one band is alive at a time, so the
+        peak footprint is ``O(chunk * n)`` in both engine modes.  The yielded
+        band is reused internally: consumers must finish with (or copy) a band
+        before advancing the iterator.
+        """
+        attrs = self._attributes(attributes)
+        if chunk_rows is not None:
+            chunk = min(check_positive_int(chunk_rows, name="chunk_rows"), self.n_objects)
+        else:
+            chunk = self._chunk_rows()
+        n = self.n_objects
+        for start in range(0, n, chunk):
+            stop = min(start + chunk, n)
+            with self._query_lock:
+                rows = np.sqrt(self._squared_rows(attrs, start, stop))
+            band = np.arange(start, stop)
+            rows[band - start, band] = 0.0
+            yield start, stop, rows
+
     def _chunk_rows(self) -> int:
         """Rows per top-k chunk so transient buffers stay within the budget."""
         n = self.n_objects
+        if self._chunk_override is not None:
+            return min(self._chunk_override, n)
         per_row = n * 8 * 3  # squared chunk + sqrt + comparison scratch
         return int(max(1, min(n, self._budget_bytes // max(per_row, 1) or 1)))
+
+    def _stream_chunks(self) -> Tuple[int, int]:
+        """Streaming ``(query_chunk, reference_chunk)`` block edges.
+
+        Balanced square blocks minimise redundant per-attribute column reads
+        for a fixed block byte ceiling; ``chunk_rows`` pins both edges when
+        given.  The 24-byte-per-cell divisor mirrors ``_chunk_rows``: squared
+        block + sqrt + top-k comparison scratch.
+        """
+        n = self.n_objects
+        if self._chunk_override is not None:
+            side = min(self._chunk_override, n)
+        else:
+            side = max(1, min(n, int(np.sqrt(self._budget_bytes / 24.0))))
+        return side, side
+
+    def _kneighbors_streaming(
+        self, attrs: Tuple[int, ...], k: int, diagonal: float
+    ) -> KNNResult:
+        """Row-blocked exact top-k: fold reference-chunk winners via merge.
+
+        Each reference chunk contributes its own ``min(k, width)`` smallest
+        (distance, index) pairs — a superset of the chunk's share of the
+        global top-k — and :func:`~repro.neighbors.topk.merge_top_k` keeps the
+        running k smallest pairs under the library tie-break, so the final
+        result equals the dense path bit for bit, for every chunk size.
+        """
+        n = self.n_objects
+        qchunk, rchunk = self._stream_chunks()
+        indices = np.empty((n, k), dtype=np.intp)
+        distances = np.empty((n, k), dtype=float)
+        for qstart in range(0, n, qchunk):
+            qstop = min(qstart + qchunk, n)
+            best_idx = best_val = None
+            for rstart in range(0, n, rchunk):
+                rstop = min(rstart + rchunk, n)
+                rows = np.sqrt(self._squared_block(attrs, qstart, qstop, rstart, rstop))
+                lo, hi = max(qstart, rstart), min(qstop, rstop)
+                if hi > lo:
+                    diag = np.arange(lo, hi)
+                    rows[diag - qstart, diag - rstart] = diagonal
+                local_idx, local_val = top_k_smallest(rows, min(k, rstop - rstart))
+                local_idx = local_idx + rstart
+                if best_idx is None:
+                    best_idx, best_val = local_idx, local_val
+                else:
+                    best_idx, best_val = merge_top_k(
+                        best_idx, best_val, local_idx, local_val, k
+                    )
+            indices[qstart:qstop] = best_idx[:, :k]
+            distances[qstart:qstop] = best_val[:, :k]
+        return KNNResult(indices=indices, distances=distances)
 
     def kneighbors(
         self,
@@ -320,30 +502,42 @@ class SharedNeighborEngine:
             if cached is not None:
                 self._knn_cache.move_to_end(cache_key)
                 return cached
-            chunk = self._chunk_rows()
             diagonal = np.inf if exclude_self else 0.0
-            if chunk >= n:
-                # Fused fast path: assemble and square-root in one persistent
-                # scratch buffer so the top-k partition runs on warm pages.
-                rows = self._scratch_rows(n)
-                self._assemble_squared_into(attrs, rows)
-                np.sqrt(rows, out=rows)
-                rows[np.arange(n), np.arange(n)] = diagonal
-                indices, distances = top_k_smallest(rows, k)
+            if self.streaming:
+                result = self._kneighbors_streaming(attrs, k, diagonal)
             else:
-                indices = np.empty((n, k), dtype=np.intp)
-                distances = np.empty((n, k), dtype=float)
-                for start in range(0, n, chunk):
-                    stop = min(start + chunk, n)
-                    rows = np.sqrt(self._squared_rows(attrs, start, stop))
-                    rows[np.arange(stop - start), np.arange(start, stop)] = diagonal
-                    idx, vals = top_k_smallest(rows, k)
-                    indices[start:stop] = idx
-                    distances[start:stop] = vals
-            result = KNNResult(indices=indices, distances=distances)
-            while len(self._knn_cache) >= 128:
-                self._knn_cache.popitem(last=False)
-            self._knn_cache[cache_key] = result
+                chunk = self._chunk_rows()
+                if chunk >= n:
+                    # Fused fast path: assemble and square-root in one
+                    # persistent scratch buffer so the top-k partition runs on
+                    # warm pages.
+                    rows = self._scratch_rows(n)
+                    self._assemble_squared_into(attrs, rows)
+                    np.sqrt(rows, out=rows)
+                    rows[np.arange(n), np.arange(n)] = diagonal
+                    indices, distances = top_k_smallest(rows, k)
+                else:
+                    indices = np.empty((n, k), dtype=np.intp)
+                    distances = np.empty((n, k), dtype=float)
+                    for start in range(0, n, chunk):
+                        stop = min(start + chunk, n)
+                        rows = np.sqrt(self._squared_rows(attrs, start, stop))
+                        rows[np.arange(stop - start), np.arange(start, stop)] = diagonal
+                        idx, vals = top_k_smallest(rows, k)
+                        indices[start:stop] = idx
+                        distances[start:stop] = vals
+                result = KNNResult(indices=indices, distances=distances)
+            # Memoise under the shared byte budget; a result that still does
+            # not fit after eviction is simply served uncached.
+            result_nbytes = result.indices.nbytes + result.distances.nbytes
+            if result_nbytes <= self._budget_bytes:
+                while len(self._knn_cache) >= 128:
+                    _, dropped = self._knn_cache.popitem(last=False)
+                    self._knn_bytes -= dropped.indices.nbytes + dropped.distances.nbytes
+                self._evict_until(result_nbytes)
+                if self._charged_bytes() + result_nbytes <= self._budget_bytes:
+                    self._knn_cache[cache_key] = result
+                    self._knn_bytes += result_nbytes
             return result
 
     def query_squared_distances(

@@ -1,0 +1,138 @@
+"""Approximate k-nearest-neighbour search against a reference subsample.
+
+The exact backends answer every query against all ``n`` reference objects;
+this backend answers against a **deterministic subsample** of ``m`` rows, so
+a full all-neighbours pass costs ``O(n * m)`` instead of ``O(n^2)``.  The
+result is approximate in one precisely bounded way: every reported neighbour
+is a *true* reference object at its *true* distance, and the reported list is
+exactly the k nearest among the subsampled candidates — so reported k-th
+distances can only over-estimate the exact k-th distance, never
+under-estimate it.  The golden suite bounds the rank divergence against the
+exact backends; with ``n_reference >= n`` the backend degenerates to
+brute force and is bit-for-bit identical to it.
+
+The subsample rows are a pure function of ``random_state``: two searchers
+built with the same seed over the same data answer identically, which keeps
+approximate configurations replayable and cacheable like everything else in
+the library.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import DataError, ParameterError
+from ..utils.random_state import check_random_state
+from ..utils.validation import check_data_matrix, check_positive_int
+from .base import KNNResult, NearestNeighborSearcher
+from .distance import squared_difference_block
+from .topk import top_k_smallest
+
+__all__ = ["SubsampledKNN", "DEFAULT_N_REFERENCE"]
+
+#: Default subsample size — small enough that an all-neighbours pass over a
+#: 100k-row dataset stays linear, large enough that MinPts-scale
+#: neighbourhoods (k ~ 10..50) are well covered.
+DEFAULT_N_REFERENCE = 2048
+
+#: Working-set ceiling of one query chunk (the ``(chunk, m)`` squared block
+#: plus its per-attribute scratch and the sqrt'd copy — three live arrays).
+_WORKING_BYTES = 64 * 1024 * 1024
+
+
+class SubsampledKNN(NearestNeighborSearcher):
+    """Approximate kNN: exact distances to a deterministic reference subsample.
+
+    Parameters
+    ----------
+    data:
+        Reference data matrix of shape ``(n_objects, n_dims)``.
+    attributes:
+        Optional attribute indices restricting the distance to a subspace.
+    n_reference:
+        Size ``m`` of the candidate subsample.  ``m >= n_objects`` keeps all
+        rows (the backend is then bit-for-bit brute force).
+    random_state:
+        Seed of the subsample draw (default 0 — deterministic out of the
+        box).  The drawn rows are kept in ascending order, so distance ties
+        among candidates break towards lower original indices exactly like
+        the exact backends.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        attributes: Optional[Sequence[int]] = None,
+        *,
+        n_reference: int = DEFAULT_N_REFERENCE,
+        random_state=0,
+    ):
+        self._data = check_data_matrix(data, name="data", min_objects=2)
+        self._attributes = None if attributes is None else tuple(int(a) for a in attributes)
+        if self._attributes is not None:
+            if not self._attributes:
+                raise ParameterError("attributes must not be empty")
+            if max(self._attributes) >= self._data.shape[1]:
+                raise DataError(
+                    f"attribute {max(self._attributes)} out of range for "
+                    f"{self._data.shape[1]}-dimensional data"
+                )
+        n_reference = check_positive_int(n_reference, name="n_reference")
+        n = self._data.shape[0]
+        if n_reference >= n:
+            rows = np.arange(n)
+        else:
+            rng = check_random_state(random_state)
+            rows = np.sort(rng.choice(n, size=n_reference, replace=False))
+        self.reference_rows = rows
+        self.n_reference = int(rows.size)
+
+    @property
+    def n_objects(self) -> int:
+        return self._data.shape[0]
+
+    def _columns(self) -> Sequence[int]:
+        if self._attributes is None:
+            return range(self._data.shape[1])
+        return self._attributes
+
+    def kneighbors(self, k: int, *, exclude_self: bool = True) -> KNNResult:
+        k = check_positive_int(k, name="k")
+        m = self.n_reference
+        max_k = m - 1 if exclude_self else m
+        if k > max_k:
+            raise ParameterError(
+                f"k={k} is too large for a subsample of {m} reference objects "
+                f"(max {max_k} with exclude_self={exclude_self})"
+            )
+        # Asymmetric query-chunk-vs-subsample distances, accumulated per
+        # attribute in the same order as the exact backends — candidate
+        # distances are therefore the exact floats of the corresponding dense
+        # matrix entries.  Queries are independent rows, so chunking them
+        # changes nothing but the peak footprint (``O(chunk * m)``).
+        n = self.n_objects
+        sample = self._data[self.reference_rows]
+        chunk = max(1, min(n, _WORKING_BYTES // (m * 8 * 3)))
+        indices = np.empty((n, k), dtype=np.intp)
+        values = np.empty((n, k))
+        diagonal = np.inf if exclude_self else 0.0
+        for start in range(0, n, chunk):
+            stop = min(n, start + chunk)
+            squared = np.zeros((stop - start, m))
+            for attribute in self._columns():
+                squared += squared_difference_block(
+                    self._data[start:stop, attribute], sample[:, attribute]
+                )
+            distances = np.sqrt(squared)
+            # A query that is itself in the subsample must not report itself
+            # (its self-distance column is exactly 0.0 by construction).
+            inside = np.flatnonzero(
+                (self.reference_rows >= start) & (self.reference_rows < stop)
+            )
+            distances[self.reference_rows[inside] - start, inside] = diagonal
+            local_indices, local_values = top_k_smallest(distances, k)
+            indices[start:stop] = self.reference_rows[local_indices]
+            values[start:stop] = local_values
+        return KNNResult(indices=indices, distances=values)

@@ -15,7 +15,7 @@ import numpy as np
 
 from ..exceptions import ParameterError
 
-__all__ = ["top_k_smallest"]
+__all__ = ["top_k_smallest", "merge_top_k"]
 
 
 def top_k_smallest(distances: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
@@ -72,3 +72,37 @@ def top_k_smallest(distances: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarra
     indices = np.take_along_axis(block, order, axis=1)
     values = np.take_along_axis(block_values, order, axis=1)
     return indices, values
+
+
+def merge_top_k(
+    indices_a: np.ndarray,
+    values_a: np.ndarray,
+    indices_b: np.ndarray,
+    values_b: np.ndarray,
+    k: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge two per-row candidate sets into the ``k`` smallest (value, index) pairs.
+
+    Both inputs must already obey the library tie-break order (ascending value,
+    then ascending index — exactly what :func:`top_k_smallest` emits), and the
+    index sets of a row must be disjoint between the two candidates.  The merge
+    re-sorts the concatenated pairs lexicographically (value primary, index
+    secondary), so folding per-reference-chunk local top-k results one chunk at
+    a time reproduces the global dense top-k **exactly**, under any chunk
+    grouping: the k smallest (value, index) pairs of a union are the k smallest
+    pairs of the merged per-chunk winners, because each chunk contributes at
+    least its own ``min(k, chunk_width)`` smallest pairs.
+
+    Fewer than ``k`` total candidates return all of them (still sorted).
+    """
+    indices = np.concatenate([indices_a, indices_b], axis=1)
+    values = np.concatenate([values_a, values_b], axis=1)
+    if indices.shape != values.shape:
+        raise ParameterError(
+            f"indices and values disagree on shape: {indices.shape} vs {values.shape}"
+        )
+    order = np.lexsort((indices, values), axis=-1)[:, :k]
+    return (
+        np.take_along_axis(indices, order, axis=1),
+        np.take_along_axis(values, order, axis=1),
+    )

@@ -168,17 +168,50 @@ class AdaptiveDensityScorer(OutlierScorer):
         scores = []
         for subspace in subspaces:
             attributes = self._subspace_attributes(data, subspace)
-            distances = engine.distance_matrix(attributes)
             n_dims = len(attributes) if attributes else data.shape[1]
-            densities = _density_from_distances(distances, n_dims, self.bandwidth_scale)
-            # The matrix is a fresh assembly this scorer owns, so the
-            # neighbourhoods come straight from it — no second assembly.
-            np.fill_diagonal(distances, np.inf)
-            neighbours = top_k_smallest(distances, k)[0]
+            if engine.streaming:
+                densities, neighbours = self._streaming_density_pass(
+                    engine, attributes, n_dims, k
+                )
+            else:
+                distances = engine.distance_matrix(attributes)
+                densities = _density_from_distances(
+                    distances, n_dims, self.bandwidth_scale
+                )
+                # The matrix is a fresh assembly this scorer owns, so the
+                # neighbourhoods come straight from it — no second assembly.
+                np.fill_diagonal(distances, np.inf)
+                neighbours = top_k_smallest(distances, k)[0]
             mu = densities[neighbours].mean(axis=1)
             floor = max(float(densities.mean()) * 1e-6, np.finfo(float).tiny)
             scores.append(np.maximum(0.0, mu / np.maximum(densities, floor)))
         return scores
+
+    def _streaming_density_pass(
+        self, engine: SharedNeighborEngine, attributes, n_dims: int, k: int
+    ) -> tuple:
+        """Densities and neighbourhoods from full-width distance bands.
+
+        One pass over :meth:`~repro.neighbors.engine.SharedNeighborEngine.iter_distance_rows`
+        computes both the kernel-density row sums and the per-row top-k, so no
+        ``n x n`` matrix is ever alive.  Bit-for-bit equal to the dense
+        branch: the kernel is elementwise, the density is a per-row sum over
+        the same full-width floats, and the band-local top-k sees complete
+        rows, so no merge is even needed.
+        """
+        n = engine.n_objects
+        bandwidth = _adaptive_bandwidth(n, n_dims, self.bandwidth_scale)
+        densities = np.empty(n)
+        neighbours = np.empty((n, k), dtype=np.intp)
+        for start, stop, rows in engine.iter_distance_rows(attributes):
+            band = np.arange(start, stop)
+            scaled = rows / bandwidth
+            kernel = np.maximum(0.0, 1.0 - scaled**2)
+            kernel[band - start, band] = 0.0
+            densities[start:stop] = kernel.sum(axis=1) / (n - 1)
+            rows[band - start, band] = np.inf
+            neighbours[start:stop] = top_k_smallest(rows, k)[0]
+        return densities, neighbours
 
     def score_samples_independent(
         self,

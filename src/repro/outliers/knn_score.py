@@ -131,13 +131,15 @@ class KNNDistanceScorer(OutlierScorer):
         """
         data = self._check_reference(data)
         mode = self._resolve_engine_mode(engine)
-        if mode != "shared" or not self._engine_matches_backend(
+        if mode not in ("shared", "streaming") or not self._engine_matches_backend(
             self.algorithm, self.reference_data_.shape[0] + 1
         ):
             return super().score_samples_independent(
                 data, subspaces, engine=engine, memory_budget_mb=memory_budget_mb
             )
-        shared = self._shared_reference_engine(memory_budget_mb)
+        shared = self._shared_reference_engine(
+            memory_budget_mb, streaming=(mode == "streaming")
+        )
         effective_k = min(self.k, self.reference_data_.shape[0])
         results = []
         for subspace in subspaces:

@@ -30,7 +30,7 @@ from .base import DEFAULT_MEMORY_BUDGET_MB, OutlierScorer
 __all__ = ["LOFScorer", "local_outlier_factor"]
 
 #: kNN backend names accepted by the LOF front ends.
-_ALGORITHMS = ("auto", "brute", "kdtree", "shared")
+_ALGORITHMS = ("auto", "brute", "kdtree", "shared", "subsample")
 
 
 def _lof_from_knn(indices: np.ndarray, distances: np.ndarray) -> np.ndarray:
@@ -187,14 +187,16 @@ class LOFScorer(OutlierScorer):
         # configurations (each per-query reference pass runs over
         # n_reference + 1 objects, which decides what "auto" resolves to).
         if (
-            mode != "shared"
+            mode not in ("shared", "streaming")
             or not self._engine_matches_backend(self.algorithm, n_reference + 1)
             or self.min_pts > n_reference - 1
         ):
             return super().score_samples_independent(
                 data, subspaces, engine=engine, memory_budget_mb=memory_budget_mb
             )
-        shared = self._shared_reference_engine(memory_budget_mb)
+        shared = self._shared_reference_engine(
+            memory_budget_mb, streaming=(mode == "streaming")
+        )
         k = self.min_pts
         n_queries = data.shape[0]
         columns = np.arange(k)[None, :]

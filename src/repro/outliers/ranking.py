@@ -56,9 +56,12 @@ class SubspaceOutlierRanker:
     engine:
         ``"shared"`` (default) computes per-dimension distance blocks once
         through a :class:`~repro.neighbors.engine.SharedNeighborEngine` and
-        shares them across all subspaces; ``"per-subspace"`` is the reference
-        path that rebuilds every subspace's distances from scratch.  Both
-        produce identical scores, bit for bit.
+        shares them across all subspaces; ``"streaming"`` runs the same
+        engine in its row-blocked mode, which never materialises an ``n x n``
+        array and scales to datasets whose dense distance matrix cannot fit
+        in memory; ``"per-subspace"`` is the reference path that rebuilds
+        every subspace's distances from scratch.  All produce identical
+        scores, bit for bit.
     memory_budget_mb:
         Cache budget of the shared engine (ignored for ``"per-subspace"``).
     backend:
@@ -118,8 +121,12 @@ class SubspaceOutlierRanker:
                     metadata={"runtime_sec": stopwatch.total(), "n_subspaces": 0},
                 )
             shared = (
-                SharedNeighborEngine(data, memory_budget_mb=self.memory_budget_mb)
-                if self.engine == "shared"
+                SharedNeighborEngine(
+                    data,
+                    memory_budget_mb=self.memory_budget_mb,
+                    streaming=(self.engine == "streaming"),
+                )
+                if self.engine in ("shared", "streaming")
                 else None
             )
             per_subspace = None

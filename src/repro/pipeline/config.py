@@ -67,6 +67,13 @@ class PipelineConfig:
         Slice size ``alpha`` (paper default 0.1).
     hics_cutoff:
         Candidate cutoff (paper default 400).
+    hics_subsample:
+        ``None`` (default) estimates contrasts over the full database; an
+        integer enables the seeded-subsample contrast mode (see
+        :class:`~repro.subspaces.contrast.ContrastEstimator`), whose Monte
+        Carlo cost scales with the subsample instead of the database size.
+        Changes the estimated contrasts (it is an approximation), so it is a
+        *result* field for caching purposes.
     random_state:
         Seed forwarded to the stochastic methods.
     n_jobs:
@@ -95,6 +102,7 @@ class PipelineConfig:
     hics_iterations: int = 50
     hics_alpha: float = 0.1
     hics_cutoff: int = 400
+    hics_subsample: Optional[int] = None
     random_state: Optional[int] = 0
     n_jobs: int = 1
     backend: Optional[str] = None
@@ -154,6 +162,7 @@ def _method_spec(key: str, config: PipelineConfig) -> PipelineSpec:
         "random_state": config.random_state,
         "n_jobs": config.n_jobs,
         "backend": config.backend,
+        "subsample_size": config.hics_subsample,
     }
     searchers = {
         "lof": ComponentSpec("fullspace"),

@@ -68,10 +68,12 @@ class SubspaceOutlierPipeline:
         Scoring engine: ``"shared"`` (default) computes per-dimension distance
         blocks once per dataset through a
         :class:`~repro.neighbors.engine.SharedNeighborEngine` and shares them
-        across all fitted subspaces; ``"per-subspace"`` is the reference path
-        that recomputes every subspace's distances from scratch.  Both
-        produce identical scores, bit for bit — the switch is purely a
-        throughput/memory knob.
+        across all fitted subspaces; ``"streaming"`` runs the same engine in
+        its row-blocked mode, which never materialises an ``n x n`` array and
+        scales scoring to datasets whose dense distance matrix cannot fit in
+        memory; ``"per-subspace"`` is the reference path that recomputes
+        every subspace's distances from scratch.  All produce identical
+        scores, bit for bit — the switch is purely a throughput/memory knob.
     memory_budget_mb:
         Cache budget of the shared engine in MiB (per-dimension blocks,
         prefix partial sums and neighbour lists); ignored by

@@ -363,8 +363,9 @@ def parse_component_spec(text: str) -> ComponentSpec:
 
 
 #: Spec-grammar names selecting the scoring engine (4th, optional segment).
-#: ``shared`` may carry a cache budget: ``shared(memory_budget_mb=64)``.
-_ENGINE_NAMES = ("shared", "per-subspace", "per_subspace")
+#: ``shared`` and ``streaming`` may carry a cache budget:
+#: ``shared(memory_budget_mb=64)``.
+_ENGINE_NAMES = ("shared", "streaming", "per-subspace", "per_subspace")
 
 
 def _extract_engine_spec(parts: list) -> Tuple[list, Optional[ComponentSpec]]:
@@ -403,8 +404,8 @@ def parse_spec(text: str) -> PipelineSpec:
     to LOF and the aggregation to ``"average"`` when omitted; a two-part spec
     whose second segment is a bare aggregation name rather than a scorer
     (``"hics+max"``) is accepted as searcher + aggregation.  The engine
-    segment (``shared`` or ``per-subspace``) selects the scoring engine and
-    may appear after any other segment.
+    segment (``shared``, ``streaming`` or ``per-subspace``) selects the
+    scoring engine and may appear after any other segment.
     """
     if not isinstance(text, str) or not text.strip():
         raise ParameterError("pipeline spec must be a non-empty string")

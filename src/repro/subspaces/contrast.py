@@ -74,7 +74,7 @@ from ..stats.ks import ks_statistic_against_superset_batch
 from ..stats.tdist import student_t_two_tailed_pvalue_batch
 from ..stats.welch import welch_satterthwaite_df_batch, welch_t_statistic_batch
 from ..types import ContrastResult, Subspace
-from ..utils.random_state import fresh_entropy
+from ..utils.random_state import fresh_entropy, subsample_rng
 from ..utils.validation import check_positive_int
 
 __all__ = ["ContrastCache", "ContrastEstimator"]
@@ -194,6 +194,19 @@ class ContrastEstimator:
         ``True`` (default) attaches a fresh :class:`ContrastCache`; pass an
         existing cache to share results between estimators, or ``False`` /
         ``None`` to disable memoisation.
+    subsample_size:
+        ``None`` (default) estimates every contrast over the full database.
+        An integer ``m`` switches to the **seeded-subsample mode**: each
+        subspace's contrast is estimated over ``m`` reference rows drawn
+        deterministically from the root entropy and the subspace's
+        attributes (:func:`~repro.utils.random_state.subsample_rng`), so the
+        Monte Carlo cost scales with ``m`` instead of the database size.
+        The drawn ``(size, child seed)`` pair is recorded on the
+        :class:`~repro.types.ContrastResult` and the subsample size enters
+        the cache key, which keeps cached and parallel runs replayable —
+        the same fingerprint and seed always reproduce the identical result,
+        under every execution backend.  Databases with at most ``m`` rows
+        fall back to the exact full estimate.
     """
 
     def __init__(
@@ -210,6 +223,7 @@ class ContrastEstimator:
         n_jobs: int = 1,
         backend: Union[None, str, ExecutionBackend] = None,
         cache: Union[bool, ContrastCache, None] = True,
+        subsample_size: Optional[int] = None,
     ):
         self.n_iterations = check_positive_int(n_iterations, name="n_iterations")
         if not (0.0 < alpha < 1.0):
@@ -233,6 +247,13 @@ class ContrastEstimator:
         if engine not in _ENGINES:
             raise ParameterError(f"engine must be one of {_ENGINES}, got {engine!r}")
         self.engine = engine
+        if subsample_size is not None:
+            subsample_size = check_positive_int(subsample_size, name="subsample_size")
+            if subsample_size < 2:
+                raise ParameterError(
+                    f"subsample_size must be at least 2, got {subsample_size}"
+                )
+        self.subsample_size = subsample_size
         self.n_jobs = resolve_n_jobs(n_jobs)
         self.backend = check_backend_spec(backend)
         # Lazily resolved execution state, persistent across contrast_many
@@ -352,6 +373,7 @@ class ContrastEstimator:
             self.min_conditional_size,
             self.max_retries,
             self._entropy,
+            self.subsample_size,
         )
 
     # ------------------------------------------------------------------ estimation
@@ -386,6 +408,8 @@ class ContrastEstimator:
         return result
 
     def _evaluate(self, subspace: Subspace) -> ContrastResult:
+        if self.subsample_size is not None and self.subsample_size < self.n_objects:
+            return self._evaluate_subsampled(subspace)
         batch = self._sampler.sample_slice_batch(
             subspace,
             self.n_iterations,
@@ -404,6 +428,45 @@ class ContrastEstimator:
             deviations=tuple(float(v) for v in deviations),
             n_iterations=self.n_iterations,
             n_degenerate=batch.n_degenerate,
+        )
+
+    def _evaluate_subsampled(self, subspace: Subspace) -> ContrastResult:
+        """Seeded-subsample estimate: Monte Carlo over ``m`` deterministic rows.
+
+        The subsample rows and the child seed are pure functions of the root
+        entropy and the subspace's attributes, so — exactly like the
+        full-database path — the result does not depend on evaluation order
+        or on the execution backend, and a run replays bit for bit from
+        ``(fingerprint, root_entropy, subsample_size)``.  The rows are kept
+        in ascending order so the child index sees them in database order.
+        """
+        rng = subsample_rng(self._entropy, subspace.attributes)
+        size = self.subsample_size
+        rows = np.sort(rng.choice(self.n_objects, size=size, replace=False))
+        child_entropy = int(rng.integers(0, 2**63 - 1))
+        attrs = list(subspace.attributes)
+        with ContrastEstimator(
+            self.index.data[np.ix_(rows, attrs)],
+            n_iterations=self.n_iterations,
+            alpha=self.alpha,
+            deviation=self._deviation_spec
+            if self._deviation_spec is not None
+            else self.deviation,
+            min_conditional_size=self.min_conditional_size,
+            max_retries=self.max_retries,
+            engine=self.engine,
+            n_jobs=1,
+            cache=False,
+            random_state=child_entropy,
+        ) as child:
+            local = child.contrast_detailed(Subspace(tuple(range(len(attrs)))))
+        return ContrastResult(
+            subspace=subspace,
+            contrast=local.contrast,
+            deviations=local.deviations,
+            n_iterations=local.n_iterations,
+            n_degenerate=local.n_degenerate,
+            subsample=(size, child_entropy),
         )
 
     def _deviations_scalar(self, batch: SliceBatch) -> np.ndarray:
@@ -556,6 +619,9 @@ class ContrastEstimator:
             self.engine == "batch"
             and self.deviation is welch_deviation
             and len(subspace_list) >= 2
+            # The level-batched Welch path assembles slice batches over the
+            # full database; subsampled estimates evaluate per subspace.
+            and self.subsample_size is None
         ):
             return self._contrast_many_level(subspace_list)
         return {s: self.contrast(s) for s in subspace_list}
@@ -688,6 +754,7 @@ class ContrastEstimator:
                 "max_retries": self.max_retries,
                 "engine": self.engine,
                 "entropy": self._entropy,
+                "subsample_size": self.subsample_size,
             }
             self._worker_context = WorkerContext(
                 setup=_setup_contrast_worker,
@@ -739,6 +806,7 @@ class ContrastEstimator:
                 deviations=tuple(payload[1]),
                 n_iterations=self.n_iterations,
                 n_degenerate=payload[2],
+                subsample=payload[3],
             )
             if self.cache is not None:
                 self.cache.put(self._cache_key(subspace), result)
@@ -794,6 +862,7 @@ def _setup_contrast_worker(payload: Dict[str, object], arrays: Dict[str, np.ndar
         n_jobs=1,
         cache=False,
         random_state=0,
+        subsample_size=payload.get("subsample_size"),
     )
     estimator._entropy = int(payload["entropy"])
     return estimator
@@ -801,7 +870,7 @@ def _setup_contrast_worker(payload: Dict[str, object], arrays: Dict[str, np.ndar
 
 def _contrast_worker(
     estimator: ContrastEstimator, attributes: Tuple[int, ...]
-) -> Tuple[float, Tuple[float, ...], int]:
+) -> Tuple[float, Tuple[float, ...], int, Optional[Tuple[int, int]]]:
     """Evaluate one subspace against the worker state; picklable payload."""
     result = estimator.contrast_detailed(Subspace(attributes))
-    return result.contrast, result.deviations, result.n_degenerate
+    return result.contrast, result.deviations, result.n_degenerate, result.subsample

@@ -89,6 +89,13 @@ class HiCS(SubspaceSearcher):
         :meth:`search` calls (default True) so repeated fits on the same data
         with the same parameters — e.g. parameter sweeps over ``candidate_cutoff``
         or ``max_output_subspaces`` — never recompute a level.
+    subsample_size:
+        ``None`` (default) estimates contrasts over the full database.  An
+        integer switches the contrast estimation to the seeded-subsample
+        mode (see :class:`~repro.subspaces.contrast.ContrastEstimator`), so
+        the apriori search cost scales with the subsample size instead of
+        the database size.  Deterministic: the per-subspace subsample rows
+        derive from the root seed and the subspace's attributes.
 
     Examples
     --------
@@ -120,6 +127,7 @@ class HiCS(SubspaceSearcher):
         n_jobs: int = 1,
         backend=None,
         cache: bool = True,
+        subsample_size: Optional[int] = None,
     ):
         self.n_iterations = check_positive_int(n_iterations, name="n_iterations")
         if not (0.0 < alpha < 1.0):
@@ -145,6 +153,13 @@ class HiCS(SubspaceSearcher):
         resolve_n_jobs(n_jobs)  # fail fast; stored unresolved for persistence
         self.n_jobs = n_jobs
         self.backend = check_backend_spec(backend)  # stored unresolved, too
+        if subsample_size is not None:
+            subsample_size = check_positive_int(subsample_size, name="subsample_size")
+            if subsample_size < 2:
+                raise ParameterError(
+                    f"subsample_size must be at least 2, got {subsample_size}"
+                )
+        self.subsample_size = subsample_size
         self.cache = bool(cache)
         self._shared_cache: Optional[ContrastCache] = (
             ContrastCache(max_entries=_CACHE_MAX_ENTRIES) if self.cache else None
@@ -175,6 +190,7 @@ class HiCS(SubspaceSearcher):
             n_jobs=self.n_jobs,
             backend=self.backend,
             cache=self._shared_cache if self.cache else False,
+            subsample_size=self.subsample_size,
         )
         self.evaluated_subspaces_ = {}
         self.levels_ = []

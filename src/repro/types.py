@@ -138,6 +138,13 @@ class ContrastResult:
         Number of iterations excluded because their conditional sample stayed
         below the minimum size even after all slice redraws
         (``len(deviations) == n_iterations - n_degenerate``).
+    subsample:
+        ``None`` for a full-database estimate.  For a subsampled estimate,
+        the ``(subsample_size, child_entropy)`` pair that reproduces it: the
+        reference rows were drawn deterministically from the estimator's
+        root entropy and the subspace's attributes, and ``child_entropy``
+        seeded the Monte Carlo iterations over the subsample.  Recording the
+        pair keeps cached and parallel subsampled runs replayable.
     """
 
     subspace: Subspace
@@ -145,6 +152,7 @@ class ContrastResult:
     deviations: Tuple[float, ...]
     n_iterations: int
     n_degenerate: int = 0
+    subsample: Optional[Tuple[int, int]] = None
 
     @property
     def std(self) -> float:

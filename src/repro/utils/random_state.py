@@ -7,15 +7,20 @@ argument that is normalised through :func:`check_random_state`.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from ..exceptions import ParameterError
 
-__all__ = ["check_random_state", "fresh_entropy", "spawn_child_rng"]
+__all__ = ["check_random_state", "fresh_entropy", "spawn_child_rng", "subsample_rng"]
 
 RandomStateLike = Union[None, int, np.random.Generator, np.random.RandomState]
+
+#: Domain tag prepended to the spawn key of :func:`subsample_rng`, so the
+#: subsample-selection stream can never collide with the per-subspace
+#: Monte-Carlo stream (whose spawn key is the bare attribute tuple).
+_SUBSAMPLE_DOMAIN = 0x5B5A
 
 
 def fresh_entropy() -> int:
@@ -73,3 +78,26 @@ def spawn_child_rng(rng: np.random.Generator, n: Optional[int] = None):
     if n is None:
         return np.random.default_rng(rng.integers(0, 2**63 - 1))
     return [np.random.default_rng(seed) for seed in rng.integers(0, 2**63 - 1, size=n)]
+
+
+def subsample_rng(entropy: int, attributes: Sequence[int]) -> np.random.Generator:
+    """Generator for one subspace's deterministic reference subsample.
+
+    A pure function of the root ``entropy`` and the subspace's attribute
+    tuple, like the per-subspace Monte-Carlo stream — but drawn from a
+    domain-tagged spawn key so selecting the subsample rows never perturbs
+    (or reuses) the contrast iterations' randomness.  The same
+    ``(entropy, attributes)`` pair always yields the same subsample, which is
+    what keeps subsampled contrasts replayable across serial, thread and
+    process execution backends.
+    """
+    if not isinstance(entropy, (int, np.integer)) or isinstance(entropy, bool):
+        raise ParameterError(
+            f"entropy must be an integer, got {type(entropy).__name__}"
+        )
+    if entropy < 0:
+        raise ParameterError(f"entropy must be non-negative, got {entropy}")
+    spawn_key = (_SUBSAMPLE_DOMAIN, *(int(a) for a in attributes))
+    return np.random.default_rng(
+        np.random.SeedSequence(int(entropy), spawn_key=spawn_key)
+    )

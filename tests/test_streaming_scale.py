@@ -1,0 +1,380 @@
+"""Sub-quadratic scale suite: streaming assembly, approximate kNN, subsampled contrast.
+
+Three families of guarantees:
+
+* **Chunked exactness** — the streaming engine, the chunked brute-force
+  searcher and the per-attribute rank columns are pure re-orderings of the
+  dense computations: every test asserts ``np.array_equal`` (no tolerances)
+  against the dense reference, for *every* chunk size from 1 to ``n``, on
+  data with duplicate rows and exact distance ties straddling chunk edges.
+* **Golden rank divergence** — the approximate subsample backend reports true
+  distances that never under-estimate the exact k-th distance rank for rank,
+  degenerates to bit-for-bit brute force at full coverage, and its recall
+  against the exact neighbours stays above a pinned golden threshold.
+* **Replayable subsampling** — the seeded-subsample Monte Carlo contrast is a
+  pure function of (data bytes, entropy, subspace): identical across re-runs
+  and across the serial/thread/process backends, with the replay pair
+  recorded on the result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    HiCS,
+    LOFScorer,
+    make_pipeline_from_spec,
+    parse_spec,
+)
+from repro.exceptions import ParameterError
+from repro.index.slicing import SliceSampler
+from repro.index.sorted_index import SortedDatabaseIndex
+from repro.lint import lint_source
+from repro.neighbors import (
+    BruteForceKNN,
+    SharedNeighborEngine,
+    SubsampledKNN,
+    create_knn_searcher,
+)
+from repro.pipeline import PipelineConfig
+from repro.subspaces.contrast import ContrastEstimator
+from repro.types import Subspace
+from repro.utils.random_state import subsample_rng
+
+# --------------------------------------------------------------------- data
+
+
+def _edge_case_data():
+    """Small matrix with duplicate rows and exact ties straddling chunk edges.
+
+    Rows 10/11 and 15/16 are exact duplicates (distance 0.0, and every other
+    object is equidistant to both), and the lattice values produce many exact
+    distance ties — the worst case for chunked top-k merging, because the
+    deterministic index tie-break must survive any chunk grouping.
+    """
+    rng = np.random.default_rng(77)
+    data = rng.integers(0, 3, size=(23, 5)).astype(float)
+    data[11] = data[10]
+    data[16] = data[15]
+    return data
+
+
+EDGE = _edge_case_data()
+SUBSPACES = [None, (0, 2), (3, 1, 4)]
+
+
+# ----------------------------------------------------- chunked exactness
+
+
+class TestStreamingChunkBoundaries:
+    @pytest.mark.parametrize("attributes", SUBSPACES)
+    def test_kneighbors_every_chunk_size(self, attributes):
+        n = EDGE.shape[0]
+        dense = SharedNeighborEngine(EDGE).kneighbors(5, attributes)
+        for chunk in range(1, n + 1):
+            engine = SharedNeighborEngine(EDGE, streaming=True, chunk_rows=chunk)
+            result = engine.kneighbors(5, attributes)
+            assert np.array_equal(result.indices, dense.indices), chunk
+            assert np.array_equal(result.distances, dense.distances), chunk
+
+    @pytest.mark.parametrize("attributes", SUBSPACES)
+    def test_iter_distance_rows_every_chunk_size(self, attributes):
+        n = EDGE.shape[0]
+        dense = SharedNeighborEngine(EDGE).distance_matrix(attributes)
+        for chunk in range(1, n + 1):
+            engine = SharedNeighborEngine(EDGE, streaming=True)
+            assembled = np.empty((n, n))
+            for start, stop, rows in engine.iter_distance_rows(
+                attributes, chunk_rows=chunk
+            ):
+                assembled[start:stop] = rows
+            assert np.array_equal(assembled, dense), chunk
+
+    def test_brute_force_chunked_every_chunk_size(self):
+        n = EDGE.shape[0]
+        dense = BruteForceKNN(EDGE, (1, 3)).kneighbors(6)
+        for chunk in range(1, n + 1):
+            chunked = BruteForceKNN(EDGE, (1, 3), chunk_rows=chunk).kneighbors(6)
+            assert np.array_equal(chunked.indices, dense.indices), chunk
+            assert np.array_equal(chunked.distances, dense.distances), chunk
+
+    def test_duplicates_and_ties_straddle_a_chunk_edge(self):
+        # chunk=11 puts the duplicate pair (10, 11) on opposite sides of the
+        # first chunk boundary; the merged top-k must still break ties by
+        # ascending index exactly like the dense argsort.
+        dense = SharedNeighborEngine(EDGE).kneighbors(8)
+        streaming = SharedNeighborEngine(EDGE, streaming=True, chunk_rows=11)
+        result = streaming.kneighbors(8)
+        assert np.array_equal(result.indices, dense.indices)
+        assert np.array_equal(result.distances, dense.distances)
+        # the duplicate partner is the nearest neighbour, at exactly 0.0
+        assert result.indices[10, 0] == 11
+        assert result.indices[11, 0] == 10
+        assert result.distances[10, 0] == 0.0
+
+    def test_streaming_rejects_dense_entry_points(self):
+        engine = SharedNeighborEngine(EDGE, streaming=True)
+        with pytest.raises(ParameterError):
+            engine.distance_matrix()
+        with pytest.raises(ParameterError):
+            engine.squared_distances()
+
+    def test_streaming_stays_inside_budget(self):
+        engine = SharedNeighborEngine(
+            EDGE, streaming=True, memory_budget_mb=0.001, chunk_rows=3
+        )
+        dense = SharedNeighborEngine(EDGE).kneighbors(4)
+        result = engine.kneighbors(4)
+        assert np.array_equal(result.indices, dense.indices)
+        assert engine.cache_bytes <= int(0.001 * 1024 * 1024)
+
+
+class TestStreamingScorerEquivalence:
+    @pytest.mark.parametrize(
+        "scorer", ["lof(min_pts=7)", "knn(k=5)", "adaptive_density(n_neighbors=5)"]
+    )
+    def test_streaming_engine_matches_shared(self, scorer):
+        rng = np.random.default_rng(11)
+        data = rng.normal(size=(90, 6))
+        data[20] = data[21]
+        spec = f"hics(n_iterations=10, random_state=0, n_jobs=1)+{scorer}"
+        shared = make_pipeline_from_spec(parse_spec(spec + "+shared")).fit_rank(data)
+        streaming = make_pipeline_from_spec(parse_spec(spec + "+streaming")).fit_rank(data)
+        assert np.array_equal(shared.scores, streaming.scores)
+
+
+# ------------------------------------------------- approximate backend
+
+
+class TestSubsampledKNN:
+    def test_full_coverage_is_bitwise_brute_force(self):
+        rng = np.random.default_rng(5)
+        data = rng.normal(size=(150, 6))
+        data[7] = data[8]
+        for exclude_self in (True, False):
+            exact = BruteForceKNN(data).kneighbors(9, exclude_self=exclude_self)
+            full = SubsampledKNN(data, n_reference=150).kneighbors(
+                9, exclude_self=exclude_self
+            )
+            assert np.array_equal(exact.indices, full.indices)
+            assert np.array_equal(exact.distances, full.distances)
+
+    def test_golden_rank_divergence_bound(self):
+        rng = np.random.default_rng(5)
+        data = rng.normal(size=(400, 6))
+        k = 10
+        exact = BruteForceKNN(data).kneighbors(k)
+        approx = SubsampledKNN(data, n_reference=128, random_state=0).kneighbors(k)
+        # Rank for rank, the approximate k-th distance can only over-estimate:
+        # the j-th smallest over a subset is >= the j-th smallest overall.
+        assert np.all(approx.distances >= exact.distances)
+        # Reported neighbours are true objects at their true distances.
+        deltas = data[:, None, :] - data[approx.indices]
+        true_distances = np.sqrt((deltas**2).sum(axis=-1))
+        assert np.allclose(true_distances, approx.distances)
+        # Golden recall floor for this (data, seed, m) triple: most reported
+        # neighbours fall inside the exact 4k-neighbourhood.
+        wide = BruteForceKNN(data).kneighbors(4 * k)
+        hits = np.array(
+            [
+                np.isin(approx.indices[q], wide.indices[q]).mean()
+                for q in range(data.shape[0])
+            ]
+        )
+        assert hits.mean() > 0.5
+
+    def test_deterministic_in_the_seed(self):
+        rng = np.random.default_rng(5)
+        data = rng.normal(size=(200, 4))
+        first = SubsampledKNN(data, n_reference=50, random_state=3).kneighbors(6)
+        second = SubsampledKNN(data, n_reference=50, random_state=3).kneighbors(6)
+        assert np.array_equal(first.indices, second.indices)
+        assert np.array_equal(first.distances, second.distances)
+        other = SubsampledKNN(data, n_reference=50, random_state=4).kneighbors(6)
+        assert not np.array_equal(first.indices, other.indices)
+
+    def test_factory_registration(self):
+        searcher = create_knn_searcher(EDGE, (0, 2), algorithm="subsample")
+        assert isinstance(searcher, SubsampledKNN)
+        with pytest.raises(ParameterError, match="subsample"):
+            create_knn_searcher(EDGE, algorithm="bogus")
+
+    def test_k_exceeding_subsample_raises(self):
+        rng = np.random.default_rng(5)
+        data = rng.normal(size=(60, 3))
+        with pytest.raises(ParameterError, match="too large"):
+            SubsampledKNN(data, n_reference=5).kneighbors(5)
+
+    def test_lof_identical_below_default_reference_size(self):
+        rng = np.random.default_rng(5)
+        data = rng.normal(size=(120, 5))
+        exact = LOFScorer(min_pts=8, algorithm="brute").fit(data).score_samples(data)
+        approx = (
+            LOFScorer(min_pts=8, algorithm="subsample").fit(data).score_samples(data)
+        )
+        assert np.array_equal(exact, approx)
+
+    def test_reachable_through_spec_grammar(self):
+        rng = np.random.default_rng(5)
+        data = rng.normal(size=(80, 5))
+        spec = "hics(n_iterations=5, random_state=0)+lof(min_pts=7, algorithm='subsample')"
+        result = make_pipeline_from_spec(parse_spec(spec)).fit_rank(data)
+        assert result.scores.shape == (80,)
+
+
+# ------------------------------------------------ subsampled contrast
+
+
+class TestSubsampledContrast:
+    def _data(self, n=160, d=5):
+        rng = np.random.default_rng(21)
+        data = rng.normal(size=(n, d))
+        data[:, 1] = data[:, 0] + 0.05 * rng.normal(size=n)
+        return data
+
+    def test_replay_is_identical_and_recorded(self):
+        data = self._data()
+        subspace = Subspace((0, 1))
+        results = []
+        for _ in range(2):
+            with ContrastEstimator(
+                data, n_iterations=12, random_state=9, subsample_size=64
+            ) as estimator:
+                results.append(estimator.contrast_detailed(subspace))
+        first, second = results
+        assert first.subsample is not None
+        assert first.subsample[0] == 64
+        assert first.subsample == second.subsample
+        assert first.contrast == second.contrast
+        assert np.array_equal(first.deviations, second.deviations)
+
+    @pytest.mark.parametrize("backend", ["serial", "thread(n_jobs=2)", "process(n_jobs=2)"])
+    def test_backend_invariance(self, backend):
+        data = self._data(n=120)
+        subspaces = [Subspace((0, 1)), Subspace((2, 3)), Subspace((0, 1, 4))]
+        with ContrastEstimator(
+            data, n_iterations=8, random_state=9, subsample_size=48
+        ) as reference:
+            expected = [reference.contrast_detailed(s) for s in subspaces]
+        with ContrastEstimator(
+            data,
+            n_iterations=8,
+            random_state=9,
+            subsample_size=48,
+            backend=backend,
+        ) as estimator:
+            actual = estimator.contrast_many_detailed(subspaces)
+        for want in expected:
+            got = actual[want.subspace]
+            assert got.subsample == want.subsample
+            assert got.contrast == want.contrast
+            assert np.array_equal(got.deviations, want.deviations)
+
+    def test_exact_fallback_when_subsample_covers_database(self):
+        data = self._data(n=90)
+        subspace = Subspace((0, 1))
+        with ContrastEstimator(data, n_iterations=10, random_state=3) as exact:
+            want = exact.contrast_detailed(subspace)
+        with ContrastEstimator(
+            data, n_iterations=10, random_state=3, subsample_size=90
+        ) as covered:
+            got = covered.contrast_detailed(subspace)
+        assert got.subsample is None
+        assert got.contrast == want.contrast
+
+    def test_subsample_size_changes_the_estimate(self):
+        data = self._data()
+        subspace = Subspace((0, 1))
+        with ContrastEstimator(
+            data, n_iterations=12, random_state=9, subsample_size=64
+        ) as small:
+            a = small.contrast_detailed(subspace)
+        with ContrastEstimator(
+            data, n_iterations=12, random_state=9, subsample_size=96
+        ) as large:
+            b = large.contrast_detailed(subspace)
+        assert a.contrast != b.contrast
+        assert a.subsample[0] == 64 and b.subsample[0] == 96
+
+    def test_subsample_rng_domain_separated_from_iteration_stream(self):
+        one = subsample_rng(123, (0, 1)).integers(0, 2**32, size=4)
+        two = subsample_rng(123, (0, 1)).integers(0, 2**32, size=4)
+        other = subsample_rng(123, (0, 2)).integers(0, 2**32, size=4)
+        assert np.array_equal(one, two)
+        assert not np.array_equal(one, other)
+        with pytest.raises(ParameterError):
+            subsample_rng(-1, (0, 1))
+
+    def test_hics_end_to_end_with_subsample(self):
+        data = self._data(n=140)
+        searcher = HiCS(
+            n_iterations=10, random_state=0, subsample_size=64, candidate_cutoff=40
+        )
+        scored = searcher.search(data)
+        assert scored
+        assert (0, 1) in [s.subspace.attributes for s in scored[:5]]
+
+    def test_pipeline_config_field_feeds_fingerprint(self):
+        base = PipelineConfig()
+        sub = PipelineConfig(hics_subsample=500)
+        assert base.fingerprint() != sub.fingerprint()
+        assert PipelineConfig.from_dict(sub.to_dict()) == sub
+
+
+# ------------------------------------------------- chunked rank columns
+
+
+class TestRankColumns:
+    def test_column_equals_matrix_column_with_ties(self):
+        rng = np.random.default_rng(13)
+        data = rng.normal(size=(120, 6))
+        data[:, 3] = np.round(data[:, 3], 1)  # heavy ties
+        by_column = SortedDatabaseIndex(data)
+        by_matrix = SortedDatabaseIndex(data)
+        full = by_matrix.rank_matrix
+        for attribute in range(6):
+            assert np.array_equal(by_column.rank_column(attribute), full[:, attribute])
+
+    def test_rank_column_is_lazy(self):
+        index = SortedDatabaseIndex(EDGE)
+        index.rank_column(1)
+        assert index._rank_matrix is None
+        assert not index.rank_column(1).flags.writeable
+
+    def test_slice_sampler_does_not_force_full_matrix(self):
+        index = SortedDatabaseIndex(np.random.default_rng(0).normal(size=(100, 20)))
+        sampler = SliceSampler(index, random_state=4)
+        batch = sampler.sample_slice_batch(Subspace((2, 7, 11)), 16)
+        assert batch.selected.shape == (16, 100)
+        assert index._rank_matrix is None
+
+    def test_from_rank_matrix_serves_columns(self):
+        index = SortedDatabaseIndex(EDGE)
+        rebuilt = SortedDatabaseIndex.from_rank_matrix(EDGE, index.rank_matrix)
+        for attribute in range(EDGE.shape[1]):
+            assert np.array_equal(
+                rebuilt.rank_column(attribute), index.rank_matrix[:, attribute]
+            )
+
+
+# ----------------------------------------------------------- lint rule
+
+
+class TestLintRecognisesSubsampleRng:
+    def test_subsample_rng_counts_as_seed_source(self):
+        source = (
+            "from repro.utils.random_state import subsample_rng\n"
+            "def draw(self):\n"
+            "    return subsample_rng(self._entropy, (0, 1))\n"
+        )
+        assert [f.code for f in lint_source(source).active] == []
+
+    def test_unseeded_helper_argument_still_flagged(self):
+        source = (
+            "from repro.utils.random_state import subsample_rng\n"
+            "def draw(n):\n"
+            "    return subsample_rng(n, (0, 1))\n"
+        )
+        assert [f.code for f in lint_source(source).active] == ["RPR201"]
