@@ -3,7 +3,8 @@
 Usage (from the repository root, after two ``repro-hics bench`` runs whose
 artifact directories were snapshotted)::
 
-    PYTHONPATH=src python benchmarks/check_figure_suite.py COLD_DIR WARM_DIR [--profile ci]
+    PYTHONPATH=src python benchmarks/check_figure_suite.py COLD_DIR WARM_DIR \
+        [--profile ci] [--out BENCH_figures.json]
 
 Asserts the experiment subsystem's reproducibility contract:
 
@@ -17,7 +18,13 @@ Asserts the experiment subsystem's reproducibility contract:
    excludes per-row timing fields as well — everything else must still match
    exactly.
 
-Exit code 0 on success, 1 with a diagnostic on the first violation.
+The four checks are the registered ``figure-suite`` gates
+(:mod:`repro.reporting.gates`); the script computes one comparison payload,
+evaluates it through :func:`repro.reporting.evaluate_suite` and can write
+the payload — with the evaluated gate rows — to ``--out`` for the
+consolidated ``repro-hics report`` job.
+
+Exit code 0 on success, 1 with per-gate diagnostics on failure.
 """
 
 from __future__ import annotations
@@ -26,12 +33,15 @@ import argparse
 import json
 import os
 import sys
-from typing import Dict
+from typing import Dict, List, Optional
 
-from repro.experiments import available_experiments, canonical_json, strip_volatile
-
-MIN_WARM_HIT_RATE = 0.9
-
+from repro.experiments import (
+    available_experiments,
+    canonical_json,
+    environment_manifest,
+    strip_volatile,
+)
+from repro.reporting import evaluate_suite
 
 #: Per-row wall-clock fields; ignored in the byte comparison only when the
 #: warm run legitimately recomputed some cells.
@@ -56,76 +66,133 @@ def _comparable(artifact: Dict, *, drop_row_timing: bool) -> Dict:
     return artifact
 
 
+def compare_runs(cold_root: str, warm_root: str) -> Dict[str, object]:
+    """Compute the cold-vs-warm comparison payload for the figure-suite gates.
+
+    Always returns a complete payload — every gated metric present even when
+    an early check fails — so the gate registry can evaluate all four rows
+    and the report shows *which* parts of the contract broke, not just the
+    first one.
+    """
+    names = available_experiments()
+    missing: List[str] = []
+    for name in names:
+        for root, label in ((cold_root, "cold"), (warm_root, "warm")):
+            path = os.path.join(root, f"{name}.json")
+            if not os.path.exists(path):
+                missing.append(f"{label}:{name}")
+                print(
+                    f"FAIL: {label} run produced no artifact for {name!r} ({path})",
+                    file=sys.stderr,
+                )
+    all_present = not missing
+    if all_present:
+        print(f"ok: all {len(names)} experiments produced artifacts in both runs")
+
+    hit_rate = 0.0
+    total_cells = 0
+    warm_elapsed = cold_elapsed = None
+    warm_faster = False
+    summaries = {}
+    for root, label in ((cold_root, "cold"), (warm_root, "warm")):
+        path = os.path.join(root, "summary.json")
+        if os.path.exists(path):
+            summaries[label] = _load(path)
+        else:
+            print(f"FAIL: {label} run produced no summary.json ({path})", file=sys.stderr)
+    if "warm" in summaries:
+        warm_summary = summaries["warm"]
+        total_cells = warm_summary["cache_hits"] + warm_summary["cache_misses"]
+        hit_rate = warm_summary["cache_hits"] / total_cells if total_cells else 0.0
+        print(
+            f"warm run served {hit_rate:.0%} of {total_cells} cells from the cache"
+        )
+        warm_elapsed = warm_summary["elapsed_sec"]
+    if "cold" in summaries:
+        cold_elapsed = summaries["cold"]["elapsed_sec"]
+    if warm_elapsed is not None and cold_elapsed is not None:
+        warm_faster = warm_elapsed < cold_elapsed
+        print(f"warm run {warm_elapsed:.1f}s vs cold {cold_elapsed:.1f}s")
+
+    drop_row_timing = hit_rate < 1.0
+    differing: List[str] = []
+    if all_present:
+        for name in names:
+            cold = _comparable(
+                _load(os.path.join(cold_root, f"{name}.json")),
+                drop_row_timing=drop_row_timing,
+            )
+            warm = _comparable(
+                _load(os.path.join(warm_root, f"{name}.json")),
+                drop_row_timing=drop_row_timing,
+            )
+            if canonical_json(cold) != canonical_json(warm):
+                differing.append(name)
+                print(
+                    f"FAIL: {name!r} artifacts differ between cold and warm runs "
+                    f"(beyond the volatile manifest fields)",
+                    file=sys.stderr,
+                )
+        if not differing:
+            note = (
+                " (per-row timing fields excluded: the warm run recomputed some cells)"
+                if drop_row_timing
+                else ""
+            )
+            print(
+                f"ok: all {len(names)} artifacts byte-identical "
+                f"(volatile manifest fields excluded){note}"
+            )
+
+    return {
+        "benchmark": "figure-suite",
+        **environment_manifest(),
+        "n_experiments": len(names),
+        "all_artifacts_present": all_present,
+        "missing_artifacts": missing,
+        "cache_cells": total_cells,
+        "warm_hit_rate": round(hit_rate, 4),
+        "cold_elapsed_sec": cold_elapsed,
+        "warm_elapsed_sec": warm_elapsed,
+        "warm_faster": warm_faster,
+        "artifacts_identical": all_present and not differing,
+        "differing_artifacts": differing,
+        "row_timing_excluded": drop_row_timing,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("cold_dir", help="artifacts directory of the cold run")
     parser.add_argument("warm_dir", help="artifacts directory of the warm re-run")
     parser.add_argument("--profile", default="ci")
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="write the comparison payload (with evaluated gate rows) here",
+    )
     args = parser.parse_args(argv)
 
     cold_root = os.path.join(args.cold_dir, args.profile)
     warm_root = os.path.join(args.warm_dir, args.profile)
+    payload = compare_runs(cold_root, warm_root)
+    gates = evaluate_suite("figure-suite", payload)
+    payload["gates"] = [gate.to_dict() for gate in gates]
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.out}")
 
-    names = available_experiments()
-    for name in names:
-        for root, label in ((cold_root, "cold"), (warm_root, "warm")):
-            path = os.path.join(root, f"{name}.json")
-            if not os.path.exists(path):
-                print(f"FAIL: {label} run produced no artifact for {name!r} ({path})",
-                      file=sys.stderr)
-                return 1
-    print(f"ok: all {len(names)} experiments produced artifacts in both runs")
-
-    warm_summary = _load(os.path.join(warm_root, "summary.json"))
-    cold_summary = _load(os.path.join(cold_root, "summary.json"))
-    total = warm_summary["cache_hits"] + warm_summary["cache_misses"]
-    hit_rate = warm_summary["cache_hits"] / total if total else 0.0
-    if hit_rate < MIN_WARM_HIT_RATE:
-        print(
-            f"FAIL: warm hit rate {hit_rate:.0%} < {MIN_WARM_HIT_RATE:.0%} "
-            f"({warm_summary['cache_hits']}/{total} cells)",
-            file=sys.stderr,
-        )
-        return 1
-    print(f"ok: warm run served {hit_rate:.0%} of {total} cells from the cache")
-
-    if warm_summary["elapsed_sec"] >= cold_summary["elapsed_sec"]:
-        print(
-            f"FAIL: warm run ({warm_summary['elapsed_sec']:.1f}s) was not faster "
-            f"than the cold run ({cold_summary['elapsed_sec']:.1f}s)",
-            file=sys.stderr,
-        )
-        return 1
-    print(
-        f"ok: warm run {warm_summary['elapsed_sec']:.1f}s vs "
-        f"cold {cold_summary['elapsed_sec']:.1f}s"
-    )
-
-    drop_row_timing = hit_rate < 1.0
-    for name in names:
-        cold = _comparable(
-            _load(os.path.join(cold_root, f"{name}.json")), drop_row_timing=drop_row_timing
-        )
-        warm = _comparable(
-            _load(os.path.join(warm_root, f"{name}.json")), drop_row_timing=drop_row_timing
-        )
-        if canonical_json(cold) != canonical_json(warm):
+    status = 0
+    for gate in gates:
+        if not gate.passed:
             print(
-                f"FAIL: {name!r} artifacts differ between cold and warm runs "
-                f"(beyond the volatile manifest fields)",
+                f"FAIL: gate {gate.name}: {gate.metric} = {gate.value} "
+                f"(direction {gate.direction}, threshold {gate.threshold})",
                 file=sys.stderr,
             )
-            return 1
-    note = (
-        " (per-row timing fields excluded: the warm run recomputed some cells)"
-        if drop_row_timing
-        else ""
-    )
-    print(
-        f"ok: all {len(names)} artifacts byte-identical "
-        f"(volatile manifest fields excluded){note}"
-    )
-    return 0
+            status = 1
+    return status
 
 
 if __name__ == "__main__":

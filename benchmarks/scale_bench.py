@@ -18,8 +18,10 @@ matrix alone is 80 GB):
   above are for the *same* algorithm, not an approximation drift.
 
 The run fails (non-zero exit) when total wall time or peak RSS exceeds the
-gates, and always writes a ``BENCH_scale.json`` payload with per-phase wall
-times and the observed peak for trend tracking.
+gates (declared in :mod:`repro.reporting.gates`; the CLI flags override the
+registered bars), and always writes a ``BENCH_scale.json`` payload with
+per-phase wall times, the observed peak and the evaluated gate rows for
+trend tracking through ``repro-hics report``.
 
 Run from the repository root::
 
@@ -37,7 +39,9 @@ import time
 import numpy as np
 
 from repro.dataset import generate_synthetic_dataset
+from repro.experiments import environment_manifest
 from repro.outliers import LOFScorer, SubspaceOutlierRanker
+from repro.reporting import evaluate_suite, get_gate
 from repro.subspaces.hics import HiCS
 
 
@@ -79,14 +83,16 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--max-seconds",
         type=float,
-        default=1800.0,
-        help="gate on total wall time of all phases",
+        default=get_gate("scale_total_sec").threshold,
+        help="gate on total wall time of all phases "
+        "(default: the registered gate threshold)",
     )
     parser.add_argument(
         "--max-rss-mb",
         type=float,
-        default=2048.0,
-        help="gate on lifetime peak RSS (the dense n x n matrix alone needs ~80 GB)",
+        default=get_gate("scale_peak_rss_mb").threshold,
+        help="gate on lifetime peak RSS (the dense n x n matrix alone needs "
+        "~80 GB; default: the registered gate threshold)",
     )
     args = parser.parse_args(argv)
 
@@ -152,22 +158,33 @@ def main(argv=None) -> int:
         "phases_sec": phases,
         "total_sec": total,
         "peak_rss_mb": peak,
-        "gates": {"max_seconds": args.max_seconds, "max_rss_mb": args.max_rss_mb},
         "subsample_size": min(1000, args.objects),
-        "numpy": np.__version__,
-        "python": sys.version.split()[0],
+        **environment_manifest(),
     }
+    # Thresholds live in the gate registry; the CLI flags override the
+    # registered bars and are recorded in the evaluated gate rows.
+    gates = evaluate_suite(
+        "scale",
+        payload,
+        thresholds={
+            "scale_total_sec": args.max_seconds,
+            "scale_peak_rss_mb": args.max_rss_mb,
+        },
+    )
+    payload["gates"] = [gate.to_dict() for gate in gates]
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
     print(f"total {total:.1f}s  peak rss {peak:.0f} MB  -> {args.out}", flush=True)
 
     status = 0
-    if total > args.max_seconds:
-        print(f"FAIL: total {total:.1f}s exceeds gate {args.max_seconds}s", file=sys.stderr)
-        status = 1
-    if peak > args.max_rss_mb:
-        print(f"FAIL: peak rss {peak:.0f} MB exceeds gate {args.max_rss_mb} MB", file=sys.stderr)
-        status = 1
+    for gate in gates:
+        if not gate.passed:
+            print(
+                f"FAIL: gate {gate.name}: {gate.metric} = {gate.value} exceeds "
+                f"threshold {gate.threshold}",
+                file=sys.stderr,
+            )
+            status = 1
     return status
 
 

@@ -12,6 +12,9 @@ Sub-commands
 ``compare``   Run several methods on a labelled dataset and print an AUC table.
 ``bench``     Run the paper's figure/ablation experiment suite (sharded,
               cached, manifest-stamped artifacts under ``artifacts/``).
+``report``    Consolidated benchmark reporting: collect bench/lint/figure
+              artifacts into an append-only run history, render markdown or
+              HTML trend reports, gate CI on regressions.
 ``datasets``  List the built-in datasets.
 ``registry``  List the registered searchers, scorers and aggregators.
 
@@ -351,6 +354,104 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the registered rules and exit",
     )
 
+    report = subparsers.add_parser(
+        "report",
+        help="consolidate benchmark artifacts into trend reports",
+        description=(
+            "Reporting layer over the benchmark suites: 'collect' ingests "
+            "BENCH_*.json / perf-smoke / figure-suite / lint artifacts into "
+            "an append-only history.jsonl keyed by (suite, git sha, "
+            "timestamp); 'render' produces a markdown or self-contained HTML "
+            "report with per-gate pass/fail tables, deltas and trend "
+            "sparklines; 'check' exits 1 when a gate fails or a gated metric "
+            "regressed past its tolerance."
+        ),
+    )
+    report_commands = report.add_subparsers(dest="report_command", required=True)
+
+    def add_history_argument(sub: argparse.ArgumentParser, *, required: bool) -> None:
+        sub.add_argument(
+            "--history",
+            required=required,
+            default=None,
+            help="append-only history.jsonl store (one RunRecord per line)",
+        )
+
+    collect = report_commands.add_parser(
+        "collect",
+        help="ingest benchmark artifacts into the run history",
+        description=(
+            "Normalise benchmark payload files (or directories, scanned "
+            "recursively for *.json) into run records and append them to the "
+            "history.  Unrecognised JSON files are skipped with a note; "
+            "re-collecting an already recorded run is a no-op."
+        ),
+    )
+    collect.add_argument("paths", nargs="+", help="payload files or directories")
+    add_history_argument(collect, required=True)
+    collect.add_argument(
+        "--git-sha",
+        default=None,
+        help="record runs under this sha (default: $GITHUB_SHA or git rev-parse)",
+    )
+    collect.add_argument(
+        "--timestamp",
+        default=None,
+        help="record runs under this ISO-8601 timestamp (default: now, UTC)",
+    )
+
+    render = report_commands.add_parser(
+        "render",
+        help="render the run history as markdown or HTML",
+        description=(
+            "Render a consolidated report: one pass/fail table per suite "
+            "with deltas vs the previous run, regression call-outs, and (in "
+            "HTML) an inline SVG sparkline per gate metric once a suite has "
+            "two or more runs.  Positional payload files are collected "
+            "in-memory first, so a report can be rendered without a history "
+            "file."
+        ),
+    )
+    render.add_argument(
+        "paths", nargs="*", help="payload files/directories to include ad hoc"
+    )
+    add_history_argument(render, required=False)
+    render.add_argument(
+        "--format",
+        dest="report_format",
+        default="md",
+        choices=["md", "html"],
+        help="output format (default md)",
+    )
+    render.add_argument("--out", help="write to this file instead of stdout")
+    render.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="override every gate's regression tolerance (default: per-gate registry value)",
+    )
+
+    check = report_commands.add_parser(
+        "check",
+        help="exit 1 on a failing gate or an out-of-tolerance regression",
+        description=(
+            "The CI regression gate: load the history (plus any ad-hoc "
+            "payload files), diff each suite's latest run against its "
+            "previous one, and exit 1 when any gate fails outright or a "
+            "gated metric worsened past its tolerance."
+        ),
+    )
+    check.add_argument(
+        "paths", nargs="*", help="payload files/directories to include ad hoc"
+    )
+    add_history_argument(check, required=False)
+    check.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="override every gate's regression tolerance (default: per-gate registry value)",
+    )
+
     subparsers.add_parser("datasets", help="list the built-in datasets")
     subparsers.add_parser(
         "registry", help="list registered searchers, scorers and aggregators"
@@ -655,6 +756,112 @@ def _command_lint(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _iter_payload_files(paths: List[str]) -> Iterator[str]:
+    """Expand files/directories into candidate JSON payload paths."""
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, files in os.walk(path):
+                for name in sorted(files):
+                    if name.endswith(".json"):
+                        yield os.path.join(root, name)
+        else:
+            yield path
+
+
+def _collect_records(
+    paths: List[str], git_sha: Optional[str], timestamp: Optional[str]
+):
+    """Ingest every recognisable payload under ``paths`` into RunRecords."""
+    from .reporting import SchemaError, ingest_file
+
+    records, skipped = [], []
+    for path in _iter_payload_files(paths):
+        if not os.path.exists(path):
+            raise ReproError(f"no such payload file: {path}")
+        try:
+            records.append(ingest_file(path, git_sha=git_sha, timestamp=timestamp))
+        except SchemaError as exc:
+            skipped.append((path, str(exc)))
+    return records, skipped
+
+
+def _report_history_records(args: argparse.Namespace) -> list:
+    """History records plus any ad-hoc payloads for render/check."""
+    from .reporting import load_history
+
+    records = load_history(args.history) if args.history else []
+    if args.paths:
+        adhoc, skipped = _collect_records(args.paths, None, None)
+        for path, reason in skipped:
+            print(f"note: skipped {path}: {reason}", file=sys.stderr)
+        records.extend(adhoc)
+    return records
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    from .reporting import (
+        HistoryStore,
+        detect_regressions,
+        render_html,
+        render_markdown,
+    )
+
+    if args.report_command == "collect":
+        records, skipped = _collect_records(args.paths, args.git_sha, args.timestamp)
+        for path, reason in skipped:
+            print(f"note: skipped {path}: {reason}", file=sys.stderr)
+        if not records:
+            print("error: no recognisable benchmark payloads found", file=sys.stderr)
+            return 2
+        store = HistoryStore(args.history)
+        appended = store.extend(records)
+        print(
+            f"collected {len(records)} record(s) "
+            f"({appended} new, {len(records) - appended} already recorded, "
+            f"{len(skipped)} skipped) -> {args.history}"
+        )
+        return 0
+
+    records = _report_history_records(args)
+    if args.report_command == "render":
+        if not records and not args.history:
+            print("error: nothing to render (no --history, no payloads)", file=sys.stderr)
+            return 2
+        rendered = (
+            render_html(records, tolerance=args.tolerance)
+            if args.report_format == "html"
+            else render_markdown(records, tolerance=args.tolerance)
+        )
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(rendered)
+                handle.write("\n")
+            print(f"wrote {args.out}")
+        else:
+            print(rendered)
+        return 0
+
+    # check: the CI regression gate.
+    if not records:
+        print("error: nothing to check (no --history, no payloads)", file=sys.stderr)
+        return 2
+    callouts = detect_regressions(records, tolerance=args.tolerance)
+    failures = [c for c in callouts if c.kind == "gate_failure"]
+    regressions = [c for c in callouts if c.kind == "regression"]
+    for callout in callouts:
+        print(callout.message, file=sys.stderr)
+    n_suites = len({record.suite for record in records})
+    if failures or regressions:
+        print(
+            f"FAIL: {len(failures)} failing gate(s), "
+            f"{len(regressions)} regression(s) across {n_suites} suite(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"ok: all gates passing across {n_suites} suite(s), no regressions")
+    return 0
+
+
 def _command_datasets(_args: argparse.Namespace) -> int:
     for name in available_datasets():
         print(name)
@@ -690,6 +897,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "contrast": _command_contrast,
         "compare": _command_compare,
         "bench": _command_bench,
+        "report": _command_report,
         "lint": _command_lint,
         "datasets": _command_datasets,
         "registry": _command_registry,

@@ -1,0 +1,85 @@
+"""Consolidated benchmark reporting: gate registry, run history, reports.
+
+The observability layer over the repository's benchmark suites:
+
+* :mod:`repro.reporting.gates` — every perf/latency/RSS/equivalence
+  threshold declared once as a :class:`GateSpec`; benchmark harnesses
+  evaluate through :func:`evaluate_suite` and embed the results in their
+  payloads.
+* :mod:`repro.reporting.schema` — normalises any benchmark artifact
+  (``BENCH_*.json``, perf-smoke payloads, figure-suite comparison, bench
+  ``summary.json``, ``lint-findings.json``) into a versioned
+  :class:`RunRecord` with git sha + environment provenance.
+* :mod:`repro.reporting.history` — the append-only ``history.jsonl`` store
+  successive CI runs accumulate a trajectory in.
+* :mod:`repro.reporting.render` — markdown and self-contained HTML reports
+  with per-gate trend sparklines, deltas vs the previous run and
+  regression call-outs.
+
+CLI front end: ``repro-hics report collect|render|check``.
+"""
+
+from __future__ import annotations
+
+from .gates import (
+    MISSING,
+    GateEvaluationError,
+    GateResult,
+    GateSpec,
+    available_gates,
+    available_suites,
+    evaluate_gate,
+    evaluate_suite,
+    gates_for_suite,
+    get_gate,
+    register_gate,
+    resolve_metric,
+)
+from .history import HistoryStore, load_history
+from .render import (
+    Regression,
+    detect_regressions,
+    render_html,
+    render_markdown,
+)
+from .schema import (
+    BENCHMARK_SUITES,
+    REQUIRED_BENCH_KEYS,
+    SCHEMA_VERSION,
+    RunRecord,
+    SchemaError,
+    detect_git_sha,
+    ingest_file,
+    ingest_payload,
+    utc_timestamp,
+)
+
+__all__ = [
+    "GateSpec",
+    "GateResult",
+    "GateEvaluationError",
+    "MISSING",
+    "register_gate",
+    "get_gate",
+    "available_gates",
+    "available_suites",
+    "gates_for_suite",
+    "resolve_metric",
+    "evaluate_gate",
+    "evaluate_suite",
+    "RunRecord",
+    "SchemaError",
+    "SCHEMA_VERSION",
+    "REQUIRED_BENCH_KEYS",
+    "BENCHMARK_SUITES",
+    "ingest_payload",
+    "ingest_file",
+    "detect_git_sha",
+    "utc_timestamp",
+    "HistoryStore",
+    "load_history",
+    "Regression",
+    "detect_regressions",
+    "render_markdown",
+    "render_html",
+]

@@ -1,0 +1,94 @@
+"""Append-only run history: ``history.jsonl``, one :class:`RunRecord` per line.
+
+The store is deliberately primitive — a JSON-lines file — so the CI report
+job can cache it between runs, diff it in a PR, and any tool can consume it
+with ``json.loads`` per line.  Records are keyed by
+``(suite, git_sha, timestamp)``; appending a record whose key is already
+present is a no-op, which makes ``report collect`` idempotent when a CI
+retry re-downloads the same artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from .schema import RunRecord, SchemaError
+
+__all__ = ["HistoryStore", "load_history"]
+
+
+class HistoryStore:
+    """Append-only JSONL store of normalised benchmark runs."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._keys: Optional[set] = None
+
+    # -- reading ----------------------------------------------------------
+
+    def load(self) -> List[RunRecord]:
+        """Every record in file order; tolerant of a missing file."""
+        if not os.path.exists(self.path):
+            return []
+        records: List[RunRecord] = []
+        with open(self.path, encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise SchemaError(
+                        f"{self.path}:{line_number}: corrupt history line ({exc})"
+                    ) from exc
+                records.append(RunRecord.from_dict(payload))
+        return records
+
+    def suites(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for record in self.load():
+            seen.setdefault(record.suite, None)
+        return list(seen)
+
+    def runs_for_suite(self, suite: str) -> List[RunRecord]:
+        """Records of one suite, oldest first (timestamp, then file order)."""
+        records = [r for r in self.load() if r.suite == suite]
+        return sorted(
+            records, key=lambda r: r.timestamp
+        )  # ISO-8601 strings sort chronologically
+
+    def series(self, suite: str, gate_name: str) -> List[Tuple[str, Union[float, bool, None]]]:
+        """(timestamp, value) trajectory of one gate metric across runs."""
+        points: List[Tuple[str, Union[float, bool, None]]] = []
+        for record in self.runs_for_suite(suite):
+            if gate_name in record.metrics:
+                points.append((record.timestamp, record.metrics[gate_name]))
+        return points
+
+    # -- writing ----------------------------------------------------------
+
+    def append(self, record: RunRecord) -> bool:
+        """Append one record; returns False (and writes nothing) on a dup key."""
+        if self._keys is None:
+            self._keys = {existing.key() for existing in self.load()}
+        if record.key() in self._keys:
+            return False
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record.to_dict(), sort_keys=True))
+            handle.write("\n")
+        self._keys.add(record.key())
+        return True
+
+    def extend(self, records: Iterable[RunRecord]) -> int:
+        """Append many records; returns how many were new."""
+        return sum(1 for record in records if self.append(record))
+
+
+def load_history(path: str) -> List[RunRecord]:
+    """Convenience wrapper: all records of a history file (missing -> [])."""
+    return HistoryStore(path).load()

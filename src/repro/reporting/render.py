@@ -1,0 +1,374 @@
+"""Report rendering: markdown / self-contained HTML with per-gate trends.
+
+Input is the run history (a list of :class:`RunRecord`, typically from
+:class:`~repro.reporting.history.HistoryStore`).  Output:
+
+* :func:`render_markdown` — per-suite pass/fail tables with deltas vs the
+  previous run and a regression call-out section; written to
+  ``$GITHUB_STEP_SUMMARY`` by the CI report job.
+* :func:`render_html` — the same content as a single self-contained HTML
+  file (stdlib only, inline CSS, inline SVG sparkline per gate metric once
+  the history holds two or more runs of a suite).
+* :func:`detect_regressions` — the shared analysis: a gate that *fails*
+  outright, and a gated metric that *worsened* past its tolerance since the
+  previous run even while still passing (the "you are trending toward the
+  bar" early warning).  ``report check`` exits non-zero when any entry is a
+  hard failure or an out-of-tolerance regression.
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..exceptions import ParameterError
+from .gates import GateResult, get_gate
+from .schema import RunRecord
+
+__all__ = [
+    "Regression",
+    "detect_regressions",
+    "render_markdown",
+    "render_html",
+]
+
+#: Tolerance applied to gates the registry no longer knows (old history lines).
+DEFAULT_TOLERANCE = 0.05
+
+Number = Union[int, float]
+
+
+@dataclass
+class Regression:
+    """One call-out: a hard gate failure or an out-of-tolerance worsening."""
+
+    suite: str
+    gate: str
+    kind: str  # "gate_failure" | "regression"
+    message: str
+    value: Union[float, bool, None] = None
+    previous: Union[float, bool, None] = None
+    threshold: Optional[float] = None
+
+
+def _tolerance_for(gate_name: str, override: Optional[float]) -> float:
+    if override is not None:
+        return override
+    try:
+        return get_gate(gate_name).tolerance
+    except ParameterError:
+        return DEFAULT_TOLERANCE
+
+
+def _format_value(value: Union[float, bool, None]) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return f"{value:g}"
+
+
+def _latest_runs(records: Sequence[RunRecord]) -> "Dict[str, List[RunRecord]]":
+    """suite -> chronologically sorted runs (insertion order of suites kept)."""
+    by_suite: Dict[str, List[RunRecord]] = {}
+    for record in records:
+        by_suite.setdefault(record.suite, []).append(record)
+    for runs in by_suite.values():
+        runs.sort(key=lambda r: r.timestamp)
+    return by_suite
+
+
+def _numeric(value: object) -> Optional[float]:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def _worsening(direction: str, previous: float, current: float) -> float:
+    """Relative worsening of a metric (positive == got worse)."""
+    scale = max(abs(previous), 1e-12)
+    if direction == "min":  # higher is better
+        return (previous - current) / scale
+    return (current - previous) / scale  # "max": lower is better
+
+
+def detect_regressions(
+    records: Sequence[RunRecord], *, tolerance: Optional[float] = None
+) -> List[Regression]:
+    """Hard gate failures in the latest run of each suite, plus metrics that
+    worsened past tolerance vs that suite's previous run."""
+    callouts: List[Regression] = []
+    for suite, runs in _latest_runs(records).items():
+        latest = runs[-1]
+        previous = runs[-2] if len(runs) > 1 else None
+        for gate in latest.gates:
+            if not gate.passed:
+                callouts.append(
+                    Regression(
+                        suite=suite,
+                        gate=gate.name,
+                        kind="gate_failure",
+                        message=(
+                            f"{suite}/{gate.name}: FAILED — "
+                            f"{gate.metric} = {_format_value(gate.value)} "
+                            f"(direction {gate.direction}, "
+                            f"threshold {_format_value(gate.threshold)})"
+                        ),
+                        value=gate.value,
+                        threshold=gate.threshold,
+                    )
+                )
+                continue
+            if previous is None or gate.skipped:
+                continue
+            prev_value = previous.metrics.get(gate.name)
+            if isinstance(gate.value, bool):
+                if prev_value is True and gate.value is False:
+                    callouts.append(
+                        Regression(
+                            suite=suite,
+                            gate=gate.name,
+                            kind="regression",
+                            message=f"{suite}/{gate.name}: flipped yes -> no since the previous run",
+                            value=gate.value,
+                            previous=prev_value,
+                        )
+                    )
+                continue
+            current_num, prev_num = _numeric(gate.value), _numeric(prev_value)
+            if current_num is None or prev_num is None or gate.direction == "bool":
+                continue
+            bar = _tolerance_for(gate.name, tolerance)
+            worsening = _worsening(gate.direction, prev_num, current_num)
+            if worsening > bar:
+                callouts.append(
+                    Regression(
+                        suite=suite,
+                        gate=gate.name,
+                        kind="regression",
+                        message=(
+                            f"{suite}/{gate.name}: {gate.metric} worsened "
+                            f"{worsening:.1%} since the previous run "
+                            f"({_format_value(prev_num)} -> {_format_value(current_num)}, "
+                            f"tolerance {bar:.0%})"
+                        ),
+                        value=current_num,
+                        previous=prev_num,
+                        threshold=gate.threshold,
+                    )
+                )
+    return callouts
+
+
+def _delta_cell(
+    gate: GateResult, previous: Optional[RunRecord]
+) -> str:
+    if previous is None:
+        return "—"
+    prev_value = previous.metrics.get(gate.name)
+    current_num, prev_num = _numeric(gate.value), _numeric(prev_value)
+    if current_num is None or prev_num is None:
+        if isinstance(gate.value, bool) and isinstance(prev_value, bool):
+            return "=" if gate.value == prev_value else f"{_format_value(prev_value)} -> {_format_value(gate.value)}"
+        return "—"
+    if prev_num == 0:
+        return "—"
+    delta = (current_num - prev_num) / abs(prev_num)
+    if abs(delta) < 1e-9:
+        return "="
+    sign = "+" if delta > 0 else ""
+    improved = delta > 0 if gate.direction == "min" else delta < 0
+    marker = "▲" if improved else "▼"
+    return f"{sign}{delta:.1%} {marker}"
+
+
+def _status_cell(gate: GateResult) -> str:
+    if gate.skipped:
+        return "SKIP"
+    return "PASS" if gate.passed else "**FAIL**"
+
+
+def _bound_cell(gate: GateResult) -> str:
+    if gate.direction == "bool":
+        return "must hold"
+    comparator = ">=" if gate.direction == "min" else "<="
+    return f"{comparator} {_format_value(gate.threshold)}"
+
+
+def render_markdown(
+    records: Sequence[RunRecord], *, tolerance: Optional[float] = None
+) -> str:
+    """GitHub-flavoured markdown report over the given run history."""
+    by_suite = _latest_runs(records)
+    if not by_suite:
+        return "# Benchmark report\n\n_No runs collected yet._\n"
+    callouts = detect_regressions(records, tolerance=tolerance)
+    latest = [runs[-1] for runs in by_suite.values()]
+    n_gates = sum(len(record.gates) for record in latest)
+    n_passing = sum(
+        1 for record in latest for gate in record.gates if gate.passed
+    )
+    lines: List[str] = ["# Benchmark report", ""]
+    lines.append(
+        f"_{len(by_suite)} suites · {n_gates} gates · {n_passing} passing · "
+        f"latest sha `{latest[-1].git_sha[:12]}`_"
+    )
+    lines.append("")
+
+    if callouts:
+        lines.append("## Regression call-outs")
+        lines.append("")
+        for callout in callouts:
+            icon = "❌" if callout.kind == "gate_failure" else "⚠️"
+            lines.append(f"- {icon} {callout.message}")
+        lines.append("")
+
+    for suite, runs in by_suite.items():
+        record = runs[-1]
+        previous = runs[-2] if len(runs) > 1 else None
+        lines.append(f"## `{suite}`")
+        lines.append("")
+        lines.append(
+            f"_source `{record.source}` · sha `{record.git_sha[:12]}` · "
+            f"{record.timestamp} · {len(runs)} run(s) in history_"
+        )
+        lines.append("")
+        lines.append("| gate | metric | value | bound | Δ prev | status |")
+        lines.append("| --- | --- | ---: | ---: | ---: | :---: |")
+        for gate in record.gates:
+            lines.append(
+                f"| {gate.name} | `{gate.metric}` | {_format_value(gate.value)} "
+                f"| {_bound_cell(gate)} | {_delta_cell(gate, previous)} "
+                f"| {_status_cell(gate)} |"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- html
+
+
+def _sparkline(values: Sequence[float], *, passed: bool) -> str:
+    """Inline SVG trend line for one gate metric (>= 2 points), newest last."""
+    width, height, pad = 140, 30, 3
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    step = (width - 2 * pad) / (len(values) - 1)
+    points = []
+    for index, value in enumerate(values):
+        x = pad + index * step
+        y = height - pad - (value - low) / span * (height - 2 * pad)
+        points.append(f"{x:.1f},{y:.1f}")
+    color = "#2da44e" if passed else "#cf222e"
+    last_x, last_y = points[-1].split(",")
+    return (
+        f'<svg class="spark" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img" aria-label="trend">'
+        f'<polyline fill="none" stroke="{color}" stroke-width="1.5" '
+        f'points="{" ".join(points)}"/>'
+        f'<circle cx="{last_x}" cy="{last_y}" r="2.5" fill="{color}"/>'
+        f"</svg>"
+    )
+
+
+_HTML_STYLE = """
+body { font: 14px/1.5 -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 70rem; padding: 0 1rem; color: #1f2328; }
+h1 { border-bottom: 1px solid #d1d9e0; padding-bottom: .3rem; }
+table { border-collapse: collapse; width: 100%; margin: .5rem 0 1.5rem; }
+th, td { border: 1px solid #d1d9e0; padding: .3rem .6rem; text-align: left; }
+th { background: #f6f8fa; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+.pass { color: #1a7f37; font-weight: 600; }
+.fail { color: #cf222e; font-weight: 700; }
+.skip { color: #656d76; }
+.meta { color: #656d76; font-size: .85em; }
+.callouts { background: #fff8c5; border: 1px solid #d4a72c;
+            border-radius: 6px; padding: .6rem 1rem; }
+.callouts.bad { background: #ffebe9; border-color: #cf222e; }
+code { background: #f6f8fa; padding: .1em .3em; border-radius: 4px; }
+svg.spark { vertical-align: middle; }
+""".strip()
+
+
+def render_html(
+    records: Sequence[RunRecord], *, tolerance: Optional[float] = None
+) -> str:
+    """Self-contained HTML report: tables + an SVG sparkline per gate metric."""
+    by_suite = _latest_runs(records)
+    callouts = detect_regressions(records, tolerance=tolerance)
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        "<title>Benchmark report</title>",
+        f"<style>{_HTML_STYLE}</style></head><body>",
+        "<h1>Benchmark report</h1>",
+    ]
+    if not by_suite:
+        parts.append("<p><em>No runs collected yet.</em></p>")
+        parts.append("</body></html>")
+        return "\n".join(parts)
+
+    latest = [runs[-1] for runs in by_suite.values()]
+    n_gates = sum(len(record.gates) for record in latest)
+    n_passing = sum(1 for record in latest for gate in record.gates if gate.passed)
+    parts.append(
+        f'<p class="meta">{len(by_suite)} suites &middot; {n_gates} gates '
+        f"&middot; {n_passing} passing &middot; latest sha "
+        f"<code>{html.escape(latest[-1].git_sha[:12])}</code></p>"
+    )
+    if callouts:
+        severity = (
+            "bad" if any(c.kind == "gate_failure" for c in callouts) else ""
+        )
+        parts.append(f'<div class="callouts {severity}"><strong>Call-outs</strong><ul>')
+        for callout in callouts:
+            parts.append(f"<li>{html.escape(callout.message)}</li>")
+        parts.append("</ul></div>")
+
+    for suite, runs in by_suite.items():
+        record = runs[-1]
+        previous = runs[-2] if len(runs) > 1 else None
+        parts.append(f"<h2><code>{html.escape(suite)}</code></h2>")
+        parts.append(
+            f'<p class="meta">source <code>{html.escape(record.source)}</code> '
+            f"&middot; sha <code>{html.escape(record.git_sha[:12])}</code> "
+            f"&middot; {html.escape(record.timestamp)} &middot; "
+            f"{len(runs)} run(s) in history</p>"
+        )
+        parts.append(
+            "<table><thead><tr><th>gate</th><th>metric</th><th>value</th>"
+            "<th>bound</th><th>&Delta; prev</th><th>status</th><th>trend</th>"
+            "</tr></thead><tbody>"
+        )
+        for gate in record.gates:
+            series: List[float] = []
+            for run in runs:
+                value = _numeric(run.metrics.get(gate.name))
+                if value is not None:
+                    series.append(value)
+            spark = (
+                _sparkline(series, passed=gate.passed)
+                if len(series) >= 2
+                else '<span class="meta">—</span>'
+            )
+            status_class = (
+                "skip" if gate.skipped else ("pass" if gate.passed else "fail")
+            )
+            status_text = (
+                "SKIP" if gate.skipped else ("PASS" if gate.passed else "FAIL")
+            )
+            delta = _delta_cell(gate, previous).replace("**", "")
+            parts.append(
+                f"<tr><td>{html.escape(gate.name)}</td>"
+                f"<td><code>{html.escape(gate.metric)}</code></td>"
+                f'<td class="num">{html.escape(_format_value(gate.value))}</td>'
+                f'<td class="num">{html.escape(_bound_cell(gate))}</td>'
+                f'<td class="num">{html.escape(delta)}</td>'
+                f'<td class="{status_class}">{status_text}</td>'
+                f"<td>{spark}</td></tr>"
+            )
+        parts.append("</tbody></table>")
+    parts.append("</body></html>")
+    return "\n".join(parts)

@@ -1,0 +1,267 @@
+"""Normalized run records: one schema for every benchmark artifact shape.
+
+The repository's CI jobs emit several JSON artifact flavours — the four
+``BENCH_*.json`` engine/scale/serving payloads, the per-target
+``perf_smoke.py`` payloads, the figure-suite comparison payload, the bench
+``summary.json`` and the linter's ``lint-findings.json``.  This module
+ingests any of them into a versioned :class:`RunRecord`: suite name, git
+sha, timestamp, environment manifest, the evaluated gate rows and a flat
+``metrics`` map keyed by gate name.  Records are what the history store
+(:mod:`repro.reporting.history`) accumulates and the renderer
+(:mod:`repro.reporting.render`) draws trends from.
+
+Benchmark payloads written by the rebased harnesses are **required** to
+carry the ``"benchmark"``, ``"gates"``, ``"python"`` and ``"numpy"`` keys
+(:data:`REQUIRED_BENCH_KEYS`); the two auxiliary shapes (lint findings,
+bench summary) are recognised structurally and their gates evaluated from
+the registry at ingest time, since those writers predate the gate registry
+and stay format-stable for external consumers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from ..exceptions import ReproError
+from .gates import GateResult, evaluate_suite
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "REQUIRED_BENCH_KEYS",
+    "BENCHMARK_SUITES",
+    "SchemaError",
+    "RunRecord",
+    "ingest_payload",
+    "ingest_file",
+    "detect_git_sha",
+    "utc_timestamp",
+]
+
+#: Bumped whenever RunRecord gains/changes fields; records carry the version
+#: they were written with so old history lines keep loading.
+SCHEMA_VERSION = 1
+
+#: Keys the collector requires of every benchmark payload.
+REQUIRED_BENCH_KEYS = ("benchmark", "gates", "python", "numpy")
+
+#: payload["benchmark"] -> suite name the gate registry uses.
+BENCHMARK_SUITES = {
+    "contrast-engine": "contrast",
+    "scoring-engine": "scoring",
+    "serving-load": "serving",
+    "scale": "scale",
+    "perf-smoke-contrast": "perf-smoke-contrast",
+    "perf-smoke-scoring": "perf-smoke-scoring",
+    "perf-smoke-parallel": "perf-smoke-parallel",
+    "figure-suite": "figure-suite",
+}
+
+_ENVIRONMENT_KEYS = ("library_version", "python", "numpy", "platform")
+
+
+class SchemaError(ReproError):
+    """Raised when a payload cannot be normalised into a RunRecord."""
+
+
+@dataclass
+class RunRecord:
+    """One benchmark run, normalised: the unit the history store appends.
+
+    Keyed by ``(suite, git_sha, timestamp)`` — successive CI runs of the
+    same suite accumulate a trajectory, re-collecting the same artifact is
+    idempotent.
+    """
+
+    suite: str
+    benchmark: str
+    source: str
+    git_sha: str
+    timestamp: str
+    environment: Dict[str, Optional[str]]
+    metrics: Dict[str, Union[float, bool, None]]
+    gates: List[GateResult] = field(default_factory=list)
+    schema_version: int = SCHEMA_VERSION
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.suite, self.git_sha, self.timestamp)
+
+    @property
+    def passed(self) -> bool:
+        return all(gate.passed for gate in self.gates)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "suite": self.suite,
+            "benchmark": self.benchmark,
+            "source": self.source,
+            "git_sha": self.git_sha,
+            "timestamp": self.timestamp,
+            "environment": dict(self.environment),
+            "metrics": dict(self.metrics),
+            "gates": [gate.to_dict() for gate in self.gates],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunRecord":
+        try:
+            return cls(
+                suite=str(payload["suite"]),
+                benchmark=str(payload["benchmark"]),
+                source=str(payload.get("source", "")),
+                git_sha=str(payload["git_sha"]),
+                timestamp=str(payload["timestamp"]),
+                environment=dict(payload.get("environment", {})),
+                metrics=dict(payload.get("metrics", {})),
+                gates=[GateResult.from_dict(g) for g in payload.get("gates", [])],
+                schema_version=int(payload.get("schema_version", SCHEMA_VERSION)),
+            )
+        except KeyError as exc:
+            raise SchemaError(
+                f"run record is missing required key {exc.args[0]!r}"
+            ) from exc
+
+
+def detect_git_sha(cwd: Optional[str] = None) -> str:
+    """The sha runs are keyed by: ``$GITHUB_SHA`` in CI, else ``git rev-parse``.
+
+    Returns ``"unknown"`` outside a checkout so collection never fails on a
+    downloaded artifact directory.
+    """
+    sha = os.environ.get("GITHUB_SHA")  # repro-lint: disable=RPR104 -- provenance metadata for run records, never feeds a computation
+    if sha:
+        return sha
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except OSError:
+        return "unknown"
+    out = proc.stdout.strip()
+    return out if proc.returncode == 0 and out else "unknown"
+
+
+def utc_timestamp() -> str:
+    """Current UTC time in ISO-8601 (run-record provenance, second precision)."""
+    now = datetime.now(timezone.utc)  # repro-lint: disable=RPR103 -- run-record timestamps are provenance metadata, not part of any computed result
+    return now.replace(microsecond=0).isoformat()
+
+
+def _environment_from(payload: Mapping[str, Any]) -> Dict[str, Optional[str]]:
+    return {
+        key: (str(payload[key]) if payload.get(key) is not None else None)
+        for key in _ENVIRONMENT_KEYS
+    }
+
+
+def _ingest_bench(payload: Mapping[str, Any], source: str) -> Tuple[str, str, List[GateResult]]:
+    missing = [key for key in REQUIRED_BENCH_KEYS if key not in payload]
+    if missing:
+        raise SchemaError(
+            f"{source}: benchmark payload is missing required key(s) "
+            f"{', '.join(repr(k) for k in missing)} — regenerate it with the "
+            f"current harness (all writers stamp them)"
+        )
+    benchmark = str(payload["benchmark"])
+    suite = BENCHMARK_SUITES.get(benchmark)
+    if suite is None:
+        raise SchemaError(
+            f"{source}: unknown benchmark {benchmark!r}; known: "
+            f"{', '.join(sorted(BENCHMARK_SUITES))}"
+        )
+    raw_gates = payload["gates"]
+    if not isinstance(raw_gates, list) or not raw_gates:
+        raise SchemaError(f"{source}: 'gates' must be a non-empty list of gate results")
+    gates = [GateResult.from_dict(entry) for entry in raw_gates]
+    return suite, benchmark, gates
+
+
+def ingest_payload(
+    payload: Mapping[str, Any],
+    *,
+    source: str = "<payload>",
+    git_sha: Optional[str] = None,
+    timestamp: Optional[str] = None,
+) -> RunRecord:
+    """Normalise any recognised artifact payload into a :class:`RunRecord`.
+
+    Recognised shapes, in dispatch order:
+
+    * benchmark payloads — carry a ``"benchmark"`` key (and must carry the
+      rest of :data:`REQUIRED_BENCH_KEYS`); their embedded gate rows are
+      trusted verbatim, because the harness that wrote them already
+      evaluated through the registry (possibly with runtime overrides such
+      as host-dependent parallel bars).
+    * ``lint-findings.json`` — ``"tool": "repro-hics lint"``; gates for the
+      ``lint`` suite are evaluated here.
+    * bench ``summary.json`` — ``"experiments"`` + ``"cache_hits"``; gates
+      for the ``figure-summary`` suite are evaluated here.
+
+    Raises :class:`SchemaError` for anything else.
+    """
+    sha = git_sha if git_sha is not None else detect_git_sha()
+    stamp = timestamp if timestamp is not None else utc_timestamp()
+
+    if "benchmark" in payload:
+        suite, benchmark, gates = _ingest_bench(payload, source)
+        environment = _environment_from(payload)
+    elif payload.get("tool") == "repro-hics lint":
+        suite = benchmark = "lint"
+        gates = evaluate_suite("lint", payload)
+        environment = _environment_from(payload)
+    elif "experiments" in payload and "cache_hits" in payload:
+        suite = benchmark = "figure-summary"
+        gates = evaluate_suite("figure-summary", payload)
+        environment = _environment_from(payload)
+    else:
+        raise SchemaError(
+            f"{source}: unrecognised payload shape (expected a benchmark "
+            f"payload with {REQUIRED_BENCH_KEYS}, a lint findings report or "
+            f"a bench summary)"
+        )
+
+    metrics: Dict[str, Union[float, bool, None]] = {
+        gate.name: gate.value for gate in gates
+    }
+    return RunRecord(
+        suite=suite,
+        benchmark=benchmark,
+        source=source,
+        git_sha=sha,
+        timestamp=stamp,
+        environment=environment,
+        metrics=metrics,
+        gates=gates,
+    )
+
+
+def ingest_file(
+    path: str,
+    *,
+    git_sha: Optional[str] = None,
+    timestamp: Optional[str] = None,
+) -> RunRecord:
+    """Load a JSON artifact file and normalise it (see :func:`ingest_payload`)."""
+    with open(path, encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise SchemaError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(payload, dict):
+        raise SchemaError(f"{path}: top-level JSON value must be an object")
+    return ingest_payload(
+        payload,
+        source=os.path.basename(path),
+        git_sha=git_sha,
+        timestamp=timestamp,
+    )
