@@ -17,6 +17,18 @@ matrix alone is 80 GB):
   bit-for-bit identical to the dense shared engine, so the scale numbers
   above are for the *same* algorithm, not an approximation drift.
 
+``--profile 1m`` runs the out-of-core cell instead: an ``n = 1,000,000``,
+``d = 10`` dataset persisted with :meth:`Dataset.to_npy` and reopened as a
+read-only memmap view (:meth:`Dataset.from_npy`), searched by HiCS with
+``storage="memmap(chunk_rows=65536)"`` (chunked argsort-merge rank columns
+spilled to scratch) and sharded mask evaluation, then ranked through the
+linear subsample LOF backend.  Its exactness phase proves the memmap +
+sharded search bit-identical to the in-memory search on a small fixture,
+and the chunked fingerprint identical to the in-memory digest, so the 1M
+numbers are for the *same* algorithm.  The ``scale_1m`` gate suite bounds
+total wall time and peak RSS (1.5 GB — the point of the exercise: the run
+must never page the whole plane into memory).
+
 The run fails (non-zero exit) when total wall time or peak RSS exceeds the
 gates (declared in :mod:`repro.reporting.gates`; the CLI flags override the
 registered bars), and always writes a ``BENCH_scale.json`` payload with
@@ -26,6 +38,7 @@ trend tracking through ``repro-hics report``.
 Run from the repository root::
 
     PYTHONPATH=src python benchmarks/scale_bench.py [--objects 100000] [--out BENCH_scale.json]
+    PYTHONPATH=src python benchmarks/scale_bench.py --profile 1m
 """
 
 from __future__ import annotations
@@ -33,12 +46,14 @@ from __future__ import annotations
 import argparse
 import json
 import resource
+import shutil
 import sys
+import tempfile
 import time
 
 import numpy as np
 
-from repro.dataset import generate_synthetic_dataset
+from repro.dataset import Dataset, generate_synthetic_dataset
 from repro.experiments import environment_manifest
 from repro.outliers import LOFScorer, SubspaceOutlierRanker
 from repro.reporting import evaluate_suite, get_gate
@@ -75,28 +90,114 @@ def exactness_check(rng: np.random.Generator) -> None:
         raise SystemExit("FAIL: streaming ranking diverged from the dense engine")
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--objects", type=int, default=100_000)
-    parser.add_argument("--dims", type=int, default=10)
-    parser.add_argument("--out", default="BENCH_scale.json")
-    parser.add_argument(
-        "--max-seconds",
-        type=float,
-        default=get_gate("scale_total_sec").threshold,
-        help="gate on total wall time of all phases "
-        "(default: the registered gate threshold)",
+def memmap_exactness_check() -> None:
+    """Memmap storage + sharded search must equal the in-memory search bit for bit."""
+    reference = generate_synthetic_dataset(
+        n_objects=1500,
+        n_dims=8,
+        n_relevant_subspaces=2,
+        subspace_dims=(2, 3),
+        outliers_per_subspace=10,
+        random_state=3,
     )
-    parser.add_argument(
-        "--max-rss-mb",
-        type=float,
-        default=get_gate("scale_peak_rss_mb").threshold,
-        help="gate on lifetime peak RSS (the dense n x n matrix alone needs "
-        "~80 GB; default: the registered gate threshold)",
-    )
-    args = parser.parse_args(argv)
+    baseline = HiCS(
+        n_iterations=10, candidate_cutoff=20, max_output_subspaces=5, random_state=0
+    ).search(reference.data)
+    store = tempfile.mkdtemp(prefix="scale1m-check-")
+    try:
+        reference.to_npy(store)
+        mapped = Dataset.from_npy(store, mmap=True)
+        if mapped.fingerprint() != reference.fingerprint():
+            raise SystemExit(
+                "FAIL: chunked memmap fingerprint diverged from the in-memory digest"
+            )
+        # chunk_rows straddles row boundaries; shards exercise the merge path
+        mm = HiCS(
+            n_iterations=10,
+            candidate_cutoff=20,
+            max_output_subspaces=5,
+            random_state=0,
+            storage="memmap(chunk_rows=997)",
+            n_shards=3,
+        ).search(mapped.data)
+    finally:
+        shutil.rmtree(store, ignore_errors=True)
+    if [(s.subspace, s.score) for s in mm] != [(s.subspace, s.score) for s in baseline]:
+        raise SystemExit("FAIL: memmap-backed search diverged from the in-memory search")
 
-    phases: dict = {}
+
+def run_1m(args, phases: dict) -> dict:
+    """The out-of-core cell: memmap dataset -> memmap HiCS -> subsample LOF."""
+    timed(phases, "exactness", memmap_exactness_check)
+
+    dataset = timed(
+        phases,
+        "generate",
+        lambda: generate_synthetic_dataset(
+            n_objects=args.objects,
+            n_dims=args.dims,
+            n_relevant_subspaces=2,
+            subspace_dims=(2, 3),
+            outliers_per_subspace=20,
+            random_state=7,
+        ),
+    )
+    in_memory_fingerprint = dataset.fingerprint()
+
+    store = tempfile.mkdtemp(prefix="scale1m-data-")
+    scratch = tempfile.mkdtemp(prefix="scale1m-scratch-")
+    try:
+        timed(phases, "spill", lambda: dataset.to_npy(store))
+        del dataset  # from here on the plane lives on disk, not in RAM
+        mapped = timed(phases, "attach", lambda: Dataset.from_npy(store, mmap=True))
+        if not mapped.is_memmap:
+            raise SystemExit("FAIL: from_npy(mmap=True) did not return a memmap view")
+        if timed(phases, "fingerprint", mapped.fingerprint) != in_memory_fingerprint:
+            raise SystemExit(
+                "FAIL: chunked memmap fingerprint diverged from the in-memory digest"
+            )
+        data = mapped.data
+
+        scored = timed(
+            phases,
+            "fit",
+            lambda: HiCS(
+                n_iterations=20,
+                candidate_cutoff=40,
+                max_output_subspaces=1,
+                subsample_size=min(1000, args.objects),
+                random_state=0,
+                storage=f"memmap(chunk_rows={args.chunk_rows})",
+                scratch_dir=scratch,
+                n_shards=4,
+            ).search(data),
+        )
+        best = scored[0].subspace
+        print(f"fit: best subspace {best.attributes}", flush=True)
+
+        projected = np.ascontiguousarray(data[:, list(best.attributes)])
+        ranked = timed(
+            phases,
+            "rank",
+            lambda: LOFScorer(min_pts=10, algorithm="subsample")
+            .fit(projected)
+            .score_samples(projected),
+        )
+        if ranked.shape != (args.objects,) or not np.all(np.isfinite(ranked)):
+            raise SystemExit("FAIL: subsample ranking produced malformed scores")
+    finally:
+        shutil.rmtree(store, ignore_errors=True)
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    return {
+        "subsample_size": min(1000, args.objects),
+        "chunk_rows": args.chunk_rows,
+        "n_shards": 4,
+        "storage": f"memmap(chunk_rows={args.chunk_rows})",
+    }
+
+
+def run_100k(args, phases: dict) -> dict:
     rng = np.random.default_rng(0)
 
     timed(phases, "exactness", lambda: exactness_check(rng))
@@ -149,26 +250,75 @@ def main(argv=None) -> int:
     if approx.shape != (args.objects,) or not np.all(np.isfinite(approx)):
         raise SystemExit("FAIL: approximate backend produced malformed scores")
 
+    return {"subsample_size": min(1000, args.objects)}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--profile",
+        choices=("100k", "1m"),
+        default="100k",
+        help="'100k': the streaming suite (default); '1m': the out-of-core "
+        "memmap cell gated by the scale_1m suite",
+    )
+    parser.add_argument(
+        "--objects", type=int, default=None,
+        help="row count (default: 100000 or 1000000 per profile)",
+    )
+    parser.add_argument("--dims", type=int, default=10)
+    parser.add_argument(
+        "--chunk-rows", type=int, default=65536,
+        help="memmap chunk size for the 1m profile's index storage spec",
+    )
+    parser.add_argument("--out", default="BENCH_scale.json")
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="gate on total wall time of all phases "
+        "(default: the profile's registered gate threshold)",
+    )
+    parser.add_argument(
+        "--max-rss-mb",
+        type=float,
+        default=None,
+        help="gate on lifetime peak RSS (the dense n x n matrix alone needs "
+        "~80 GB; default: the profile's registered gate threshold)",
+    )
+    args = parser.parse_args(argv)
+
+    suite = "scale" if args.profile == "100k" else "scale_1m"
+    if args.objects is None:
+        args.objects = 100_000 if args.profile == "100k" else 1_000_000
+    if args.max_seconds is None:
+        args.max_seconds = get_gate(f"{suite}_total_sec").threshold
+    if args.max_rss_mb is None:
+        args.max_rss_mb = get_gate(f"{suite}_peak_rss_mb").threshold
+
+    phases: dict = {}
+    extras = (run_100k if args.profile == "100k" else run_1m)(args, phases)
+
     total = round(sum(phases.values()), 3)
     peak = round(peak_rss_mb(), 1)
     payload = {
-        "benchmark": "scale",
+        "benchmark": suite,
         "n_objects": args.objects,
         "n_dims": args.dims,
         "phases_sec": phases,
         "total_sec": total,
         "peak_rss_mb": peak,
-        "subsample_size": min(1000, args.objects),
+        **extras,
         **environment_manifest(),
     }
     # Thresholds live in the gate registry; the CLI flags override the
     # registered bars and are recorded in the evaluated gate rows.
     gates = evaluate_suite(
-        "scale",
+        suite,
         payload,
         thresholds={
-            "scale_total_sec": args.max_seconds,
-            "scale_peak_rss_mb": args.max_rss_mb,
+            f"{suite}_total_sec": args.max_seconds,
+            f"{suite}_peak_rss_mb": args.max_rss_mb,
         },
     )
     payload["gates"] = [gate.to_dict() for gate in gates]

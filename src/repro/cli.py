@@ -115,6 +115,29 @@ def build_parser() -> argparse.ArgumentParser:
             "results are identical for any backend (default: $REPRO_BACKEND "
             "or resolved from --n-jobs)",
         )
+        sub.add_argument(
+            "--storage",
+            default=None,
+            help="index storage: 'memory' (default) or a spec like "
+            "'memmap(chunk_rows=65536)' for out-of-core index builds over "
+            "memmap-backed data; results are identical for any storage mode",
+        )
+        sub.add_argument(
+            "--scratch-dir",
+            default=None,
+            help="existing parent directory for out-of-core scratch spills "
+            "(default: the system temporary directory); requires a memmap "
+            "--storage",
+        )
+        sub.add_argument(
+            "--n-shards",
+            type=int,
+            default=1,
+            help="contiguous row shards for the sharded contrast evaluation "
+            "(default 1 = unsharded); with a parallel backend the shards are "
+            "fanned out through the worker pool; results are identical for "
+            "any shard count",
+        )
 
     def add_engine_arguments(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
@@ -497,6 +520,9 @@ def _resolve_method_pipeline(args: argparse.Namespace):
         backend=args.backend,
         scoring_engine=args.scoring_engine,
         memory_budget_mb=args.memory_budget_mb,
+        storage=getattr(args, "storage", None),
+        scratch_dir=getattr(args, "scratch_dir", None),
+        n_shards=getattr(args, "n_shards", 1),
     )
     return method, make_method_pipeline(method, config)
 
@@ -604,6 +630,9 @@ def _command_contrast(args: argparse.Namespace) -> int:
         engine=args.engine,
         n_jobs=args.n_jobs,
         backend=args.backend,
+        storage=args.storage,
+        scratch_dir=args.scratch_dir,
+        n_shards=args.n_shards,
     )
     with contextlib.closing(searcher):
         scored = searcher.search(dataset.data)[: args.top]
@@ -624,6 +653,9 @@ def _command_compare(args: argparse.Namespace) -> int:
         backend=args.backend,
         scoring_engine=args.scoring_engine,
         memory_budget_mb=args.memory_budget_mb,
+        storage=args.storage,
+        scratch_dir=args.scratch_dir,
+        n_shards=args.n_shards,
     )
     methods = list(args.methods) + list(args.specs)
     results = [evaluate_method_on_dataset(m, dataset, config) for m in methods]

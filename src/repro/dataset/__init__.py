@@ -10,6 +10,16 @@ surrogate generators with matching shape and difficulty (see DESIGN.md §4).
 from .dataset import Dataset
 from .fingerprint import array_fingerprint
 from .io import load_csv, save_csv
+from .memmap import (
+    ScratchDirectory,
+    StorageSpec,
+    check_storage_spec,
+    load_npy,
+    memmap_layout_fingerprint,
+    open_memmap_readonly,
+    parse_storage_spec,
+    save_npy,
+)
 from .registry import available_datasets, load_dataset, register_dataset
 from .synthetic import SyntheticConfig, generate_synthetic_dataset
 from .toy import (
@@ -29,6 +39,14 @@ __all__ = [
     "array_fingerprint",
     "load_csv",
     "save_csv",
+    "StorageSpec",
+    "ScratchDirectory",
+    "parse_storage_spec",
+    "check_storage_spec",
+    "save_npy",
+    "load_npy",
+    "open_memmap_readonly",
+    "memmap_layout_fingerprint",
     "available_datasets",
     "load_dataset",
     "register_dataset",

@@ -120,6 +120,37 @@ class Dataset:
         """
         return array_fingerprint(self.data, self.labels)
 
+    # ------------------------------------------------------------------ storage
+
+    @property
+    def is_memmap(self) -> bool:
+        """True when the data matrix is a memmap view over an on-disk file."""
+        return isinstance(self.data, np.memmap)
+
+    @classmethod
+    def from_npy(cls, path: str, *, mmap: bool = True) -> Dataset:
+        """Load a dataset directory written by :meth:`to_npy`.
+
+        With ``mmap=True`` (default) the data and labels are read-only
+        :class:`numpy.memmap` views over the canonical on-disk layout: the
+        dataset never loads into RAM, yet fingerprints, cache keys and all
+        downstream scores are bit-identical to the in-memory path.
+        """
+        from .memmap import load_npy
+
+        return load_npy(path, mmap=mmap)
+
+    def to_npy(self, path: str) -> str:
+        """Persist this dataset as ``<path>/data.npy`` (+ labels, manifest).
+
+        The files store exactly the canonical C-contiguous float64/int64
+        buffers, so a round trip through :meth:`from_npy` preserves the
+        content fingerprint bit for bit.
+        """
+        from .memmap import save_npy
+
+        return save_npy(self, path)
+
     # ------------------------------------------------------------------ views
 
     def project(self, subspace: Subspace) -> np.ndarray:

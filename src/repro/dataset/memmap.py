@@ -1,0 +1,402 @@
+"""The out-of-core dataset plane: npy-backed datasets and scratch storage.
+
+This module turns :class:`~repro.dataset.dataset.Dataset` into an out-of-core
+container: :func:`save_npy` persists the canonical C-contiguous
+``float64``/``int64`` layout as plain ``.npy`` files plus a JSON manifest, and
+:func:`load_npy` reopens them as read-only :class:`numpy.memmap` views, so a
+dataset larger than RAM behaves exactly like an in-memory one — same bytes,
+same fingerprints, same cache keys (the fingerprint streams over the mapped
+file in bounded chunks).
+
+It also hosts the storage configuration shared by the index and search
+layers:
+
+* :class:`StorageSpec` — the parsed form of the ``storage=`` spec segment
+  (``"memory"`` or ``"memmap(chunk_rows=65536, scratch_dir='...')"``),
+  mirroring the backend spec grammar of :mod:`repro.parallel.registry`.
+* :class:`ScratchDirectory` — the owner of a per-fit scratch directory that
+  out-of-core index builds spill rank columns into; ``close()`` removes the
+  tree and a ``weakref`` finalizer guards against leaks (the repo lint rule
+  RPR503 flags call sites that never close one).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import re
+import shutil
+import tempfile
+import weakref
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+import numpy as np
+
+from ..exceptions import DataError, ParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .dataset import Dataset
+
+__all__ = [
+    "StorageSpec",
+    "parse_storage_spec",
+    "check_storage_spec",
+    "ScratchDirectory",
+    "save_npy",
+    "load_npy",
+    "open_memmap_readonly",
+    "memmap_layout_fingerprint",
+]
+
+#: Default row-chunk size for out-of-core builds (argsort-merge blocks,
+#: streaming validation); ``storage=memmap(chunk_rows=...)`` overrides it.
+DEFAULT_CHUNK_ROWS = 65536
+
+_STORAGE_KINDS = ("memory", "memmap")
+
+#: File names inside a dataset directory written by :func:`save_npy`.  The
+#: manifest is written last and atomically, so its presence marks a complete
+#: dataset; missing or inconsistent members indicate a torn write.
+_DATA_FILE = "data.npy"
+_LABELS_FILE = "labels.npy"
+_META_FILE = "meta.json"
+_META_FORMAT = "repro-dataset"
+_META_VERSION = 1
+
+_SPEC_PATTERN = re.compile(r"^\s*([A-Za-z_][\w.-]*)\s*(?:\((.*)\))?\s*$", re.DOTALL)
+
+
+@dataclass(frozen=True)
+class StorageSpec:
+    """Parsed storage configuration for index builds and searches.
+
+    ``kind="memory"`` is the classic fully-resident mode.  ``kind="memmap"``
+    switches the :class:`~repro.index.SortedDatabaseIndex` to the out-of-core
+    build: rank columns are constructed by chunked argsort-merge in
+    ``chunk_rows`` blocks and spilled to a per-fit :class:`ScratchDirectory`
+    as memmapped ``.npy`` columns.  ``scratch_dir`` names the parent directory
+    for that scratch space (it must already exist); ``None`` uses the system
+    temporary directory.  Storage is purely a throughput/footprint knob —
+    results are bit-for-bit identical across storage modes.
+    """
+
+    kind: str = "memory"
+    chunk_rows: int = DEFAULT_CHUNK_ROWS
+    scratch_dir: Optional[str] = None
+
+    def __post_init__(self):
+        if self.kind not in _STORAGE_KINDS:
+            raise ParameterError(
+                f"storage kind must be one of {_STORAGE_KINDS}, got {self.kind!r}"
+            )
+        if not isinstance(self.chunk_rows, int) or isinstance(self.chunk_rows, bool):
+            raise ParameterError(
+                f"chunk_rows must be an integer, got {type(self.chunk_rows).__name__}"
+            )
+        if self.chunk_rows < 2:
+            raise ParameterError(f"chunk_rows must be >= 2, got {self.chunk_rows}")
+        if self.scratch_dir is not None and not isinstance(self.scratch_dir, str):
+            raise ParameterError("scratch_dir must be a string path or None")
+
+    @property
+    def is_memmap(self) -> bool:
+        return self.kind == "memmap"
+
+    def to_spec(self) -> str:
+        """Canonical spec-string form, parseable by :func:`parse_storage_spec`."""
+        if self.kind == "memory":
+            return "memory"
+        params = [f"chunk_rows={self.chunk_rows}"]
+        if self.scratch_dir is not None:
+            params.append(f"scratch_dir={self.scratch_dir!r}")
+        return f"memmap({', '.join(params)})"
+
+
+def parse_storage_spec(text: str) -> StorageSpec:
+    """Parse a storage spec string: ``"memory"``, ``"memmap"`` or a
+    parameterised ``"memmap(chunk_rows=65536, scratch_dir='/var/scratch')"``.
+
+    Same grammar family as the backend specs: a component name plus
+    keyword-only literal arguments.
+    """
+    if not isinstance(text, str) or not text.strip():
+        raise ParameterError("storage spec must be a non-empty string")
+    match = _SPEC_PATTERN.match(text)
+    if match is None:
+        raise ParameterError(f"malformed storage spec {text!r}")
+    kind = match.group(1).lower()
+    params = {}
+    body = match.group(2)
+    if body is not None and body.strip():
+        try:
+            call = ast.parse(f"_({body})", mode="eval").body
+        except SyntaxError as exc:
+            raise ParameterError(f"malformed storage spec {text!r}") from exc
+        if call.args:
+            raise ParameterError(
+                f"storage spec {text!r} must use keyword arguments only"
+            )
+        for keyword in call.keywords:
+            if keyword.arg is None:
+                raise ParameterError(f"storage spec {text!r} must not use **kwargs")
+            try:
+                params[keyword.arg] = ast.literal_eval(keyword.value)
+            except ValueError as exc:
+                raise ParameterError(
+                    f"storage spec {text!r}: argument {keyword.arg!r} must be a literal"
+                ) from exc
+    unknown = set(params) - {"chunk_rows", "scratch_dir"}
+    if unknown:
+        raise ParameterError(
+            f"storage spec {text!r} has unknown parameters {sorted(unknown)}"
+        )
+    if kind == "memory" and params:
+        raise ParameterError("storage spec 'memory' takes no parameters")
+    return StorageSpec(kind=kind, **params)
+
+
+def check_storage_spec(value) -> Optional[StorageSpec]:
+    """Normalise a ``storage`` parameter: None, spec string or StorageSpec.
+
+    ``None`` and ``"memory"`` both mean the in-memory default and normalise
+    to ``None`` so that components can keep a single falsy sentinel.
+    """
+    if value is None:
+        return None
+    if isinstance(value, StorageSpec):
+        spec = value
+    elif isinstance(value, str):
+        spec = parse_storage_spec(value)
+    else:
+        raise ParameterError(
+            "storage must be None, a spec string or a StorageSpec, got "
+            f"{type(value).__name__}"
+        )
+    return None if spec.kind == "memory" else spec
+
+
+class ScratchDirectory:
+    """Owner of a per-fit scratch directory for spilled memmap columns.
+
+    Creates a fresh private directory under ``base`` (or the system temporary
+    directory) and removes the whole tree on :meth:`close`.  A ``weakref``
+    finalizer removes it at garbage collection as a last resort, but callers
+    are expected to close deterministically — the RPR503 lint rule flags
+    sites that construct one without closing it.
+    """
+
+    def __init__(self, base: Optional[str] = None, *, prefix: str = "repro-scratch-"):
+        if base is not None:
+            base = os.fspath(base)
+            if not os.path.isdir(base):
+                raise DataError(
+                    f"scratch directory {base!r} does not exist (create it first; "
+                    "the library only manages per-fit subdirectories)"
+                )
+        self.path = tempfile.mkdtemp(prefix=prefix, dir=base)
+        self._finalizer = weakref.finalize(
+            self, shutil.rmtree, self.path, True  # ignore_errors=True
+        )
+
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
+
+    def file(self, name: str) -> str:
+        """Absolute path of a member file inside the scratch directory."""
+        if self.closed:
+            raise DataError("scratch directory is closed")
+        return os.path.join(self.path, name)
+
+    def close(self) -> None:
+        """Remove the scratch tree; idempotent."""
+        self._finalizer()
+
+    def __enter__(self) -> "ScratchDirectory":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = "closed" if self.closed else "open"
+        return f"ScratchDirectory({self.path!r}, {state})"
+
+
+def memmap_layout_fingerprint(path: str, dtype, shape) -> str:
+    """Cheap fingerprint of a memmap publication's on-disk layout.
+
+    Hashes the dtype, shape and current file size — *not* the content (the
+    content fingerprint is the dataset fingerprint and costs a full read).
+    The shared-memory plane stores this next to the path it publishes;
+    workers recompute it on attach, so a file that was truncated, replaced or
+    resized between publish and attach fails loudly instead of serving torn
+    bytes.
+    """
+    import hashlib
+
+    digest = hashlib.sha1()
+    digest.update(str(np.dtype(dtype)).encode("utf-8"))
+    digest.update(np.asarray(tuple(shape), dtype=np.int64).tobytes())
+    digest.update(np.asarray([os.stat(path).st_size], dtype=np.int64).tobytes())
+    return digest.hexdigest()
+
+
+def open_memmap_readonly(path: str) -> np.memmap:
+    """Open an ``.npy`` file as a read-only memmap, with clear failure modes."""
+    try:
+        array = np.load(path, mmap_mode="r", allow_pickle=False)
+    except (OSError, ValueError) as exc:
+        raise DataError(f"cannot memmap {path!r}: {exc}") from exc
+    if not isinstance(array, np.memmap):
+        raise DataError(f"{path!r} did not open as a memmap (is it a .npz archive?)")
+    return array
+
+
+def _atomic_save(path: str, array: np.ndarray) -> None:
+    """Write an ``.npy`` file atomically (temp file + fsync + rename)."""
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".npy.tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.save(handle, np.ascontiguousarray(array))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+
+
+def save_npy(dataset: "Dataset", path: str) -> str:
+    """Persist a dataset as a directory of ``.npy`` files plus a manifest.
+
+    Layout: ``<path>/data.npy`` (C-contiguous float64), optional
+    ``<path>/labels.npy`` (int64) and ``<path>/meta.json`` carrying the name,
+    attribute names, relevant subspaces, metadata and the content
+    fingerprint.  The manifest is written last, atomically — a directory
+    without a readable, consistent manifest is treated as a torn write by
+    :func:`load_npy`.
+    """
+    path = os.fspath(path)
+    os.makedirs(path, exist_ok=True)
+    _atomic_save(os.path.join(path, _DATA_FILE), dataset.data)
+    if dataset.labels is not None:
+        _atomic_save(os.path.join(path, _LABELS_FILE), dataset.labels)
+    meta = {
+        "format": _META_FORMAT,
+        "version": _META_VERSION,
+        "name": dataset.name,
+        "attribute_names": list(dataset.attribute_names),
+        "relevant_subspaces": [list(s.attributes) for s in dataset.relevant_subspaces],
+        "metadata": dict(dataset.metadata),
+        "n_objects": int(dataset.n_objects),
+        "n_dims": int(dataset.n_dims),
+        "has_labels": dataset.labels is not None,
+        "fingerprint": dataset.fingerprint(),
+    }
+    meta_path = os.path.join(path, _META_FILE)
+    fd, tmp_path = tempfile.mkstemp(dir=path, suffix=".json.tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(meta, handle, indent=2, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, meta_path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+    return path
+
+
+def load_npy(path: str, *, mmap: bool = True) -> "Dataset":
+    """Load a dataset directory written by :func:`save_npy`.
+
+    With ``mmap=True`` (default) ``data`` and ``labels`` come back as
+    read-only :class:`numpy.memmap` views over the canonical layout —
+    validation, fingerprinting and index builds then stream over the mapped
+    file instead of loading it.  ``mmap=False`` reads plain in-memory arrays
+    (bit-identical content).
+
+    Raises
+    ------
+    DataError
+        If the directory or manifest is missing, or any member file is
+        inconsistent with the manifest (torn or tampered write).
+    """
+    from .dataset import Dataset
+    from ..types import Subspace
+
+    path = os.fspath(path)
+    if not os.path.isdir(path):
+        raise DataError(f"dataset directory {path!r} does not exist")
+    meta_path = os.path.join(path, _META_FILE)
+    if not os.path.exists(meta_path):
+        raise DataError(
+            f"{path!r} has no {_META_FILE}: not a dataset directory, or a torn "
+            "write (the manifest is written last)"
+        )
+    try:
+        with open(meta_path, "r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise DataError(f"unreadable dataset manifest {meta_path!r}: {exc}") from exc
+    if meta.get("format") != _META_FORMAT:
+        raise DataError(f"{meta_path!r} is not a {_META_FORMAT} manifest")
+
+    data_path = os.path.join(path, _DATA_FILE)
+    if mmap:
+        data = open_memmap_readonly(data_path)
+    else:
+        try:
+            data = np.load(data_path, allow_pickle=False)
+        except (OSError, ValueError) as exc:
+            raise DataError(f"cannot load {data_path!r}: {exc}") from exc
+    expected_shape = (int(meta["n_objects"]), int(meta["n_dims"]))
+    if data.ndim != 2 or tuple(data.shape) != expected_shape:
+        raise DataError(
+            f"torn dataset: {data_path!r} has shape {tuple(data.shape)}, "
+            f"manifest says {expected_shape}"
+        )
+    if data.dtype != np.float64:
+        raise DataError(
+            f"torn dataset: {data_path!r} has dtype {data.dtype}, expected float64"
+        )
+
+    labels = None
+    if meta.get("has_labels"):
+        labels_path = os.path.join(path, _LABELS_FILE)
+        if not os.path.exists(labels_path):
+            raise DataError(
+                f"torn dataset: manifest promises labels but {labels_path!r} is missing"
+            )
+        if mmap:
+            labels = open_memmap_readonly(labels_path)
+        else:
+            labels = np.load(labels_path, allow_pickle=False)
+        if labels.ndim != 1 or labels.shape[0] != expected_shape[0]:
+            raise DataError(
+                f"torn dataset: {labels_path!r} has shape {tuple(labels.shape)}, "
+                f"expected ({expected_shape[0]},)"
+            )
+        if labels.dtype != np.int64:
+            raise DataError(
+                f"torn dataset: {labels_path!r} has dtype {labels.dtype}, "
+                "expected int64"
+            )
+
+    return Dataset(
+        data=data,
+        labels=labels,
+        name=meta.get("name", "unnamed"),
+        attribute_names=tuple(meta.get("attribute_names", ())),
+        relevant_subspaces=tuple(
+            Subspace(tuple(int(a) for a in attrs))
+            for attrs in meta.get("relevant_subspaces", ())
+        ),
+        metadata=dict(meta.get("metadata", {})),
+    )

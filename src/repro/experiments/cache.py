@@ -33,7 +33,15 @@ CACHE_SCHEMA_VERSION = 1
 
 #: PipelineConfig fields that cannot affect results (throughput knobs with
 #: bit-for-bit equivalence guarantees) and therefore stay out of the key.
-_THROUGHPUT_FIELDS = ("n_jobs", "backend", "scoring_engine", "memory_budget_mb")
+_THROUGHPUT_FIELDS = (
+    "n_jobs",
+    "backend",
+    "scoring_engine",
+    "memory_budget_mb",
+    "storage",
+    "scratch_dir",
+    "n_shards",
+)
 
 #: PipelineConfig fields that DO affect results and therefore feed the key
 #: (as the config payload of :func:`cell_key`).  Together with

@@ -8,6 +8,12 @@ dimensionality.
 """
 
 from .slicing import SliceBatch, SliceSampler
-from .sorted_index import AttributeIndex, SortedDatabaseIndex
+from .sorted_index import AttributeIndex, SortedDatabaseIndex, chunked_argsort
 
-__all__ = ["AttributeIndex", "SortedDatabaseIndex", "SliceBatch", "SliceSampler"]
+__all__ = [
+    "AttributeIndex",
+    "SortedDatabaseIndex",
+    "SliceBatch",
+    "SliceSampler",
+    "chunked_argsort",
+]

@@ -225,6 +225,7 @@ class SliceSampler:
         rng: Optional[np.random.Generator] = None,
         min_conditional_size: int = 1,
         max_retries: int = 0,
+        mask_evaluator=None,
     ) -> SliceBatch:
         """Draw ``n_slices`` Monte Carlo slices of one subspace in one shot.
 
@@ -257,6 +258,15 @@ class SliceSampler:
             Minimum conditional sample size below which a slice is redrawn.
         max_retries:
             Maximum number of redraw rounds.
+        mask_evaluator:
+            Optional replacement for the built-in mask evaluation: a callable
+            ``(attrs, start_ranks, block) -> selected`` returning the same
+            ``(n_rows, n_objects)`` boolean matrix :meth:`_evaluate_masks`
+            would.  The row-sharded contrast path injects an evaluator that
+            computes the masks shard by shard and reassembles them in row
+            order — the *drawing* protocol (and therefore the random stream)
+            stays in this one method, which is what keeps sharded and
+            unsharded batches bit-for-bit identical.
 
         Returns
         -------
@@ -294,8 +304,11 @@ class SliceSampler:
                 return rng.integers(0, max_start + 1, size=(n_rows, d - 1))
             return np.zeros((n_rows, d - 1), dtype=np.intp)
 
+        evaluate = self._evaluate_masks if mask_evaluator is None else mask_evaluator
         start_ranks[condition_mask] = draw_starts(n_slices).ravel()
-        selected = self._evaluate_masks(attrs, start_ranks, block)
+        selected = evaluate(attrs, start_ranks, block)
+        if not selected.flags.writeable:
+            selected = selected.copy()
         counts = selected.sum(axis=1)
 
         rounds = 0
@@ -307,7 +320,7 @@ class SliceSampler:
             redraw = np.full((failing.size, d), -1, dtype=np.intp)
             redraw[condition_mask[failing]] = draw_starts(failing.size).ravel()
             start_ranks[failing] = redraw
-            selected[failing] = self._evaluate_masks(attrs, redraw, block)
+            selected[failing] = evaluate(attrs, redraw, block)
             counts[failing] = selected[failing].sum(axis=1)
 
         degenerate = counts < max(2, min_conditional_size)
@@ -325,7 +338,11 @@ class SliceSampler:
         )
 
     def _evaluate_masks(
-        self, attrs: np.ndarray, start_ranks: np.ndarray, block: int
+        self,
+        attrs: np.ndarray,
+        start_ranks: np.ndarray,
+        block: int,
+        object_range: Optional[Tuple[int, int]] = None,
     ) -> np.ndarray:
         """Selection masks for a matrix of drawn condition start ranks.
 
@@ -338,15 +355,27 @@ class SliceSampler:
         are requested per attribute (:meth:`SortedDatabaseIndex.rank_column`),
         so only the subspace's own attributes are ever ranked and the full
         ``(n_objects, n_dims)`` rank matrix is never forced.
+
+        ``object_range`` restricts the evaluation to objects ``[lo, hi)`` —
+        the row-shard of the sharded contrast path.  The returned matrix then
+        has ``hi - lo`` columns; each cell is identical to the corresponding
+        cell of a full evaluation (the rank-interval test of an object never
+        looks at any other object).
         """
         n = self.index.n_objects
+        obj_lo, obj_hi = (0, n) if object_range is None else object_range
+        if not (0 <= obj_lo <= obj_hi <= n):
+            raise ParameterError(
+                f"object_range [{obj_lo}, {obj_hi}) out of bounds for {n} objects"
+            )
+        n_objects = obj_hi - obj_lo
         n_rows = start_ranks.shape[0]
-        chunk = max(1, min(n_rows, _MAX_MASK_CELLS // max(1, n)))
-        out = np.empty((n_rows, n), dtype=bool)
-        columns = {int(a): self.index.rank_column(a) for a in attrs}
+        chunk = max(1, min(n_rows, _MAX_MASK_CELLS // max(1, n_objects)))
+        out = np.empty((n_rows, n_objects), dtype=bool)
+        columns = {int(a): self.index.rank_column(a)[obj_lo:obj_hi] for a in attrs}
         for lo in range(0, n_rows, chunk):
             hi = min(n_rows, lo + chunk)
-            sel = np.ones((hi - lo, n), dtype=bool)
+            sel = np.ones((hi - lo, n_objects), dtype=bool)
             for j, attribute in enumerate(attrs):
                 starts = start_ranks[lo:hi, j, None]
                 column = columns[int(attribute)][None, :]
@@ -357,6 +386,21 @@ class SliceSampler:
                 sel &= inside
             out[lo:hi] = sel
         return out
+
+    def evaluate_masks_range(
+        self,
+        attrs: np.ndarray,
+        start_ranks: np.ndarray,
+        block: int,
+        object_range: Tuple[int, int],
+    ) -> np.ndarray:
+        """Public shard entry point: masks restricted to objects ``[lo, hi)``."""
+        return self._evaluate_masks(
+            np.asarray(attrs, dtype=np.intp),
+            np.asarray(start_ranks, dtype=np.intp),
+            int(block),
+            object_range,
+        )
 
     def conditional_sample(self, subspace_slice: SubspaceSlice) -> np.ndarray:
         """Values of the test attribute for the objects selected by the slice."""

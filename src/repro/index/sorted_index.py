@@ -9,14 +9,87 @@ building block of the HiCS subspace slices.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from ..exceptions import ParameterError, SubspaceError
+from ..dataset.memmap import (
+    ScratchDirectory,
+    StorageSpec,
+    check_storage_spec,
+    open_memmap_readonly,
+)
+from ..exceptions import DataError, ParameterError, SubspaceError
 from ..utils.validation import check_data_matrix
 
-__all__ = ["AttributeIndex", "SortedDatabaseIndex"]
+__all__ = ["AttributeIndex", "SortedDatabaseIndex", "chunked_argsort"]
+
+
+def _stable_merge(left: np.ndarray, right: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Merge two stable sorted runs of object indices into one.
+
+    ``left`` and ``right`` are index arrays sorted by ``values`` with every
+    index in ``left`` smaller than every index in ``right`` (they cover
+    adjacent row ranges).  ``searchsorted`` with ``side="left"`` for the left
+    run and ``side="right"`` for the right run places equal values
+    left-run-first — exactly the tie order of a global stable mergesort.
+    """
+    left_values = values[left]
+    right_values = values[right]
+    out = np.empty(left.size + right.size, dtype=np.intp)
+    pos_left = np.arange(left.size, dtype=np.intp) + np.searchsorted(
+        right_values, left_values, side="left"
+    )
+    pos_right = np.arange(right.size, dtype=np.intp) + np.searchsorted(
+        left_values, right_values, side="right"
+    )
+    out[pos_left] = left
+    out[pos_right] = right
+    return out
+
+
+def chunked_argsort(values: np.ndarray, chunk_rows: int) -> np.ndarray:
+    """Stable argsort built from bounded row chunks (argsort-merge).
+
+    Each ``chunk_rows`` block is argsorted independently (stable mergesort),
+    then adjacent runs are merged pairwise with :func:`_stable_merge`.  The
+    result is bit-for-bit identical to ``np.argsort(values,
+    kind="mergesort")`` — the chunking only bounds how much of a memmapped
+    column is materialised per step, it never changes the permutation.
+    """
+    if chunk_rows < 2:
+        raise ParameterError(f"chunk_rows must be >= 2, got {chunk_rows}")
+    n = values.shape[0]
+    if n <= chunk_rows:
+        return np.argsort(np.asarray(values), kind="mergesort")
+    runs = []
+    for start in range(0, n, chunk_rows):
+        block = np.ascontiguousarray(values[start : start + chunk_rows])
+        runs.append(np.argsort(block, kind="mergesort") + start)
+    while len(runs) > 1:
+        merged = []
+        for i in range(0, len(runs) - 1, 2):
+            merged.append(_stable_merge(runs[i], runs[i + 1], values))
+        if len(runs) % 2:
+            merged.append(runs[-1])
+        runs = merged
+    return runs[0]
+
+
+def _invert_rank_column(column: np.ndarray, n: int, attribute: int) -> np.ndarray:
+    """Recover a sorting permutation from one rank column in O(n).
+
+    Scatters into a -1-filled array: a column that is not a permutation
+    (duplicate ranks) leaves unwritten slots behind, which must fail loudly
+    instead of indexing uninitialised memory.
+    """
+    order = np.full(n, -1, dtype=np.intp)
+    order[column] = np.arange(n, dtype=np.intp)
+    if n and order.min() < 0:
+        raise ParameterError(
+            f"rank column {attribute} is not a permutation of 0..{n - 1}"
+        )
+    return order
 
 
 class AttributeIndex:
@@ -111,13 +184,60 @@ class SortedDatabaseIndex:
     The index is immutable once built and can be shared between the contrast
     estimations of all candidate subspaces, which is exactly how the paper
     amortises the pre-processing cost.
+
+    Parameters
+    ----------
+    data:
+        Data matrix; canonicalised through :func:`check_data_matrix` (a
+        memmap already in canonical layout passes through zero-copy).
+    storage:
+        ``None`` (default) keeps everything resident.  A memmap
+        :class:`~repro.dataset.memmap.StorageSpec` (or its spec string)
+        switches to the **out-of-core mode**: sorting permutations are built
+        by chunked argsort-merge in ``chunk_rows`` blocks, every rank column
+        is spilled to a per-index :class:`ScratchDirectory` as a memmapped
+        ``.npy`` file, and the dense ``(n, d)`` rank matrix is never
+        materialised (:attr:`rank_matrix` raises; use :meth:`rank_column`).
+        Call :meth:`close` (out-of-core only) to remove the scratch files.
+        Bit-for-bit: every rank served in either mode is identical.
     """
 
-    def __init__(self, data: np.ndarray):
+    def __init__(self, data: np.ndarray, *, storage=None):
         self._data = check_data_matrix(data, name="data")
+        self._storage: Optional[StorageSpec] = check_storage_spec(storage)
+        self._scratch: Optional[ScratchDirectory] = (
+            ScratchDirectory(self._storage.scratch_dir)
+            if self._storage is not None
+            else None
+        )
         self._indices: Dict[int, AttributeIndex] = {}
         self._rank_columns: Dict[int, np.ndarray] = {}
         self._rank_matrix: np.ndarray = None
+
+    @property
+    def out_of_core(self) -> bool:
+        """True when rank columns are built chunked and spilled to scratch."""
+        return self._storage is not None
+
+    @property
+    def storage(self) -> Optional[StorageSpec]:
+        return self._storage
+
+    def close(self) -> None:
+        """Release the scratch directory of an out-of-core index (idempotent).
+
+        After closing, spilled rank columns are gone — the index must not be
+        used for further slicing.  In-memory indices are unaffected.
+        """
+        if self._scratch is not None:
+            self._rank_columns.clear()
+            self._scratch.close()
+
+    def __enter__(self) -> SortedDatabaseIndex:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @property
     def data(self) -> np.ndarray:
@@ -139,7 +259,12 @@ class SortedDatabaseIndex:
                 f"attribute {attribute} out of range for {self.n_dims}-dimensional data"
             )
         if attribute not in self._indices:
-            self._indices[attribute] = AttributeIndex(self._data[:, attribute], attribute)
+            values = self._data[:, attribute]
+            if self._storage is not None:
+                order = chunked_argsort(values, self._storage.chunk_rows)
+                self._indices[attribute] = AttributeIndex(values, attribute, order=order)
+            else:
+                self._indices[attribute] = AttributeIndex(values, attribute)
         return self._indices[attribute]
 
     def build_all(self) -> SortedDatabaseIndex:
@@ -173,18 +298,8 @@ class SortedDatabaseIndex:
                 f"rank_matrix entries must lie in [0, {n}); got range "
                 f"[{rank_matrix.min()}, {rank_matrix.max()}]"
             )
-        positions = np.arange(n, dtype=np.intp)
         for attribute in range(d):
-            # Scatter into a -1-filled array: a column that is not a
-            # permutation (duplicate ranks) leaves unwritten slots behind,
-            # which must fail loudly instead of indexing uninitialised memory.
-            order = np.full(n, -1, dtype=np.intp)
-            order[rank_matrix[:, attribute]] = positions
-            if order.min() < 0:
-                raise ParameterError(
-                    f"rank_matrix column {attribute} is not a permutation of "
-                    f"0..{n - 1}"
-                )
+            order = _invert_rank_column(rank_matrix[:, attribute], n, attribute)
             index._indices[attribute] = AttributeIndex(
                 index._data[:, attribute], attribute, order=order
             )
@@ -192,6 +307,47 @@ class SortedDatabaseIndex:
         if matrix.flags.writeable:
             matrix.setflags(write=False)
         index._rank_matrix = matrix
+        return index
+
+    @classmethod
+    def from_rank_columns(
+        cls, data: np.ndarray, columns: Dict[int, np.ndarray]
+    ) -> SortedDatabaseIndex:
+        """Rebuild a fully-built index from per-attribute rank columns.
+
+        The column-wise counterpart of :meth:`from_rank_matrix` for
+        out-of-core publications: the parent publishes each spilled rank
+        column as its own (memmapped) array instead of one dense matrix, and
+        the worker inverts every column in O(n) to recover the sorting
+        permutations — identical to the parent's, never assembling ``(n, d)``
+        ranks.  ``columns`` must map *every* attribute to its rank column.
+        """
+        index = cls(data)
+        n, d = index._data.shape
+        if sorted(columns) != list(range(d)):
+            raise ParameterError(
+                f"rank columns must cover attributes 0..{d - 1}, got "
+                f"{sorted(columns)}"
+            )
+        for attribute in range(d):
+            column = np.asarray(columns[attribute], dtype=np.intp)
+            if column.shape != (n,):
+                raise ParameterError(
+                    f"rank column {attribute} has shape {column.shape}, "
+                    f"expected ({n},)"
+                )
+            if column.size and (column.min() < 0 or column.max() >= n):
+                raise ParameterError(
+                    f"rank column {attribute} entries must lie in [0, {n})"
+                )
+            order = _invert_rank_column(column, n, attribute)
+            index._indices[attribute] = AttributeIndex(
+                index._data[:, attribute], attribute, order=order
+            )
+            if column.flags.writeable:
+                column = column.copy()
+                column.setflags(write=False)
+            index._rank_columns[attribute] = column
         return index
 
     @property
@@ -215,6 +371,11 @@ class SortedDatabaseIndex:
         :meth:`rank_column` / :meth:`ranks`, which never materialise the
         ``(n_objects, n_dims)`` block.
         """
+        if self._storage is not None:
+            raise DataError(
+                "an out-of-core index never materialises the dense rank "
+                "matrix; use rank_column(attribute) instead"
+            )
         if self._rank_matrix is None:
             n, d = self._data.shape
             ranks = np.empty((n, d), dtype=np.intp)
@@ -247,9 +408,23 @@ class SortedDatabaseIndex:
             column[self.attribute_index(attribute).order] = np.arange(
                 self.n_objects, dtype=np.intp
             )
-            column.setflags(write=False)
+            if self._scratch is not None:
+                # Spill to scratch and serve a read-only memmap view: the
+                # shared plane can then publish the column by path and the
+                # resident footprint stays one column, not d of them.
+                column = self._spill_column(attribute, column)
+            else:
+                column.setflags(write=False)
             self._rank_columns[attribute] = column
         return self._rank_columns[attribute]
+
+    def _spill_column(self, attribute: int, column: np.ndarray) -> np.memmap:
+        """Write one rank column to the scratch directory; reopen read-only."""
+        from ..dataset.memmap import _atomic_save
+
+        path = self._scratch.file(f"rank_{attribute:05d}.npy")
+        _atomic_save(path, column)
+        return open_memmap_readonly(path)
 
     def ranks(self, attribute: int) -> np.ndarray:
         """Sorted-order rank of every object under one attribute (read-only)."""

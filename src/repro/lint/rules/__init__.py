@@ -8,7 +8,8 @@ Rule families (the hundreds digit of the code):
 ``RPR2xx``  seed threading (RNG construction must be seedable)
 ``RPR3xx``  cache-key completeness (config/cell fields vs the cache key)
 ``RPR4xx``  parallel safety (picklable submissions, read-only shared arrays)
-``RPR5xx``  resource lifecycle (pools/planes must be closed)
+``RPR5xx``  resource lifecycle (pools/planes must be closed; read-only
+            memmap views and scratch directories of the out-of-core plane)
 ``RPR6xx``  registry/spec consistency (registered names must round-trip)
 ==========  ==================================================================
 """
@@ -16,6 +17,7 @@ Rule families (the hundreds digit of the code):
 from . import (  # noqa: F401  (imports register the rules)
     cache_keys,
     lifecycle,
+    memmap_safety,
     nondeterminism,
     parallel_safety,
     pragmas,

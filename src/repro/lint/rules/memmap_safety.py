@@ -1,0 +1,250 @@
+"""RPR50x — out-of-core (memmap) safety.
+
+The out-of-core dataset plane hands out ``np.memmap`` views that are
+read-only *by contract*: :func:`repro.dataset.memmap.open_memmap_readonly`
+results, and the per-attribute rank columns the out-of-core
+``SortedDatabaseIndex`` spills to scratch (``rank_column``) — which every
+process worker re-attaches zero-copy through the shared plane.  A write
+through any of them corrupts the file under every other reader, silently
+breaking the bit-for-bit equivalence between the storage modes.  ``RPR502``
+mirrors the ``RPR402`` taint analysis for these views.
+
+``RPR503`` mirrors ``RPR501`` for :class:`~repro.dataset.memmap.ScratchDirectory`:
+a scratch tree that is never closed leaks spilled rank columns on disk for
+the rest of the run (the ``weakref.finalize`` safety net only fires at
+garbage collection, which CPython does not promise promptly for reference
+cycles).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from ..core import Finding, ModuleInfo, Rule, register_rule
+
+#: Call-name tails whose results are read-only-by-contract memmap views.
+#: ``rank_column`` matches method receivers too (``self.index.rank_column``).
+_MEMMAP_SOURCES = frozenset({"open_memmap_readonly", "rank_column"})
+
+
+def _is_memmap_source(name: Optional[str]) -> bool:
+    return name is not None and name.rsplit(".", 1)[-1] in _MEMMAP_SOURCES
+
+
+@register_rule
+class MemmapWriteRule(Rule):
+    code = "RPR502"
+    name = "memmap-write"
+    summary = (
+        "memmap views handed out read-only by contract (open_memmap_readonly "
+        "results, out-of-core rank columns) must never be written through"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, node)
+
+    def _check_function(self, module: ModuleInfo, function: ast.AST) -> Iterator[Finding]:
+        assert isinstance(function, (ast.FunctionDef, ast.AsyncFunctionDef))
+        tainted: Set[str] = set()
+        # Two propagation passes: views/slices of tainted views are tainted too.
+        for _ in range(2):
+            for node in ast.walk(function):
+                if not isinstance(node, ast.Assign):
+                    continue
+                if not self._rooted(node.value, tainted, module):
+                    continue
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        tainted.add(target.id)
+        for node in ast.walk(function):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets: List[ast.expr] = (
+                    list(node.targets) if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Subscript) and self._rooted(
+                        target.value, tainted, module
+                    ):
+                        yield self.finding(
+                            module,
+                            node,
+                            "write through a read-only-by-contract memmap view; "
+                            "the backing file is shared by every attached "
+                            "process — copy before mutating",
+                        )
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "setflags"
+                    and self._rooted(node.func.value, tainted, module)
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        "setflags() on a read-only-by-contract memmap view; the "
+                        "writeable=False flag is the storage plane's write "
+                        "barrier — do not lift it",
+                    )
+                for keyword in node.keywords:
+                    if keyword.arg == "out" and self._rooted(
+                        keyword.value, tainted, module
+                    ):
+                        yield self.finding(
+                            module,
+                            node,
+                            "in-place ufunc output into a read-only-by-contract "
+                            "memmap view — allocate a local output",
+                        )
+
+    def _rooted(self, node: ast.AST, tainted: Set[str], module: ModuleInfo) -> bool:
+        """Is this expression derived from a tainted name or a memmap source?"""
+        current = node
+        while True:
+            if isinstance(current, (ast.Subscript, ast.Attribute)):
+                current = current.value
+            elif isinstance(current, ast.Call):
+                # A call produces a fresh object (``.copy()`` breaks the
+                # taint) — except the memmap sources themselves.
+                return _is_memmap_source(module.resolve(current.func))
+            elif isinstance(current, ast.Name):
+                return current.id in tainted
+            else:
+                return False
+
+
+#: Closers that end a scratch directory's lifetime.
+_SCRATCH_CLOSERS = frozenset({"close"})
+
+
+def _assigned_names(target: ast.expr) -> Optional[List[str]]:
+    """Plain names bound by an assignment target; None when not name-only."""
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: List[str] = []
+        for element in target.elts:
+            if isinstance(element, ast.Name):
+                names.append(element.id)
+            elif isinstance(element, ast.Starred) and isinstance(
+                element.value, ast.Name
+            ):
+                names.append(element.value.id)
+            else:
+                return None
+        return names
+    return None
+
+
+@register_rule
+class ScratchLifecycleRule(Rule):
+    code = "RPR503"
+    name = "scratch-lifecycle"
+    summary = (
+        "ScratchDirectory construction sites must close the scratch tree "
+        "(with/close()/ownership hand-off); finalizers alone are not prompt"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = module.resolve(node.func)
+            if name is None or name.rsplit(".", 1)[-1] != "ScratchDirectory":
+                continue
+            finding = self._check_site(module, node)
+            if finding is not None:
+                yield finding
+
+    def _check_site(self, module: ModuleInfo, call: ast.Call) -> Optional[Finding]:
+        assignment: Optional[ast.AST] = None
+        for ancestor in module.ancestors(call):
+            if isinstance(ancestor, ast.withitem):
+                return None  # with ScratchDirectory(...) as scratch:
+            if isinstance(ancestor, (ast.Return, ast.Yield, ast.YieldFrom)):
+                return None  # ownership handed to the caller
+            if isinstance(ancestor, ast.Call):
+                return None  # argument of another call: ownership handed over
+            if isinstance(ancestor, (ast.Assign, ast.AnnAssign)):
+                assignment = ancestor
+                break
+            if isinstance(ancestor, ast.Expr):
+                return self.finding(
+                    module,
+                    call,
+                    "ScratchDirectory(...) result is discarded; the scratch "
+                    "tree now cannot be removed deterministically — use "
+                    "'with', keep the reference, or close() it",
+                )
+            if isinstance(
+                ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)
+            ):
+                break
+        if assignment is None:
+            return None  # comprehension/condition contexts: benefit of doubt
+        targets = (
+            list(assignment.targets)
+            if isinstance(assignment, ast.Assign)
+            else [assignment.target]
+        )
+        names: List[str] = []
+        for target in targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                return None  # stored on an object; its owner manages lifetime
+            bound = _assigned_names(target)
+            if bound is None:
+                return None
+            names.extend(bound)
+        scope = module.enclosing_scope(call)
+        if self._escapes(scope, set(names)):
+            return None
+        return self.finding(
+            module,
+            call,
+            f"ScratchDirectory(...) bound to {'/'.join(repr(n) for n in names)} "
+            "is never closed in this scope; use 'with', call close() in a "
+            "finally block, or hand ownership onwards",
+        )
+
+    def _escapes(self, scope: ast.AST, names: Set[str]) -> bool:
+        """Is any bound name closed, returned, stored away or handed over?"""
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _SCRATCH_CLOSERS
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in names
+                ):
+                    return True
+                for argument in list(node.args) + [kw.value for kw in node.keywords]:
+                    for leaf in ast.walk(argument):
+                        if isinstance(leaf, ast.Name) and leaf.id in names:
+                            return True
+            elif isinstance(node, ast.withitem):
+                for leaf in ast.walk(node.context_expr):
+                    if isinstance(leaf, ast.Name) and leaf.id in names:
+                        return True
+            elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                value = node.value
+                if value is not None:
+                    for leaf in ast.walk(value):
+                        if isinstance(leaf, ast.Name) and leaf.id in names:
+                            return True
+            elif isinstance(node, ast.Assign):
+                stores_away = any(
+                    isinstance(target, (ast.Attribute, ast.Subscript))
+                    for target in node.targets
+                )
+                if stores_away:
+                    for leaf in ast.walk(node.value):
+                        if isinstance(leaf, ast.Name) and leaf.id in names:
+                            return True
+        return False

@@ -35,7 +35,7 @@ from .registry import (
     register_backend,
     resolve_backend,
 )
-from .shared import SharedArrayPlane, attach_arrays
+from .shared import ArrayHandle, MemmapHandle, SharedArrayPlane, attach_arrays
 
 __all__ = [
     "ExecutionBackend",
@@ -45,6 +45,8 @@ __all__ = [
     "ProcessBackend",
     "WorkerContext",
     "SharedArrayPlane",
+    "ArrayHandle",
+    "MemmapHandle",
     "attach_arrays",
     "default_chunksize",
     "resolve_n_jobs",

@@ -23,11 +23,20 @@ from __future__ import annotations
 import weakref
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Dict, List, Tuple
+from typing import Dict, List, Tuple, Union
 
 import numpy as np
 
-__all__ = ["ArrayHandle", "PlaneAttachment", "SharedArrayPlane", "attach_arrays"]
+from ..dataset.memmap import memmap_layout_fingerprint
+from ..exceptions import DataError
+
+__all__ = [
+    "ArrayHandle",
+    "MemmapHandle",
+    "PlaneAttachment",
+    "SharedArrayPlane",
+    "attach_arrays",
+]
 
 
 @dataclass(frozen=True)
@@ -42,6 +51,60 @@ class ArrayHandle:
     @property
     def nbytes(self) -> int:
         return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape, dtype=np.int64)))
+
+
+@dataclass(frozen=True)
+class MemmapHandle:
+    """Picklable descriptor of a memmap-backed array: file path + layout.
+
+    Published for arrays that are already full memmap views of an ``.npy``
+    file (a memmap dataset, a spilled rank column): instead of copying the
+    bytes into a shared-memory segment, the plane records the path and a
+    :func:`~repro.dataset.memmap.memmap_layout_fingerprint` of the on-disk
+    layout.  Workers attach zero-copy via ``np.load(path, mmap_mode="r")``
+    and recompute the layout fingerprint first — a file that was truncated or
+    replaced between publish and attach raises instead of serving torn bytes.
+    """
+
+    name: str
+    path: str
+    dtype: str
+    shape: Tuple[int, ...]
+    layout: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape, dtype=np.int64)))
+
+
+def _memmap_publication(array: np.ndarray) -> Union[str, None]:
+    """The backing ``.npy`` path when ``array`` can be published by path.
+
+    Only a memmap that *is* the complete stored array of its backing file
+    (the result of ``np.load(..., mmap_mode="r")``) qualifies; partial views
+    or raw (headerless) memmaps fall back to the copying path, because a
+    worker re-opening the file would see different bytes than the published
+    view.
+    """
+    if not isinstance(array, np.memmap) or getattr(array, "filename", None) is None:
+        return None
+    if not array.flags.c_contiguous:
+        return None
+    path = str(array.filename)
+    if not path.endswith(".npy"):
+        return None
+    try:
+        probe = np.load(path, mmap_mode="r", allow_pickle=False)
+    except (OSError, ValueError):
+        return None
+    if (
+        not isinstance(probe, np.memmap)
+        or probe.shape != array.shape
+        or probe.dtype != array.dtype
+        or int(probe.offset) != int(array.offset)
+    ):
+        return None
+    return path
 
 
 def _unlink_segments(segments: List[shared_memory.SharedMemory]) -> None:
@@ -66,9 +129,21 @@ class SharedArrayPlane:
 
     def __init__(self, arrays: Dict[str, np.ndarray]):
         self._segments: List[shared_memory.SharedMemory] = []
-        self.handles: Dict[str, ArrayHandle] = {}
+        self.handles: Dict[str, Union[ArrayHandle, MemmapHandle]] = {}
         try:
             for name, array in arrays.items():
+                # A full memmap view of an .npy file is published by path —
+                # no copy at all; workers re-map the same pages from disk.
+                path = _memmap_publication(array)
+                if path is not None:
+                    self.handles[name] = MemmapHandle(
+                        name=name,
+                        path=path,
+                        dtype=str(array.dtype),
+                        shape=tuple(array.shape),
+                        layout=memmap_layout_fingerprint(path, array.dtype, array.shape),
+                    )
+                    continue
                 array = np.ascontiguousarray(array)
                 segment = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
                 view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
@@ -138,12 +213,39 @@ def _attach_segment(name: str) -> shared_memory.SharedMemory:
         return shared_memory.SharedMemory(name=name)
 
 
-def attach_arrays(handles: Dict[str, ArrayHandle]) -> PlaneAttachment:
+def _attach_memmap(handle: MemmapHandle) -> np.memmap:
+    """Re-open a path-published array read-only, verifying its layout first."""
+    try:
+        layout = memmap_layout_fingerprint(handle.path, handle.dtype, handle.shape)
+    except OSError as exc:
+        raise DataError(
+            f"published memmap {handle.path!r} is gone: {exc}"
+        ) from exc
+    if layout != handle.layout:
+        raise DataError(
+            f"published memmap {handle.path!r} changed on disk between publish "
+            "and attach (torn or replaced file)"
+        )
+    view = np.load(handle.path, mmap_mode="r", allow_pickle=False)
+    if not isinstance(view, np.memmap) or tuple(view.shape) != tuple(handle.shape) or str(
+        view.dtype
+    ) != str(handle.dtype):
+        raise DataError(
+            f"published memmap {handle.path!r} no longer matches its handle "
+            f"(dtype {view.dtype}, shape {tuple(view.shape)})"
+        )
+    return view
+
+
+def attach_arrays(handles: Dict[str, Union[ArrayHandle, MemmapHandle]]) -> PlaneAttachment:
     """Map the published arrays of a plane into this process (read-only)."""
     arrays: Dict[str, np.ndarray] = {}
     segments: List[shared_memory.SharedMemory] = []
     try:
         for name, handle in handles.items():
+            if isinstance(handle, MemmapHandle):
+                arrays[name] = _attach_memmap(handle)
+                continue
             segment = _attach_segment(handle.segment)
             segments.append(segment)
             view = np.ndarray(handle.shape, dtype=np.dtype(handle.dtype), buffer=segment.buf)

@@ -93,6 +93,20 @@ class PipelineConfig:
         throughput knob.
     memory_budget_mb:
         Cache budget of the shared scoring engine in MiB.
+    storage:
+        Index storage spec string forwarded to components that accept it
+        (``None`` → in-memory, ``"memmap(chunk_rows=65536)"`` → out-of-core
+        index builds; see :class:`~repro.dataset.memmap.StorageSpec`).
+        Purely a memory/throughput knob — results are bit-for-bit identical
+        across storage modes.
+    scratch_dir:
+        Parent directory for out-of-core scratch spills (must already
+        exist); ``None`` uses the system temporary directory.  Only
+        meaningful together with a memmap ``storage``.
+    n_shards:
+        Row shards for the sharded contrast evaluation (default 1 =
+        unsharded).  Like ``n_jobs``, purely a throughput knob — sharded
+        results are bit-for-bit identical.
     extra:
         Free-form per-method overrides.
     """
@@ -108,6 +122,9 @@ class PipelineConfig:
     backend: Optional[str] = None
     scoring_engine: str = "shared"
     memory_budget_mb: float = 256.0
+    storage: Optional[str] = None
+    scratch_dir: Optional[str] = None
+    n_shards: int = 1
     extra: Dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
@@ -163,6 +180,9 @@ def _method_spec(key: str, config: PipelineConfig) -> PipelineSpec:
         "n_jobs": config.n_jobs,
         "backend": config.backend,
         "subsample_size": config.hics_subsample,
+        "storage": config.storage,
+        "scratch_dir": config.scratch_dir,
+        "n_shards": config.n_shards,
     }
     searchers = {
         "lof": ComponentSpec("fullspace"),
@@ -206,6 +226,9 @@ def _inject_config_defaults(spec: PipelineSpec, config: PipelineConfig) -> Pipel
         "random_state": config.random_state,
         "n_jobs": config.n_jobs,
         "backend": config.backend,
+        "storage": config.storage,
+        "scratch_dir": config.scratch_dir,
+        "n_shards": config.n_shards,
     }
 
     def merged(component: ComponentSpec, cls: type) -> ComponentSpec:

@@ -481,6 +481,26 @@ register_gate(GateSpec(
     description="100k-row streaming suite lifetime peak RSS (MiB)",
 ))
 
+# BENCH_scale.json (benchmarks/scale_bench.py --profile 1m): out-of-core cell.
+register_gate(GateSpec(
+    name="scale_1m_total_sec",
+    suite="scale_1m",
+    metric="total_sec",
+    direction="max",
+    threshold=1800.0,
+    tolerance=0.25,
+    description="1M-row memmap suite total wall time (s)",
+))
+register_gate(GateSpec(
+    name="scale_1m_peak_rss_mb",
+    suite="scale_1m",
+    metric="peak_rss_mb",
+    direction="max",
+    threshold=1536.0,
+    tolerance=0.15,
+    description="1M-row memmap suite lifetime peak RSS (MiB)",
+))
+
 # benchmarks/perf_smoke.py — per-target CI smoke payloads.
 register_gate(GateSpec(
     name="smoke_contrast_speedup",

@@ -55,6 +55,7 @@ BENCHMARK_SUITES = {
     "scoring-engine": "scoring",
     "serving-load": "serving",
     "scale": "scale",
+    "scale_1m": "scale_1m",
     "perf-smoke-contrast": "perf-smoke-contrast",
     "perf-smoke-scoring": "perf-smoke-scoring",
     "perf-smoke-parallel": "perf-smoke-parallel",

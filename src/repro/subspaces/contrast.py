@@ -53,6 +53,7 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 import numpy as np
 
 from ..dataset.fingerprint import array_fingerprint
+from ..dataset.memmap import StorageSpec, check_storage_spec
 from ..exceptions import ParameterError, SubspaceError
 from ..index import SliceBatch, SliceSampler, SortedDatabaseIndex
 from ..parallel import (
@@ -207,6 +208,28 @@ class ContrastEstimator:
         the same fingerprint and seed always reproduce the identical result,
         under every execution backend.  Databases with at most ``m`` rows
         fall back to the exact full estimate.
+    storage:
+        ``None`` (default) keeps the sorted index in memory.  A
+        :class:`~repro.dataset.memmap.StorageSpec` (or spec string such as
+        ``"memmap(chunk_rows=65536)"``) puts the index into out-of-core
+        mode: rank columns are built by chunked argsort-merge and spilled to
+        a per-estimator scratch directory as memmapped ``.npy`` columns, so
+        the dense ``(n, d)`` rank matrix is never materialised.  Purely a
+        memory knob — contrasts are bit-for-bit identical to the in-memory
+        index and the cache key does not change.  Only valid when ``data``
+        is a raw matrix (the estimator must own the index it spills).
+    n_shards:
+        Number of deterministic contiguous row shards the selection-mask
+        evaluation is partitioned into (default 1 = unsharded).  Sharding
+        splits only the per-object rank-interval tests; the Monte Carlo
+        *draw* protocol stays in
+        :meth:`~repro.index.SliceSampler.sample_slice_batch` and the shard
+        slabs are reassembled in row order, so counts, retry rounds and all
+        downstream statistics are bit-for-bit identical to the unsharded
+        evaluation — ``n_shards`` is a throughput/memory knob and does not
+        enter the cache key.  With a parallel backend the shards are fanned
+        out through the worker pool (per-shard evaluation replaces the
+        per-subspace fan-out).
     """
 
     def __init__(
@@ -224,6 +247,8 @@ class ContrastEstimator:
         backend: Union[None, str, ExecutionBackend] = None,
         cache: Union[bool, ContrastCache, None] = True,
         subsample_size: Optional[int] = None,
+        storage: Union[None, str, StorageSpec] = None,
+        n_shards: int = 1,
     ):
         self.n_iterations = check_positive_int(n_iterations, name="n_iterations")
         if not (0.0 < alpha < 1.0):
@@ -254,6 +279,8 @@ class ContrastEstimator:
                     f"subsample_size must be at least 2, got {subsample_size}"
                 )
         self.subsample_size = subsample_size
+        self.n_shards = check_positive_int(n_shards, name="n_shards")
+        self.storage = check_storage_spec(storage)
         self.n_jobs = resolve_n_jobs(n_jobs)
         self.backend = check_backend_spec(backend)
         # Lazily resolved execution state, persistent across contrast_many
@@ -266,9 +293,16 @@ class ContrastEstimator:
         # index (rebuilt zero-copy from the shared-memory plane) instead of
         # re-validating and re-sorting the data.
         if isinstance(data, SortedDatabaseIndex):
+            if self.storage is not None:
+                raise ParameterError(
+                    "storage can only be set when the estimator builds its own "
+                    "index from a data matrix, not for a prebuilt index"
+                )
             self.index = data
+            self._owns_index = False
         else:
-            self.index = SortedDatabaseIndex(data).build_all()
+            self.index = SortedDatabaseIndex(data, storage=self.storage).build_all()
+            self._owns_index = True
         self._sampler = SliceSampler(self.index, alpha=self.alpha)
         if cache is True:
             self.cache: Optional[ContrastCache] = ContrastCache()
@@ -407,16 +441,82 @@ class ContrastEstimator:
             self.cache.put(key, result)
         return result
 
-    def _evaluate(self, subspace: Subspace) -> ContrastResult:
-        if self.subsample_size is not None and self.subsample_size < self.n_objects:
-            return self._evaluate_subsampled(subspace)
-        batch = self._sampler.sample_slice_batch(
+    def _shard_bounds(self) -> List[Tuple[int, int]]:
+        """Deterministic contiguous row ranges covering all objects.
+
+        ``n_shards`` ranges (fewer when the database has fewer rows), sized
+        like ``np.array_split``: the first ``n % shards`` ranges get one extra
+        row.  A pure function of ``(n_objects, n_shards)`` so every process
+        computes the same partition.
+        """
+        n = self.n_objects
+        shards = max(1, min(self.n_shards, n))
+        base, rem = divmod(n, shards)
+        bounds: List[Tuple[int, int]] = []
+        lo = 0
+        for i in range(shards):
+            hi = lo + base + (1 if i < rem else 0)
+            bounds.append((lo, hi))
+            lo = hi
+        return bounds
+
+    def _mask_evaluator(self):
+        """The sharded selection-mask evaluator, or ``None`` when unsharded.
+
+        The returned callable matches the ``mask_evaluator`` contract of
+        :meth:`~repro.index.SliceSampler.sample_slice_batch`: it evaluates the
+        rank-interval tests shard by shard over contiguous object ranges and
+        reassembles the slabs in row order.  An object's test never looks at
+        any other object, so the concatenated matrix is bitwise identical to
+        a full evaluation — counts, retries and the random stream are
+        untouched, which is what makes sharding a pure throughput/memory
+        knob.  Under a parallel backend the shards are fanned out through the
+        persistent worker pool.
+        """
+        if self.n_shards <= 1:
+            return None
+        bounds = self._shard_bounds()
+        if len(bounds) <= 1:
+            return None
+        backend = self._resolve_exec_backend(None, None)
+
+        def evaluate(
+            attrs: np.ndarray, start_ranks: np.ndarray, block: int
+        ) -> np.ndarray:
+            # Build (and for an out-of-core index, spill) the rank columns in
+            # the parent first so thread workers never race a lazy build.
+            for attribute in attrs:
+                self.index.rank_column(int(attribute))
+            if backend is None:
+                slabs = [
+                    self._sampler.evaluate_masks_range(attrs, start_ranks, block, b)
+                    for b in bounds
+                ]
+            else:
+                slabs = backend.map(
+                    _shard_masks_worker,
+                    [(attrs, start_ranks, block, b) for b in bounds],
+                    context=self._ensure_worker_context(),
+                )
+            return np.concatenate(slabs, axis=1)
+
+        return evaluate
+
+    def _sample_batch(self, subspace: Subspace) -> SliceBatch:
+        """Draw one subspace's slice batch (sharded evaluation when configured)."""
+        return self._sampler.sample_slice_batch(
             subspace,
             self.n_iterations,
             rng=self._subspace_rng(subspace),
             min_conditional_size=self.min_conditional_size,
             max_retries=self.max_retries,
+            mask_evaluator=self._mask_evaluator(),
         )
+
+    def _evaluate(self, subspace: Subspace) -> ContrastResult:
+        if self.subsample_size is not None and self.subsample_size < self.n_objects:
+            return self._evaluate_subsampled(subspace)
+        batch = self._sample_batch(subspace)
         if self.engine == "scalar":
             deviations = self._deviations_scalar(batch)
         else:
@@ -613,7 +713,14 @@ class ContrastEstimator:
         """
         subspace_list = list(subspaces)
         exec_backend = self._resolve_exec_backend(backend, n_jobs)
-        if exec_backend is not None and len(subspace_list) >= 2:
+        # With row sharding enabled, parallelism moves *inside* each
+        # subspace's mask evaluation (shard fan-out), so the per-subspace
+        # fan-out is skipped — both routes are bit-for-bit identical.
+        if (
+            exec_backend is not None
+            and len(subspace_list) >= 2
+            and self.n_shards == 1
+        ):
             return self._contrast_many_backend(subspace_list, exec_backend)
         if (
             self.engine == "batch"
@@ -668,13 +775,7 @@ class ContrastEstimator:
         stats_parts: List[Tuple[np.ndarray, np.ndarray]] = []
         degenerate_counts: List[int] = []
         for subspace in pending:
-            batch = self._sampler.sample_slice_batch(
-                subspace,
-                self.n_iterations,
-                rng=self._subspace_rng(subspace),
-                min_conditional_size=self.min_conditional_size,
-                max_retries=self.max_retries,
-            )
+            batch = self._sample_batch(subspace)
             _, _, test_attributes, _, samples = self._gather_samples(batch)
             stats_parts.append(self._welch_t_df(test_attributes, samples))
             degenerate_counts.append(batch.n_degenerate)
@@ -737,9 +838,6 @@ class ContrastEstimator:
         backends reuse this estimator directly.
         """
         if self._worker_context is None:
-            # Touch the lazy rank matrix before any fan-out: the plane
-            # publishes it, and thread workers must not race its build.
-            rank_matrix = self.index.rank_matrix
             params = {
                 "n_iterations": self.n_iterations,
                 "alpha": self.alpha,
@@ -756,10 +854,27 @@ class ContrastEstimator:
                 "entropy": self._entropy,
                 "subsample_size": self.subsample_size,
             }
+            if self.index.out_of_core:
+                # No dense (n, d) rank matrix exists in this mode.  Publish
+                # the spilled per-attribute rank columns instead: each is a
+                # full memmap view of a scratch ``.npy`` file, so the plane
+                # publishes it by path and workers re-map the same pages
+                # zero-copy (the memmap-backed data matrix likewise).
+                arrays = {"data": self.index.data}
+                for attribute in range(self.n_dims):
+                    arrays[f"rank_col_{attribute}"] = self.index.rank_column(attribute)
+                params["index_layout"] = "columns"
+            else:
+                # Touch the lazy rank matrix before any fan-out: the plane
+                # publishes it, and thread workers must not race its build.
+                arrays = {
+                    "data": self.index.data,
+                    "rank_matrix": self.index.rank_matrix,
+                }
             self._worker_context = WorkerContext(
                 setup=_setup_contrast_worker,
                 payload=params,
-                arrays={"data": self.index.data, "rank_matrix": rank_matrix},
+                arrays=arrays,
                 local_state=self,
             )
         return self._worker_context
@@ -831,6 +946,11 @@ class ContrastEstimator:
             if owned:
                 resolved.close()
             self._exec_backend = None
+        # An out-of-core index built by this estimator owns scratch files on
+        # disk; remove them deterministically (a prebuilt index passed in by
+        # the caller keeps its scratch — ownership stays outside).
+        if self._owns_index and self.index.out_of_core:
+            self.index.close()
 
     def __enter__(self) -> ContrastEstimator:
         return self
@@ -848,9 +968,20 @@ def _setup_contrast_worker(payload: Dict[str, object], arrays: Dict[str, np.ndar
     The data matrix and the rank matrix arrive as zero-copy shared-memory
     views; the sorted index is reconstructed by inverting the rank columns,
     so a worker never pickles, copies or re-sorts the database regardless of
-    the pool's start method.
+    the pool's start method.  An out-of-core parent publishes per-attribute
+    rank columns (memmapped scratch files) instead of the dense matrix; the
+    worker rebuilds from those columns without ever assembling ``(n, d)``
+    ranks.
     """
-    index = SortedDatabaseIndex.from_rank_matrix(arrays["data"], arrays["rank_matrix"])
+    data = arrays["data"]
+    if payload.get("index_layout") == "columns":
+        columns = {
+            attribute: arrays[f"rank_col_{attribute}"]
+            for attribute in range(data.shape[1])
+        }
+        index = SortedDatabaseIndex.from_rank_columns(data, columns)
+    else:
+        index = SortedDatabaseIndex.from_rank_matrix(data, arrays["rank_matrix"])
     estimator = ContrastEstimator(
         index,
         n_iterations=payload["n_iterations"],
@@ -874,3 +1005,19 @@ def _contrast_worker(
     """Evaluate one subspace against the worker state; picklable payload."""
     result = estimator.contrast_detailed(Subspace(attributes))
     return result.contrast, result.deviations, result.n_degenerate, result.subsample
+
+
+def _shard_masks_worker(
+    estimator: ContrastEstimator,
+    task: Tuple[np.ndarray, np.ndarray, int, Tuple[int, int]],
+) -> np.ndarray:
+    """Evaluate one row shard's slice masks against the worker state.
+
+    The task carries the parent's drawn start ranks; the worker only runs
+    the deterministic rank-interval tests over its ``[lo, hi)`` object range,
+    so no randomness crosses the process boundary.
+    """
+    attrs, start_ranks, block, object_range = task
+    return estimator._sampler.evaluate_masks_range(
+        attrs, start_ranks, block, object_range
+    )

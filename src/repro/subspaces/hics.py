@@ -16,10 +16,13 @@ parameter: ``"welch"`` → HiCS_WT (the paper's default) and ``"ks"`` → HiCS_K
 
 from __future__ import annotations
 
+import dataclasses
+import os
 from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from ..dataset.memmap import check_storage_spec
 from ..exceptions import ParameterError
 from ..parallel import check_backend_spec, resolve_n_jobs
 from ..stats.deviation import DeviationFunction
@@ -96,6 +99,26 @@ class HiCS(SubspaceSearcher):
         the apriori search cost scales with the subsample size instead of
         the database size.  Deterministic: the per-subspace subsample rows
         derive from the root seed and the subspace's attributes.
+    storage:
+        ``None`` (default) keeps the sorted index in memory.  A storage spec
+        string such as ``"memmap(chunk_rows=65536)"`` (or a
+        :class:`~repro.dataset.memmap.StorageSpec`) runs the search over an
+        out-of-core index: rank columns are built by chunked argsort-merge
+        and spilled to a per-fit scratch directory as memmapped ``.npy``
+        columns, so the dense ``(n, d)`` rank matrix is never materialised.
+        Purely a memory/throughput knob — results are bit-for-bit identical
+        across storage modes.
+    scratch_dir:
+        Parent directory for the out-of-core scratch space (it must already
+        exist); ``None`` uses the system temporary directory, or whatever
+        the storage spec itself pins.  Requires a memmap ``storage``.
+    n_shards:
+        Number of deterministic contiguous row shards the selection-mask
+        evaluation of every contrast is partitioned into (default 1).  With
+        a parallel ``backend`` the shards are fanned out through the worker
+        pool *instead of* the per-subspace fan-out.  Bit-for-bit identical
+        to the unsharded search under the shared seed-derivation scheme —
+        a pure throughput/memory knob.
 
     Examples
     --------
@@ -128,6 +151,9 @@ class HiCS(SubspaceSearcher):
         backend=None,
         cache: bool = True,
         subsample_size: Optional[int] = None,
+        storage: Optional[str] = None,
+        scratch_dir: Optional[str] = None,
+        n_shards: int = 1,
     ):
         self.n_iterations = check_positive_int(n_iterations, name="n_iterations")
         if not (0.0 < alpha < 1.0):
@@ -160,6 +186,19 @@ class HiCS(SubspaceSearcher):
                     f"subsample_size must be at least 2, got {subsample_size}"
                 )
         self.subsample_size = subsample_size
+        # Normalised once, stored as the canonical spec string (or None) so
+        # the searcher persists through to_dict/save like every other param.
+        parsed_storage = check_storage_spec(storage)
+        self.storage = parsed_storage.to_spec() if parsed_storage is not None else None
+        if scratch_dir is not None:
+            if parsed_storage is None:
+                raise ParameterError(
+                    "scratch_dir requires a memmap storage spec, e.g. "
+                    "storage='memmap(chunk_rows=65536)'"
+                )
+            scratch_dir = os.fspath(scratch_dir)
+        self.scratch_dir = scratch_dir
+        self.n_shards = check_positive_int(n_shards, name="n_shards")
         self.cache = bool(cache)
         self._shared_cache: Optional[ContrastCache] = (
             ContrastCache(max_entries=_CACHE_MAX_ENTRIES) if self.cache else None
@@ -180,6 +219,11 @@ class HiCS(SubspaceSearcher):
     def search(self, data: np.ndarray) -> List[ScoredSubspace]:
         """Run the full HiCS subspace search on a data matrix."""
         data = check_data_matrix(data, name="data", min_objects=10, min_dims=2)
+        storage = check_storage_spec(self.storage)
+        if storage is not None and self.scratch_dir is not None:
+            # The searcher-level scratch_dir wins over (and typically fills
+            # in) the spec's own; both forms persist faithfully.
+            storage = dataclasses.replace(storage, scratch_dir=self.scratch_dir)
         estimator = ContrastEstimator(
             data,
             n_iterations=self.n_iterations,
@@ -191,6 +235,8 @@ class HiCS(SubspaceSearcher):
             backend=self.backend,
             cache=self._shared_cache if self.cache else False,
             subsample_size=self.subsample_size,
+            storage=storage,
+            n_shards=self.n_shards,
         )
         self.evaluated_subspaces_ = {}
         self.levels_ = []

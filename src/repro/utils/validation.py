@@ -22,6 +22,34 @@ __all__ = [
     "check_probability",
 ]
 
+#: Row-block bound for streaming validation of memmap-backed matrices; the
+#: finiteness scan never materialises more than this many rows at once.
+_VALIDATE_CHUNK_ROWS = 65536
+
+
+def _is_canonical_memmap(arr: np.ndarray, dtype: np.dtype) -> bool:
+    """True when ``arr`` is a memmap already in the canonical layout.
+
+    A canonical memmap (C-contiguous, exact dtype) is passed through
+    validation untouched: converting it with ``np.asarray`` /
+    ``np.ascontiguousarray`` would either copy the file into process memory
+    or strip the :class:`numpy.memmap` type (and with it the backing-file
+    path the shared-memory plane publishes to workers).
+    """
+    return (
+        isinstance(arr, np.memmap)
+        and arr.dtype == dtype
+        and arr.flags.c_contiguous
+    )
+
+
+def _check_finite_chunked(arr: np.ndarray, name: str) -> None:
+    """Finiteness scan over bounded row blocks (memmap-friendly)."""
+    step = max(1, _VALIDATE_CHUNK_ROWS)
+    for start in range(0, arr.shape[0], step):
+        if not np.all(np.isfinite(arr[start : start + step])):
+            raise DataError(f"{name} contains NaN or infinite values")
+
 
 def check_data_matrix(
     data: np.ndarray,
@@ -53,7 +81,13 @@ def check_data_matrix(
         so Fortran-ordered or non-float64 inputs are normalised here, once,
         instead of producing layout-dependent copies downstream.
     """
-    arr = np.asarray(data, dtype=np.float64)
+    memmap_passthrough = (
+        _is_canonical_memmap(data, np.dtype(np.float64)) and data.ndim == 2
+    )
+    if memmap_passthrough:
+        arr = data
+    else:
+        arr = np.asarray(data, dtype=np.float64)
     if arr.ndim == 1:
         arr = arr.reshape(-1, 1)
     if arr.ndim != 2:
@@ -67,6 +101,12 @@ def check_data_matrix(
         raise DataError(
             f"{name} must contain at least {min_dims} dimensions, got {n_dims}"
         )
+    if memmap_passthrough:
+        # Already in the canonical layout: validate by streaming over row
+        # blocks and return the memmap itself — same bytes, zero copies.
+        if not allow_nan:
+            _check_finite_chunked(arr, name)
+        return arr
     if not allow_nan and not np.all(np.isfinite(arr)):
         raise DataError(f"{name} contains NaN or infinite values")
     return np.ascontiguousarray(arr)
@@ -74,13 +114,23 @@ def check_data_matrix(
 
 def check_labels(labels: np.ndarray, n_objects: Optional[int] = None, *, name: str = "labels") -> np.ndarray:
     """Validate a binary outlier-label vector (1 = outlier, 0 = inlier)."""
-    arr = np.asarray(labels)
+    arr = labels if isinstance(labels, np.memmap) else np.asarray(labels)
     if arr.ndim != 1:
         raise DataError(f"{name} must be one-dimensional, got ndim={arr.ndim}")
     if n_objects is not None and arr.shape[0] != n_objects:
         raise DataError(
             f"{name} has length {arr.shape[0]} but the data has {n_objects} objects"
         )
+    if _is_canonical_memmap(arr, np.dtype(np.int64)):
+        # Canonical memmap labels stream their binary check in row blocks and
+        # stay memmap-backed (same passthrough rationale as the data matrix).
+        step = max(1, _VALIDATE_CHUNK_ROWS)
+        for start in range(0, arr.shape[0], step):
+            block = arr[start : start + step]
+            if not np.all((block == 0) | (block == 1)):
+                bad = np.unique(np.asarray(block))
+                raise DataError(f"{name} must be binary (0/1), got values {bad[:10]}")
+        return arr
     unique = np.unique(arr)
     if not np.all(np.isin(unique, (0, 1, False, True))):
         raise DataError(f"{name} must be binary (0/1), got values {unique[:10]}")

@@ -627,6 +627,130 @@ class TestResourceLifecycleRule:
         assert codes(lint_source(source, select=["RPR501"])) == []
 
 
+class TestMemmapWriteRule:
+    def test_rpr502_write_through_source_result(self):
+        source = (
+            "from repro.dataset.memmap import open_memmap_readonly\n"
+            "def patch(path):\n"
+            "    view = open_memmap_readonly(path)\n"
+            "    view[0] = 1.0\n"
+        )
+        assert codes(lint_source(source, select=["RPR502"])) == ["RPR502"]
+
+    def test_rpr502_write_through_propagated_view(self):
+        source = (
+            "from repro.dataset.memmap import open_memmap_readonly\n"
+            "def patch(path):\n"
+            "    view = open_memmap_readonly(path)\n"
+            "    window = view[10:20]\n"
+            "    window[:] = 0.0\n"
+        )
+        assert codes(lint_source(source, select=["RPR502"])) == ["RPR502"]
+
+    def test_rpr502_rank_column_is_read_only(self):
+        source = (
+            "def patch(index):\n"
+            "    column = index.rank_column(3)\n"
+            "    column[0] = -1\n"
+        )
+        assert codes(lint_source(source, select=["RPR502"])) == ["RPR502"]
+
+    def test_rpr502_setflags_and_out_kwarg(self):
+        source = (
+            "import numpy as np\n"
+            "from repro.dataset.memmap import open_memmap_readonly\n"
+            "def patch(path):\n"
+            "    view = open_memmap_readonly(path)\n"
+            "    view.setflags(write=True)\n"
+            "    np.add(view, 1.0, out=view)\n"
+        )
+        assert codes(lint_source(source, select=["RPR502"])) == ["RPR502", "RPR502"]
+
+    def test_rpr502_negative_copy_breaks_taint(self):
+        source = (
+            "from repro.dataset.memmap import open_memmap_readonly\n"
+            "def patch(path):\n"
+            "    view = open_memmap_readonly(path)\n"
+            "    local = view.copy()\n"
+            "    local[0] = 1.0\n"
+            "    return float(view[0]) + float(local[0])\n"
+        )
+        assert codes(lint_source(source, select=["RPR502"])) == []
+
+    def test_rpr502_suppressed(self):
+        source = (
+            "from repro.dataset.memmap import open_memmap_readonly\n"
+            "def patch(path):\n"
+            "    view = open_memmap_readonly(path)\n"
+            "    view[0] = 1.0  # repro-lint: disable=RPR502 -- fixture\n"
+        )
+        assert codes(lint_source(source, select=["RPR502"])) == []
+
+
+class TestScratchLifecycleRule:
+    def test_rpr503_never_closed_binding(self):
+        source = (
+            "from repro.dataset.memmap import ScratchDirectory\n"
+            "def spill(base):\n"
+            "    scratch = ScratchDirectory(base)\n"
+            "    path = scratch.file('rank.npy')\n"
+            "    return path\n"
+        )
+        # ``path`` escapes via return, but the directory itself does not.
+        assert codes(lint_source(source, select=["RPR503"])) == ["RPR503"]
+
+    def test_rpr503_discarded_result(self):
+        source = (
+            "from repro.dataset.memmap import ScratchDirectory\n"
+            "def spill(base):\n"
+            "    ScratchDirectory(base)\n"
+        )
+        report = lint_source(source, select=["RPR503"])
+        assert codes(report) == ["RPR503"]
+        assert "discarded" in report.active[0].message
+
+    def test_rpr503_negative_with_statement(self):
+        source = (
+            "from repro.dataset.memmap import ScratchDirectory\n"
+            "def spill(base):\n"
+            "    with ScratchDirectory(base) as scratch:\n"
+            "        return scratch.path\n"
+        )
+        assert codes(lint_source(source, select=["RPR503"])) == []
+
+    def test_rpr503_negative_close_in_finally(self):
+        source = (
+            "from repro.dataset.memmap import ScratchDirectory\n"
+            "def spill(base, build):\n"
+            "    scratch = ScratchDirectory(base)\n"
+            "    try:\n"
+            "        return build(scratch.path)\n"
+            "    finally:\n"
+            "        scratch.close()\n"
+        )
+        assert codes(lint_source(source, select=["RPR503"])) == []
+
+    def test_rpr503_negative_stored_on_self_or_returned(self):
+        source = (
+            "from repro.dataset.memmap import ScratchDirectory\n"
+            "class Index:\n"
+            "    def __init__(self, base):\n"
+            "        self._scratch = ScratchDirectory(base)\n"
+            "def make(base):\n"
+            "    scratch = ScratchDirectory(base)\n"
+            "    return scratch\n"
+        )
+        assert codes(lint_source(source, select=["RPR503"])) == []
+
+    def test_rpr503_suppressed(self):
+        source = (
+            "from repro.dataset.memmap import ScratchDirectory\n"
+            "def spill(base):\n"
+            "    scratch = ScratchDirectory(base)  # repro-lint: disable=RPR503 -- fixture\n"
+        )
+        assert codes(lint_source(source, select=["RPR503"])) == []
+
+
 # ------------------------------------------------------------ RPR6xx fixtures
 
 

@@ -50,6 +50,7 @@ BENCH_FILES = {
     "BENCH_scoring.json": "scoring",
     "BENCH_serving.json": "serving",
     "BENCH_scale.json": "scale",
+    "BENCH_scale_1m.json": "scale_1m",
 }
 
 STAMP = "2026-08-08T00:00:00+00:00"
@@ -449,11 +450,11 @@ class TestReportCli:
         paths = [bench_path(name) for name in sorted(BENCH_FILES)]
         assert self.collect(history, *paths) == 0
         out = capsys.readouterr().out
-        assert "collected 4 record(s) (4 new, 0 already recorded, 0 skipped)" in out
+        assert "collected 5 record(s) (5 new, 0 already recorded, 0 skipped)" in out
 
         # idempotent re-collection
         assert self.collect(history, *paths) == 0
-        assert "(0 new, 4 already recorded" in capsys.readouterr().out
+        assert "(0 new, 5 already recorded" in capsys.readouterr().out
 
         out_md = str(tmp_path / "report.md")
         assert main(["report", "render", "--history", history, "--out", out_md]) == 0
@@ -544,7 +545,7 @@ class TestReportCli:
         assert main(["report", "render", *paths]) == 0
         out = capsys.readouterr().out
         assert "# Benchmark report" in out
-        assert "4 suites" in out
+        assert "5 suites" in out
 
     def test_copy_of_payload_keeps_gate_rows_intact(self, tmp_path):
         # guard against the collector mutating payloads it ingests
